@@ -1,0 +1,85 @@
+"""Experiment A3: the FSB reduction of Section 4.3.
+
+The paper argues a front-side bus is "a reduced case for the more generic
+cross-bar model".  This benchmark executes the claim: the generic ILP-PTAC
+machinery instantiated on a single-target scenario must coincide with the
+closed-form FSB bound, across a sweep of bus timings and task sizes — and
+it measures what the generality costs in solve time versus the closed form.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.fsb import (
+    FsbTiming,
+    fsb_closed_form,
+    fsb_ftc_closed_form,
+    fsb_via_crossbar_ilp,
+)
+from repro.counters.readings import TaskReadings
+
+
+def _random_pair(rng: random.Random) -> tuple[TaskReadings, TaskReadings]:
+    def readings(name: str) -> TaskReadings:
+        ps = rng.randint(0, 50_000)
+        return TaskReadings(
+            name,
+            pmem_stall=ps,
+            dmem_stall=rng.randint(0, 50_000),
+            pcache_miss=rng.randint(0, ps // 6) if ps >= 6 else 0,
+        )
+
+    return readings("a"), readings("b")
+
+
+@pytest.mark.benchmark(group="fsb")
+def test_fsb_reduction_equivalence(benchmark, report):
+    rng = random.Random(2018)
+    cases = []
+    for _ in range(24):
+        timing = FsbTiming(
+            latency=rng.randint(4, 60), cs_min=rng.randint(1, 4)
+        )
+        cases.append((timing, *_random_pair(rng)))
+
+    def run_all():
+        results = []
+        for timing, a, b in cases:
+            ilp = fsb_via_crossbar_ilp(a, b, timing).bound.delta_cycles
+            closed = fsb_closed_form(a, b, timing)
+            results.append((timing, a, b, ilp, closed))
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for timing, a, b, ilp, closed in results:
+        assert ilp == closed, f"reduction violated for l_bus={timing.latency}"
+
+    sample = results[:6]
+    report.add(
+        "A3 — FSB reduction (crossbar ILP == closed form)",
+        render_table(
+            ["l_bus", "cs_min", "ILP Δcont", "closed form", "fTC (any rival)"],
+            [
+                [
+                    t.latency,
+                    t.cs_min,
+                    ilp,
+                    closed,
+                    fsb_ftc_closed_form(a, t),
+                ]
+                for t, a, b, ilp, closed in sample
+            ],
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="fsb")
+def test_fsb_closed_form_cost(benchmark):
+    """Baseline cost of the closed form (what the ILP generality costs)."""
+    timing = FsbTiming(latency=20, cs_min=4)
+    a = TaskReadings("a", pmem_stall=30_000, dmem_stall=20_000, pcache_miss=5_000)
+    b = TaskReadings("b", pmem_stall=12_000, dmem_stall=9_000, pcache_miss=2_000)
+    value = benchmark(lambda: fsb_closed_form(a, b, timing))
+    assert value > 0

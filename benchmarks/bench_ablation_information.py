@@ -1,0 +1,42 @@
+"""Experiment A1: information-degree ablation.
+
+Quantifies what each level of observability buys, on identical
+simulator-measured inputs: architectural knowledge only (ftc-baseline),
+deployment knowledge about τa (ftc-refined), contender counters (ilp-ptac)
+and ground-truth PTACs (ideal — unobtainable on real silicon).
+"""
+
+import pytest
+
+from repro.analysis.experiments import information_ablation
+from repro.analysis.report import render_ablation
+
+SCALE = 1 / 32
+
+
+@pytest.mark.benchmark(group="ablation-information")
+def test_information_ablation(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: information_ablation(scale=SCALE), rounds=1, iterations=1
+    )
+    report.add(
+        f"A1 — information-degree ablation (scale {SCALE:g})",
+        render_ablation(rows),
+    )
+
+    for scenario in ("scenario1", "scenario2"):
+        by_model = lambda m, load=None: next(  # noqa: E731
+            r.delta_cycles
+            for r in rows
+            if r.scenario == scenario
+            and r.model == m
+            and (load is None or r.load == load)
+        )
+        # The information ladder must be monotone.
+        assert by_model("ftc-refined") <= by_model("ftc-baseline")
+        for load in ("H", "M", "L"):
+            assert (
+                by_model("ideal", load)
+                <= by_model("ilp-ptac", load)
+                <= by_model("ftc-refined")
+            )

@@ -1,0 +1,74 @@
+"""Experiment A2: ILP solver ablation and scaling.
+
+Compares the bundled branch-and-bound against SciPy/HiGHS on the paper's
+instances (identical optima, comparable latency) and measures how solve
+time scales with the number of simultaneous contenders — the practical
+cost of the multi-contender extension.
+"""
+
+import pytest
+
+from repro import paper
+from repro.analysis.report import render_table
+from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
+from repro.core.multicontender import multi_contender_bound
+from repro.platform.deployment import scenario_1, scenario_2
+from repro.platform.latency import tc27x_latency_profile
+
+PROFILE = tc27x_latency_profile()
+
+
+@pytest.mark.benchmark(group="solver-backends")
+@pytest.mark.parametrize("backend", ["bnb", "scipy", "lp"])
+@pytest.mark.parametrize("scenario_name", ["scenario1", "scenario2"])
+def test_backend_solve_time(benchmark, backend, scenario_name):
+    scenario = scenario_1() if scenario_name == "scenario1" else scenario_2()
+    app = paper.table6(scenario_name, "app")
+    rival = paper.table6(scenario_name, "H-Load")
+    options = IlpPtacOptions(backend=backend)
+
+    result = benchmark(
+        lambda: ilp_ptac_bound(app, rival, PROFILE, scenario, options)
+    )
+    expected = paper.EXPECTED_DELTA[(scenario_name, "ilp-ptac", "H")]
+    if backend == "lp":
+        # The relaxation is a (slightly) looser sound bound.
+        assert expected <= result.bound.delta_cycles <= expected + 100
+    else:
+        assert result.bound.delta_cycles == expected
+
+
+@pytest.mark.benchmark(group="solver-scaling")
+@pytest.mark.parametrize("contenders", [1, 2, 4, 8])
+def test_multicontender_scaling(benchmark, contenders, report):
+    """Solve time and bound growth with the number of contenders."""
+    app = paper.table6("scenario1", "app")
+    rivals = [
+        paper.contender_readings("scenario1", "L").scaled(
+            1.0, name=f"rival{i}"
+        )
+        for i in range(contenders)
+    ]
+    scenario = scenario_1()
+
+    result = benchmark(
+        lambda: multi_contender_bound(app, rivals, PROFILE, scenario)
+    )
+    assert result.bound.delta_cycles > 0
+    if contenders == 8:
+        report.add(
+            "A2 — multi-contender instance at k=8",
+            render_table(
+                ["metric", "value"],
+                [
+                    ["variables", len(result.model.variables)],
+                    ["constraints", len(result.model.constraints)],
+                    ["B&B nodes", result.solution.stats.nodes],
+                    [
+                        "simplex iterations",
+                        result.solution.stats.simplex_iterations,
+                    ],
+                    ["Δcont (cycles)", result.bound.delta_cycles],
+                ],
+            ),
+        )

@@ -1,0 +1,73 @@
+"""Experiment A6: flexibility sweeps (Section 4.2's exploration use case).
+
+The paper's Figure 4 samples the contender load at three points; the sweep
+API generalises it to a curve and exposes a structural feature three
+points cannot show: the ILP bound grows linearly with the contender load
+until it **saturates** at the fully time-composable ceiling — the load
+beyond which contender information stops helping.  The dirty-latency
+sensitivity quantifies Table 2's bracketed 21-cycle LMU entry.
+"""
+
+import pytest
+
+from repro import paper
+from repro.analysis.report import render_table
+from repro.analysis.sweeps import (
+    contender_scale_sweep,
+    dirty_latency_sensitivity,
+)
+from repro.platform.deployment import scenario_1, scenario_2
+
+
+@pytest.mark.benchmark(group="sweep")
+@pytest.mark.parametrize("scenario_name", ["scenario1", "scenario2"])
+def test_contender_scale_sweep(benchmark, report, scenario_name):
+    scenario = scenario_1() if scenario_name == "scenario1" else scenario_2()
+    readings_a = paper.table6(scenario_name, "app")
+    contender = paper.table6(scenario_name, "H-Load")
+    isolation = paper.ISOLATION_CYCLES[scenario_name]
+
+    points = benchmark(
+        lambda: contender_scale_sweep(
+            readings_a, contender, scenario, isolation_cycles=isolation
+        )
+    )
+
+    report.add(
+        f"A6 — contender-load sweep ({scenario_name})",
+        render_table(
+            ["scale (x H-Load)", "Δcont (cyc)", "pred", "saturated"],
+            [
+                [p.scale, p.delta_cycles, p.slowdown, p.saturated]
+                for p in points
+            ],
+        ),
+    )
+
+    deltas = [p.delta_cycles for p in points]
+    assert deltas == sorted(deltas)  # monotone in load
+    assert points[-1].saturated  # the ceiling is reached
+    assert not points[0].saturated  # and the sweep starts below it
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_dirty_latency_sensitivity(benchmark, report):
+    result = benchmark(
+        lambda: dirty_latency_sensitivity(
+            paper.table6("scenario2", "app"),
+            paper.table6("scenario2", "H-Load"),
+            scenario_2(),
+        )
+    )
+    report.add(
+        "A6 — LMU dirty-latency sensitivity (scenario 2, H-Load)",
+        render_table(
+            ["variant", "Δcont (cyc)"],
+            [
+                ["with 21-cycle dirty latency", result.with_dirty_cycles],
+                ["write-through (11 cycles)", result.without_dirty_cycles],
+                ["share of bound", f"{result.share:.1%}"],
+            ],
+        ),
+    )
+    assert result.without_dirty_cycles <= result.with_dirty_cycles

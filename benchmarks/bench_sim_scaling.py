@@ -1,0 +1,42 @@
+"""Simulator throughput: the cost of the hardware substitute.
+
+Not a paper artefact — infrastructure health.  Measures event-engine
+throughput (SRI transactions simulated per second) for isolation runs and
+co-runs across workload sizes, so regressions in the hot loop show up in
+benchmark history.
+"""
+
+import pytest
+
+from repro.platform.deployment import scenario_1
+from repro.sim.system import SystemSimulator
+from repro.workloads.control_loop import build_control_loop
+from repro.workloads.loads import build_load
+
+
+@pytest.mark.benchmark(group="sim-throughput")
+@pytest.mark.parametrize("denominator", [256, 64, 16])
+def test_isolation_throughput(benchmark, denominator):
+    program, _ = build_control_loop(scenario_1(), scale=1 / denominator)
+    requests = program.request_count()
+    sim = SystemSimulator()
+
+    result = benchmark(lambda: sim.run({1: program}))
+
+    assert result.core(1).profile.total == requests
+    benchmark.extra_info["sri_requests"] = requests
+
+
+@pytest.mark.benchmark(group="sim-throughput")
+def test_corun_throughput(benchmark):
+    scale = 1 / 64
+    app, _ = build_control_loop(scenario_1(), scale=scale)
+    load = build_load("scenario1", "H", scale=scale)
+    sim = SystemSimulator()
+
+    result = benchmark(lambda: sim.run({1: app, 2: load}))
+
+    assert result.core(1).total_wait_cycles > 0
+    benchmark.extra_info["sri_requests"] = (
+        app.request_count() + load.request_count()
+    )

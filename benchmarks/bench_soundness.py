@@ -1,0 +1,53 @@
+"""Experiment A4: randomized soundness sweep.
+
+Sweeps random task pairs through the full pipeline (isolation measurement
+→ model bounds → co-run observation) and asserts the paper's soundness
+statement — "in all experiments our model predictions upperbound the
+observed multicore execution time" — far beyond the paper's six
+experiments.  Also reports mean tightness (prediction / observation) per
+model, the quantity the paper can only discuss qualitatively ("whether the
+gap ... corresponds to overestimation cannot be determined" on hardware;
+on the simulator it can).
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.analysis.validation import soundness_sweep
+from repro.platform.deployment import scenario_1, scenario_2
+from repro.workloads.synthetic import random_task_pair
+
+PAIRS_PER_SCENARIO = 10
+
+
+@pytest.mark.benchmark(group="soundness")
+@pytest.mark.parametrize(
+    "scenario_factory", [scenario_1, scenario_2], ids=["sc1", "sc2"]
+)
+def test_soundness_sweep(benchmark, report, scenario_factory):
+    scenario = scenario_factory()
+    pairs = [
+        random_task_pair(scenario, seed=seed, max_requests=1_500)
+        for seed in range(PAIRS_PER_SCENARIO)
+    ]
+
+    sweep = benchmark.pedantic(
+        lambda: soundness_sweep(pairs, scenario), rounds=1, iterations=1
+    )
+
+    assert sweep.all_sound, sweep.violations
+    rows = [
+        [model, f"{sweep.mean_tightness(model):.2f}"]
+        for model in ("ilp-ptac", "ftc-refined", "ftc-baseline")
+    ]
+    report.add(
+        f"A4 — soundness sweep, {scenario.name} "
+        f"({PAIRS_PER_SCENARIO} random pairs, 0 violations)",
+        render_table(["model", "mean prediction/observation"], rows),
+    )
+    # Tightness must improve with information.
+    assert (
+        sweep.mean_tightness("ilp-ptac")
+        <= sweep.mean_tightness("ftc-refined")
+        <= sweep.mean_tightness("ftc-baseline")
+    )

@@ -1,0 +1,43 @@
+"""Experiment T2: regenerate Table 2 (latency / minimum stall constants).
+
+Runs the microbenchmark characterisation suite on the simulator and checks
+the measured profile against the paper's Table 2 — exactly the methodology
+of Sections 3.3.1-3.3.2.  The benchmark timing measures the cost of a full
+characterisation campaign.
+"""
+
+import pytest
+
+from repro.analysis.characterization import characterize
+from repro.analysis.report import render_latency_table
+from repro.platform.latency import tc27x_latency_profile
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_characterization(benchmark, report):
+    result = benchmark(characterize)
+    measured = result.profile
+
+    report.add(
+        "Table 2 — SRI latencies and minimum stalls (measured vs paper)",
+        render_latency_table(measured, title="measured on simulator")
+        + "\n\n"
+        + render_latency_table(tc27x_latency_profile(), title="paper"),
+    )
+
+    assert measured.as_table() == tc27x_latency_profile().as_table()
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_single_probe_cost(benchmark):
+    """Cost of one latency probe (isolated accesses on the simulator)."""
+    from repro.platform.targets import Operation, Target
+    from repro.sim.system import SystemSimulator
+    from repro.workloads.microbenchmarks import probe
+
+    sim = SystemSimulator()
+    program = probe(Target.PF0, Operation.CODE, "isolated").program
+    result = benchmark(lambda: sim.run({1: program}))
+    stats = result.core(1).transactions[(Target.PF0, Operation.CODE)]
+    assert stats.count == 256
+    assert stats.max_service == 16  # the l_max the probe measures

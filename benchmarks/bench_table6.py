@@ -1,0 +1,27 @@
+"""Experiment T6: regenerate Table 6 (debug counter readings).
+
+Builds the control-loop application and the H-Load contender for both
+scenarios, measures them in isolation on the simulator, and compares the
+counter footprints against the paper's Table 6 (scaled by the same
+factor).  The benchmark timing measures simulation throughput.
+"""
+
+import pytest
+
+from repro.analysis.experiments import table6_sim_mode
+from repro.analysis.report import render_table6
+
+SCALE = 1 / 16
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_counter_readings(benchmark, report):
+    rows = benchmark(lambda: table6_sim_mode(scale=SCALE))
+    report.add(f"Table 6 — counter readings (scale {SCALE:g})", render_table6(rows, scale=SCALE))
+
+    for row in rows:
+        sim, ref = row.simulated, row.reference
+        assert sim.pm == ref.pm, f"{row.scenario}/{row.task}: PM mismatch"
+        assert sim.ps == pytest.approx(ref.ps, rel=5e-3)
+        assert sim.ds == pytest.approx(ref.ds, rel=5e-3)
+        assert sim.dmd == 0  # the paper's zeroed dirty-miss column

@@ -1,0 +1,32 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one artefact of the paper (see DESIGN.md's
+experiment index) and *prints* the regenerated table/figure so that
+``pytest benchmarks/ --benchmark-only -s`` doubles as a report generator.
+The pytest-benchmark timings additionally quantify the cost of each
+analysis step (model solve times, simulation throughput).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Collector that prints rendered artefacts at session end."""
+    sections: list[str] = []
+
+    class Reporter:
+        def add(self, title: str, body: str) -> None:
+            sections.append(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}")
+
+    yield Reporter()
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+    if capmanager is not None:
+        with capmanager.global_and_fixture_disabled():
+            for section in sections:
+                print(section)
+    else:  # pragma: no cover
+        for section in sections:
+            print(section)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: a contention-aware WCET estimate in ~20 lines.
+
+The scenario is the paper's headline use case: a software provider has
+measured its task **in isolation** on a TC27x (execution time plus the
+five DSU debug counters of Table 4) and wants a WCET estimate that already
+accounts for multicore contention — before integration, without ever
+co-running against the real contenders.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    TaskReadings,
+    ftc_baseline,
+    ftc_refined,
+    scenario_1,
+    tc277,
+    tc27x_latency_profile,
+    wcet_estimate,
+)
+
+# ----------------------------------------------------------------------
+# 0. The platform (Figure 1 of the paper).
+# ----------------------------------------------------------------------
+platform = tc277()
+print(platform.block_diagram())
+print()
+
+# ----------------------------------------------------------------------
+# 1. Isolation measurements — these are the paper's own Table 6 readings
+#    (Scenario 1): the application on core 1, a heavy co-runner on core 2.
+# ----------------------------------------------------------------------
+app = TaskReadings(
+    "cruise-control",
+    pmem_stall=3_421_242,  # PMEM_STALL  (code stall cycles)
+    dmem_stall=8_345_056,  # DMEM_STALL  (data stall cycles)
+    pcache_miss=236_544,  # PCACHE_MISS (I$ misses == SRI code requests)
+    ccnt=13_600_000,  # observed execution time in isolation
+)
+contender = TaskReadings(
+    "infotainment-load",
+    pmem_stall=1_744_167,
+    dmem_stall=4_251_811,
+    pcache_miss=120_594,
+)
+
+# ----------------------------------------------------------------------
+# 2. The deployment scenario (Figure 3-a): code in PFlash (cacheable),
+#    shared data in the LMU (non-cacheable).
+# ----------------------------------------------------------------------
+scenario = scenario_1()
+profile = tc27x_latency_profile()  # Table 2 constants
+
+# ----------------------------------------------------------------------
+# 3. WCET estimates under three models of decreasing pessimism.
+# ----------------------------------------------------------------------
+for bound in (
+    ftc_baseline(app, profile),
+    ftc_refined(app, profile, scenario),
+):
+    estimate = wcet_estimate(
+        bound.model, app, profile, scenario, isolation_cycles=app.ccnt
+    )
+    print(estimate.describe())
+
+ilp = wcet_estimate("ilp-ptac", app, profile, scenario, contender)
+print(ilp.describe())
+print()
+print("Contention breakdown of the ILP bound:")
+print(ilp.bound.describe())

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-build-isolation`` / ``python setup.py develop``
+on environments without the ``wheel`` package (all metadata lives in
+pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

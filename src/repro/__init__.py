@@ -1,0 +1,95 @@
+"""repro — reproduction of "Modelling Multicore Contention on the AURIX
+TC27x" (Diaz, Mezzetti, Kosmidis, Abella, Cazorla — DAC 2018).
+
+The library has four layers; each is importable on its own and re-exported
+here for convenience:
+
+* :mod:`repro.platform` — TC27x architecture facts: SRI targets, Table 2
+  latencies, memory map, Table 3 placement rules, deployment scenarios.
+* :mod:`repro.core` — the contention models (ideal, fTC, ILP-PTAC) and
+  WCET assembly; :mod:`repro.ilp` is the self-contained ILP substrate
+  underneath.
+* :mod:`repro.sim` — a cycle-level simulator of the TC27x memory system
+  standing in for the paper's hardware testbed, with
+  :mod:`repro.workloads` generating the evaluation tasks.
+* :mod:`repro.analysis` — MBTA protocol, platform characterisation and
+  the drivers regenerating every table and figure of the paper
+  (reference constants in :mod:`repro.paper`).
+
+Quickstart::
+
+    from repro import (
+        TaskReadings, scenario_1, tc27x_latency_profile, wcet_estimate,
+    )
+
+    app = TaskReadings("app", pmem_stall=3_421_242, dmem_stall=8_345_056,
+                       pcache_miss=236_544, ccnt=13_600_000)
+    rival = TaskReadings("rival", pmem_stall=1_744_167,
+                         dmem_stall=4_251_811, pcache_miss=120_594)
+    estimate = wcet_estimate(
+        "ilp-ptac", app, tc27x_latency_profile(), scenario_1(), rival,
+    )
+    print(estimate.describe())   # isolation + Δcont, 1.49x
+"""
+
+from repro.core import (
+    AccessProfile,
+    ContentionBound,
+    IlpPtacOptions,
+    ModelKind,
+    WcetEstimate,
+    access_count_bounds,
+    contention_bound,
+    ftc_baseline,
+    ftc_refined,
+    ideal_bound,
+    ilp_ptac_bound,
+    multi_contender_bound,
+    wcet_estimate,
+)
+from repro.counters import DebugCounter, TaskReadings
+from repro.errors import ReproError
+from repro.platform import (
+    DeploymentScenario,
+    LatencyProfile,
+    Operation,
+    Target,
+    architectural_scenario,
+    custom_scenario,
+    scenario_1,
+    scenario_2,
+    tc277,
+    tc27x_latency_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessProfile",
+    "ContentionBound",
+    "DebugCounter",
+    "DeploymentScenario",
+    "IlpPtacOptions",
+    "LatencyProfile",
+    "ModelKind",
+    "Operation",
+    "ReproError",
+    "Target",
+    "TaskReadings",
+    "WcetEstimate",
+    "__version__",
+    "access_count_bounds",
+    "architectural_scenario",
+    "contention_bound",
+    "custom_scenario",
+    "ftc_baseline",
+    "ftc_refined",
+    "ideal_bound",
+    "ilp_ptac_bound",
+    "multi_contender_bound",
+    "scenario_1",
+    "scenario_2",
+    "tc277",
+    "tc27x_latency_profile",
+    "wcet_estimate",
+]

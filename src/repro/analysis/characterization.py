@@ -1,0 +1,162 @@
+"""Platform characterisation: re-deriving Table 2 from the simulator.
+
+Follows the paper's methodology (Section 3.3.1-3.3.2): run microbenchmarks
+with a *known* number of accesses of a given type to a desired target,
+then
+
+* read maximum/minimum end-to-end SRI transaction latencies (the authors
+  used single accesses timed with CCNT; we read the crossbar's transaction
+  statistics, which carry the same information), and
+* divide the cumulative PMEM_STALL / DMEM_STALL readings by the access
+  count to obtain per-access stalls, whose minimum over access flavours is
+  the ``cs^{t,o}`` lower bound the models divide by.
+
+The result is a measured :class:`~repro.platform.latency.LatencyProfile`;
+the test-suite asserts it reproduces the paper's Table 2 exactly, closing
+the loop between the simulator's timing and the models' constants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import SimulationError
+from repro.platform.latency import LatencyProfile, TargetTiming
+from repro.platform.targets import (
+    ALL_TARGETS,
+    Operation,
+    Target,
+    is_valid_pair,
+)
+from repro.sim.system import SystemSimulator
+from repro.sim.timing import SimTiming
+from repro.workloads.microbenchmarks import Probe, characterization_suite
+
+
+@dataclasses.dataclass
+class _TargetObservation:
+    """Accumulated measurements of one target across probes."""
+
+    l_max: int | None = None
+    l_max_dirty: int | None = None
+    l_min: int | None = None
+    cs_code: int | None = None
+    cs_data: int | None = None
+
+    def note_latency(self, service_min: int, service_max: int, dirty: bool) -> None:
+        if dirty:
+            self.l_max_dirty = (
+                service_max
+                if self.l_max_dirty is None
+                else max(self.l_max_dirty, service_max)
+            )
+            return
+        self.l_max = (
+            service_max if self.l_max is None else max(self.l_max, service_max)
+        )
+        self.l_min = (
+            service_min if self.l_min is None else min(self.l_min, service_min)
+        )
+
+    def note_stall(self, operation: Operation, per_access: int) -> None:
+        if operation is Operation.CODE:
+            self.cs_code = (
+                per_access
+                if self.cs_code is None
+                else min(self.cs_code, per_access)
+            )
+        else:
+            self.cs_data = (
+                per_access
+                if self.cs_data is None
+                else min(self.cs_data, per_access)
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class CharacterizationResult:
+    """Measured Table 2, plus the probe data behind it.
+
+    Attributes:
+        profile: the measured latency profile (same shape as
+            :func:`~repro.platform.latency.tc27x_latency_profile`).
+        per_probe_stalls: per-access stall of each probe (diagnostics).
+    """
+
+    profile: LatencyProfile
+    per_probe_stalls: dict[str, float]
+
+    def as_table(self) -> dict[str, dict[str, int | None]]:
+        """Render the measured profile as Table 2 rows."""
+        return self.profile.as_table()
+
+
+def characterize(
+    *,
+    timing: SimTiming | None = None,
+    probes: list[Probe] | None = None,
+) -> CharacterizationResult:
+    """Run the microbenchmark suite and rebuild Table 2.
+
+    Args:
+        timing: simulator timing to characterise (defaults to the TC27x
+            configuration; pass a modified timing to characterise a
+            hypothetical platform, e.g. for the Section 4.3 porting story).
+        probes: override the probe suite (defaults to the full set).
+    """
+    sim = SystemSimulator(timing)
+    probes = probes if probes is not None else characterization_suite()
+    observations = {target: _TargetObservation() for target in ALL_TARGETS}
+    per_probe: dict[str, float] = {}
+
+    for probe in probes:
+        result = sim.run({1: probe.program}).core(1)
+        stats = result.transactions.get((probe.target, probe.operation))
+        if stats is None or stats.count != probe.count:
+            raise SimulationError(
+                f"probe {probe.name!r} did not produce the expected "
+                f"transactions ({stats.count if stats else 0} != {probe.count})"
+            )
+        observation = observations[probe.target]
+        assert stats.min_service is not None and stats.max_service is not None
+        observation.note_latency(
+            stats.min_service, stats.max_service, dirty=probe.flavour == "dirty"
+        )
+
+        stall_counter = (
+            result.readings.ps
+            if probe.operation is Operation.CODE
+            else result.readings.ds
+        )
+        per_access = stall_counter / probe.count
+        per_probe[probe.name] = per_access
+        if probe.flavour != "dirty":
+            # Dirty evictions are excluded from the cs minimisation the
+            # same way the paper brackets their latency: they only occur
+            # in specific scenarios.
+            observation.note_stall(probe.operation, int(per_access))
+
+    timings: dict[Target, TargetTiming] = {}
+    for target, observation in observations.items():
+        if observation.l_max is None or observation.l_min is None:
+            raise SimulationError(
+                f"no probes characterised target {target.value!r}"
+            )
+        if observation.cs_data is None:
+            raise SimulationError(
+                f"no data-stall measurement for target {target.value!r}"
+            )
+        if is_valid_pair(target, Operation.CODE) and observation.cs_code is None:
+            raise SimulationError(
+                f"no code-stall measurement for target {target.value!r}"
+            )
+        timings[target] = TargetTiming(
+            l_max=observation.l_max,
+            l_min=observation.l_min,
+            l_max_dirty=observation.l_max_dirty,
+            cs_code=observation.cs_code,
+            cs_data=observation.cs_data,
+        )
+    return CharacterizationResult(
+        profile=LatencyProfile(timings), per_probe_stalls=per_probe
+    )

@@ -1,0 +1,370 @@
+"""Experiment drivers regenerating the paper's evaluation artefacts.
+
+Two operating modes per experiment, matching DESIGN.md:
+
+* **paper-counters mode** — feed the *published* Table 6 readings (plus
+  the derived M/L scalings and isolation times) through our model
+  implementations.  This isolates the model arithmetic: the resulting
+  Figure 4 ratios must match the paper to ±0.02.
+* **simulation mode** — generate the workloads, measure them on the
+  bundled simulator (counters *and* isolation times), run the models on
+  the measured readings, and additionally co-run the tasks to check that
+  every prediction upper-bounds the observed multicore time (the paper's
+  soundness statement).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro import paper
+from repro.analysis.mbta import CorunObservation, observe_corun
+from repro.core.ftc import ftc_baseline, ftc_refined
+from repro.core.ideal import ideal_bound
+from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
+from repro.core.results import WcetEstimate
+from repro.counters.readings import TaskReadings
+from repro.errors import ModelError
+from repro.platform.deployment import (
+    DeploymentScenario,
+    scenario_1,
+    scenario_2,
+)
+from repro.platform.latency import LatencyProfile, tc27x_latency_profile
+from repro.sim.system import run_isolation
+from repro.sim.timing import SimTiming
+from repro.workloads.control_loop import build_control_loop
+from repro.workloads.loads import LOAD_LEVELS, build_load
+
+SCENARIOS: tuple[str, ...] = ("scenario1", "scenario2")
+
+
+def _scenario(name: str) -> DeploymentScenario:
+    if name == "scenario1":
+        return scenario_1()
+    if name == "scenario2":
+        return scenario_2()
+    raise ModelError(f"unknown scenario {name!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure4Row:
+    """One bar of Figure 4.
+
+    Attributes:
+        scenario: ``"scenario1"`` / ``"scenario2"``.
+        load: contender level (``"H"``/``"M"``/``"L"``); fTC bars ignore
+            the contender, so their load is ``"-"``.
+        model: model identifier.
+        delta_cycles: the contention bound.
+        slowdown: prediction normalised by the isolation time (the y-axis).
+        paper_value: the published ratio, when the paper reports one.
+        observed_slowdown: measured co-run slowdown (simulation mode only).
+    """
+
+    scenario: str
+    load: str
+    model: str
+    delta_cycles: int
+    slowdown: float
+    paper_value: float | None = None
+    observed_slowdown: float | None = None
+
+    @property
+    def sound(self) -> bool | None:
+        """Prediction ≥ observation (None when nothing was observed)."""
+        if self.observed_slowdown is None:
+            return None
+        return self.slowdown >= self.observed_slowdown
+
+
+# ----------------------------------------------------------------------
+# Paper-counters mode
+# ----------------------------------------------------------------------
+def figure4_paper_mode(
+    *,
+    profile: LatencyProfile | None = None,
+    backend: str = "bnb",
+) -> list[Figure4Row]:
+    """Figure 4 from the published Table 6 readings.
+
+    Returns one row per bar: the refined fTC bound per scenario and the
+    ILP-PTAC bound per (scenario, load level).
+    """
+    profile = profile or tc27x_latency_profile()
+    rows: list[Figure4Row] = []
+    for scenario_name in SCENARIOS:
+        scenario = _scenario(scenario_name)
+        readings_a = paper.table6(scenario_name, "app")
+        isolation = paper.ISOLATION_CYCLES[scenario_name]
+        reference = paper.FIGURE4[scenario_name]
+
+        ftc = ftc_refined(readings_a, profile, scenario)
+        rows.append(
+            Figure4Row(
+                scenario=scenario_name,
+                load="-",
+                model=ftc.model,
+                delta_cycles=ftc.delta_cycles,
+                slowdown=WcetEstimate(isolation, ftc).slowdown,
+                paper_value=reference.ftc,
+            )
+        )
+        for load in LOAD_LEVELS:
+            readings_b = paper.contender_readings(scenario_name, load)
+            result = ilp_ptac_bound(
+                readings_a,
+                readings_b,
+                profile,
+                scenario,
+                IlpPtacOptions(backend=backend),
+            )
+            rows.append(
+                Figure4Row(
+                    scenario=scenario_name,
+                    load=load,
+                    model=result.bound.model,
+                    delta_cycles=result.bound.delta_cycles,
+                    slowdown=WcetEstimate(isolation, result.bound).slowdown,
+                    paper_value=reference.ilp.get(load),
+                )
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Simulation mode
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ScenarioSimData:
+    """Measured inputs of one scenario in simulation mode."""
+
+    scenario: DeploymentScenario
+    app_readings: TaskReadings
+    app_isolation_cycles: int
+    load_readings: Mapping[str, TaskReadings]
+    corun_observations: Mapping[str, CorunObservation]
+
+
+def simulate_scenario(
+    scenario_name: str,
+    *,
+    scale: float = 1 / 16,
+    timing: SimTiming | None = None,
+    with_coruns: bool = True,
+) -> ScenarioSimData:
+    """Measure the application and the loads on the simulator.
+
+    Args:
+        scenario_name: which reference scenario to reproduce.
+        scale: workload scale relative to the paper's full-size run.
+        timing: simulator timing.
+        with_coruns: also co-run the application against each load to
+            collect observed multicore times (the soundness check).
+    """
+    scenario = _scenario(scenario_name)
+    app_program, _ = build_control_loop(scenario, scale=scale)
+    app_result = run_isolation(app_program, timing=timing)
+    app_readings = app_result.readings
+    isolation = app_readings.require_ccnt()
+
+    load_readings: dict[str, TaskReadings] = {}
+    coruns: dict[str, CorunObservation] = {}
+    for load in LOAD_LEVELS:
+        load_program = build_load(scenario_name, load, scale=scale)
+        load_readings[load] = run_isolation(
+            load_program, core=2, timing=timing
+        ).readings
+        if with_coruns:
+            coruns[load] = observe_corun(
+                app_program,
+                {2: load_program},
+                isolation,
+                timing=timing,
+            )
+    return ScenarioSimData(
+        scenario=scenario,
+        app_readings=app_readings,
+        app_isolation_cycles=isolation,
+        load_readings=load_readings,
+        corun_observations=coruns,
+    )
+
+
+def figure4_sim_mode(
+    *,
+    scale: float = 1 / 16,
+    profile: LatencyProfile | None = None,
+    timing: SimTiming | None = None,
+    backend: str = "bnb",
+    with_coruns: bool = True,
+) -> list[Figure4Row]:
+    """Figure 4 end-to-end on the simulator (counters measured, models
+    applied, predictions validated against observed co-runs)."""
+    profile = profile or tc27x_latency_profile()
+    rows: list[Figure4Row] = []
+    for scenario_name in SCENARIOS:
+        data = simulate_scenario(
+            scenario_name, scale=scale, timing=timing, with_coruns=with_coruns
+        )
+        reference = paper.FIGURE4[scenario_name]
+        isolation = data.app_isolation_cycles
+
+        ftc = ftc_refined(data.app_readings, profile, data.scenario)
+        worst_observed = max(
+            (
+                observation.slowdown
+                for observation in data.corun_observations.values()
+            ),
+            default=None,
+        )
+        rows.append(
+            Figure4Row(
+                scenario=scenario_name,
+                load="-",
+                model=ftc.model,
+                delta_cycles=ftc.delta_cycles,
+                slowdown=WcetEstimate(isolation, ftc).slowdown,
+                paper_value=reference.ftc,
+                observed_slowdown=worst_observed,
+            )
+        )
+        for load in LOAD_LEVELS:
+            result = ilp_ptac_bound(
+                data.app_readings,
+                data.load_readings[load],
+                profile,
+                data.scenario,
+                IlpPtacOptions(backend=backend),
+            )
+            observation = data.corun_observations.get(load)
+            rows.append(
+                Figure4Row(
+                    scenario=scenario_name,
+                    load=load,
+                    model=result.bound.model,
+                    delta_cycles=result.bound.delta_cycles,
+                    slowdown=WcetEstimate(isolation, result.bound).slowdown,
+                    paper_value=reference.ilp.get(load),
+                    observed_slowdown=(
+                        observation.slowdown if observation else None
+                    ),
+                )
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 6 (simulation mode) and the information-degree ablation
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Table6Row:
+    """One Table 6 row: simulated counters next to the (scaled) paper's."""
+
+    scenario: str
+    core: str
+    task: str
+    simulated: TaskReadings
+    reference: TaskReadings
+
+
+def table6_sim_mode(*, scale: float = 1 / 16) -> list[Table6Row]:
+    """Regenerate Table 6 on the simulator and pair it with the paper's
+    readings scaled by the same factor (shape comparison)."""
+    rows: list[Table6Row] = []
+    for scenario_name in SCENARIOS:
+        data = simulate_scenario(
+            scenario_name, scale=scale, with_coruns=False
+        )
+        rows.append(
+            Table6Row(
+                scenario=scenario_name,
+                core="Core1",
+                task="app",
+                simulated=data.app_readings,
+                reference=paper.table6(scenario_name, "app").scaled(scale),
+            )
+        )
+        rows.append(
+            Table6Row(
+                scenario=scenario_name,
+                core="Core2",
+                task="H-Load",
+                simulated=data.load_readings["H"],
+                reference=paper.table6(scenario_name, "H-Load").scaled(scale),
+            )
+        )
+    return rows
+
+
+@dataclasses.dataclass(frozen=True)
+class AblationRow:
+    """One bound in the information-degree ablation (A1)."""
+
+    scenario: str
+    load: str
+    model: str
+    delta_cycles: int
+    slowdown: float
+
+
+def information_ablation(
+    *,
+    scale: float = 1 / 32,
+    backend: str = "bnb",
+) -> list[AblationRow]:
+    """Quantify what each level of information buys (experiment A1).
+
+    Runs four models on identical simulator-measured inputs:
+    ``ftc-baseline`` (no deployment knowledge), ``ftc-refined``
+    (deployment knowledge about τa), ``ilp-ptac`` (+ contender counters)
+    and ``ideal`` (ground-truth PTACs, unobtainable on real hardware).
+    """
+    profile = tc27x_latency_profile()
+    rows: list[AblationRow] = []
+    for scenario_name in SCENARIOS:
+        scenario = _scenario(scenario_name)
+        app_program, _ = build_control_loop(scenario, scale=scale)
+        app_result = run_isolation(app_program)
+        isolation = app_result.readings.require_ccnt()
+
+        baseline = ftc_baseline(app_result.readings, profile)
+        refined = ftc_refined(app_result.readings, profile, scenario)
+        for bound in (baseline, refined):
+            rows.append(
+                AblationRow(
+                    scenario=scenario_name,
+                    load="-",
+                    model=bound.model,
+                    delta_cycles=bound.delta_cycles,
+                    slowdown=WcetEstimate(isolation, bound).slowdown,
+                )
+            )
+        for load in LOAD_LEVELS:
+            load_program = build_load(scenario_name, load, scale=scale)
+            load_result = run_isolation(load_program, core=2)
+            ilp = ilp_ptac_bound(
+                app_result.readings,
+                load_result.readings,
+                profile,
+                scenario,
+                IlpPtacOptions(backend=backend),
+            ).bound
+            ideal = ideal_bound(
+                app_result.profile,
+                load_result.profile,
+                profile,
+                scenario,
+            )
+            for bound in (ilp, ideal):
+                rows.append(
+                    AblationRow(
+                        scenario=scenario_name,
+                        load=load,
+                        model=bound.model,
+                        delta_cycles=bound.delta_cycles,
+                        slowdown=WcetEstimate(isolation, bound).slowdown,
+                    )
+                )
+    return rows

@@ -1,0 +1,166 @@
+"""Machine-readable export of experiment results (CSV / JSON).
+
+The report module renders for humans; downstream tooling (plotting
+scripts, CI dashboards, regression trackers) wants rows.  This module
+flattens every experiment result type into plain dictionaries and writes
+CSV or JSON, with stable column orders so diffs stay readable.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.analysis.experiments import AblationRow, Figure4Row, Table6Row
+from repro.analysis.sweeps import DeploymentComparison, SweepPoint
+from repro.analysis.validation import SoundnessCase
+from repro.errors import ReproError
+
+
+def figure4_rows(rows: Sequence[Figure4Row]) -> list[dict[str, Any]]:
+    """Flatten Figure 4 rows (both modes)."""
+    return [
+        {
+            "scenario": row.scenario,
+            "model": row.model,
+            "load": row.load,
+            "delta_cycles": row.delta_cycles,
+            "slowdown": round(row.slowdown, 6),
+            "paper_value": row.paper_value,
+            "observed_slowdown": (
+                round(row.observed_slowdown, 6)
+                if row.observed_slowdown is not None
+                else None
+            ),
+            "sound": row.sound,
+        }
+        for row in rows
+    ]
+
+
+def table6_rows(rows: Sequence[Table6Row]) -> list[dict[str, Any]]:
+    """Flatten Table 6 comparisons (one record per counter per row)."""
+    flat = []
+    for row in rows:
+        sim, ref = row.simulated.as_row(), row.reference.as_row()
+        for counter in sim:
+            flat.append(
+                {
+                    "scenario": row.scenario,
+                    "core": row.core,
+                    "task": row.task,
+                    "counter": counter,
+                    "simulated": sim[counter],
+                    "reference": ref[counter],
+                }
+            )
+    return flat
+
+
+def ablation_rows(rows: Sequence[AblationRow]) -> list[dict[str, Any]]:
+    """Flatten the information-degree ablation."""
+    return [
+        {
+            "scenario": row.scenario,
+            "load": row.load,
+            "model": row.model,
+            "delta_cycles": row.delta_cycles,
+            "slowdown": round(row.slowdown, 6),
+        }
+        for row in rows
+    ]
+
+
+def sweep_rows(points: Sequence[SweepPoint]) -> list[dict[str, Any]]:
+    """Flatten a contender-load sweep."""
+    return [
+        {
+            "scale": point.scale,
+            "delta_cycles": point.delta_cycles,
+            "slowdown": (
+                round(point.slowdown, 6) if point.slowdown is not None else None
+            ),
+            "saturated": point.saturated,
+        }
+        for point in points
+    ]
+
+
+def deployment_rows(
+    rows: Sequence[DeploymentComparison],
+) -> list[dict[str, Any]]:
+    """Flatten a deployment sweep."""
+    return [
+        {
+            "scenario": row.scenario,
+            "delta_cycles": row.delta_cycles,
+            "slowdown": (
+                round(row.slowdown, 6) if row.slowdown is not None else None
+            ),
+        }
+        for row in rows
+    ]
+
+
+def soundness_rows(cases: Sequence[SoundnessCase]) -> list[dict[str, Any]]:
+    """Flatten a soundness sweep (one record per case per model)."""
+    flat = []
+    for case in cases:
+        for model, predicted in case.predictions.items():
+            flat.append(
+                {
+                    "case": case.name,
+                    "model": model,
+                    "isolation_cycles": case.isolation_cycles,
+                    "observed_cycles": case.observed_cycles,
+                    "predicted_wcet": predicted,
+                    "sound": model not in case.violations,
+                    "tightness": round(case.tightness(model), 6),
+                }
+            )
+    return flat
+
+
+def to_json(records: Iterable[Mapping[str, Any]], *, indent: int = 2) -> str:
+    """Serialise flattened records to a JSON array."""
+    return json.dumps(list(records), indent=indent)
+
+
+def to_csv(records: Sequence[Mapping[str, Any]]) -> str:
+    """Serialise flattened records to CSV (columns from the first record)."""
+    records = list(records)
+    if not records:
+        raise ReproError("no records to export")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(records[0].keys()))
+    writer.writeheader()
+    writer.writerows(records)
+    return buffer.getvalue()
+
+
+def write(
+    records: Sequence[Mapping[str, Any]],
+    path: str,
+    *,
+    format: str | None = None,
+) -> None:
+    """Write records to ``path`` (format inferred from the extension)."""
+    if format is None:
+        if path.endswith(".json"):
+            format = "json"
+        elif path.endswith(".csv"):
+            format = "csv"
+        else:
+            raise ReproError(
+                f"cannot infer export format from {path!r}; pass format="
+            )
+    if format == "json":
+        payload = to_json(records)
+    elif format == "csv":
+        payload = to_csv(records)
+    else:
+        raise ReproError(f"unknown export format {format!r}")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)

@@ -1,0 +1,211 @@
+"""Parameter sweeps: the model as a design-space exploration tool.
+
+Section 4.2 argues the model's flexibility "provides a powerful and
+reactive method for OEM and SWPs to explore and evaluate different
+scheduling allocations and deployment scenarios ... before actual
+integration".  This module packages that use case:
+
+* :func:`contender_scale_sweep` — the ILP bound as a function of the
+  contender's load, generalising Figure 4's three H/M/L points into a
+  curve.  The curve exposes a structural feature the paper's three points
+  cannot show: the bound grows with the contender until it **saturates**
+  at the fully time-composable ILP level, at the load where the
+  contender's possible interference exceeds everything τa exposes.
+* :func:`deployment_sweep` — the same task pair across candidate
+  deployment scenarios (the integrator's layout question).
+* :func:`dirty_latency_sensitivity` — how much of a Scenario 2 bound is
+  attributable to the LMU's bracketed 21-cycle dirty-miss latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
+from repro.counters.readings import TaskReadings
+from repro.errors import ModelError
+from repro.platform.deployment import DeploymentScenario
+from repro.platform.latency import LatencyProfile, tc27x_latency_profile
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One point of a contender-load sweep.
+
+    Attributes:
+        scale: contender footprint relative to the reference contender.
+        delta_cycles: ILP-PTAC bound at this load.
+        slowdown: normalised prediction, when an isolation time is given.
+        saturated: whether the bound equals the fully time-composable
+            ceiling (contender information no longer helps).
+    """
+
+    scale: float
+    delta_cycles: int
+    slowdown: float | None
+    saturated: bool
+
+
+def contender_scale_sweep(
+    readings_a: TaskReadings,
+    reference_contender: TaskReadings,
+    scenario: DeploymentScenario,
+    *,
+    scales: Sequence[float] = (0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0),
+    profile: LatencyProfile | None = None,
+    isolation_cycles: int | None = None,
+    options: IlpPtacOptions | None = None,
+) -> list[SweepPoint]:
+    """ILP-PTAC bound as a function of contender load.
+
+    Args:
+        readings_a: the analysed task's isolation readings.
+        reference_contender: the contender whose footprint is scaled.
+        scenario: shared deployment scenario.
+        scales: footprint multipliers (1.0 = the reference itself).
+        profile: Table 2 constants.
+        isolation_cycles: optional isolation time for normalised output.
+        options: ILP knobs.
+
+    Returns:
+        One :class:`SweepPoint` per scale, in order.
+    """
+    if not scales:
+        raise ModelError("at least one scale is required")
+    profile = profile or tc27x_latency_profile()
+    options = options or IlpPtacOptions()
+
+    ceiling = ilp_ptac_bound(
+        readings_a,
+        None,
+        profile,
+        scenario,
+        dataclasses.replace(options, contender_constraints=False),
+    ).bound.delta_cycles
+
+    points = []
+    for scale in scales:
+        if scale <= 0:
+            raise ModelError("scales must be positive")
+        contender = (
+            reference_contender
+            if scale == 1.0
+            else reference_contender.scaled(scale)
+        )
+        delta = ilp_ptac_bound(
+            readings_a, contender, profile, scenario, options
+        ).bound.delta_cycles
+        points.append(
+            SweepPoint(
+                scale=scale,
+                delta_cycles=delta,
+                slowdown=(
+                    1 + delta / isolation_cycles
+                    if isolation_cycles
+                    else None
+                ),
+                saturated=delta >= ceiling,
+            )
+        )
+    return points
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentComparison:
+    """Bound of one candidate deployment in a deployment sweep."""
+
+    scenario: str
+    delta_cycles: int
+    slowdown: float | None
+
+
+def deployment_sweep(
+    readings_a: TaskReadings,
+    readings_b: TaskReadings,
+    scenarios: Mapping[str, DeploymentScenario],
+    *,
+    profile: LatencyProfile | None = None,
+    isolation_cycles: int | None = None,
+    options: IlpPtacOptions | None = None,
+) -> list[DeploymentComparison]:
+    """Compare candidate deployments by their worst-case contention.
+
+    Note the caveat baked into the model: the counter *semantics* of the
+    readings must be compatible with each candidate scenario (e.g. a
+    scenario claiming exact code counts needs P$_MISS to mean that), which
+    is the integrator's responsibility — exactly as in the paper, where
+    the deployment is fixed before measurement.
+    """
+    if not scenarios:
+        raise ModelError("at least one scenario is required")
+    profile = profile or tc27x_latency_profile()
+    rows = []
+    for name, scenario in scenarios.items():
+        delta = ilp_ptac_bound(
+            readings_a, readings_b, profile, scenario, options
+        ).bound.delta_cycles
+        rows.append(
+            DeploymentComparison(
+                scenario=name,
+                delta_cycles=delta,
+                slowdown=(
+                    1 + delta / isolation_cycles
+                    if isolation_cycles
+                    else None
+                ),
+            )
+        )
+    return rows
+
+
+@dataclasses.dataclass(frozen=True)
+class DirtySensitivity:
+    """Impact of the LMU dirty-miss latency on one bound.
+
+    Attributes:
+        with_dirty_cycles: bound with the 21-cycle dirty LMU latency.
+        without_dirty_cycles: bound with the plain 11-cycle latency.
+        share: fraction of the dirty-latency bound attributable to the
+            dirty/plain difference.
+    """
+
+    with_dirty_cycles: int
+    without_dirty_cycles: int
+
+    @property
+    def share(self) -> float:
+        if self.with_dirty_cycles == 0:
+            return 0.0
+        return 1 - self.without_dirty_cycles / self.with_dirty_cycles
+
+
+def dirty_latency_sensitivity(
+    readings_a: TaskReadings,
+    readings_b: TaskReadings,
+    scenario: DeploymentScenario,
+    *,
+    profile: LatencyProfile | None = None,
+    options: IlpPtacOptions | None = None,
+) -> DirtySensitivity:
+    """Quantify the cost of assuming dirty evictions on the LMU.
+
+    Table 2 brackets the LMU's 21-cycle latency because it "applies only
+    on limited scenarios"; Scenario 2 is such a scenario.  This sweep
+    re-solves the ILP with the dirty possibility removed, isolating its
+    contribution — useful when deciding whether write-through
+    configuration (no dirty lines) buys a meaningful bound reduction.
+    """
+    profile = profile or tc27x_latency_profile()
+    with_dirty = ilp_ptac_bound(
+        readings_a, readings_b, profile, scenario, options
+    ).bound.delta_cycles
+    clean_scenario = dataclasses.replace(
+        scenario, dirty_targets=frozenset()
+    )
+    without_dirty = ilp_ptac_bound(
+        readings_a, readings_b, profile, clean_scenario, options
+    ).bound.delta_cycles
+    return DirtySensitivity(
+        with_dirty_cycles=with_dirty, without_dirty_cycles=without_dirty
+    )

@@ -1,0 +1,156 @@
+"""Three-core evaluation: the full TC277 under joint contention.
+
+The paper evaluates pairs (application on core 1, one contender on
+core 2) and notes the model extends to more contenders.  The TC277 has
+three cores, so the realistic integration question is: application plus
+*two* co-runners.  This driver runs that experiment end to end:
+
+1. measure the application and both contenders in isolation;
+2. bound the joint contention with the multi-contender ILP
+   (:func:`repro.core.multicontender.multi_contender_bound`) and with the
+   naive sum of pairwise bounds;
+3. co-run all three cores on the simulator and verify both bounds cover
+   the observation — and report how much the joint formulation saves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
+from repro.core.multicontender import multi_contender_bound
+from repro.counters.readings import TaskReadings
+from repro.errors import ModelError
+from repro.platform.deployment import DeploymentScenario, scenario_1, scenario_2
+from repro.platform.latency import LatencyProfile, tc27x_latency_profile
+from repro.sim.system import SystemSimulator, run_isolation
+from repro.sim.timing import SimTiming
+from repro.workloads.control_loop import build_control_loop
+from repro.workloads.loads import build_load
+
+
+@dataclasses.dataclass(frozen=True)
+class ThreeCoreRow:
+    """Outcome of one three-core configuration.
+
+    Attributes:
+        scenario: deployment scenario name.
+        loads: the two contender levels (e.g. ``("H", "L")``).
+        isolation_cycles: application's isolation time.
+        joint_delta: multi-contender ILP bound.
+        pairwise_sum_delta: sum of the two single-contender bounds.
+        observed_cycles: application's time in the three-core co-run.
+    """
+
+    scenario: str
+    loads: tuple[str, str]
+    isolation_cycles: int
+    joint_delta: int
+    pairwise_sum_delta: int
+    observed_cycles: int
+
+    @property
+    def joint_prediction(self) -> int:
+        return self.isolation_cycles + self.joint_delta
+
+    @property
+    def pairwise_prediction(self) -> int:
+        return self.isolation_cycles + self.pairwise_sum_delta
+
+    @property
+    def observed_slowdown(self) -> float:
+        return self.observed_cycles / self.isolation_cycles
+
+    @property
+    def sound(self) -> bool:
+        return self.joint_prediction >= self.observed_cycles
+
+    @property
+    def joint_saving(self) -> int:
+        """Cycles the joint formulation saves over the pairwise sum."""
+        return self.pairwise_sum_delta - self.joint_delta
+
+
+def _rename(readings: TaskReadings, name: str) -> TaskReadings:
+    return TaskReadings(
+        name=name,
+        pmem_stall=readings.pmem_stall,
+        dmem_stall=readings.dmem_stall,
+        pcache_miss=readings.pcache_miss,
+        dcache_miss_clean=readings.dcache_miss_clean,
+        dcache_miss_dirty=readings.dcache_miss_dirty,
+        ccnt=readings.ccnt,
+    )
+
+
+def three_core_experiment(
+    scenario_name: str,
+    load_pairs: Sequence[tuple[str, str]] = (("H", "L"), ("M", "M"), ("H", "H")),
+    *,
+    scale: float = 1 / 32,
+    profile: LatencyProfile | None = None,
+    timing: SimTiming | None = None,
+    options: IlpPtacOptions | None = None,
+) -> list[ThreeCoreRow]:
+    """Run the three-core evaluation for several contender pairings.
+
+    Args:
+        scenario_name: ``"scenario1"`` or ``"scenario2"``.
+        load_pairs: contender levels for cores 0 and 2.
+        scale: workload scale (the application is the Table 6 control
+            loop; the 1.6E core 0 gets the second load generator).
+        profile, timing, options: the usual knobs.
+    """
+    if scenario_name == "scenario1":
+        scenario: DeploymentScenario = scenario_1()
+    elif scenario_name == "scenario2":
+        scenario = scenario_2()
+    else:
+        raise ModelError(f"unknown scenario {scenario_name!r}")
+    profile = profile or tc27x_latency_profile()
+
+    app_program, _ = build_control_loop(scenario, scale=scale)
+    app = run_isolation(app_program, timing=timing)
+    isolation = app.readings.require_ccnt()
+
+    rows = []
+    for first, second in load_pairs:
+        program_0 = build_load(scenario_name, first, scale=scale)
+        program_2 = build_load(scenario_name, second, scale=scale)
+        readings_0 = _rename(
+            run_isolation(program_0, core=0, timing=timing).readings,
+            f"{first}-Load@core0",
+        )
+        readings_2 = _rename(
+            run_isolation(program_2, core=2, timing=timing).readings,
+            f"{second}-Load@core2",
+        )
+
+        joint = multi_contender_bound(
+            app.readings, [readings_0, readings_2], profile, scenario, options
+        ).bound.delta_cycles
+        pairwise = sum(
+            ilp_ptac_bound(
+                app.readings, contender, profile, scenario, options
+            ).bound.delta_cycles
+            for contender in (readings_0, readings_2)
+        )
+
+        observed = (
+            SystemSimulator(timing)
+            .run({0: program_0, 1: app_program, 2: program_2})
+            .readings(1)
+            .require_ccnt()
+        )
+        rows.append(
+            ThreeCoreRow(
+                scenario=scenario_name,
+                loads=(first, second),
+                isolation_cycles=isolation,
+                joint_delta=joint,
+                pairwise_sum_delta=pairwise,
+                observed_cycles=observed,
+            )
+        )
+    return rows

@@ -1,0 +1,157 @@
+"""Soundness validation: model predictions vs. observed co-runs.
+
+The paper's empirical soundness statement — "In all experiments our model
+predictions upperbound the observed multicore execution time" — is the
+one property a contention model must never violate.  This module sweeps
+randomized task pairs through the full pipeline (isolation measurement →
+model bound → co-run observation) and reports any violation, serving both
+the property-test suite and the A4 benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.analysis.mbta import measure_isolation, observe_corun
+from repro.core.ftc import ftc_baseline, ftc_refined
+from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
+from repro.core.results import WcetEstimate
+from repro.platform.deployment import DeploymentScenario
+from repro.platform.latency import LatencyProfile, tc27x_latency_profile
+from repro.sim.program import TaskProgram
+from repro.sim.timing import SimTiming
+
+
+@dataclasses.dataclass(frozen=True)
+class SoundnessCase:
+    """One task pair's soundness outcome across all models.
+
+    Attributes:
+        name: case identifier (seed or workload name).
+        isolation_cycles: τa's isolation time.
+        observed_cycles: τa's co-run time.
+        predictions: model name → predicted WCET cycles.
+        violations: model names whose prediction fell below the
+            observation (must be empty).
+    """
+
+    name: str
+    isolation_cycles: int
+    observed_cycles: int
+    predictions: dict[str, int]
+    violations: tuple[str, ...]
+
+    @property
+    def sound(self) -> bool:
+        return not self.violations
+
+    @property
+    def observed_slowdown(self) -> float:
+        return self.observed_cycles / self.isolation_cycles
+
+    def tightness(self, model: str) -> float:
+        """Prediction over observation (1.0 = perfectly tight)."""
+        return self.predictions[model] / self.observed_cycles
+
+
+def check_soundness(
+    task: TaskProgram,
+    contender: TaskProgram,
+    scenario: DeploymentScenario,
+    *,
+    profile: LatencyProfile | None = None,
+    timing: SimTiming | None = None,
+    backend: str = "bnb",
+    name: str = "",
+) -> SoundnessCase:
+    """Full pipeline soundness check for one (τa, τb) pair.
+
+    Measures both tasks in isolation, computes the fTC (baseline and
+    refined) and ILP-PTAC bounds from the measured counters, co-runs the
+    pair, and compares predictions against the observation.
+    """
+    profile = profile or tc27x_latency_profile()
+    measurement_a = measure_isolation(task, timing=timing)
+    measurement_b = measure_isolation(contender, core=2, timing=timing)
+
+    bounds = {
+        "ftc-baseline": ftc_baseline(measurement_a.readings, profile),
+        "ftc-refined": ftc_refined(measurement_a.readings, profile, scenario),
+        "ilp-ptac": ilp_ptac_bound(
+            measurement_a.readings,
+            measurement_b.readings,
+            profile,
+            scenario,
+            IlpPtacOptions(backend=backend),
+        ).bound,
+    }
+    predictions = {
+        model: WcetEstimate(measurement_a.hwm_cycles, bound).wcet_cycles
+        for model, bound in bounds.items()
+    }
+
+    observation = observe_corun(
+        task, {2: contender}, measurement_a.hwm_cycles, timing=timing
+    )
+    violations = tuple(
+        model
+        for model, predicted in predictions.items()
+        if predicted < observation.observed_cycles
+    )
+    return SoundnessCase(
+        name=name or task.name,
+        isolation_cycles=measurement_a.hwm_cycles,
+        observed_cycles=observation.observed_cycles,
+        predictions=predictions,
+        violations=violations,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class SoundnessSweep:
+    """Aggregated outcome of a randomized soundness sweep."""
+
+    cases: tuple[SoundnessCase, ...]
+
+    @property
+    def all_sound(self) -> bool:
+        return all(case.sound for case in self.cases)
+
+    @property
+    def violations(self) -> list[tuple[str, str]]:
+        """(case, model) pairs that violated soundness (must be empty)."""
+        return [
+            (case.name, model)
+            for case in self.cases
+            for model in case.violations
+        ]
+
+    def mean_tightness(self, model: str) -> float:
+        """Average prediction/observation ratio of one model."""
+        values = [case.tightness(model) for case in self.cases]
+        return sum(values) / len(values)
+
+
+def soundness_sweep(
+    pairs: Sequence[tuple[TaskProgram, TaskProgram]],
+    scenario: DeploymentScenario,
+    *,
+    profile: LatencyProfile | None = None,
+    timing: SimTiming | None = None,
+    backend: str = "bnb",
+) -> SoundnessSweep:
+    """Run :func:`check_soundness` over many task pairs."""
+    cases = tuple(
+        check_soundness(
+            task,
+            contender,
+            scenario,
+            profile=profile,
+            timing=timing,
+            backend=backend,
+            name=f"{task.name} vs {contender.name}",
+        )
+        for task, contender in pairs
+    )
+    return SoundnessSweep(cases=cases)

@@ -1,0 +1,206 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+
+    python -m repro table2                 # Table 2 via characterisation
+    python -m repro table3                 # placement matrix
+    python -m repro table6 --scale 16      # counter readings at 1/16 scale
+    python -m repro figure4                # paper-counters mode
+    python -m repro figure4 --mode sim --scale 32
+    python -m repro ablation               # information-degree ladder
+    python -m repro soundness --pairs 5    # randomized soundness sweep
+    python -m repro sweep                  # contender-load sweep curve
+    python -m repro platform               # Figure 1 block diagram
+
+Every command prints the same rendering the benchmark suite produces, so
+shell users and CI logs see identical artefacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import paper
+from repro.analysis.characterization import characterize
+from repro.analysis.experiments import (
+    figure4_paper_mode,
+    figure4_sim_mode,
+    information_ablation,
+    table6_sim_mode,
+)
+from repro.analysis.report import (
+    render_ablation,
+    render_figure4,
+    render_latency_table,
+    render_placement_table,
+    render_table,
+    render_table6,
+)
+from repro.analysis.sweeps import contender_scale_sweep
+from repro.analysis.validation import soundness_sweep
+from repro.platform.deployment import scenario_1, scenario_2
+from repro.platform.tc27x import tc277
+from repro.workloads.synthetic import random_task_pair
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    result = characterize()
+    return render_latency_table(
+        result.profile, title="Table 2 (measured on the simulator)"
+    )
+
+
+def _cmd_table3(args: argparse.Namespace) -> str:
+    return render_placement_table(title="Table 3")
+
+
+def _cmd_table6(args: argparse.Namespace) -> str:
+    scale = 1 / args.scale
+    return render_table6(table6_sim_mode(scale=scale), scale=scale)
+
+
+def _cmd_figure4(args: argparse.Namespace) -> str:
+    if args.mode == "paper":
+        rows = figure4_paper_mode()
+        title = "Figure 4 (paper-counters mode)"
+    else:
+        rows = figure4_sim_mode(scale=1 / args.scale)
+        title = f"Figure 4 (simulation mode, scale 1/{args.scale})"
+    if args.export:
+        from repro.analysis.export import figure4_rows, write
+
+        write(figure4_rows(rows), args.export)
+        return f"wrote {len(rows)} rows to {args.export}"
+    return render_figure4(rows, title=title)
+
+
+def _cmd_ablation(args: argparse.Namespace) -> str:
+    return render_ablation(information_ablation(scale=1 / args.scale))
+
+
+def _cmd_soundness(args: argparse.Namespace) -> str:
+    scenario = scenario_1() if args.scenario == 1 else scenario_2()
+    pairs = [
+        random_task_pair(scenario, seed=seed, max_requests=args.requests)
+        for seed in range(args.pairs)
+    ]
+    sweep = soundness_sweep(pairs, scenario)
+    rows = [
+        [
+            case.name,
+            case.isolation_cycles,
+            case.observed_cycles,
+            case.predictions["ilp-ptac"],
+            "ok" if case.sound else "VIOLATION",
+        ]
+        for case in sweep.cases
+    ]
+    verdict = (
+        "all sound"
+        if sweep.all_sound
+        else f"VIOLATIONS: {sweep.violations}"
+    )
+    return (
+        render_table(
+            ["pair", "isolation", "observed", "ilp-ptac WCET", "check"],
+            rows,
+            title=f"Soundness sweep ({scenario.name}) — {verdict}",
+        )
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    scenario = scenario_1() if args.scenario == 1 else scenario_2()
+    readings_a = paper.table6(scenario.name, "app")
+    contender = paper.table6(scenario.name, "H-Load")
+    points = contender_scale_sweep(
+        readings_a,
+        contender,
+        scenario,
+        isolation_cycles=paper.ISOLATION_CYCLES[scenario.name],
+    )
+    if args.export:
+        from repro.analysis.export import sweep_rows, write
+
+        write(sweep_rows(points), args.export)
+        return f"wrote {len(points)} points to {args.export}"
+    return render_table(
+        ["contender scale", "Δcont (cyc)", "pred", "saturated"],
+        [
+            [p.scale, p.delta_cycles, p.slowdown, p.saturated]
+            for p in points
+        ],
+        title=f"Contender-load sweep ({scenario.name}, x of H-Load)",
+    )
+
+
+def _cmd_platform(args: argparse.Namespace) -> str:
+    return tc277().block_diagram()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Modelling Multicore Contention on the AURIX "
+            "TC27x' (DAC 2018): regenerate the paper's tables and figures."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2", help="Table 2 via microbenchmark characterisation")
+    sub.add_parser("table3", help="Table 3 placement matrix")
+
+    p = sub.add_parser("table6", help="Table 6 counter readings (simulated)")
+    p.add_argument("--scale", type=int, default=16, help="scale denominator")
+
+    p = sub.add_parser("figure4", help="Figure 4 model predictions")
+    p.add_argument("--mode", choices=("paper", "sim"), default="paper")
+    p.add_argument("--scale", type=int, default=32, help="sim-mode scale denominator")
+    p.add_argument(
+        "--export", metavar="PATH.{json,csv}", help="write rows instead of rendering"
+    )
+
+    p = sub.add_parser("ablation", help="information-degree ablation (A1)")
+    p.add_argument("--scale", type=int, default=32)
+
+    p = sub.add_parser("soundness", help="randomized soundness sweep (A4)")
+    p.add_argument("--pairs", type=int, default=5)
+    p.add_argument("--requests", type=int, default=1_000)
+    p.add_argument("--scenario", type=int, choices=(1, 2), default=1)
+
+    p = sub.add_parser("sweep", help="contender-load sweep (Section 4.2)")
+    p.add_argument("--scenario", type=int, choices=(1, 2), default=1)
+    p.add_argument(
+        "--export", metavar="PATH.{json,csv}", help="write rows instead of rendering"
+    )
+
+    sub.add_parser("platform", help="Figure 1 block diagram")
+    return parser
+
+
+_COMMANDS = {
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table6": _cmd_table6,
+    "figure4": _cmd_figure4,
+    "ablation": _cmd_ablation,
+    "soundness": _cmd_soundness,
+    "sweep": _cmd_sweep,
+    "platform": _cmd_platform,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""The paper's contribution: contention models for the AURIX TC27x.
+
+Three models with increasing information requirements and tightness:
+
+* :func:`~repro.core.ftc.ftc_baseline` / :func:`~repro.core.ftc.ftc_refined`
+  — fully time-composable bounds (Section 3.4, Eqs. 2-8);
+* :func:`~repro.core.ilp_ptac.ilp_ptac_bound` — the ILP-based per-target
+  access count model (Section 3.5, Eqs. 9-23 + Table 5 tailoring);
+* :func:`~repro.core.ideal.ideal_bound` — the ideal model (Eq. 1), usable
+  only with ground-truth access profiles (our simulator provides them).
+
+Plus the extensions discussed by the paper: multiple simultaneous
+contenders and the FSB reduction of Section 4.3.
+"""
+
+from repro.core.access_bounds import (
+    AccessCountBound,
+    AccessCountBounds,
+    CountSource,
+    access_count_bounds,
+    ceil_div,
+    stall_bound,
+)
+from repro.core.fsb import (
+    FsbTiming,
+    fsb_closed_form,
+    fsb_ftc_closed_form,
+    fsb_latency_profile,
+    fsb_scenario,
+    fsb_via_crossbar_ilp,
+)
+from repro.core.ftc import FtcDetails, ftc_baseline, ftc_refined
+from repro.core.ideal import ideal_bound
+from repro.core.ilp_ptac import (
+    IlpPtacOptions,
+    IlpPtacResult,
+    build_ilp_ptac,
+    ilp_ptac_bound,
+)
+from repro.core.multicontender import MultiContenderResult, multi_contender_bound
+from repro.core.priority import (
+    dma_traffic_profile,
+    dma_victim_bound,
+    priority_victim_bound,
+)
+from repro.core.ptac import AccessProfile, profile_from_pairs
+from repro.core.results import ContentionBound, WcetEstimate
+from repro.core.wcet import ModelKind, contention_bound, wcet_estimate
+
+__all__ = [
+    "AccessCountBound",
+    "AccessCountBounds",
+    "AccessProfile",
+    "ContentionBound",
+    "CountSource",
+    "FsbTiming",
+    "FtcDetails",
+    "IlpPtacOptions",
+    "IlpPtacResult",
+    "ModelKind",
+    "MultiContenderResult",
+    "WcetEstimate",
+    "access_count_bounds",
+    "build_ilp_ptac",
+    "ceil_div",
+    "dma_traffic_profile",
+    "dma_victim_bound",
+    "contention_bound",
+    "fsb_closed_form",
+    "fsb_ftc_closed_form",
+    "fsb_latency_profile",
+    "fsb_scenario",
+    "fsb_via_crossbar_ilp",
+    "ftc_baseline",
+    "ftc_refined",
+    "ideal_bound",
+    "ilp_ptac_bound",
+    "multi_contender_bound",
+    "priority_victim_bound",
+    "profile_from_pairs",
+    "stall_bound",
+    "wcet_estimate",
+]

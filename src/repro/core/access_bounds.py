@@ -1,0 +1,155 @@
+"""Upper-bounding SRI access counts from stall counters (Eqs. 2-4).
+
+The TC27x has no per-target SRI access counters, so the models bound the
+number of requests from the *stall cycle* counters instead: if a task
+accumulated ``cs`` stall cycles and every single access of that class costs
+at least ``cs_min`` stall cycles, the task cannot have issued more than
+``⌈cs / cs_min⌉`` accesses.
+
+Equations 2-3 pick ``cs_min`` per operation class over the targets the
+class can address; Equation 4 performs the division.  The deployment-aware
+refinement narrows the target set (a task whose data only ever reaches the
+LMU divides by ``cs^{lmu,da}``), and replaces the code bound by the *exact*
+P$_MISS count when the scenario guarantees every SRI code request is a
+cache miss (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.counters.readings import TaskReadings
+from repro.errors import ModelError
+from repro.platform.deployment import DeploymentScenario, architectural_scenario
+from repro.platform.latency import LatencyProfile
+from repro.platform.targets import Operation
+
+
+class CountSource(enum.Enum):
+    """Where an access-count bound came from (for reports and tests)."""
+
+    STALL_BOUND = "stall-bound"  # Eq. 4: ceil(cs / cs_min)
+    PCACHE_MISS = "pcache-miss"  # exact count via P$_MISS (Section 4.1)
+    ZERO = "zero"  # no stalls observed, hence no SRI accesses
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division (the ⌈·⌉ of Eq. 4)."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-numerator // denominator)
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessCountBound:
+    """An upper bound on one operation class's SRI access count.
+
+    Attributes:
+        operation: code or data.
+        count: the bound ``n̂`` (exact when :attr:`source` is P$_MISS).
+        cs_min: the per-access stall divisor used (Eqs. 2-3); carried even
+            for exact counts so reports can show both derivations.
+        source: provenance of the number.
+    """
+
+    operation: Operation
+    count: int
+    cs_min: int
+    source: CountSource
+
+    @property
+    def exact(self) -> bool:
+        """Whether the count is exact rather than an upper bound."""
+        return self.source is CountSource.PCACHE_MISS
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessCountBounds:
+    """Code and data access-count bounds of one task (``n̂^co``, ``n̂^da``)."""
+
+    task: str
+    code: AccessCountBound
+    data: AccessCountBound
+
+    def bound(self, operation: Operation) -> AccessCountBound:
+        """The bound of one operation class."""
+        if operation is Operation.CODE:
+            return self.code
+        return self.data
+
+    @property
+    def total(self) -> int:
+        """Total bounded SRI accesses (Eq. 5's ``n`` upper bound)."""
+        return self.code.count + self.data.count
+
+
+def stall_bound(
+    readings: TaskReadings,
+    profile: LatencyProfile,
+    operation: Operation,
+    scenario: DeploymentScenario | None = None,
+) -> AccessCountBound:
+    """Equation 4 for one operation class.
+
+    Args:
+        readings: the task's isolation counter readings.
+        profile: Table 2 constants.
+        operation: which class to bound.
+        scenario: optional deployment knowledge narrowing the ``cs_min``
+            of Eqs. 2-3 to the reachable targets; defaults to the
+            architectural (fully time-composable) target sets.
+    """
+    scenario = scenario or architectural_scenario()
+    stalls = readings.ps if operation is Operation.CODE else readings.ds
+    if not scenario.targets(operation):
+        # The deployment routes no such traffic over the SRI at all; the
+        # readings must agree, otherwise they belong to another scenario.
+        if stalls:
+            raise ModelError(
+                f"{readings.name!r}: scenario {scenario.name!r} admits no "
+                f"{operation.value!r} SRI traffic but the task shows "
+                f"{stalls} stall cycles"
+            )
+        return AccessCountBound(operation, 0, 1, CountSource.ZERO)
+    cs_min = scenario.cs_min(profile, operation)
+    if stalls == 0:
+        return AccessCountBound(operation, 0, cs_min, CountSource.ZERO)
+    return AccessCountBound(
+        operation, ceil_div(stalls, cs_min), cs_min, CountSource.STALL_BOUND
+    )
+
+
+def access_count_bounds(
+    readings: TaskReadings,
+    profile: LatencyProfile,
+    scenario: DeploymentScenario | None = None,
+    *,
+    use_exact_counts: bool = True,
+) -> AccessCountBounds:
+    """Bound a task's code and data SRI access counts (Eqs. 2-4 + §4.1).
+
+    Args:
+        readings: the task's isolation counter readings.
+        profile: Table 2 constants.
+        scenario: deployment knowledge; ``None`` means the architectural
+            scenario (the baseline fTC derivation).
+        use_exact_counts: when the scenario guarantees P$_MISS counts SRI
+            code requests exactly, use it instead of the stall bound
+            (both reference scenarios do).  Disable to study the pure
+            Eq. 4 behaviour.
+
+    Returns:
+        Bounds for both classes, each tagged with its provenance.
+    """
+    scenario = scenario or architectural_scenario()
+    code = stall_bound(readings, profile, Operation.CODE, scenario)
+    if use_exact_counts and scenario.code_count_exact:
+        code = AccessCountBound(
+            Operation.CODE,
+            readings.pm,
+            code.cs_min,
+            CountSource.PCACHE_MISS if readings.pm else CountSource.ZERO,
+        )
+    data = stall_bound(readings, profile, Operation.DATA, scenario)
+    return AccessCountBounds(task=readings.name, code=code, data=data)

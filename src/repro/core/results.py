@@ -1,0 +1,148 @@
+"""Result types shared by every contention model.
+
+All models — ideal (Eq. 1), fTC (Eq. 8) and ILP-PTAC (Eq. 9) — produce the
+same kind of answer: an upper bound ``Δcont`` on the extra cycles the task
+under analysis can suffer because of its contenders, optionally broken down
+per (target, operation).  :class:`ContentionBound` captures that answer;
+:class:`WcetEstimate` combines it with the isolation measurement into the
+contention-aware WCET estimate the paper plots in Figure 4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.errors import ModelError
+from repro.platform.targets import Operation, Target, pair_label, sorted_pairs
+
+
+@dataclasses.dataclass(frozen=True)
+class ContentionBound:
+    """An upper bound on contention delay inflicted on the analysed task.
+
+    Attributes:
+        model: model identifier (``"ideal"``, ``"ftc-baseline"``,
+            ``"ftc-refined"``, ``"ilp-ptac"``, ...).
+        task: name of the task under analysis (τa).
+        contenders: names of the contender tasks the bound accounts for;
+            empty for fully time-composable bounds, which hold against *any*
+            co-runner.
+        delta_cycles: the bound ``Δcont`` in cycles.
+        breakdown: optional per-(target, operation) decomposition of the
+            bound; models that cannot attribute delay per target (fTC)
+            key the split on operation only via the ``code``/``data``
+            entries of :attr:`op_breakdown`.
+        op_breakdown: code/data split of the bound, available for every
+            model.
+        scenario: name of the deployment scenario the bound was tailored
+            to (``"architectural"`` when none).
+        time_composable: whether the bound is valid under any contention
+            scenario (no contender information used).
+    """
+
+    model: str
+    task: str
+    contenders: tuple[str, ...]
+    delta_cycles: int
+    op_breakdown: Mapping[Operation, int]
+    breakdown: Mapping[tuple[Target, Operation], int] | None = None
+    scenario: str = "architectural"
+    time_composable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.delta_cycles < 0:
+            raise ModelError(
+                f"{self.model}: contention bound must be non-negative, "
+                f"got {self.delta_cycles}"
+            )
+        op_total = sum(self.op_breakdown.values())
+        if op_total != self.delta_cycles:
+            raise ModelError(
+                f"{self.model}: op breakdown ({op_total}) does not add up "
+                f"to the bound ({self.delta_cycles})"
+            )
+        if self.breakdown is not None:
+            pair_total = sum(self.breakdown.values())
+            if pair_total != self.delta_cycles:
+                raise ModelError(
+                    f"{self.model}: per-target breakdown ({pair_total}) does "
+                    f"not add up to the bound ({self.delta_cycles})"
+                )
+
+    @property
+    def code_cycles(self) -> int:
+        """Contention charged to code requests (``Δcs^co_a``)."""
+        return self.op_breakdown.get(Operation.CODE, 0)
+
+    @property
+    def data_cycles(self) -> int:
+        """Contention charged to data requests (``Δcs^da_a``)."""
+        return self.op_breakdown.get(Operation.DATA, 0)
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary for reports."""
+        lines = [
+            f"{self.model} bound for {self.task!r} "
+            f"(scenario {self.scenario}): {self.delta_cycles} cycles"
+        ]
+        lines.append(
+            f"  code: {self.code_cycles} cycles, data: {self.data_cycles} cycles"
+        )
+        if self.breakdown:
+            for target, op in sorted_pairs(self.breakdown):
+                cycles = self.breakdown[(target, op)]
+                if cycles:
+                    lines.append(f"  {pair_label(target, op)}: {cycles} cycles")
+        if self.time_composable:
+            lines.append("  (fully time-composable: valid for any co-runner)")
+        elif self.contenders:
+            lines.append(f"  against contenders: {', '.join(self.contenders)}")
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class WcetEstimate:
+    """A contention-aware WCET estimate (isolation time + contention bound).
+
+    This is what Figure 4 plots, normalised: the model prediction relative
+    to the execution time observed in isolation.
+
+    Attributes:
+        isolation_cycles: the task's (high-watermark) execution time
+            measured in isolation.
+        bound: the contention bound added on top.
+    """
+
+    isolation_cycles: int
+    bound: ContentionBound
+
+    def __post_init__(self) -> None:
+        if self.isolation_cycles <= 0:
+            raise ModelError("isolation execution time must be positive")
+
+    @property
+    def wcet_cycles(self) -> int:
+        """The estimate: isolation time plus contention bound."""
+        return self.isolation_cycles + self.bound.delta_cycles
+
+    @property
+    def slowdown(self) -> float:
+        """Normalised prediction (Figure 4's y-axis): WCET / isolation."""
+        return self.wcet_cycles / self.isolation_cycles
+
+    def upper_bounds(self, observed_cycles: int) -> bool:
+        """Whether the estimate covers an observed multicore execution time.
+
+        The paper's soundness criterion: "In all experiments our model
+        predictions upperbound the observed multicore execution time."
+        """
+        return self.wcet_cycles >= observed_cycles
+
+    def describe(self) -> str:
+        """Human-readable summary, normalised as in Figure 4."""
+        return (
+            f"{self.bound.model}: isolation {self.isolation_cycles} + "
+            f"Δcont {self.bound.delta_cycles} = {self.wcet_cycles} cycles "
+            f"({self.slowdown:.2f}x)"
+        )

@@ -1,0 +1,118 @@
+"""Assembling contention-aware WCET estimates (the MBTA end product).
+
+The workflow the paper targets (Section 1, contribution ➁): a software
+provider measures its task **in isolation** during early development —
+execution time plus debug counters — and computes, per candidate
+deployment scenario and per hypothesised contender load, a WCET estimate
+that already includes multicore contention:
+
+    WCET = ET_isolation(high-watermark) + Δcont(model)
+
+This module provides the one-call facade over the individual models, used
+by the examples and the Figure 4 driver.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.ftc import ftc_baseline, ftc_refined
+from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
+from repro.core.results import ContentionBound, WcetEstimate
+from repro.counters.readings import TaskReadings
+from repro.errors import ModelError
+from repro.platform.deployment import DeploymentScenario
+from repro.platform.latency import LatencyProfile
+
+
+class ModelKind(enum.Enum):
+    """The contention models selectable through the facade."""
+
+    FTC_BASELINE = "ftc-baseline"
+    FTC_REFINED = "ftc-refined"
+    ILP_PTAC = "ilp-ptac"
+    ILP_PTAC_TC = "ilp-ptac-tc"  # ILP without contender information
+
+    @classmethod
+    def parse(cls, name: str) -> "ModelKind":
+        """Parse a model name as used in reports/CLI arguments."""
+        for kind in cls:
+            if kind.value == name:
+                return kind
+        raise ModelError(f"unknown model kind {name!r}")
+
+
+def contention_bound(
+    model: ModelKind | str,
+    readings_a: TaskReadings,
+    profile: LatencyProfile,
+    scenario: DeploymentScenario,
+    readings_b: TaskReadings | None = None,
+    *,
+    options: IlpPtacOptions | None = None,
+) -> ContentionBound:
+    """Compute Δcont with the selected model.
+
+    Args:
+        model: which model to run (a :class:`ModelKind` or its name).
+        readings_a: isolation readings of the task under analysis.
+        profile: Table 2 constants.
+        scenario: deployment scenario (used by every model except the
+            baseline fTC, which ignores deployment knowledge by design).
+        readings_b: contender readings; required by ``ILP_PTAC`` only.
+        options: ILP knobs, forwarded to the ILP variants.
+    """
+    if isinstance(model, str):
+        model = ModelKind.parse(model)
+    if model is ModelKind.FTC_BASELINE:
+        return ftc_baseline(readings_a, profile)
+    if model is ModelKind.FTC_REFINED:
+        return ftc_refined(readings_a, profile, scenario)
+    if model is ModelKind.ILP_PTAC:
+        if readings_b is None:
+            raise ModelError("ilp-ptac needs contender readings")
+        return ilp_ptac_bound(
+            readings_a, readings_b, profile, scenario, options
+        ).bound
+    # ILP without contender constraints (fully time-composable variant).
+    base = options or IlpPtacOptions()
+    import dataclasses as _dc
+
+    tc_options = _dc.replace(base, contender_constraints=False)
+    return ilp_ptac_bound(
+        readings_a, None, profile, scenario, tc_options
+    ).bound
+
+
+def wcet_estimate(
+    model: ModelKind | str,
+    readings_a: TaskReadings,
+    profile: LatencyProfile,
+    scenario: DeploymentScenario,
+    readings_b: TaskReadings | None = None,
+    *,
+    isolation_cycles: int | None = None,
+    options: IlpPtacOptions | None = None,
+) -> WcetEstimate:
+    """One-call WCET estimate: isolation time + model contention bound.
+
+    Args:
+        model: which contention model to use.
+        readings_a: isolation readings of the task under analysis;
+            must carry ``ccnt`` unless ``isolation_cycles`` is given.
+        profile: Table 2 constants.
+        scenario: deployment scenario.
+        readings_b: contender readings (ILP-PTAC only).
+        isolation_cycles: override for the isolation execution time
+            (e.g. a high-watermark over many runs rather than one run).
+        options: ILP knobs.
+    """
+    bound = contention_bound(
+        model, readings_a, profile, scenario, readings_b, options=options
+    )
+    cycles = (
+        isolation_cycles
+        if isolation_cycles is not None
+        else readings_a.require_ccnt()
+    )
+    return WcetEstimate(isolation_cycles=cycles, bound=bound)

@@ -1,0 +1,19 @@
+"""Debug Support Unit counters and per-task readings (Table 4)."""
+
+from repro.counters.dsu import (
+    COUNTER_MAX,
+    COUNTER_WIDTH_BITS,
+    MODEL_COUNTERS,
+    CounterBank,
+    DebugCounter,
+)
+from repro.counters.readings import TaskReadings
+
+__all__ = [
+    "COUNTER_MAX",
+    "COUNTER_WIDTH_BITS",
+    "CounterBank",
+    "DebugCounter",
+    "MODEL_COUNTERS",
+    "TaskReadings",
+]

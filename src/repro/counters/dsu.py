@@ -1,0 +1,126 @@
+"""Debug Support Unit (DSU) counter model.
+
+The contention model's industrial-viability claim (contribution ➀ of the
+paper) is that it only consumes information available through the standard
+AURIX DSU: the on-chip cycle counter plus five configurable debug counters.
+This module names those counters and provides a small mutable bank the
+simulator increments, with the same read-out semantics as the hardware
+(saturating 32-bit counts, snapshot/delta reads).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import CounterError
+
+
+class DebugCounter(enum.Enum):
+    """The TC27x debug counters the model relies on (Section 2).
+
+    Values are the names used by the AURIX debug infrastructure; the short
+    aliases of Table 4 (PS, DS, PM, DMC, DMD) are available through
+    :attr:`short_name`.
+    """
+
+    CCNT = "CCNT"
+    PMEM_STALL = "PMEM_STALL"
+    DMEM_STALL = "DMEM_STALL"
+    PCACHE_MISS = "PCACHE_MISS"
+    DCACHE_MISS_CLEAN = "DCACHE_MISS_CLEAN"
+    DCACHE_MISS_DIRTY = "DCACHE_MISS_DIRTY"
+
+    @property
+    def short_name(self) -> str:
+        """Table 4 shorthand (``PS``, ``DS``, ``PM``, ``DMC``, ``DMD``)."""
+        return {
+            DebugCounter.CCNT: "CCNT",
+            DebugCounter.PMEM_STALL: "PS",
+            DebugCounter.DMEM_STALL: "DS",
+            DebugCounter.PCACHE_MISS: "PM",
+            DebugCounter.DCACHE_MISS_CLEAN: "DMC",
+            DebugCounter.DCACHE_MISS_DIRTY: "DMD",
+        }[self]
+
+    @property
+    def description(self) -> str:
+        """What the counter measures, per the paper's Section 2."""
+        return {
+            DebugCounter.CCNT: "elapsed clock cycles",
+            DebugCounter.PMEM_STALL: (
+                "cycles the pipeline stalled on the program memory interface"
+            ),
+            DebugCounter.DMEM_STALL: (
+                "cycles the pipeline stalled on the data memory interface"
+            ),
+            DebugCounter.PCACHE_MISS: "instruction cache misses",
+            DebugCounter.DCACHE_MISS_CLEAN: "clean data cache misses",
+            DebugCounter.DCACHE_MISS_DIRTY: "dirty data cache misses",
+        }[self]
+
+
+#: The counters configured for every experiment run (Table 4).
+MODEL_COUNTERS: tuple[DebugCounter, ...] = (
+    DebugCounter.PMEM_STALL,
+    DebugCounter.DMEM_STALL,
+    DebugCounter.PCACHE_MISS,
+    DebugCounter.DCACHE_MISS_CLEAN,
+    DebugCounter.DCACHE_MISS_DIRTY,
+)
+
+#: Hardware counter width: the TC27x debug counters are 32-bit.
+COUNTER_WIDTH_BITS = 32
+COUNTER_MAX = (1 << COUNTER_WIDTH_BITS) - 1
+
+
+@dataclasses.dataclass
+class CounterBank:
+    """A mutable bank of DSU counters, incremented by the simulator.
+
+    The bank mimics the hardware behaviour relevant to MBTA practice:
+    counts saturate at the 32-bit limit (rather than wrapping, which would
+    silently corrupt measurements) and reads are non-destructive.
+    """
+
+    _values: dict[DebugCounter, int] = dataclasses.field(
+        default_factory=lambda: {c: 0 for c in DebugCounter}
+    )
+    saturated: bool = False
+
+    def increment(self, counter: DebugCounter, amount: int = 1) -> None:
+        """Add ``amount`` to ``counter``, saturating at the 32-bit limit."""
+        if amount < 0:
+            raise CounterError("counter increments must be non-negative")
+        value = self._values[counter] + amount
+        if value > COUNTER_MAX:
+            value = COUNTER_MAX
+            self.saturated = True
+        self._values[counter] = value
+
+    def read(self, counter: DebugCounter) -> int:
+        """Current value of ``counter``."""
+        return self._values[counter]
+
+    def reset(self) -> None:
+        """Zero every counter (done before each measurement run)."""
+        for counter in DebugCounter:
+            self._values[counter] = 0
+        self.saturated = False
+
+    def snapshot(self) -> dict[DebugCounter, int]:
+        """An immutable copy of all counter values."""
+        return dict(self._values)
+
+    def delta(self, earlier: dict[DebugCounter, int]) -> dict[DebugCounter, int]:
+        """Per-counter difference against an earlier :meth:`snapshot`."""
+        deltas = {}
+        for counter, value in self._values.items():
+            before = earlier.get(counter, 0)
+            if value < before:
+                raise CounterError(
+                    f"{counter.value} decreased between snapshots "
+                    f"({before} -> {value})"
+                )
+            deltas[counter] = value - before
+        return deltas

@@ -1,0 +1,30 @@
+"""Self-contained ILP substrate: expressions, models, simplex, B&B.
+
+The paper formulates its contention model as an Integer Linear Program
+(Section 3.5).  This package provides everything needed to state and solve
+such programs without external solver dependencies: operator-overloaded
+linear expressions, a model builder, a two-phase dense simplex for LP
+relaxations, a best-first branch-and-bound MILP solver, and an optional
+``scipy.optimize.milp`` backend used for cross-validation.
+"""
+
+from repro.ilp.expr import Constraint, LinExpr, Sense, Var, lin_sum
+from repro.ilp.model import IlpModel, StandardForm
+from repro.ilp.simplex import LpResult, LpStatus, solve_lp
+from repro.ilp.solution import Solution, SolveStats, SolveStatus
+
+__all__ = [
+    "Constraint",
+    "IlpModel",
+    "LinExpr",
+    "LpResult",
+    "LpStatus",
+    "Sense",
+    "Solution",
+    "SolveStats",
+    "SolveStatus",
+    "StandardForm",
+    "Var",
+    "lin_sum",
+    "solve_lp",
+]

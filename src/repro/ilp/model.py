@@ -1,0 +1,298 @@
+"""ILP model builder: variables, constraints, objective, solve dispatch.
+
+:class:`IlpModel` is the interface the contention models program against.
+It collects named variables and constraints, converts them to the dense
+computational form used by the bundled simplex / branch-and-bound solver,
+and can alternatively hand the instance to ``scipy.optimize.milp`` for
+cross-validation (the test-suite solves every paper instance with both
+backends and asserts agreement).
+
+Only what the paper's models need is supported — and that is enforced
+rather than half-implemented: variables with finite non-negative lower
+bounds, optional upper bounds, integer or continuous domains, ``<=``,
+``>=`` and ``==`` constraints, and a linear objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IlpError
+from repro.ilp.expr import Constraint, LinExpr, Sense, Var, lin_sum
+from repro.ilp.solution import Solution, SolveStats, SolveStatus
+
+__all__ = ["IlpModel", "StandardForm", "lin_sum"]
+
+
+class StandardForm:
+    """Dense-array view of a model, shared by all backends.
+
+    Attributes:
+        variables: model variables in column order.
+        c: objective coefficients (maximisation convention).
+        a_ub, b_ub: ``a_ub @ x <= b_ub`` rows (variable upper bounds and
+            positive lower bounds folded in as rows for the bundled solver).
+        a_eq, b_eq: equality rows.
+        integer_mask: boolean array marking integral columns.
+        lower, upper: the original per-variable bounds (used by the scipy
+            backend, which handles bounds natively).
+    """
+
+    def __init__(self, model: "IlpModel") -> None:
+        self.variables: tuple[Var, ...] = tuple(model.variables)
+        index = {v: j for j, v in enumerate(self.variables)}
+        n = len(self.variables)
+
+        self.c = np.zeros(n)
+        for var, coef in model.objective.terms.items():
+            self.c[index[var]] = coef
+        self.objective_constant = model.objective.constant
+
+        ub_rows: list[np.ndarray] = []
+        ub_rhs: list[float] = []
+        eq_rows: list[np.ndarray] = []
+        eq_rhs: list[float] = []
+        for constraint in model.constraints:
+            row = np.zeros(n)
+            for var, coef in constraint.terms().items():
+                try:
+                    row[index[var]] = coef
+                except KeyError as exc:
+                    raise IlpError(
+                        f"constraint {constraint!r} uses variable "
+                        f"{var.name!r} not declared in this model"
+                    ) from exc
+            if constraint.sense is Sense.LE:
+                ub_rows.append(row)
+                ub_rhs.append(constraint.rhs)
+            elif constraint.sense is Sense.GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-constraint.rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(constraint.rhs)
+
+        # Fold variable bounds into rows for the bundled solver, which works
+        # on x >= 0.
+        for j, var in enumerate(self.variables):
+            if var.lower < 0:
+                raise IlpError(
+                    f"variable {var.name!r}: negative lower bounds are not "
+                    "supported (the contention models never need them)"
+                )
+            if var.lower > 0:
+                row = np.zeros(n)
+                row[j] = -1.0
+                ub_rows.append(row)
+                ub_rhs.append(-var.lower)
+            if var.upper is not None:
+                row = np.zeros(n)
+                row[j] = 1.0
+                ub_rows.append(row)
+                ub_rhs.append(var.upper)
+
+        self.a_ub = np.array(ub_rows) if ub_rows else np.empty((0, n))
+        self.b_ub = np.array(ub_rhs)
+        self.a_eq = np.array(eq_rows) if eq_rows else np.empty((0, n))
+        self.b_eq = np.array(eq_rhs)
+        self.integer_mask = np.array([v.integer for v in self.variables])
+        self.lower = np.array([v.lower for v in self.variables])
+        self.upper = np.array(
+            [np.inf if v.upper is None else v.upper for v in self.variables]
+        )
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.variables)
+
+    def assignment(self, x: np.ndarray) -> dict[Var, float]:
+        """Zip a solution vector back onto the model variables."""
+        return {var: float(x[j]) for j, var in enumerate(self.variables)}
+
+
+class IlpModel:
+    """A maximisation integer linear program under construction.
+
+    Usage mirrors the paper's formulation style::
+
+        model = IlpModel("ilp-ptac")
+        n = model.add_var("n[pf0,co,b->a]")
+        model.add_constraint(n <= 10, name="eq11")
+        model.maximize(16 * n)
+        solution = model.solve()
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._variables: list[Var] = []
+        self._names: set[str] = set()
+        self._constraints: list[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_var(
+        self,
+        name: str,
+        *,
+        lower: float = 0.0,
+        upper: float | None = None,
+        integer: bool = True,
+    ) -> Var:
+        """Declare a new decision variable.
+
+        Args:
+            name: unique display name within the model.
+            lower: lower bound; must be non-negative.
+            upper: optional upper bound.
+            integer: integrality requirement (default, as every quantity in
+                the paper's model is a request count).
+        """
+        if name in self._names:
+            raise IlpError(f"duplicate variable name {name!r}")
+        var = Var(name=name, lower=lower, upper=upper, integer=integer)
+        self._variables.append(var)
+        self._names.add(name)
+        return var
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Attach a constraint built with ``<=``/``>=``/``==`` operators."""
+        if not isinstance(constraint, Constraint):
+            raise IlpError(
+                f"expected a Constraint, got {constraint!r}; did a comparison "
+                "collapse to bool?"
+            )
+        if name:
+            constraint = constraint.named(name)
+        self._constraints.append(constraint)
+        return constraint
+
+    def maximize(self, expr: LinExpr | Var) -> None:
+        """Set the (maximisation) objective."""
+        if isinstance(expr, Var):
+            expr = expr + 0
+        self._objective = expr
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> tuple[Var, ...]:
+        return tuple(self._variables)
+
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    @property
+    def objective(self) -> LinExpr:
+        return self._objective
+
+    def constraint_named(self, name: str) -> Constraint:
+        """Find a constraint by its display name."""
+        for constraint in self._constraints:
+            if constraint.name == name:
+                return constraint
+        raise IlpError(f"model has no constraint named {name!r}")
+
+    def standard_form(self) -> StandardForm:
+        """Dense-array view shared by all solver backends."""
+        return StandardForm(self)
+
+    def check(self, values: dict[Var, float], *, tolerance: float = 1e-6) -> list[str]:
+        """Return human-readable violations of ``values`` (empty = feasible).
+
+        Used by tests and by :meth:`solve`'s internal self-check.
+        """
+        violations = []
+        for constraint in self._constraints:
+            if not constraint.is_satisfied(values, tolerance=tolerance):
+                violations.append(f"violated: {constraint!r}")
+        for var in self._variables:
+            value = values.get(var)
+            if value is None:
+                violations.append(f"unassigned variable {var.name!r}")
+                continue
+            if value < var.lower - tolerance:
+                violations.append(f"{var.name} = {value} below lower {var.lower}")
+            if var.upper is not None and value > var.upper + tolerance:
+                violations.append(f"{var.name} = {value} above upper {var.upper}")
+            if var.integer and abs(value - round(value)) > tolerance:
+                violations.append(f"{var.name} = {value} not integral")
+        return violations
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        backend: str = "bnb",
+        *,
+        node_limit: int = 100_000,
+        verify: bool = True,
+    ) -> Solution:
+        """Solve the model.
+
+        Args:
+            backend: ``"bnb"`` (bundled branch-and-bound, the default),
+                ``"scipy"`` (``scipy.optimize.milp``) or ``"lp"`` (the LP
+                relaxation only — used to quantify the integrality gap).
+            node_limit: branch-and-bound node budget.
+            verify: re-check the returned point against every constraint
+                (cheap, and turns solver bugs into loud errors).
+
+        Returns:
+            A :class:`~repro.ilp.solution.Solution` in maximisation
+            convention.
+        """
+        if backend == "bnb":
+            from repro.ilp.branch_and_bound import solve_bnb
+
+            solution = solve_bnb(self.standard_form(), node_limit=node_limit)
+        elif backend == "scipy":
+            from repro.ilp.scipy_backend import solve_scipy
+
+            solution = solve_scipy(self.standard_form())
+        elif backend == "lp":
+            solution = self._solve_relaxation()
+        else:
+            raise IlpError(f"unknown backend {backend!r}")
+
+        if verify and solution.status is SolveStatus.OPTIMAL and backend != "lp":
+            violations = self.check(dict(solution.values))
+            if violations:
+                raise IlpError(
+                    f"backend {backend!r} returned an infeasible point: "
+                    + "; ".join(violations[:5])
+                )
+        return solution
+
+    def _solve_relaxation(self) -> Solution:
+        """Solve the LP relaxation with the bundled simplex."""
+        from repro.ilp.simplex import LpStatus, solve_lp
+
+        form = self.standard_form()
+        result = solve_lp(
+            -form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq
+        )
+        status = {
+            LpStatus.OPTIMAL: SolveStatus.OPTIMAL,
+            LpStatus.INFEASIBLE: SolveStatus.INFEASIBLE,
+            LpStatus.UNBOUNDED: SolveStatus.UNBOUNDED,
+        }[result.status]
+        if status is not SolveStatus.OPTIMAL:
+            return Solution(
+                status=status,
+                stats=SolveStats(
+                    simplex_iterations=result.iterations, backend="lp"
+                ),
+            )
+        return Solution(
+            status=status,
+            objective=-result.objective + form.objective_constant,
+            values=form.assignment(result.x),
+            stats=SolveStats(
+                simplex_iterations=result.iterations, backend="lp"
+            ),
+        )

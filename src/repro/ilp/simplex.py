@@ -1,0 +1,254 @@
+"""Dense two-phase primal simplex for the LP relaxations.
+
+The branch-and-bound MILP solver (:mod:`repro.ilp.branch_and_bound`) needs a
+reliable LP oracle.  The instances produced by the contention models are
+tiny (tens of variables and constraints), so a dense tableau simplex with
+Bland's anti-cycling rule is both simple and robust; no factorisation or
+sparsity machinery is warranted.
+
+The entry point :func:`solve_lp` accepts the standard "computational form"
+
+    minimise    c @ x
+    subject to  a_ub @ x <= b_ub
+                a_eq @ x == b_eq
+                x >= 0
+
+(maximisation is handled by the caller negating ``c``).  General variable
+bounds are reduced to this form by :mod:`repro.ilp.model`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+from repro.errors import IlpNumericalError
+
+#: Feasibility / optimality tolerance of the pivoting rules.
+TOLERANCE = 1e-9
+
+#: Hard cap on simplex pivots; Bland's rule guarantees finite termination,
+#: this guards against numerical stalls on pathological input.
+MAX_ITERATIONS = 20_000
+
+
+class LpStatus(enum.Enum):
+    """Outcome of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclasses.dataclass(frozen=True)
+class LpResult:
+    """Result of :func:`solve_lp`.
+
+    Attributes:
+        status: solve outcome.
+        x: primal values of the *original* variables (empty on failure).
+        objective: objective value ``c @ x`` (minimisation).
+        iterations: simplex pivots performed across both phases.
+    """
+
+    status: LpStatus
+    x: np.ndarray
+    objective: float
+    iterations: int
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    """Perform one pivot: make column ``col`` basic in row ``row``."""
+    pivot_value = tableau[row, col]
+    if abs(pivot_value) <= TOLERANCE:
+        raise IlpNumericalError("pivot on a (near-)zero element")
+    tableau[row] /= pivot_value
+    for i in range(tableau.shape[0]):
+        if i != row and abs(tableau[i, col]) > 0.0:
+            tableau[i] -= tableau[i, col] * tableau[row]
+    basis[row] = col
+
+
+def _iterate(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    cost: np.ndarray,
+    iteration_budget: int,
+) -> tuple[LpStatus, int]:
+    """Run simplex pivots until optimality/unboundedness.
+
+    Uses Bland's smallest-index rule for both entering and leaving
+    variables, which precludes cycling at the price of a few extra pivots —
+    irrelevant at our problem sizes.
+    """
+    m = tableau.shape[0]
+    iterations = 0
+    while True:
+        if iterations >= iteration_budget:
+            raise IlpNumericalError(
+                f"simplex exceeded {iteration_budget} pivots; instance is "
+                "numerically pathological"
+            )
+        # Reduced costs r = cost - cost_B @ B^-1 A (tableau already holds
+        # B^-1 A, so this is a single matrix-vector product).
+        cost_basis = cost[basis]
+        reduced = cost[:-1] - cost_basis @ tableau[:, :-1]
+
+        entering = -1
+        for j, r in enumerate(reduced):
+            if r < -TOLERANCE:
+                entering = j
+                break
+        if entering < 0:
+            return LpStatus.OPTIMAL, iterations
+
+        # Ratio test (Bland tie-break on smallest basis index).
+        best_ratio = np.inf
+        leaving = -1
+        for i in range(m):
+            coef = tableau[i, entering]
+            if coef > TOLERANCE:
+                ratio = tableau[i, -1] / coef
+                if ratio < best_ratio - TOLERANCE or (
+                    abs(ratio - best_ratio) <= TOLERANCE
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return LpStatus.UNBOUNDED, iterations
+
+        _pivot(tableau, basis, leaving, entering)
+        iterations += 1
+
+
+def solve_lp(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    *,
+    max_iterations: int = MAX_ITERATIONS,
+) -> LpResult:
+    """Minimise ``c @ x`` subject to ``a_ub x <= b_ub``, ``a_eq x == b_eq``,
+    ``x >= 0`` with a two-phase dense simplex.
+
+    Args:
+        c: objective coefficients, shape ``(n,)``.
+        a_ub: inequality matrix, shape ``(m_ub, n)`` (may be empty).
+        b_ub: inequality right-hand sides, shape ``(m_ub,)``.
+        a_eq: equality matrix, shape ``(m_eq, n)`` (may be empty).
+        b_eq: equality right-hand sides, shape ``(m_eq,)``.
+        max_iterations: pivot budget shared by both phases.
+
+    Returns:
+        An :class:`LpResult`; ``x`` has shape ``(n,)`` when optimal.
+    """
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    a_ub = np.asarray(a_ub, dtype=float).reshape(-1, n) if np.size(a_ub) else np.empty((0, n))
+    b_ub = np.asarray(b_ub, dtype=float).reshape(-1)
+    a_eq = np.asarray(a_eq, dtype=float).reshape(-1, n) if np.size(a_eq) else np.empty((0, n))
+    b_eq = np.asarray(b_eq, dtype=float).reshape(-1)
+    m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
+    m = m_ub + m_eq
+
+    if m == 0:
+        # No constraints: optimum is at the origin unless some cost is
+        # negative, in which case the LP is unbounded below.
+        if np.any(c < -TOLERANCE):
+            return LpResult(LpStatus.UNBOUNDED, np.empty(0), -np.inf, 0)
+        return LpResult(LpStatus.OPTIMAL, np.zeros(n), 0.0, 0)
+
+    # Assemble [A | slacks | artificials | rhs] with all rhs >= 0.
+    rows = np.vstack([a_ub, a_eq])
+    rhs = np.concatenate([b_ub, b_eq])
+    slack_block = np.vstack(
+        [np.eye(m_ub), np.zeros((m_eq, m_ub))]
+    ) if m_ub else np.empty((m, 0))
+
+    negative = rhs < 0
+    rows[negative] *= -1.0
+    rhs = rhs.copy()
+    rhs[negative] *= -1.0
+    if m_ub:
+        slack_block[negative] *= -1.0
+
+    # A slack column serves as the initial basic variable of its row only
+    # when it still has coefficient +1 (i.e. the row was not negated).
+    needs_artificial = np.ones(m, dtype=bool)
+    basis = np.full(m, -1, dtype=int)
+    n_slack = m_ub
+    for i in range(m_ub):
+        if not negative[i]:
+            needs_artificial[i] = False
+            basis[i] = n + i
+
+    artificial_rows = np.flatnonzero(needs_artificial)
+    n_art = artificial_rows.shape[0]
+    art_block = np.zeros((m, n_art))
+    for k, i in enumerate(artificial_rows):
+        art_block[i, k] = 1.0
+        basis[i] = n + n_slack + k
+
+    tableau = np.hstack(
+        [rows, slack_block, art_block, rhs.reshape(-1, 1)]
+    )
+    total_cols = n + n_slack + n_art
+
+    iterations = 0
+
+    # ------------------------------------------------------------------
+    # Phase 1: minimise the sum of artificials.
+    # ------------------------------------------------------------------
+    if n_art:
+        phase1_cost = np.zeros(total_cols + 1)
+        phase1_cost[n + n_slack : n + n_slack + n_art] = 1.0
+        status, its = _iterate(tableau, basis, phase1_cost, max_iterations)
+        iterations += its
+        if status is not LpStatus.OPTIMAL:  # pragma: no cover - defensive
+            raise IlpNumericalError("phase 1 cannot be unbounded")
+        infeasibility = phase1_cost[basis] @ tableau[:, -1]
+        if infeasibility > 1e-7:
+            return LpResult(LpStatus.INFEASIBLE, np.empty(0), np.inf, iterations)
+
+        # Drive any residual artificial out of the basis (degenerate rows).
+        for i in range(m):
+            if basis[i] >= n + n_slack:
+                pivot_col = -1
+                for j in range(n + n_slack):
+                    if abs(tableau[i, j]) > TOLERANCE:
+                        pivot_col = j
+                        break
+                if pivot_col >= 0:
+                    _pivot(tableau, basis, i, pivot_col)
+                # else: redundant row; keep it (harmless, rhs is ~0) with the
+                # artificial pinned at zero, excluded from phase-2 pricing.
+
+    # ------------------------------------------------------------------
+    # Phase 2: original objective, artificial columns frozen.
+    # ------------------------------------------------------------------
+    phase2_cost = np.zeros(total_cols + 1)
+    phase2_cost[:n] = c
+    if n_art:
+        # A huge cost keeps the (zero-valued) artificials out of the basis
+        # without having to restructure the tableau.
+        big = 1.0 + np.abs(c).sum() * 1e6
+        phase2_cost[n + n_slack :] = big
+    status, its = _iterate(
+        tableau, basis, phase2_cost, max_iterations - iterations
+    )
+    iterations += its
+    if status is LpStatus.UNBOUNDED:
+        return LpResult(LpStatus.UNBOUNDED, np.empty(0), -np.inf, iterations)
+
+    x = np.zeros(n)
+    for i, col in enumerate(basis):
+        if col < n:
+            x[col] = tableau[i, -1]
+    # Clamp tiny negatives introduced by roundoff.
+    x[np.abs(x) < TOLERANCE] = np.abs(x[np.abs(x) < TOLERANCE])
+    return LpResult(LpStatus.OPTIMAL, x, float(c @ x), iterations)

@@ -1,0 +1,92 @@
+"""Solve results for the ILP substrate."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Mapping
+
+from repro.errors import IlpError
+from repro.ilp.expr import LinExpr, Var
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    NODE_LIMIT = "node_limit"
+
+    @property
+    def ok(self) -> bool:
+        """Whether a usable (optimal) solution is attached."""
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclasses.dataclass(frozen=True)
+class SolveStats:
+    """Solver effort statistics, for the solver-ablation benchmark.
+
+    Attributes:
+        simplex_iterations: total simplex pivots across all LP solves.
+        nodes: branch-and-bound nodes explored (0 for pure LP solves).
+        backend: which backend produced the solution.
+    """
+
+    simplex_iterations: int = 0
+    nodes: int = 0
+    backend: str = "bnb"
+
+
+@dataclasses.dataclass(frozen=True)
+class Solution:
+    """An (attempted) solution of an ILP model.
+
+    Attributes:
+        status: solve outcome; check :attr:`SolveStatus.ok` before reading
+            values.
+        objective: objective value at the returned point (maximisation).
+        values: assignment of every model variable.
+        stats: solver effort counters.
+    """
+
+    status: SolveStatus
+    objective: float = 0.0
+    values: Mapping[Var, float] = dataclasses.field(default_factory=dict)
+    stats: SolveStats = dataclasses.field(default_factory=SolveStats)
+
+    def require_optimal(self) -> "Solution":
+        """Return self, raising :class:`IlpError` unless status is optimal."""
+        if not self.status.ok:
+            raise IlpError(f"solve did not reach optimality: {self.status.value}")
+        return self
+
+    def value(self, item: Var | LinExpr) -> float:
+        """Value of a variable or expression at the solution point."""
+        self.require_optimal()
+        if isinstance(item, Var):
+            try:
+                return self.values[item]
+            except KeyError as exc:
+                raise IlpError(
+                    f"variable {item.name!r} is not part of this solution"
+                ) from exc
+        return item.evaluate(self.values)
+
+    def __getitem__(self, item: Var | LinExpr) -> float:
+        return self.value(item)
+
+    def int_value(self, item: Var | LinExpr, *, tolerance: float = 1e-6) -> int:
+        """Value rounded to the nearest integer, checking integrality."""
+        raw = self.value(item)
+        rounded = round(raw)
+        if abs(raw - rounded) > tolerance:
+            raise IlpError(
+                f"value {raw} of {item!r} is not integral within {tolerance}"
+            )
+        return int(rounded)
+
+    def by_name(self) -> dict[str, float]:
+        """Values keyed by variable name (stable for reports/tests)."""
+        return {var.name: value for var, value in self.values.items()}

@@ -1,0 +1,155 @@
+"""Reference numbers published in the paper (and values derived from them).
+
+Single source of truth for every constant the reproduction compares
+against:
+
+* **Table 6** — debug counter readings of the application and the H-Load
+  contender under both scenarios (verbatim).
+* **Figure 4** — the model-prediction ratios read off the bar chart
+  (fTC and the ILP model under H/M/L load, both scenarios).
+* **Derived isolation times** — the paper reports ratios but not the
+  isolation execution times; solving the models on the Table 6 inputs and
+  inverting the Figure 4 ratios pins them (see DESIGN.md).  Any value
+  within ±1% reproduces the published two-decimal figures; we fix one.
+* **Derived M/L-load scalings** — M/L counter readings are not reported;
+  matching the published L endpoints requires L ≈ 0.5×H (both scenarios),
+  and M is set mid-way.  The workload generators inherit these factors.
+* **Expected model outputs** — the analytically computed Δcont values on
+  Table 6 inputs, asserted by the regression tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import types
+
+from repro.counters.readings import TaskReadings
+
+# ----------------------------------------------------------------------
+# Table 6 — counter readings for Scenarios 1 and 2 (verbatim).
+# Core 1 runs the application under analysis, core 2 the H-Load contender.
+# ----------------------------------------------------------------------
+TABLE6_SC1_APP = TaskReadings(
+    name="app",
+    pcache_miss=236_544,
+    dcache_miss_clean=0,
+    dcache_miss_dirty=0,
+    pmem_stall=3_421_242,
+    dmem_stall=8_345_056,
+)
+
+TABLE6_SC1_HLOAD = TaskReadings(
+    name="H-Load",
+    pcache_miss=120_594,
+    dcache_miss_clean=0,
+    dcache_miss_dirty=0,
+    pmem_stall=1_744_167,
+    dmem_stall=4_251_811,
+)
+
+TABLE6_SC2_APP = TaskReadings(
+    name="app",
+    pcache_miss=458_394,
+    dcache_miss_clean=200,
+    dcache_miss_dirty=0,
+    pmem_stall=2_753_995,
+    dmem_stall=86_371,
+)
+
+TABLE6_SC2_HLOAD = TaskReadings(
+    name="H-Load",
+    pcache_miss=233_694,
+    dcache_miss_clean=200,
+    dcache_miss_dirty=0,
+    pmem_stall=1_404_145,
+    dmem_stall=42_826,
+)
+
+
+def table6(scenario: str, task: str) -> TaskReadings:
+    """Look up a Table 6 row by scenario ("scenario1"/"scenario2") and
+    task ("app"/"H-Load")."""
+    rows = {
+        ("scenario1", "app"): TABLE6_SC1_APP,
+        ("scenario1", "H-Load"): TABLE6_SC1_HLOAD,
+        ("scenario2", "app"): TABLE6_SC2_APP,
+        ("scenario2", "H-Load"): TABLE6_SC2_HLOAD,
+    }
+    try:
+        return rows[(scenario, task)]
+    except KeyError as exc:
+        raise KeyError(
+            f"Table 6 has no row for ({scenario!r}, {task!r})"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Derived quantities (DESIGN.md, "Substitutions").
+# ----------------------------------------------------------------------
+#: Isolation execution times (cycles), derived by inverting Figure 4.
+ISOLATION_CYCLES = types.MappingProxyType(
+    {"scenario1": 13_600_000, "scenario2": 5_660_000}
+)
+
+#: Contender load scalings relative to H-Load (M/L readings unreported;
+#: L ≈ 0.5 reproduces the published L endpoints, M is set mid-way).
+LOAD_SCALE = types.MappingProxyType({"H": 1.0, "M": 0.75, "L": 0.5})
+
+
+def contender_readings(scenario: str, load: str) -> TaskReadings:
+    """Counter readings of one contender level (H verbatim, M/L scaled)."""
+    base = table6(scenario, "H-Load")
+    factor = LOAD_SCALE[load]
+    if factor == 1.0:
+        return base
+    return base.scaled(factor, name=f"{load}-Load")
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — published prediction ratios (model WCET / isolation time).
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Figure4Reference:
+    """Published prediction ratios of one scenario.
+
+    ``ilp`` maps the contender level to the ratio; the paper reports the
+    H and L endpoints ("in between 1.49 and 1.24"); M is not reported.
+    """
+
+    scenario: str
+    ftc: float
+    ilp: dict[str, float]
+
+
+FIGURE4 = types.MappingProxyType(
+    {
+        "scenario1": Figure4Reference(
+            scenario="scenario1", ftc=1.95, ilp={"H": 1.49, "L": 1.24}
+        ),
+        "scenario2": Figure4Reference(
+            scenario="scenario2", ftc=2.33, ilp={"H": 1.67, "L": 1.34}
+        ),
+    }
+)
+
+#: Acceptance band for reproduced ratios (see DESIGN.md).
+RATIO_TOLERANCE = 0.02
+
+# ----------------------------------------------------------------------
+# Expected model outputs on Table 6 inputs (computed analytically from
+# Table 2; asserted by tests/test_paper_regression.py).
+# ----------------------------------------------------------------------
+EXPECTED_DELTA = types.MappingProxyType(
+    {
+        ("scenario1", "ftc-refined"): 12_964_270,
+        ("scenario1", "ilp-ptac", "H"): 6_606_495,
+        ("scenario2", "ftc-refined"): 7_515_702,
+        ("scenario2", "ilp-ptac", "H"): 3_829_026,
+    }
+)
+
+#: The paper's qualitative headline: "contention cycles are below half of
+#: those for fTC bounds".  The paper's own Figure 4 ratios give
+#: 0.49/0.95 ≈ 0.52 (and 0.67/1.33 ≈ 0.50), so "half" is the authors'
+#: rounding; we pin the reproduced ratio at ≤ 0.52.
+ILP_VS_FTC_MAX_RATIO = 0.52

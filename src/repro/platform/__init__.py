@@ -1,0 +1,115 @@
+"""Platform description of the AURIX TC27x.
+
+This package holds every architecture fact the contention models and the
+simulator rely on: the SRI target/operation taxonomy (Figure 2), the Table 2
+latency/stall constants, the memory map, the Table 3 placement matrix, the
+Figure 3 deployment scenarios and the Figure 1 platform structure.
+"""
+
+from repro.platform.cacheability import (
+    ALL_SECTION_KINDS,
+    CODE_CACHEABLE,
+    CODE_UNCACHEABLE,
+    DATA_CACHEABLE,
+    DATA_UNCACHEABLE,
+    SectionKind,
+    allowed_kinds,
+    allowed_targets,
+    check_placement,
+    is_placement_valid,
+    placement_matrix,
+)
+from repro.platform.deployment import (
+    Deployment,
+    DeploymentScenario,
+    Section,
+    architectural_scenario,
+    custom_scenario,
+    named_scenarios,
+    scenario_1,
+    scenario_2,
+)
+from repro.platform.latency import (
+    LatencyProfile,
+    TargetTiming,
+    tc27x_latency_profile,
+)
+from repro.platform.memory_map import (
+    MemoryMap,
+    MemoryRegion,
+    classify_access,
+    region_for,
+    tc27x_regions,
+)
+from repro.platform.targets import (
+    ALL_OPERATIONS,
+    ALL_TARGETS,
+    CODE_TARGETS,
+    DATA_TARGETS,
+    VALID_PAIRS,
+    Operation,
+    Target,
+    check_pair,
+    is_valid_pair,
+    operations_for,
+    pair_label,
+    parse_operation,
+    parse_target,
+    targets_for,
+)
+from repro.platform.tc27x import (
+    CacheGeometry,
+    CoreDescriptor,
+    CoreKind,
+    Tc27xPlatform,
+    tc277,
+)
+
+__all__ = [
+    "ALL_OPERATIONS",
+    "ALL_SECTION_KINDS",
+    "ALL_TARGETS",
+    "CODE_CACHEABLE",
+    "CODE_TARGETS",
+    "CODE_UNCACHEABLE",
+    "CacheGeometry",
+    "CoreDescriptor",
+    "CoreKind",
+    "DATA_CACHEABLE",
+    "DATA_TARGETS",
+    "DATA_UNCACHEABLE",
+    "Deployment",
+    "DeploymentScenario",
+    "LatencyProfile",
+    "MemoryMap",
+    "MemoryRegion",
+    "Operation",
+    "Section",
+    "SectionKind",
+    "Target",
+    "TargetTiming",
+    "Tc27xPlatform",
+    "VALID_PAIRS",
+    "allowed_kinds",
+    "allowed_targets",
+    "architectural_scenario",
+    "check_pair",
+    "check_placement",
+    "classify_access",
+    "custom_scenario",
+    "is_placement_valid",
+    "is_valid_pair",
+    "named_scenarios",
+    "operations_for",
+    "pair_label",
+    "parse_operation",
+    "parse_target",
+    "placement_matrix",
+    "region_for",
+    "scenario_1",
+    "scenario_2",
+    "targets_for",
+    "tc277",
+    "tc27x_latency_profile",
+    "tc27x_regions",
+]

@@ -1,0 +1,143 @@
+"""Table 3 of the paper: placement constraints of code/data on SRI slaves.
+
+The TC27x restricts which kind of section may be linked into which memory
+and with which cacheability.  Table 3 (reproduced below, '$' = cacheable,
+'n$' = non-cacheable) is the authoritative matrix; deployments are validated
+against it before they are used to tailor the contention models.
+
+==========  ====  ====  ====  ====
+section     pf0   pf1   dfl   lmu
+==========  ====  ====  ====  ====
+Code $       ok    ok    no    ok
+Code n$      ok    ok    no    ok
+Data $       ok    ok    no    ok
+Data n$      no    no    ok    ok
+==========  ====  ====  ====  ====
+
+Two consequences matter for the models:
+
+* the DFlash only ever sees non-cacheable *data* traffic, hence the missing
+  ``cs^{dfl,co}`` entry in Table 2; and
+* non-cacheable data can never target the program flashes, so every data
+  access observed on pf0/pf1 went through the data cache (exploited by the
+  Scenario-2 tailoring).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.errors import DeploymentError
+from repro.platform.targets import ALL_TARGETS, Operation, Target
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class SectionKind:
+    """The type of a deployed section: operation type plus cacheability."""
+
+    operation: Operation
+    cacheable: bool
+
+    def label(self) -> str:
+        """Table 3 row label, e.g. ``"Code $"`` or ``"Data n$"``."""
+        kind = "Code" if self.operation is Operation.CODE else "Data"
+        return f"{kind} {'$' if self.cacheable else 'n$'}"
+
+
+CODE_CACHEABLE = SectionKind(Operation.CODE, True)
+CODE_UNCACHEABLE = SectionKind(Operation.CODE, False)
+DATA_CACHEABLE = SectionKind(Operation.DATA, True)
+DATA_UNCACHEABLE = SectionKind(Operation.DATA, False)
+
+ALL_SECTION_KINDS: tuple[SectionKind, ...] = (
+    CODE_CACHEABLE,
+    CODE_UNCACHEABLE,
+    DATA_CACHEABLE,
+    DATA_UNCACHEABLE,
+)
+
+#: Table 3 verbatim: which targets may hold each section kind.
+_PLACEMENT: dict[SectionKind, frozenset[Target]] = {
+    CODE_CACHEABLE: frozenset({Target.PF0, Target.PF1, Target.LMU}),
+    CODE_UNCACHEABLE: frozenset({Target.PF0, Target.PF1, Target.LMU}),
+    DATA_CACHEABLE: frozenset({Target.PF0, Target.PF1, Target.LMU}),
+    DATA_UNCACHEABLE: frozenset({Target.DFL, Target.LMU}),
+}
+
+
+def allowed_targets(kind: SectionKind) -> frozenset[Target]:
+    """Targets that may hold a section of ``kind`` (one Table 3 row)."""
+    return _PLACEMENT[kind]
+
+
+def allowed_kinds(target: Target) -> frozenset[SectionKind]:
+    """Section kinds a target may hold (one Table 3 column)."""
+    return frozenset(k for k, targets in _PLACEMENT.items() if target in targets)
+
+
+def is_placement_valid(kind: SectionKind, target: Target) -> bool:
+    """Whether Table 3 permits placing ``kind`` on ``target``."""
+    return target in _PLACEMENT[kind]
+
+
+def check_placement(kind: SectionKind, target: Target) -> None:
+    """Raise :class:`DeploymentError` when Table 3 forbids the placement."""
+    if not is_placement_valid(kind, target):
+        raise DeploymentError(
+            f"{kind.label()} sections cannot be placed on "
+            f"{target.value!r} (Table 3)"
+        )
+
+
+def check_placements(
+    placements: Iterable[tuple[SectionKind, Target]],
+) -> None:
+    """Validate a batch of (kind, target) placements against Table 3."""
+    for kind, target in placements:
+        check_placement(kind, target)
+
+
+def placement_matrix() -> dict[str, dict[str, bool]]:
+    """Render Table 3 as nested dicts keyed by row/column labels.
+
+    Used by the Table-3 benchmark to print the matrix exactly as the paper
+    lays it out (rows: section kinds; columns: pf0, pf1, dfl, LMU).
+    """
+    column_order = (Target.PF0, Target.PF1, Target.DFL, Target.LMU)
+    return {
+        kind.label(): {
+            target.value: is_placement_valid(kind, target)
+            for target in column_order
+        }
+        for kind in ALL_SECTION_KINDS
+    }
+
+
+def dirty_eviction_targets(
+    placements: Iterable[tuple[SectionKind, Target]],
+) -> frozenset[Target]:
+    """Targets on which dirty data-cache evictions can occur.
+
+    A dirty miss requires *cacheable data* deployed on the target and a
+    write-back cache in front of it.  The paper only distinguishes dirty
+    latencies on the LMU (Table 2's bracketed 21-cycle value); flash targets
+    are not writable at run time, so cacheable data placed there is
+    read-only and can never be dirtied.
+    """
+    dirty: set[Target] = set()
+    for kind, target in placements:
+        if kind == DATA_CACHEABLE and target is Target.LMU:
+            dirty.add(target)
+    return frozenset(dirty)
+
+
+def validate_target_set(targets: Iterable[Target]) -> tuple[Target, ...]:
+    """Normalise a target iterable into canonical order, checking membership."""
+    targets = set(targets)
+    unknown = targets - set(ALL_TARGETS)
+    if unknown:
+        raise DeploymentError(
+            f"unknown targets: {sorted(t.value for t in unknown)}"
+        )
+    return tuple(t for t in ALL_TARGETS if t in targets)

@@ -1,0 +1,399 @@
+"""Deployment configurations and the paper's two reference scenarios.
+
+System software statically decides where each code/data section of an
+application lives (scratchpad, PFlash, DFlash, LMU) and whether it is
+accessed through a cacheable segment.  That choice — the *deployment
+configuration* — determines which SRI targets a task's requests can reach,
+which is exactly the information the ILP-PTAC model exploits to tighten its
+bounds (Section 4.1 of the paper).
+
+This module provides:
+
+* :class:`Section` / :class:`Deployment` — an explicit section-placement
+  description, validated against Table 3;
+* :class:`DeploymentScenario` — the model-facing view of a deployment:
+  reachable targets per operation, per-target operation mix of co-runners,
+  dirty-eviction targets, and what the debug counters mean under it;
+* :func:`scenario_1` and :func:`scenario_2` — the two representative
+  configurations of Figure 3, used throughout the evaluation;
+* :func:`architectural_scenario` — the unconstrained scenario that turns
+  the refined models back into the fully time-composable baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Mapping
+
+from repro.errors import DeploymentError
+from repro.platform.cacheability import (
+    CODE_CACHEABLE,
+    DATA_CACHEABLE,
+    DATA_UNCACHEABLE,
+    SectionKind,
+    check_placement,
+    dirty_eviction_targets,
+)
+from repro.platform.latency import LatencyProfile
+from repro.platform.targets import (
+    ALL_TARGETS,
+    Operation,
+    Target,
+    is_valid_pair,
+    targets_for,
+)
+
+KIB = 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class Section:
+    """One linked section of an application image.
+
+    Attributes:
+        name: linker-style identifier (e.g. ``".text_pflash"``).
+        kind: operation type and cacheability (a Table 3 row).
+        target: SRI slave holding the section, or ``None`` for core-local
+            scratchpad placement (which generates no SRI traffic).
+        size: section size in bytes (used by the simulator's layout).
+    """
+
+    name: str
+    kind: SectionKind
+    target: Target | None
+    size: int = 4 * KIB
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise DeploymentError(f"section {self.name!r} must have positive size")
+        if self.target is not None:
+            check_placement(self.kind, self.target)
+
+    @property
+    def on_sri(self) -> bool:
+        """Whether accesses to this section travel over the SRI."""
+        return self.target is not None
+
+
+class Deployment:
+    """A validated set of sections describing one task's memory layout."""
+
+    def __init__(self, sections: Iterable[Section]) -> None:
+        self._sections = tuple(sections)
+        if not self._sections:
+            raise DeploymentError("a deployment needs at least one section")
+        names = [s.name for s in self._sections]
+        if len(set(names)) != len(names):
+            raise DeploymentError("duplicate section names in deployment")
+
+    @property
+    def sections(self) -> tuple[Section, ...]:
+        return self._sections
+
+    def sri_sections(self) -> tuple[Section, ...]:
+        """Sections that generate SRI traffic (non-scratchpad)."""
+        return tuple(s for s in self._sections if s.on_sri)
+
+    def targets(self, operation: Operation) -> tuple[Target, ...]:
+        """SRI targets that ``operation`` requests of this task can reach."""
+        hit = {
+            s.target
+            for s in self.sri_sections()
+            if s.kind.operation is operation
+        }
+        return tuple(t for t in ALL_TARGETS if t in hit)
+
+    def operations_on(self, target: Target) -> tuple[Operation, ...]:
+        """Operation types this task can issue to ``target``."""
+        ops = {
+            s.kind.operation for s in self.sri_sections() if s.target is target
+        }
+        return tuple(o for o in (Operation.CODE, Operation.DATA) if o in ops)
+
+    def dirty_targets(self) -> frozenset[Target]:
+        """Targets where dirty data-cache evictions can occur (see Table 2)."""
+        return dirty_eviction_targets(
+            (s.kind, s.target) for s in self.sri_sections()
+        )
+
+    def all_sri_code_cacheable(self) -> bool:
+        """True when every SRI code section is cacheable.
+
+        In that case every code request on the SRI is an instruction-cache
+        miss, so P$_MISS counts SRI code requests *exactly* — the property
+        both reference scenarios exploit.
+        """
+        code = [
+            s
+            for s in self.sri_sections()
+            if s.kind.operation is Operation.CODE
+        ]
+        return bool(code) and all(s.kind.cacheable for s in code)
+
+    def has_cacheable_sri_data(self) -> bool:
+        """True when some SRI data section is cacheable (Scenario 2)."""
+        return any(
+            s.kind.operation is Operation.DATA and s.kind.cacheable
+            for s in self.sri_sections()
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentScenario:
+    """Model-facing summary of a deployment configuration.
+
+    This is what the contention models consume: it answers "where can τ's
+    requests go", "what can a co-runner throw at each target" and "what do
+    the debug counters mean here".  The paper assumes the deployment applies
+    equally to the task under analysis and its contenders (Section 4.1), so
+    a single scenario object describes both sides.
+
+    Attributes:
+        name: short identifier (``"scenario1"``, ``"scenario2"``, ...).
+        description: one-line summary for reports.
+        deployment: the underlying section placement, when available.
+        code_targets: SRI targets reachable by code requests.
+        data_targets: SRI targets reachable by data requests.
+        dirty_targets: targets where the dirty-miss latency applies.
+        code_count_exact: whether P$_MISS equals the task's SRI code
+            request count (all SRI code cacheable).
+        data_count_lower_bounded: whether D$_MISS_CLEAN + D$_MISS_DIRTY is
+            a useful lower bound on the task's SRI data requests (some SRI
+            data cacheable — Scenario 2).
+    """
+
+    name: str
+    description: str
+    code_targets: tuple[Target, ...]
+    data_targets: tuple[Target, ...]
+    dirty_targets: frozenset[Target]
+    code_count_exact: bool
+    data_count_lower_bounded: bool
+    deployment: Deployment | None = None
+
+    def __post_init__(self) -> None:
+        for target in self.code_targets:
+            if not is_valid_pair(target, Operation.CODE):
+                raise DeploymentError(
+                    f"scenario {self.name!r}: code cannot reach {target.value!r}"
+                )
+        for target in self.data_targets:
+            if not is_valid_pair(target, Operation.DATA):
+                raise DeploymentError(
+                    f"scenario {self.name!r}: data cannot reach {target.value!r}"
+                )
+        if not self.code_targets and not self.data_targets:
+            raise DeploymentError(
+                f"scenario {self.name!r} generates no SRI traffic at all"
+            )
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+    def targets(self, operation: Operation) -> tuple[Target, ...]:
+        """SRI targets that ``operation`` requests can reach."""
+        if operation is Operation.CODE:
+            return self.code_targets
+        return self.data_targets
+
+    def operations_on(self, target: Target) -> tuple[Operation, ...]:
+        """Operations any task under this deployment can issue to ``target``."""
+        ops = []
+        if target in self.code_targets:
+            ops.append(Operation.CODE)
+        if target in self.data_targets:
+            ops.append(Operation.DATA)
+        return tuple(ops)
+
+    def valid_pairs(self) -> tuple[tuple[Target, Operation], ...]:
+        """Every (target, operation) pair the scenario permits."""
+        pairs: list[tuple[Target, Operation]] = []
+        for target in ALL_TARGETS:
+            for operation in self.operations_on(target):
+                pairs.append((target, operation))
+        return tuple(pairs)
+
+    def is_dirty(self, target: Target) -> bool:
+        """Whether dirty evictions can address ``target``."""
+        return target in self.dirty_targets
+
+    # ------------------------------------------------------------------
+    # Latency/stall queries restricted to the scenario
+    # ------------------------------------------------------------------
+    def cs_min(self, profile: LatencyProfile, operation: Operation) -> int:
+        """Scenario-restricted ``cs_min`` (Eqs. 2-3 narrowed to reachable
+        targets), used to bound access counts from stall counters."""
+        return profile.cs_min(operation, targets=self.targets(operation))
+
+    def interference_latency(
+        self, profile: LatencyProfile, target: Target, operation: Operation
+    ) -> int:
+        """Latency one contender request of ``operation`` to ``target``
+        imposes on a conflicting request: the ``l^{t,o}`` coefficient of
+        Eq. 9, with the dirty variant where the scenario enables it."""
+        return profile.latency(target, operation, dirty=self.is_dirty(target))
+
+    def max_interference_latency(
+        self, profile: LatencyProfile, operation: Operation
+    ) -> int:
+        """Worst delay one ``operation`` request of τa can suffer (Eqs. 6-7
+        restricted to the scenario).
+
+        The maximum ranges over the targets τa's ``operation`` can reach and,
+        per target, over the request types a co-runner *under the same
+        deployment* can issue there.
+        """
+        worst = 0
+        for target in self.targets(operation):
+            for contender_op in self.operations_on(target):
+                worst = max(
+                    worst,
+                    self.interference_latency(profile, target, contender_op),
+                )
+        if worst == 0:
+            raise DeploymentError(
+                f"scenario {self.name!r} gives {operation.value!r} requests "
+                "no reachable target"
+            )
+        return worst
+
+
+# ----------------------------------------------------------------------
+# Reference scenarios (Figure 3)
+# ----------------------------------------------------------------------
+def _scenario_from_deployment(
+    name: str, description: str, deployment: Deployment
+) -> DeploymentScenario:
+    """Derive the model-facing scenario summary from an explicit layout."""
+    return DeploymentScenario(
+        name=name,
+        description=description,
+        code_targets=deployment.targets(Operation.CODE),
+        data_targets=deployment.targets(Operation.DATA),
+        dirty_targets=deployment.dirty_targets(),
+        code_count_exact=deployment.all_sri_code_cacheable(),
+        data_count_lower_bounded=deployment.has_cacheable_sri_data(),
+        deployment=deployment,
+    )
+
+
+def scenario_1() -> DeploymentScenario:
+    """Scenario 1 of the paper (Figure 3-a).
+
+    Part of the code and data fit in the local scratchpads; the remaining
+    code is fetched (cacheable) from pf0/pf1; shared data lives in the LMU
+    in non-cacheable mode.  Consequences:
+
+    * P$_MISS counts SRI code requests exactly;
+    * data requests only reach the LMU and are invisible to the data-cache
+      counters (they bypass the cache), so only DMEM_STALL bounds them;
+    * no dirty evictions anywhere.
+    """
+    deployment = Deployment(
+        [
+            Section(".text_pspr", CODE_CACHEABLE, None, size=24 * KIB),
+            Section(".data_dspr", DATA_UNCACHEABLE, None, size=64 * KIB),
+            Section(".text_pf0", CODE_CACHEABLE, Target.PF0, size=128 * KIB),
+            Section(".text_pf1", CODE_CACHEABLE, Target.PF1, size=128 * KIB),
+            Section(".shared_lmu", DATA_UNCACHEABLE, Target.LMU, size=16 * KIB),
+        ]
+    )
+    return _scenario_from_deployment(
+        "scenario1",
+        "code in pf0/pf1 (cacheable), shared data in LMU (non-cacheable)",
+        deployment,
+    )
+
+
+def scenario_2() -> DeploymentScenario:
+    """Scenario 2 of the paper (Figure 3-b).
+
+    Code is fetched (cacheable) from pf0/pf1; data lives in the LMU in both
+    cacheable and non-cacheable mode; constant data sits in pf0/pf1
+    (cacheable).  Consequences:
+
+    * P$_MISS still counts SRI code requests exactly;
+    * D$_MISS_CLEAN + D$_MISS_DIRTY lower-bounds the SRI data requests, but
+      cannot attribute them to pf0/pf1 vs. LMU;
+    * cacheable data in the LMU makes dirty evictions — and hence the
+      21-cycle bracketed latency of Table 2 — possible there.
+    """
+    deployment = Deployment(
+        [
+            Section(".text_pspr", CODE_CACHEABLE, None, size=24 * KIB),
+            Section(".data_dspr", DATA_UNCACHEABLE, None, size=64 * KIB),
+            Section(".text_pf0", CODE_CACHEABLE, Target.PF0, size=192 * KIB),
+            Section(".text_pf1", CODE_CACHEABLE, Target.PF1, size=192 * KIB),
+            Section(".data_lmu", DATA_CACHEABLE, Target.LMU, size=8 * KIB),
+            Section(".shared_lmu", DATA_UNCACHEABLE, Target.LMU, size=8 * KIB),
+            Section(".rodata_pf0", DATA_CACHEABLE, Target.PF0, size=32 * KIB),
+            Section(".rodata_pf1", DATA_CACHEABLE, Target.PF1, size=32 * KIB),
+        ]
+    )
+    return _scenario_from_deployment(
+        "scenario2",
+        "code in pf0/pf1, data in LMU ($ and n$), constants in pf0/pf1 ($)",
+        deployment,
+    )
+
+
+def architectural_scenario(*, dirty_lmu: bool = False) -> DeploymentScenario:
+    """The unconstrained scenario: every architecturally reachable target.
+
+    Feeding this scenario to the refined models reproduces the fully
+    time-composable baseline (global ``cs_min``, Eqs. 6-7 latencies),
+    because no deployment knowledge is assumed.  ``dirty_lmu`` optionally
+    enables the LMU dirty-miss latency for maximum conservatism.
+    """
+    return DeploymentScenario(
+        name="architectural",
+        description="no deployment knowledge (fully time-composable)",
+        code_targets=targets_for(Operation.CODE),
+        data_targets=targets_for(Operation.DATA),
+        dirty_targets=frozenset({Target.LMU}) if dirty_lmu else frozenset(),
+        code_count_exact=False,
+        data_count_lower_bounded=False,
+        deployment=None,
+    )
+
+
+def custom_scenario(
+    name: str,
+    *,
+    code_targets: Iterable[Target] = (),
+    data_targets: Iterable[Target] = (),
+    dirty_targets: Iterable[Target] = (),
+    code_count_exact: bool = False,
+    data_count_lower_bounded: bool = False,
+    description: str = "",
+) -> DeploymentScenario:
+    """Build a scenario directly from target sets.
+
+    This is the porting hook of Section 4.3: any TriCore-style deployment
+    can be described by listing reachable targets and counter semantics,
+    without writing a full section layout.
+    """
+    return DeploymentScenario(
+        name=name,
+        description=description or f"custom scenario {name!r}",
+        code_targets=tuple(
+            t for t in ALL_TARGETS if t in set(code_targets)
+        ),
+        data_targets=tuple(
+            t for t in ALL_TARGETS if t in set(data_targets)
+        ),
+        dirty_targets=frozenset(dirty_targets),
+        code_count_exact=code_count_exact,
+        data_count_lower_bounded=data_count_lower_bounded,
+        deployment=None,
+    )
+
+
+#: Registry of the named scenarios used by examples and benchmarks.
+def named_scenarios() -> Mapping[str, DeploymentScenario]:
+    """The scenarios evaluated in the paper, keyed by their report names."""
+    return {
+        "scenario1": scenario_1(),
+        "scenario2": scenario_2(),
+        "architectural": architectural_scenario(),
+    }

@@ -1,0 +1,245 @@
+"""Address map of the AURIX TC27x as used by the simulator and deployments.
+
+The TC27x exposes every memory both through *cacheable* and *non-cacheable*
+address segments; system software chooses the access mode per section by
+linking it into one view or the other (Section 2 of the paper: "LMU and PMU
+memory areas can be accessed in cacheable or uncacheable mode, depending on
+the address segment used").
+
+The numeric layout follows the TC27x D-step memory map closely enough for a
+faithful simulation (sizes are taken from Figure 1 of the paper):
+
+========================  ==========  ========  ==============  =========
+region                    base        size      SRI target      cacheable
+========================  ==========  ========  ==============  =========
+PFlash0 (cached view)     0x80000000  1 MiB     pf0             yes
+PFlash1 (cached view)     0x80100000  1 MiB     pf1             yes
+LMU RAM (cached view)     0x90000000  32 KiB    lmu             yes
+PFlash0 (uncached view)   0xA0000000  1 MiB     pf0             no
+PFlash1 (uncached view)   0xA0100000  1 MiB     pf1             no
+DFlash                    0xAF000000  384 KiB   dfl             no
+LMU RAM (uncached view)   0xB0000000  32 KiB    lmu             no
+core 2 DSPR / PSPR        0x50000000  120/32 K  (core-local)    n/a
+core 1 DSPR / PSPR        0x60000000  120/32 K  (core-local)    n/a
+core 0 DSPR / PSPR        0x70000000  112/24 K  (core-local)    n/a
+========================  ==========  ========  ==============  =========
+
+Core-local scratchpads (DSPR/PSPR) are *not* SRI targets in our model: the
+paper explicitly excludes inter-core scratchpad traffic ("We do not consider
+SRI traffic caused by code and data requests targeting scratchpads of other
+cores").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import PlatformError
+from repro.platform.targets import Operation, Target
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryRegion:
+    """A contiguous address range with uniform routing and cacheability.
+
+    Attributes:
+        name: human-readable identifier (e.g. ``"pflash0_cached"``).
+        base: first byte address of the region.
+        size: region size in bytes.
+        target: the SRI slave serving the region, or ``None`` for
+            core-local memories that never generate SRI traffic.
+        cacheable: whether accesses through this view allocate in the
+            core-local caches.
+        local_core: for scratchpads, the id of the owning core.
+    """
+
+    name: str
+    base: int
+    size: int
+    target: Target | None
+    cacheable: bool
+    local_core: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise PlatformError(f"region {self.name!r} must have positive size")
+        if self.base < 0:
+            raise PlatformError(f"region {self.name!r} has negative base")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte address of the region."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` falls inside the region."""
+        return self.base <= address < self.end
+
+    @property
+    def is_local(self) -> bool:
+        """Whether the region is a core-local scratchpad (no SRI traffic)."""
+        return self.target is None
+
+
+def _sprams(core: int, base: int, dspr_size: int, pspr_size: int) -> list[MemoryRegion]:
+    """Build the DSPR/PSPR pair of one core at its segment base."""
+    return [
+        MemoryRegion(
+            name=f"core{core}_dspr",
+            base=base,
+            size=dspr_size,
+            target=None,
+            cacheable=False,
+            local_core=core,
+        ),
+        MemoryRegion(
+            name=f"core{core}_pspr",
+            base=base + 0x0010_0000,
+            size=pspr_size,
+            target=None,
+            cacheable=False,
+            local_core=core,
+        ),
+    ]
+
+
+def tc27x_regions() -> list[MemoryRegion]:
+    """The standard TC27x region list described in the module docstring."""
+    regions = [
+        MemoryRegion("pflash0_cached", 0x8000_0000, 1 * MIB, Target.PF0, True),
+        MemoryRegion("pflash1_cached", 0x8010_0000, 1 * MIB, Target.PF1, True),
+        MemoryRegion("lmu_cached", 0x9000_0000, 32 * KIB, Target.LMU, True),
+        MemoryRegion("pflash0_uncached", 0xA000_0000, 1 * MIB, Target.PF0, False),
+        MemoryRegion("pflash1_uncached", 0xA010_0000, 1 * MIB, Target.PF1, False),
+        MemoryRegion("dflash", 0xAF00_0000, 384 * KIB, Target.DFL, False),
+        MemoryRegion("lmu_uncached", 0xB000_0000, 32 * KIB, Target.LMU, False),
+    ]
+    # Core 0 is the TC1.6E (smaller scratchpads), cores 1-2 the TC1.6P.
+    regions += _sprams(2, 0x5000_0000, 120 * KIB, 32 * KIB)
+    regions += _sprams(1, 0x6000_0000, 120 * KIB, 32 * KIB)
+    regions += _sprams(0, 0x7000_0000, 112 * KIB, 24 * KIB)
+    return regions
+
+
+class MemoryMap:
+    """Address-to-region resolver used by deployments and the simulator."""
+
+    def __init__(self, regions: list[MemoryRegion] | None = None) -> None:
+        self._regions = sorted(
+            regions if regions is not None else tc27x_regions(),
+            key=lambda r: r.base,
+        )
+        self._check_no_overlap()
+        self._by_name = {r.name: r for r in self._regions}
+        if len(self._by_name) != len(self._regions):
+            raise PlatformError("duplicate region names in memory map")
+
+    def _check_no_overlap(self) -> None:
+        for earlier, later in zip(self._regions, self._regions[1:]):
+            if later.base < earlier.end:
+                raise PlatformError(
+                    f"regions {earlier.name!r} and {later.name!r} overlap"
+                )
+
+    @property
+    def regions(self) -> tuple[MemoryRegion, ...]:
+        """All regions, sorted by base address."""
+        return tuple(self._regions)
+
+    def region(self, name: str) -> MemoryRegion:
+        """Look a region up by name, raising ``PlatformError`` if unknown."""
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise PlatformError(f"unknown memory region {name!r}") from exc
+
+    def resolve(self, address: int) -> MemoryRegion:
+        """Return the region containing ``address``.
+
+        Binary search over the sorted region list; raises
+        :class:`PlatformError` for unmapped addresses (the TC27x would raise
+        a bus error trap).
+        """
+        lo, hi = 0, len(self._regions) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            region = self._regions[mid]
+            if address < region.base:
+                hi = mid - 1
+            elif address >= region.end:
+                lo = mid + 1
+            else:
+                return region
+        raise PlatformError(f"address {address:#010x} is not mapped")
+
+    def target_of(self, address: int) -> Target | None:
+        """SRI target serving ``address`` (``None`` for scratchpads)."""
+        return self.resolve(address).target
+
+    def is_cacheable(self, address: int) -> bool:
+        """Whether ``address`` lies in a cacheable segment."""
+        return self.resolve(address).cacheable
+
+    def sri_regions(self, target: Target | None = None) -> tuple[MemoryRegion, ...]:
+        """Regions routed over the SRI, optionally filtered by target."""
+        return tuple(
+            r
+            for r in self._regions
+            if r.target is not None and (target is None or r.target is target)
+        )
+
+    def code_region_valid(self, region: MemoryRegion) -> bool:
+        """Whether code may execute from ``region``.
+
+        Code can live in scratchpads (PSPR), PFlash or the LMU, but never in
+        the DFlash (Figure 2 / Table 3).
+        """
+        if region.is_local:
+            return region.name.endswith("pspr")
+        return region.target in (Target.PF0, Target.PF1, Target.LMU)
+
+
+def cacheable_view(map_: MemoryMap, target: Target) -> MemoryRegion:
+    """The cacheable region of ``target``; DFlash has none (Table 3)."""
+    for region in map_.sri_regions(target):
+        if region.cacheable:
+            return region
+    raise PlatformError(f"target {target.value!r} has no cacheable view")
+
+
+def uncacheable_view(map_: MemoryMap, target: Target) -> MemoryRegion:
+    """The non-cacheable region of ``target``."""
+    for region in map_.sri_regions(target):
+        if not region.cacheable:
+            return region
+    raise PlatformError(f"target {target.value!r} has no uncacheable view")
+
+
+def region_for(
+    map_: MemoryMap, target: Target, *, cacheable: bool
+) -> MemoryRegion:
+    """The region of ``target`` with the requested cacheability."""
+    if cacheable:
+        return cacheable_view(map_, target)
+    return uncacheable_view(map_, target)
+
+
+def classify_access(
+    map_: MemoryMap, address: int, operation: Operation
+) -> tuple[MemoryRegion, bool]:
+    """Resolve an access and validate it architecturally.
+
+    Returns the region and its cacheability; raises
+    :class:`~repro.errors.PlatformError` for code fetches from regions that
+    cannot hold code.
+    """
+    region = map_.resolve(address)
+    if operation is Operation.CODE and not map_.code_region_valid(region):
+        raise PlatformError(
+            f"code cannot execute from region {region.name!r} "
+            f"(address {address:#010x})"
+        )
+    return region, region.cacheable

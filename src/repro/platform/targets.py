@@ -1,0 +1,159 @@
+"""SRI target resources and operation types of the AURIX TC27x.
+
+The paper (Section 2, "Basic Notation and Assumptions") models contention on
+the Shared Resource Interconnect (SRI) crossbar at the granularity of
+*target resources* and *operation types*:
+
+* ``T = {dfl, pf0, pf1, lmu}`` — the SRI slaves reachable by application
+  traffic: the DFlash data interface, the two PFlash program interfaces and
+  the Local Memory Unit SRAM.
+* ``O = {co, da}`` — code and data operations.
+
+Figure 2 of the paper constrains which operations may reach which target:
+code can be fetched from pf0, pf1 and the LMU, while data can go to every
+target.  The DFlash never serves code.  These architecture facts are
+centralised here; every other module queries them instead of re-encoding
+them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from repro.errors import InvalidAccessError
+
+
+class Target(enum.Enum):
+    """An SRI slave interface that application traffic can address.
+
+    The member values are the short names used throughout the paper
+    (``dfl``, ``pf0``, ``pf1``, ``lmu``) and are convenient for reports.
+    """
+
+    DFL = "dfl"
+    PF0 = "pf0"
+    PF1 = "pf1"
+    LMU = "lmu"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_flash(self) -> bool:
+        """Whether the target is backed by the PMU flash device."""
+        return self in (Target.DFL, Target.PF0, Target.PF1)
+
+    @property
+    def is_program_flash(self) -> bool:
+        """Whether the target is one of the two PFlash interfaces."""
+        return self in (Target.PF0, Target.PF1)
+
+
+class Operation(enum.Enum):
+    """Type of an SRI operation: code fetch or data access."""
+
+    CODE = "co"
+    DATA = "da"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: All SRI target resources considered by the model (set ``T`` in the paper).
+ALL_TARGETS: tuple[Target, ...] = (Target.DFL, Target.PF0, Target.PF1, Target.LMU)
+
+#: All operation types (set ``O`` in the paper).
+ALL_OPERATIONS: tuple[Operation, ...] = (Operation.CODE, Operation.DATA)
+
+#: Targets a *code* request can address (Figure 2).
+CODE_TARGETS: tuple[Target, ...] = (Target.PF0, Target.PF1, Target.LMU)
+
+#: Targets a *data* request can address (Figure 2).
+DATA_TARGETS: tuple[Target, ...] = (Target.DFL, Target.PF0, Target.PF1, Target.LMU)
+
+#: Every architecturally valid (target, operation) pair.
+VALID_PAIRS: tuple[tuple[Target, Operation], ...] = tuple(
+    [(t, Operation.CODE) for t in CODE_TARGETS]
+    + [(t, Operation.DATA) for t in DATA_TARGETS]
+)
+
+
+def targets_for(operation: Operation) -> tuple[Target, ...]:
+    """Return the SRI targets reachable by ``operation`` (Figure 2)."""
+    if operation is Operation.CODE:
+        return CODE_TARGETS
+    return DATA_TARGETS
+
+
+def operations_for(target: Target) -> tuple[Operation, ...]:
+    """Return the operation types that ``target`` can serve."""
+    if target is Target.DFL:
+        return (Operation.DATA,)
+    return ALL_OPERATIONS
+
+
+def is_valid_pair(target: Target, operation: Operation) -> bool:
+    """Whether ``operation`` may architecturally address ``target``."""
+    return (target, operation) in VALID_PAIRS
+
+
+def check_pair(target: Target, operation: Operation) -> None:
+    """Raise :class:`InvalidAccessError` for architecturally invalid pairs.
+
+    >>> check_pair(Target.PF0, Operation.CODE)   # fine
+    >>> check_pair(Target.DFL, Operation.CODE)   # doctest: +IGNORE_EXCEPTION_DETAIL
+    Traceback (most recent call last):
+    InvalidAccessError: ...
+    """
+    if not is_valid_pair(target, operation):
+        raise InvalidAccessError(
+            f"the TC27x cannot issue {operation.value!r} requests to "
+            f"{target.value!r} (see Figure 2 / Table 3 of the paper)"
+        )
+
+
+def parse_target(name: str) -> Target:
+    """Parse a target from its short paper name (case-insensitive).
+
+    Accepts the paper's spellings, e.g. ``"pf0"``, ``"PF1"``, ``"lmu"``,
+    ``"dfl"`` and the long-form aliases ``"pflash0"``, ``"pflash1"``,
+    ``"dflash"``.
+    """
+    aliases = {
+        "pflash0": Target.PF0,
+        "pflash1": Target.PF1,
+        "dflash": Target.DFL,
+        "sram": Target.LMU,
+    }
+    lowered = name.strip().lower()
+    if lowered in aliases:
+        return aliases[lowered]
+    try:
+        return Target(lowered)
+    except ValueError as exc:
+        raise InvalidAccessError(f"unknown SRI target name {name!r}") from exc
+
+
+def parse_operation(name: str) -> Operation:
+    """Parse an operation from ``"co"``/``"code"`` or ``"da"``/``"data"``."""
+    aliases = {"code": Operation.CODE, "data": Operation.DATA}
+    lowered = name.strip().lower()
+    if lowered in aliases:
+        return aliases[lowered]
+    try:
+        return Operation(lowered)
+    except ValueError as exc:
+        raise InvalidAccessError(f"unknown operation name {name!r}") from exc
+
+
+def pair_label(target: Target, operation: Operation) -> str:
+    """Render a pair the way the paper writes it, e.g. ``"pf0,co"``."""
+    return f"{target.value},{operation.value}"
+
+
+def sorted_pairs(pairs: Iterable[tuple[Target, Operation]]) -> list[tuple[Target, Operation]]:
+    """Sort pairs in the paper's canonical order (dfl, pf0, pf1, lmu; co, da)."""
+    target_order = {t: i for i, t in enumerate(ALL_TARGETS)}
+    op_order = {o: i for i, o in enumerate(ALL_OPERATIONS)}
+    return sorted(pairs, key=lambda p: (target_order[p[0]], op_order[p[1]]))

@@ -1,0 +1,177 @@
+"""Top-level description of the AURIX TC277 platform (Figure 1).
+
+The TC277 packages three TriCore processors — two high-performance TC1.6P
+and one low-power TC1.6E — behind the SRI crossbar, together with the shared
+memory system (LMU SRAM via its own slave port; DFlash, PFlash0 and PFlash1
+via the PMU's three independent interfaces).  This module captures those
+structural facts in one :class:`Tc27xPlatform` object that the simulator,
+the workload generators and the reports all share.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import PlatformError
+from repro.platform.latency import LatencyProfile, tc27x_latency_profile
+from repro.platform.memory_map import KIB, MemoryMap
+from repro.platform.targets import ALL_TARGETS, Target
+
+
+class CoreKind(enum.Enum):
+    """TriCore flavour of one processor."""
+
+    TC16P = "1.6P"
+    TC16E = "1.6E"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of a set-associative cache (or line buffer)."""
+
+    size: int
+    line_size: int = 32
+    ways: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.line_size <= 0 or self.ways <= 0:
+            raise PlatformError("cache geometry values must be positive")
+        if self.size % (self.line_size * self.ways) != 0:
+            raise PlatformError(
+                f"cache size {self.size} not divisible into "
+                f"{self.ways} ways of {self.line_size}-byte lines"
+            )
+
+    @property
+    def sets(self) -> int:
+        """Number of cache sets."""
+        return self.size // (self.line_size * self.ways)
+
+
+@dataclasses.dataclass(frozen=True)
+class CoreDescriptor:
+    """One TriCore processor of the TC27x (one box of Figure 1).
+
+    Attributes:
+        index: platform core id; the paper uses core 1 and core 2 (both
+            TC1.6P) for the application under analysis and the contender.
+        kind: TC1.6P or TC1.6E.
+        icache: instruction-cache geometry.
+        dcache: data-cache geometry; the TC1.6E has no data cache, only a
+            32-byte data read buffer (modelled as a 1-way, 1-set cache).
+        pspr_size: program scratchpad size in bytes.
+        dspr_size: data scratchpad size in bytes.
+    """
+
+    index: int
+    kind: CoreKind
+    icache: CacheGeometry
+    dcache: CacheGeometry | None
+    pspr_size: int
+    dspr_size: int
+
+    @property
+    def has_data_cache(self) -> bool:
+        """Whether the core has a real (write-back) data cache."""
+        return self.dcache is not None and self.kind is CoreKind.TC16P
+
+    def label(self) -> str:
+        """Human-readable name, e.g. ``"Core1 (TC1.6P)"``."""
+        return f"Core{self.index} (TC{self.kind.value})"
+
+
+def _tc16p(index: int) -> CoreDescriptor:
+    return CoreDescriptor(
+        index=index,
+        kind=CoreKind.TC16P,
+        icache=CacheGeometry(size=16 * KIB),
+        dcache=CacheGeometry(size=8 * KIB),
+        pspr_size=32 * KIB,
+        dspr_size=120 * KIB,
+    )
+
+
+def _tc16e(index: int) -> CoreDescriptor:
+    # The 1.6E deploys a small instruction cache and a 32-byte data read
+    # buffer (DRB) instead of a data cache (Figure 1).
+    return CoreDescriptor(
+        index=index,
+        kind=CoreKind.TC16E,
+        icache=CacheGeometry(size=8 * KIB),
+        dcache=CacheGeometry(size=32, line_size=32, ways=1),
+        pspr_size=24 * KIB,
+        dspr_size=112 * KIB,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Tc27xPlatform:
+    """The complete platform: cores, SRI targets, timing, memory map.
+
+    Attributes:
+        cores: the three TriCore processors, indexed 0..2.  Core 0 is the
+            TC1.6E; cores 1 and 2 (TC1.6P) are the ones the evaluation uses.
+        latency_profile: Table 2 timing constants.
+        memory_map: address map (cacheable/uncacheable views, scratchpads).
+        frequency_hz: CPU/SRI clock; the TC277 runs at 200 MHz.
+    """
+
+    cores: tuple[CoreDescriptor, ...]
+    latency_profile: LatencyProfile
+    memory_map: MemoryMap
+    frequency_hz: int = 200_000_000
+
+    def core(self, index: int) -> CoreDescriptor:
+        """Look a core up by platform index."""
+        for core in self.cores:
+            if core.index == index:
+                return core
+        raise PlatformError(f"platform has no core {index}")
+
+    @property
+    def sri_targets(self) -> tuple[Target, ...]:
+        """The SRI slaves relevant to contention (set T of the paper)."""
+        return ALL_TARGETS
+
+    def cycles_to_seconds(self, cycles: int | float) -> float:
+        """Convert a cycle count to wall-clock seconds at platform clock."""
+        return cycles / self.frequency_hz
+
+    def performance_cores(self) -> tuple[CoreDescriptor, ...]:
+        """The TC1.6P cores (the evaluation pins tasks to these)."""
+        return tuple(c for c in self.cores if c.kind is CoreKind.TC16P)
+
+    def block_diagram(self) -> str:
+        """ASCII rendering of Figure 1 for reports and the quickstart."""
+        lines = ["AURIX TC27x", "=" * 64]
+        for core in self.cores:
+            dcache = (
+                f"{core.dcache.size // KIB}KB D$"
+                if core.has_data_cache
+                else "32B DRB"
+            )
+            lines.append(
+                f"  {core.label():<18} "
+                f"{core.icache.size // KIB}KB I$  {dcache:<8} "
+                f"PSPR {core.pspr_size // KIB}K  DSPR {core.dspr_size // KIB}K"
+            )
+        lines.append("-" * 64)
+        lines.append("  SRI cross-bar (per-target round-robin arbitration)")
+        lines.append("-" * 64)
+        lines.append(
+            "  LMU 32K RAM | PMU: 384KB DFlash | 1MB PFlash0 | 1MB PFlash1"
+        )
+        return "\n".join(lines)
+
+
+def tc277() -> Tc27xPlatform:
+    """Build the TC277 instance used throughout the paper's evaluation."""
+    return Tc27xPlatform(
+        cores=(_tc16e(0), _tc16p(1), _tc16p(2)),
+        latency_profile=tc27x_latency_profile(),
+        memory_map=MemoryMap(),
+    )

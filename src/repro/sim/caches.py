@@ -1,0 +1,139 @@
+"""Core-local cache models: set-associative I$/D$ and the 1.6E's DRB.
+
+The TC1.6P cores front the SRI with a 16 KiB instruction cache and an
+8 KiB write-back data cache; the TC1.6E has an 8 KiB instruction cache and
+a 32-byte data read buffer (DRB) instead of a data cache (Figure 1).  The
+trace front-end (:mod:`repro.sim.trace_frontend`) drives these models with
+address traces and turns the *misses* into SRI transactions — which is
+also precisely how the debug counters of Table 4 are wired: P$_MISS and
+D$_MISS_{CLEAN,DIRTY} count cache events, not SRI transfers, and the two
+coincide exactly when (and only when) all SRI traffic is cacheable.
+
+Replacement is LRU; the data cache is write-back/write-allocate, which is
+what makes *dirty* evictions (and their bracketed 21-cycle LMU latency)
+possible in Scenario 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import SimulationError
+from repro.platform.tc27x import CacheGeometry
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheAccess:
+    """Outcome of one cache access.
+
+    Attributes:
+        hit: whether the access hit.
+        evicted_dirty: whether a dirty victim line was evicted (miss only).
+        line: the line address (address // line_size) of the access.
+    """
+
+    hit: bool
+    evicted_dirty: bool
+    line: int
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache with optional write-back policy.
+
+    Args:
+        geometry: size / line size / associativity.
+        write_back: if true, writes dirty lines and misses may evict dirty
+            victims; if false (instruction caches), lines are never dirty.
+        write_allocate: whether write misses allocate a line (the TC27x
+            data cache does).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        *,
+        write_back: bool = True,
+        write_allocate: bool = True,
+    ) -> None:
+        self.geometry = geometry
+        self.write_back = write_back
+        self.write_allocate = write_allocate
+        # Per set: list of [tag, dirty] in LRU order (front = most recent).
+        self._sets: list[list[list]] = [[] for _ in range(geometry.sets)]
+        self.hits = 0
+        self.misses = 0
+        self.dirty_evictions = 0
+
+    def reset(self) -> None:
+        """Invalidate all lines and clear statistics."""
+        self._sets = [[] for _ in range(self.geometry.sets)]
+        self.hits = 0
+        self.misses = 0
+        self.dirty_evictions = 0
+
+    def _locate(self, address: int) -> tuple[int, int, int]:
+        if address < 0:
+            raise SimulationError("negative address")
+        line = address // self.geometry.line_size
+        index = line % self.geometry.sets
+        tag = line // self.geometry.sets
+        return line, index, tag
+
+    def access(self, address: int, *, write: bool = False) -> CacheAccess:
+        """Perform one access, updating LRU/dirty state.
+
+        Returns a :class:`CacheAccess`; ``evicted_dirty`` can only be true
+        on a miss in a write-back cache whose victim was dirtied earlier.
+        """
+        line, index, tag = self._locate(address)
+        ways = self._sets[index]
+        for position, entry in enumerate(ways):
+            if entry[0] == tag:
+                self.hits += 1
+                ways.insert(0, ways.pop(position))
+                if write and self.write_back:
+                    ways[0][1] = True
+                return CacheAccess(hit=True, evicted_dirty=False, line=line)
+
+        # Miss.
+        self.misses += 1
+        evicted_dirty = False
+        allocate = not write or self.write_allocate
+        if allocate:
+            if len(ways) >= self.geometry.ways:
+                victim = ways.pop()
+                if victim[1]:
+                    evicted_dirty = True
+                    self.dirty_evictions += 1
+            ways.insert(0, [tag, bool(write and self.write_back)])
+        return CacheAccess(hit=False, evicted_dirty=evicted_dirty, line=line)
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is currently cached."""
+        _, index, tag = self._locate(address)
+        return any(entry[0] == tag for entry in self._sets[index])
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio over all accesses so far (0.0 when untouched)."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+def instruction_cache(geometry: CacheGeometry) -> SetAssociativeCache:
+    """An instruction cache: read-only, never dirty."""
+    return SetAssociativeCache(geometry, write_back=False, write_allocate=True)
+
+
+def data_cache(geometry: CacheGeometry) -> SetAssociativeCache:
+    """The TC1.6P write-back, write-allocate data cache."""
+    return SetAssociativeCache(geometry, write_back=True, write_allocate=True)
+
+
+def data_read_buffer() -> SetAssociativeCache:
+    """The TC1.6E's 32-byte data read buffer: one line, no write-back."""
+    return SetAssociativeCache(
+        CacheGeometry(size=32, line_size=32, ways=1),
+        write_back=False,
+        write_allocate=True,
+    )

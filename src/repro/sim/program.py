@@ -1,0 +1,107 @@
+"""Task programs: what a core executes, as the memory system sees it.
+
+A :class:`TaskProgram` is a replayable stream of *steps*; each step is a
+span of core-local computation (``gap`` cycles that generate no SRI
+traffic — scratchpad hits, cache hits, arithmetic) optionally followed by
+one SRI transaction.  Workload generators produce programs; the system
+simulator executes them, in isolation or co-running.
+
+Programs are replayable on purpose: the MBTA protocol runs the same task
+once in isolation (to collect counters) and again against contenders (to
+validate that model predictions upper-bound observed times), and both runs
+must see identical streams.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Iterator
+
+from repro.core.ptac import AccessProfile, profile_from_pairs
+from repro.errors import SimulationError
+from repro.sim.requests import SriRequest
+
+#: One step: (compute cycles, optional SRI transaction issued afterwards).
+Step = tuple[int, SriRequest | None]
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskProgram:
+    """A replayable per-core access program.
+
+    Attributes:
+        name: task name, carried into counter readings and reports.
+        stream_factory: zero-argument callable returning a fresh step
+            iterator; called once per simulation run.
+    """
+
+    name: str
+    stream_factory: Callable[[], Iterator[Step]]
+
+    def steps(self) -> Iterator[Step]:
+        """A fresh iterator over the program's steps."""
+        return self.stream_factory()
+
+    # ------------------------------------------------------------------
+    # Static analyses (used for ground truth and test oracles)
+    # ------------------------------------------------------------------
+    def ground_truth_profile(self) -> AccessProfile:
+        """Exact per-target access counts — the PTAC the ideal model needs.
+
+        On real hardware this is unobservable (the whole premise of the
+        paper); the simulator makes it available as the tightness yardstick.
+        """
+        return profile_from_pairs(
+            self.name,
+            (
+                (request.target, request.operation, 1)
+                for _, request in self.steps()
+                if request is not None
+            ),
+        )
+
+    def request_count(self) -> int:
+        """Total number of SRI transactions in the program."""
+        return sum(1 for _, request in self.steps() if request is not None)
+
+    def compute_cycles(self) -> int:
+        """Total core-local computation cycles in the program."""
+        return sum(gap for gap, _ in self.steps())
+
+
+def program_from_steps(name: str, steps: Iterable[Step]) -> TaskProgram:
+    """Materialise a finite step list into a replayable program.
+
+    Intended for tests and microbenchmarks; large workloads should supply
+    a generator factory instead to avoid holding streams in memory.
+    """
+    frozen = tuple(steps)
+    for gap, request in frozen:
+        if gap < 0:
+            raise SimulationError("step gaps must be non-negative")
+        if request is not None and not isinstance(request, SriRequest):
+            raise SimulationError(f"not an SriRequest: {request!r}")
+    return TaskProgram(name=name, stream_factory=lambda: iter(frozen))
+
+
+def concatenate(name: str, programs: Iterable[TaskProgram]) -> TaskProgram:
+    """Run several programs back-to-back as one task (phase composition)."""
+    parts = tuple(programs)
+
+    def factory() -> Iterator[Step]:
+        for part in parts:
+            yield from part.steps()
+
+    return TaskProgram(name=name, stream_factory=factory)
+
+
+def repeat(name: str, program: TaskProgram, times: int) -> TaskProgram:
+    """Loop a program ``times`` times (e.g. control-loop iterations)."""
+    if times < 0:
+        raise SimulationError("repeat count must be non-negative")
+
+    def factory() -> Iterator[Step]:
+        for _ in range(times):
+            yield from program.steps()
+
+    return TaskProgram(name=name, stream_factory=factory)

@@ -1,0 +1,136 @@
+"""SRI request descriptions — the currency of the simulator.
+
+A task, from the memory system's point of view, is a stream of SRI
+transactions separated by core-local computation.  :class:`SriRequest`
+captures one transaction with everything the timing model needs: where it
+goes, what kind of operation it is, whether it falls into a prefetch
+stream, and which debug counter (if any) its originating cache event
+increments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.counters.dsu import DebugCounter
+from repro.errors import SimulationError
+from repro.platform.targets import Operation, Target, check_pair
+
+
+class MissKind(enum.Enum):
+    """The cache event that put a transaction on the SRI.
+
+    Determines which miss counter the DSU increments (Table 4).
+    Non-cacheable accesses reach the SRI directly and touch no miss
+    counter — the very property that makes Scenario 1's data traffic
+    invisible to everything but DMEM_STALL.
+    """
+
+    ICACHE_MISS = "icache-miss"
+    DCACHE_MISS_CLEAN = "dcache-miss-clean"
+    DCACHE_MISS_DIRTY = "dcache-miss-dirty"
+    UNCACHED = "uncached"
+
+    @property
+    def counter(self) -> DebugCounter | None:
+        """The debug counter this event increments, if any."""
+        return {
+            MissKind.ICACHE_MISS: DebugCounter.PCACHE_MISS,
+            MissKind.DCACHE_MISS_CLEAN: DebugCounter.DCACHE_MISS_CLEAN,
+            MissKind.DCACHE_MISS_DIRTY: DebugCounter.DCACHE_MISS_DIRTY,
+            MissKind.UNCACHED: None,
+        }[self]
+
+
+@dataclasses.dataclass(frozen=True)
+class SriRequest:
+    """One SRI transaction issued by a core.
+
+    Attributes:
+        target: the SRI slave addressed.
+        operation: code fetch or data access.
+        miss_kind: originating cache event (drives the miss counters).
+        sequential: whether the transaction falls in a prefetch/pipeline
+            stream on its target (next-line code fetch, buffered store...);
+            sequential transactions get the target's best-case service time
+            and pipeline overlap, non-sequential ones the worst case.
+            This is what separates Table 2's ``l_min``/``cs`` row from
+            ``l_max``.
+        write: whether the access writes (affects LMU overlap: buffered
+            stores hide one cycle, giving the 10-cycle ``cs^{lmu,da}``).
+        dirty_eviction: a data miss whose victim line was dirty; on the
+            LMU this costs the bracketed 21-cycle latency (write-back plus
+            line fill as one occupancy window).
+    """
+
+    target: Target
+    operation: Operation
+    miss_kind: MissKind = MissKind.UNCACHED
+    sequential: bool = False
+    write: bool = False
+    dirty_eviction: bool = False
+
+    def __post_init__(self) -> None:
+        check_pair(self.target, self.operation)
+        if self.operation is Operation.CODE:
+            if self.write:
+                raise SimulationError("code fetches cannot be writes")
+            if self.dirty_eviction:
+                raise SimulationError("code fetches cannot evict dirty lines")
+            if self.miss_kind in (
+                MissKind.DCACHE_MISS_CLEAN,
+                MissKind.DCACHE_MISS_DIRTY,
+            ):
+                raise SimulationError(
+                    "code fetches cannot originate from data-cache misses"
+                )
+        if self.dirty_eviction and self.miss_kind is not MissKind.DCACHE_MISS_DIRTY:
+            raise SimulationError(
+                "dirty evictions must carry miss_kind DCACHE_MISS_DIRTY"
+            )
+        if (
+            self.miss_kind is MissKind.DCACHE_MISS_DIRTY
+            and not self.dirty_eviction
+        ):
+            raise SimulationError(
+                "DCACHE_MISS_DIRTY transactions must set dirty_eviction"
+            )
+
+    @property
+    def stall_counter(self) -> DebugCounter:
+        """The stall counter charged while the core waits (PS or DS)."""
+        if self.operation is Operation.CODE:
+            return DebugCounter.PMEM_STALL
+        return DebugCounter.DMEM_STALL
+
+
+def code_fetch(
+    target: Target, *, sequential: bool = False, cached: bool = True
+) -> SriRequest:
+    """Convenience constructor for a code fetch transaction."""
+    return SriRequest(
+        target=target,
+        operation=Operation.CODE,
+        miss_kind=MissKind.ICACHE_MISS if cached else MissKind.UNCACHED,
+        sequential=sequential,
+    )
+
+
+def data_access(
+    target: Target,
+    *,
+    write: bool = False,
+    sequential: bool = False,
+    miss_kind: MissKind = MissKind.UNCACHED,
+    dirty_eviction: bool = False,
+) -> SriRequest:
+    """Convenience constructor for a data transaction."""
+    return SriRequest(
+        target=target,
+        operation=Operation.DATA,
+        miss_kind=miss_kind,
+        sequential=sequential,
+        write=write,
+        dirty_eviction=dirty_eviction,
+    )

@@ -1,0 +1,520 @@
+"""The event-driven system simulator: cores, SRI crossbar, memory devices.
+
+This is the testbed substitute (DESIGN.md substitution #1).  It executes
+one :class:`~repro.sim.program.TaskProgram` per core against the shared
+memory system and produces exactly the observables the paper's methodology
+uses: per-core DSU counter readings, execution times, and (beyond real
+hardware) ground-truth access profiles and SRI transaction statistics.
+
+Timing semantics:
+
+* each core is in-order with at most one outstanding SRI transaction —
+  it computes for ``gap`` cycles, issues, and stalls until served;
+* each SRI slave serves one transaction at a time; transactions to
+  *different* slaves proceed in parallel (the crossbar property that
+  motivates per-target modelling — Section 3.1);
+* conflicting requests on one slave are arbitrated **round-robin**, the
+  policy the paper assumes for same-priority masters (Section 2);
+* the pipeline hides ``overlap`` cycles of a transaction's tail
+  (prefetch streams, store buffers): the stall counters are charged
+  ``wait + service − overlap`` and the hidden cycles are credited against
+  the core's next computation gap, keeping event times monotone.
+
+Soundness hook: with a single contender, a request's queueing delay never
+exceeds the service time of the one in-flight conflicting transaction, so
+per-request interference is bounded by ``l^{t,o}`` of the contender's
+request — the exact alignment assumption of the models.  The validation
+suite leans on this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.ptac import AccessProfile, profile_from_pairs
+from repro.counters.dsu import CounterBank, DebugCounter
+from repro.counters.readings import TaskReadings
+from repro.errors import SimulationError
+from repro.platform.targets import Operation, Target
+from repro.sim.dma import DmaAgent, DmaResult
+from repro.sim.program import Step, TaskProgram
+from repro.sim.requests import SriRequest
+from repro.sim.timing import SimTiming, tc27x_sim_timing
+
+
+@dataclasses.dataclass
+class TransactionStats:
+    """Aggregate SRI transaction statistics per (target, operation).
+
+    The characterisation harness reads ``min_service``/``max_service`` to
+    reproduce Table 2's latency rows (the authors used a debugger/cycle
+    counter; we read the crossbar's own log — same information).
+    """
+
+    count: int = 0
+    min_service: int | None = None
+    max_service: int | None = None
+    min_blocking: int | None = None
+    max_blocking: int | None = None
+    total_wait: int = 0
+
+    def record(self, service: int, blocking: int, wait: int) -> None:
+        self.count += 1
+        self.min_service = (
+            service if self.min_service is None else min(self.min_service, service)
+        )
+        self.max_service = (
+            service if self.max_service is None else max(self.max_service, service)
+        )
+        self.min_blocking = (
+            blocking
+            if self.min_blocking is None
+            else min(self.min_blocking, blocking)
+        )
+        self.max_blocking = (
+            blocking
+            if self.max_blocking is None
+            else max(self.max_blocking, blocking)
+        )
+        self.total_wait += wait
+
+
+@dataclasses.dataclass(frozen=True)
+class CoreResult:
+    """Everything observed about one core over one run.
+
+    Attributes:
+        core: core id the program ran on.
+        readings: DSU counter readings including ``ccnt`` (finish time).
+        profile: ground-truth per-target access counts.
+        transactions: per-(target, operation) transaction statistics.
+        total_wait_cycles: cumulative queueing delay due to contention —
+            zero in isolation, the "observed interference" in co-runs.
+    """
+
+    core: int
+    readings: TaskReadings
+    profile: AccessProfile
+    transactions: Mapping[tuple[Target, Operation], TransactionStats]
+    total_wait_cycles: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SimResult:
+    """Result of one simulation run (isolation or co-run)."""
+
+    cores: Mapping[int, CoreResult]
+    makespan: int
+    dma: Mapping[int, DmaResult] = dataclasses.field(default_factory=dict)
+
+    def core(self, index: int) -> CoreResult:
+        try:
+            return self.cores[index]
+        except KeyError as exc:
+            raise SimulationError(f"no program ran on core {index}") from exc
+
+    def readings(self, index: int) -> TaskReadings:
+        """Counter readings of the task on ``index`` (Table 6 rows)."""
+        return self.core(index).readings
+
+    def dma_result(self, master_id: int) -> DmaResult:
+        """Observed behaviour of one DMA agent."""
+        try:
+            return self.dma[master_id]
+        except KeyError as exc:
+            raise SimulationError(
+                f"no DMA agent ran as master {master_id}"
+            ) from exc
+
+
+class _CoreState:
+    """Mutable execution state of one core."""
+
+    __slots__ = (
+        "core_id",
+        "steps",
+        "bank",
+        "true_counts",
+        "pending",
+        "issue_time",
+        "overlap_credit",
+        "finish_time",
+        "wait_cycles",
+        "name",
+    )
+
+    def __init__(self, core_id: int, program: TaskProgram) -> None:
+        self.core_id = core_id
+        self.name = program.name
+        self.steps: Iterator[Step] = program.steps()
+        self.bank = CounterBank()
+        self.true_counts: dict[tuple[Target, Operation], int] = {}
+        self.pending: SriRequest | None = None
+        self.issue_time = 0
+        self.overlap_credit = 0
+        self.finish_time: int | None = None
+        self.wait_cycles = 0
+
+
+class _DmaState:
+    """Mutable execution state of one DMA agent."""
+
+    __slots__ = (
+        "agent",
+        "remaining",
+        "outstanding",
+        "deferred",
+        "served",
+        "finish_time",
+        "wait_cycles",
+    )
+
+    def __init__(self, agent: DmaAgent) -> None:
+        self.agent = agent
+        self.remaining = agent.count
+        self.outstanding = 0
+        self.deferred = 0  # issue attempts postponed by a full queue
+        self.served = 0
+        self.finish_time = agent.start_time if agent.count == 0 else None
+        self.wait_cycles = 0
+
+    @property
+    def core_id(self) -> int:  # uniform master-id accessor for the arbiter
+        return self.agent.master_id
+
+
+#: A queued transaction: (requester state, request, issue time).
+_QueueEntry = tuple[object, SriRequest, int]
+
+
+class _DeviceState:
+    """Mutable state of one SRI slave: in-flight transaction and queue."""
+
+    __slots__ = ("target", "current", "queue", "last_served")
+
+    def __init__(self, target: Target) -> None:
+        self.target = target
+        self.current: _QueueEntry | None = None
+        self.queue: list[_QueueEntry] = []
+        self.last_served = -1
+
+
+_STEP = 0
+_ISSUE = 1
+_COMPLETE = 2
+_DMA_TICK = 3
+# Grants sort after every other event kind at the same timestamp, so all
+# same-cycle requests are enqueued before the slave arbitrates — matching
+# hardware, where arbitration sees every request raised in the cycle.
+_GRANT = 4
+
+#: Supported arbitration policies of the SRI slave interfaces.
+ARBITRATION_POLICIES = ("round-robin", "priority")
+
+
+class SystemSimulator:
+    """Executes task programs on the simulated TC27x memory system.
+
+    Args:
+        timing: device timing configuration; defaults to the Table 2
+            consistent :func:`~repro.sim.timing.tc27x_sim_timing`.
+        arbitration: ``"round-robin"`` (the paper's same-priority-class
+            assumption, default) or ``"priority"`` — fixed priority with
+            round-robin among equals, the SRI's behaviour across priority
+            classes.
+        priorities: master id → priority class (lower value wins);
+            unspecified masters default to class 0.
+    """
+
+    def __init__(
+        self,
+        timing: SimTiming | None = None,
+        *,
+        arbitration: str = "round-robin",
+        priorities: Mapping[int, int] | None = None,
+    ) -> None:
+        self.timing = timing or tc27x_sim_timing()
+        if arbitration not in ARBITRATION_POLICIES:
+            raise SimulationError(
+                f"unknown arbitration policy {arbitration!r}; "
+                f"expected one of {ARBITRATION_POLICIES}"
+            )
+        self.arbitration = arbitration
+        self.priorities = dict(priorities or {})
+
+    def _priority(self, master_id: int) -> int:
+        return self.priorities.get(master_id, 0)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        programs: Mapping[int, TaskProgram],
+        dma_agents: Sequence[DmaAgent] = (),
+    ) -> SimResult:
+        """Run one program per core (plus optional DMA agents) to completion.
+
+        Args:
+            programs: mapping of core id to program.  A single entry is an
+                isolation run; multiple entries co-run and contend on the
+                SRI.
+            dma_agents: additional SRI masters issuing fixed-rate traffic;
+                their ids must not collide with core ids.
+
+        Returns:
+            A :class:`SimResult` with per-core (and per-agent) observables.
+        """
+        if not programs:
+            raise SimulationError("no programs to run")
+        cores = {
+            core_id: _CoreState(core_id, program)
+            for core_id, program in programs.items()
+        }
+        dma = {}
+        for agent in dma_agents:
+            if agent.master_id in cores or agent.master_id in dma:
+                raise SimulationError(
+                    f"duplicate SRI master id {agent.master_id}"
+                )
+            dma[agent.master_id] = _DmaState(agent)
+        devices = {target: _DeviceState(target) for target in Target}
+        stats: dict[int, dict[tuple[Target, Operation], TransactionStats]] = {
+            core_id: {} for core_id in cores
+        }
+
+        heap: list[tuple[int, int, int, int]] = []  # (time, kind, seq, id)
+        seq = 0
+        for core_id in sorted(cores):
+            heapq.heappush(heap, (0, _STEP, seq, core_id))
+            seq += 1
+        for master_id, state in sorted(dma.items()):
+            if state.remaining:
+                heapq.heappush(
+                    heap, (state.agent.start_time, _DMA_TICK, seq, master_id)
+                )
+                seq += 1
+
+        all_ids = list(cores) + list(dma)
+        rr_modulus = max(all_ids) + 2  # cyclic distance for round-robin
+        device_keys = {target: i for i, target in enumerate(Target)}
+        key_devices = {i: target for target, i in device_keys.items()}
+
+        def advance(state: _CoreState, now: int) -> None:
+            """Fetch the core's next step and schedule its issue/idle end."""
+            nonlocal seq
+            try:
+                gap, request = next(state.steps)
+            except StopIteration:
+                state.finish_time = now
+                return
+            if gap < 0:
+                raise SimulationError(
+                    f"{state.name!r}: negative gap in program"
+                )
+            # Overlap credit: computation hidden under the previous
+            # transaction's tail shortens this gap.
+            effective_gap = max(0, gap - state.overlap_credit)
+            state.overlap_credit = max(0, state.overlap_credit - gap)
+            when = now + effective_gap
+            if request is None:
+                heapq.heappush(heap, (when, _STEP, seq, state.core_id))
+            else:
+                state.pending = request
+                state.issue_time = when
+                heapq.heappush(heap, (when, _ISSUE, seq, state.core_id))
+            seq += 1
+
+        def grant(device: _DeviceState, now: int) -> None:
+            """Start serving the next queued request.
+
+            Selection: highest priority class first (under ``"priority"``
+            arbitration), round-robin distance from the last served master
+            within a class.
+            """
+            nonlocal seq
+            if device.current is not None or not device.queue:
+                return
+
+            def key(index: int) -> tuple[int, int]:
+                requester = device.queue[index][0]
+                master_id: int = requester.core_id  # type: ignore[attr-defined]
+                distance = (master_id - device.last_served - 1) % rr_modulus
+                if self.arbitration == "priority":
+                    return (self._priority(master_id), distance)
+                return (0, distance)
+
+            chosen = min(range(len(device.queue)), key=key)
+            entry = device.queue.pop(chosen)
+            device.current = entry
+            device.last_served = entry[0].core_id  # type: ignore[attr-defined]
+            completion = now + self.timing.service_time(entry[1])
+            heapq.heappush(
+                heap,
+                (completion, _COMPLETE, seq, device_keys[entry[1].target]),
+            )
+            seq += 1
+
+        def schedule_grant(target: Target, now: int) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (now, _GRANT, seq, device_keys[target]))
+            seq += 1
+
+        def dma_issue(state: _DmaState, now: int) -> None:
+            """Put one DMA transaction on the wire."""
+            state.outstanding += 1
+            state.remaining -= 1
+            device = devices[state.agent.request.target]
+            device.queue.append((state, state.agent.request, now))
+            schedule_grant(state.agent.request.target, now)
+
+        while heap:
+            now, kind, _, payload = heapq.heappop(heap)
+            if kind == _STEP:
+                advance(cores[payload], now)
+            elif kind == _GRANT:
+                grant(devices[key_devices[payload]], now)
+            elif kind == _ISSUE:
+                state = cores[payload]
+                request = state.pending
+                assert request is not None
+                counter = request.miss_kind.counter
+                if counter is not None:
+                    state.bank.increment(counter)
+                device = devices[request.target]
+                device.queue.append((state, request, state.issue_time))
+                schedule_grant(request.target, now)
+            elif kind == _DMA_TICK:
+                agent_state = dma[payload]
+                if agent_state.remaining > 0:
+                    if agent_state.outstanding < agent_state.agent.queue_depth:
+                        dma_issue(agent_state, now)
+                    else:
+                        agent_state.deferred += 1
+                    if agent_state.remaining > 0:
+                        heapq.heappush(
+                            heap,
+                            (
+                                now + agent_state.agent.period,
+                                _DMA_TICK,
+                                seq,
+                                payload,
+                            ),
+                        )
+                        seq += 1
+            else:  # _COMPLETE
+                device = devices[key_devices[payload]]
+                assert device.current is not None
+                requester, request, issue_time = device.current
+                device.current = None
+                service = self.timing.service_time(request)
+                wait = now - service - issue_time
+                if wait < 0:
+                    raise SimulationError("causality violation in simulator")
+                if isinstance(requester, _DmaState):
+                    requester.outstanding -= 1
+                    requester.served += 1
+                    requester.wait_cycles += wait
+                    if requester.deferred and requester.remaining:
+                        requester.deferred -= 1
+                        dma_issue(requester, now)
+                    if (
+                        requester.remaining == 0
+                        and requester.outstanding == 0
+                    ):
+                        requester.finish_time = now
+                else:
+                    state = requester
+                    overlap = self.timing.device(request.target).overlap(
+                        request
+                    )
+                    blocking = max(0, now - issue_time - overlap)
+                    state.bank.increment(request.stall_counter, blocking)
+                    state.overlap_credit = overlap
+                    state.wait_cycles += wait
+                    key_ = (request.target, request.operation)
+                    state.true_counts[key_] = (
+                        state.true_counts.get(key_, 0) + 1
+                    )
+                    stats[state.core_id].setdefault(
+                        key_, TransactionStats()
+                    ).record(service, blocking, wait)
+                    state.pending = None
+                    advance(state, now)
+                grant(device, now)
+
+        return self._collect(cores, stats, dma)
+
+    # ------------------------------------------------------------------
+    def _collect(
+        self,
+        cores: dict[int, _CoreState],
+        stats: dict[int, dict[tuple[Target, Operation], TransactionStats]],
+        dma: dict[int, _DmaState] | None = None,
+    ) -> SimResult:
+        dma_results: dict[int, DmaResult] = {}
+        for master_id, state in (dma or {}).items():
+            if state.finish_time is None:
+                raise SimulationError(
+                    f"DMA agent {state.agent.label!r} never finished"
+                )
+            dma_results[master_id] = DmaResult(
+                master_id=master_id,
+                served=state.served,
+                finish_time=state.finish_time,
+                total_wait_cycles=state.wait_cycles,
+            )
+        results: dict[int, CoreResult] = {}
+        makespan = max(
+            (r.finish_time for r in dma_results.values()), default=0
+        )
+        for core_id, state in cores.items():
+            if state.finish_time is None:
+                raise SimulationError(
+                    f"core {core_id} ({state.name!r}) never finished"
+                )
+            makespan = max(makespan, state.finish_time)
+            snapshot = state.bank.snapshot()
+            snapshot[DebugCounter.CCNT] = state.finish_time
+            readings = TaskReadings.from_bank_snapshot(
+                state.name,
+                snapshot,
+                ccnt=state.finish_time if state.finish_time > 0 else None,
+            )
+            profile = profile_from_pairs(
+                state.name,
+                (
+                    (target, operation, count)
+                    for (target, operation), count in state.true_counts.items()
+                ),
+            )
+            results[core_id] = CoreResult(
+                core=core_id,
+                readings=readings,
+                profile=profile,
+                transactions=stats[core_id],
+                total_wait_cycles=state.wait_cycles,
+            )
+        return SimResult(cores=results, makespan=makespan, dma=dma_results)
+
+
+def run_isolation(
+    program: TaskProgram,
+    *,
+    core: int = 1,
+    timing: SimTiming | None = None,
+) -> CoreResult:
+    """Run one task alone (the paper's measurement protocol, step 1)."""
+    sim = SystemSimulator(timing)
+    return sim.run({core: program}).core(core)
+
+
+def run_corun(
+    programs: Mapping[int, TaskProgram],
+    *,
+    timing: SimTiming | None = None,
+) -> SimResult:
+    """Co-run tasks on different cores, contending on the SRI."""
+    if len(programs) < 2:
+        raise SimulationError("a co-run needs at least two programs")
+    return SystemSimulator(timing).run(programs)

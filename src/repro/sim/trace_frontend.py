@@ -1,0 +1,196 @@
+"""Address-trace front-end: caches + memory map → SRI transactions.
+
+The direct workload generators (:mod:`repro.workloads`) emit SRI request
+streams straight away, which is fast and gives precise control over the
+counter footprint.  This module provides the complementary, more physical
+path: feed a raw **address trace** (what an instrumented binary would
+produce) through the core's instruction/data caches and the memory map,
+and obtain the resulting :class:`~repro.sim.program.TaskProgram` — misses
+and uncached accesses become SRI transactions, hits become compute cycles.
+
+This is the path the microbenchmark-driven characterisation uses, and it
+doubles as a consistency check: by construction, P$_MISS equals the SRI
+code request count exactly when all code is cacheable, reproducing the
+Scenario 1/2 counter semantics from first principles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator
+
+from repro.errors import SimulationError
+from repro.platform.memory_map import MemoryMap
+from repro.platform.targets import Operation, Target
+from repro.platform.tc27x import CoreDescriptor
+from repro.sim.caches import (
+    SetAssociativeCache,
+    data_cache,
+    data_read_buffer,
+    instruction_cache,
+)
+from repro.sim.program import Step, TaskProgram
+from repro.sim.requests import MissKind, SriRequest
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceAccess:
+    """One entry of an address trace.
+
+    Attributes:
+        address: byte address touched.
+        operation: code fetch or data access.
+        write: for data accesses, whether it is a store.
+        gap: core-local computation cycles *before* this access.
+    """
+
+    address: int
+    operation: Operation
+    write: bool = False
+    gap: int = 1
+
+    def __post_init__(self) -> None:
+        if self.gap < 0:
+            raise SimulationError("trace gaps must be non-negative")
+        if self.write and self.operation is Operation.CODE:
+            raise SimulationError("code fetches cannot write")
+
+
+class TraceCompiler:
+    """Compiles address traces of one core into task programs.
+
+    Args:
+        core: descriptor providing the cache geometries.
+        memory_map: address resolution and cacheability.
+    """
+
+    def __init__(self, core: CoreDescriptor, memory_map: MemoryMap) -> None:
+        self.core = core
+        self.memory_map = memory_map
+        self.icache: SetAssociativeCache = instruction_cache(core.icache)
+        if core.has_data_cache:
+            assert core.dcache is not None
+            self.dcache: SetAssociativeCache = data_cache(core.dcache)
+        else:
+            self.dcache = data_read_buffer()
+        # Last SRI line fetched per target, to classify prefetch streams.
+        self._last_line: dict[tuple[Target, Operation], int] = {}
+
+    def reset(self) -> None:
+        """Clear cache contents and stream state between compilations."""
+        self.icache.reset()
+        self.dcache.reset()
+        self._last_line.clear()
+
+    # ------------------------------------------------------------------
+    def _sequential(
+        self, target: Target, operation: Operation, line: int
+    ) -> bool:
+        """A transaction is 'sequential' when it continues the previous
+        line-stream on the same target — the prefetch-hit condition."""
+        key = (target, operation)
+        previous = self._last_line.get(key)
+        self._last_line[key] = line
+        return previous is not None and line == previous + 1
+
+    def _compile_one(self, access: TraceAccess) -> SriRequest | None:
+        region = self.memory_map.resolve(access.address)
+        if access.operation is Operation.CODE and not self.memory_map.code_region_valid(
+            region
+        ):
+            raise SimulationError(
+                f"code fetch from non-code region {region.name!r}"
+            )
+        if region.is_local:
+            return None  # scratchpad: no SRI traffic
+        target = region.target
+        assert target is not None
+
+        if not region.cacheable:
+            line = access.address // 32
+            return SriRequest(
+                target=target,
+                operation=access.operation,
+                miss_kind=MissKind.UNCACHED,
+                sequential=self._sequential(target, access.operation, line),
+                write=access.write,
+            )
+
+        cache = (
+            self.icache
+            if access.operation is Operation.CODE
+            else self.dcache
+        )
+        result = cache.access(access.address, write=access.write)
+        if result.hit:
+            return None
+        if access.operation is Operation.CODE:
+            miss_kind = MissKind.ICACHE_MISS
+        elif result.evicted_dirty:
+            miss_kind = MissKind.DCACHE_MISS_DIRTY
+        else:
+            miss_kind = MissKind.DCACHE_MISS_CLEAN
+        return SriRequest(
+            target=target,
+            operation=access.operation,
+            miss_kind=miss_kind,
+            sequential=self._sequential(target, access.operation, result.line),
+            write=access.write,
+            dirty_eviction=miss_kind is MissKind.DCACHE_MISS_DIRTY,
+        )
+
+    def compile(self, name: str, trace: Iterable[TraceAccess]) -> TaskProgram:
+        """Compile a trace into a replayable program.
+
+        The compilation happens eagerly (cache state is stateful), so the
+        resulting program is a frozen step list — appropriate for the
+        trace sizes used in characterisation and tests.
+        """
+        self.reset()
+        steps: list[Step] = []
+        pending_gap = 0
+        for access in trace:
+            pending_gap += access.gap
+            request = self._compile_one(access)
+            if request is None:
+                # Cache hits / scratchpad accesses cost one core cycle.
+                pending_gap += 1
+                continue
+            steps.append((pending_gap, request))
+            pending_gap = 0
+        if pending_gap:
+            steps.append((pending_gap, None))
+        frozen = tuple(steps)
+
+        def factory() -> Iterator[Step]:
+            return iter(frozen)
+
+        return TaskProgram(name=name, stream_factory=factory)
+
+
+def sweep_trace(
+    base_address: int,
+    *,
+    count: int,
+    stride: int,
+    operation: Operation,
+    write: bool = False,
+    gap: int = 1,
+) -> list[TraceAccess]:
+    """A linear address sweep — the basic microbenchmark shape.
+
+    With ``stride`` equal to the line size every access misses on a fresh
+    line (sequential stream); with ``stride`` spanning multiple sets the
+    sweep defeats prefetching (random-ish pattern).
+    """
+    if count < 0 or stride <= 0:
+        raise SimulationError("count must be >= 0 and stride positive")
+    return [
+        TraceAccess(
+            address=base_address + i * stride,
+            operation=operation,
+            write=write,
+            gap=gap,
+        )
+        for i in range(count)
+    ]

@@ -1,0 +1,259 @@
+"""Trace-level kernels: realistic address streams for the cache front-end.
+
+The block-based generators (:mod:`repro.workloads.spec`) emit SRI request
+streams directly — precise, fast, and ideal for footprint matching.  These
+kernels take the physical route instead: they emit **address traces** of
+the kind an instrumented automotive binary would produce, which the
+:class:`~repro.sim.trace_frontend.TraceCompiler` pushes through the
+instruction/data cache models and the memory map.  Misses and uncached
+accesses become SRI traffic; everything else becomes compute cycles.
+
+Three kernels modelled on the control-loop phases the paper describes:
+
+* :func:`fir_filter_kernel` — streaming signal filter: sequential data
+  sweeps over sample buffers (prefetch-friendly);
+* :func:`lookup_table_kernel` — map-based interpolation: data-dependent
+  scattered reads over a large calibration table (cache-hostile);
+* :func:`state_machine_kernel` — mode logic: code-footprint-dominated,
+  jumping between handler routines that thrash the instruction cache.
+
+All kernels are deterministic per seed and parameterised by iteration
+count, so they scale from unit tests to benchmark runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.platform.memory_map import MemoryMap
+from repro.platform.targets import Operation
+from repro.platform.tc27x import CoreDescriptor, tc277
+from repro.sim.program import TaskProgram
+from repro.sim.trace_frontend import TraceAccess, TraceCompiler
+
+#: Section bases used by the kernels (cacheable views; see the memory map).
+CODE_BASE = 0x8000_0000  # PFlash0, cacheable
+CODE_BASE_ALT = 0x8010_0000  # PFlash1, cacheable
+TABLE_BASE = 0x8008_0000  # calibration tables in PFlash0 (cacheable data)
+LMU_CACHED = 0x9000_0000
+LMU_UNCACHED = 0xB000_0000
+DSPR_BASE = 0x6000_0000  # core 1 local data
+
+
+def _interleave_code(
+    address: int, body_length: int, *, stride: int = 4
+) -> Iterator[TraceAccess]:
+    """Sequential code fetches of one basic block."""
+    for i in range(body_length):
+        yield TraceAccess(
+            address + i * stride, Operation.CODE, gap=1
+        )
+
+
+def fir_filter_kernel(
+    *,
+    iterations: int = 8,
+    taps: int = 32,
+    samples: int = 256,
+    seed: int = 1,
+) -> list[TraceAccess]:
+    """A streaming FIR filter over a shared sample buffer.
+
+    Per iteration: fetch the filter loop's code, stream the sample window
+    from the non-cacheable LMU (fresh sensor data), accumulate against
+    coefficients in cacheable flash, and write the filtered output back.
+    """
+    if iterations < 1 or taps < 1 or samples < taps:
+        raise WorkloadError("need iterations >= 1 and samples >= taps >= 1")
+    trace: list[TraceAccess] = []
+    for iteration in range(iterations):
+        trace.extend(_interleave_code(CODE_BASE + 0x100, 16))
+        for sample in range(samples - taps):
+            # Sliding window: one new sample per step (uncached LMU) and
+            # one coefficient (cacheable flash table, hot after warm-up).
+            trace.append(
+                TraceAccess(
+                    LMU_UNCACHED + ((sample + iteration) % 2048) * 4,
+                    Operation.DATA,
+                    gap=2,
+                )
+            )
+            trace.append(
+                TraceAccess(
+                    TABLE_BASE + (sample % taps) * 4, Operation.DATA, gap=1
+                )
+            )
+            if sample % 8 == 0:
+                trace.append(
+                    TraceAccess(
+                        LMU_UNCACHED + 0x1000 + (sample % 512) * 4,
+                        Operation.DATA,
+                        write=True,
+                        gap=1,
+                    )
+                )
+    return trace
+
+
+def lookup_table_kernel(
+    *,
+    iterations: int = 64,
+    table_bytes: int = 64 * 1024,
+    lookups_per_iteration: int = 16,
+    seed: int = 7,
+) -> list[TraceAccess]:
+    """Scattered reads over a large calibration map (cache-hostile).
+
+    Engine-map interpolation reads four neighbouring cells per lookup at
+    data-dependent (here: seeded-random) offsets; the table far exceeds
+    the 8 KiB data cache, so most lookups miss and hit the PFlash.
+    """
+    if table_bytes < 64:
+        raise WorkloadError("table must hold at least one row")
+    rng = random.Random(seed)
+    trace: list[TraceAccess] = []
+    for _ in range(iterations):
+        trace.extend(_interleave_code(CODE_BASE + 0x400, 8))
+        for _ in range(lookups_per_iteration):
+            cell = rng.randrange(0, table_bytes // 4 - 16)
+            for neighbour in (0, 1, 16, 17):  # 2x2 interpolation stencil
+                trace.append(
+                    TraceAccess(
+                        TABLE_BASE + (cell + neighbour) * 4,
+                        Operation.DATA,
+                        gap=2,
+                    )
+                )
+        # Publish the interpolated output to the shared LMU.
+        trace.append(
+            TraceAccess(LMU_UNCACHED + 0x2000, Operation.DATA, write=True, gap=4)
+        )
+    return trace
+
+
+def state_machine_kernel(
+    *,
+    iterations: int = 32,
+    handlers: int = 24,
+    handler_length: int = 96,
+    seed: int = 13,
+) -> list[TraceAccess]:
+    """Mode-switching control logic with a large code footprint.
+
+    Each iteration dispatches to a (seeded-random) handler routine; with
+    ``handlers * handler_length * 4`` bytes of code the dispatch pattern
+    thrashes the 16 KiB instruction cache, generating the PFlash fetch
+    traffic the paper's Scenario 2 application exhibits.  State lives in
+    the local scratchpad (no SRI traffic), outputs go to the LMU.
+    """
+    if handlers < 1 or handler_length < 1:
+        raise WorkloadError("need at least one handler with one instruction")
+    rng = random.Random(seed)
+    trace: list[TraceAccess] = []
+    for _ in range(iterations):
+        handler = rng.randrange(handlers)
+        base = (CODE_BASE_ALT if handler % 2 else CODE_BASE) + 0x1000
+        trace.extend(
+            _interleave_code(
+                base + handler * handler_length * 4, handler_length
+            )
+        )
+        # Local state updates: scratchpad, invisible to the SRI.
+        for i in range(8):
+            trace.append(
+                TraceAccess(
+                    DSPR_BASE + (handler * 64 + i) * 4,
+                    Operation.DATA,
+                    write=bool(i % 2),
+                    gap=1,
+                )
+            )
+        trace.append(
+            TraceAccess(
+                LMU_UNCACHED + 0x3000 + handler * 4,
+                Operation.DATA,
+                write=True,
+                gap=2,
+            )
+        )
+    return trace
+
+
+def sensor_fusion_kernel(
+    *,
+    iterations: int = 16,
+    tracks: int = 96,
+    seed: int = 29,
+) -> list[TraceAccess]:
+    """Object-track fusion with a write-hot state array in cacheable LMU.
+
+    Each iteration updates a random subset of track records *in place*
+    (read-modify-write on cacheable LMU lines).  The track array spans
+    many more lines than the working set the D$ retains across random
+    updates, so dirtied lines get evicted and refetched — this is the
+    kernel that exercises the DCACHE_MISS_DIRTY counter and the LMU's
+    bracketed 21-cycle latency through the real cache model, the
+    situation Scenario 2's cacheable-LMU-data deployment makes possible.
+    """
+    if iterations < 1 or tracks < 1:
+        raise WorkloadError("need at least one iteration and one track")
+    rng = random.Random(seed)
+    trace: list[TraceAccess] = []
+    track_stride = 64  # two cache lines per track record
+    for _ in range(iterations):
+        trace.extend(_interleave_code(CODE_BASE + 0x800, 12))
+        for _ in range(tracks // 4):
+            track = rng.randrange(tracks)
+            base = LMU_CACHED + (track * track_stride) % (16 * 1024)
+            trace.append(TraceAccess(base, Operation.DATA, gap=2))  # read
+            trace.append(
+                TraceAccess(base + 4, Operation.DATA, write=True, gap=3)
+            )
+        # Conflicting read stream through the same cache sets (fresh
+        # sensor frames in cacheable flash) forces dirty evictions.
+        frame = rng.randrange(0, 64) * 0x400
+        for i in range(16):
+            trace.append(
+                TraceAccess(
+                    TABLE_BASE + frame + i * 32, Operation.DATA, gap=1
+                )
+            )
+    return trace
+
+
+def compile_kernel(
+    name: str,
+    trace: list[TraceAccess],
+    *,
+    core: CoreDescriptor | None = None,
+    memory_map: MemoryMap | None = None,
+) -> TaskProgram:
+    """Compile a kernel trace into a simulator program (cold caches)."""
+    platform = tc277()
+    compiler = TraceCompiler(
+        core if core is not None else platform.core(1),
+        memory_map if memory_map is not None else platform.memory_map,
+    )
+    return compiler.compile(name, trace)
+
+
+def kernel_suite(*, scale: int = 1) -> dict[str, TaskProgram]:
+    """The three kernels, compiled, with iteration counts scaled."""
+    if scale < 1:
+        raise WorkloadError("scale must be a positive integer")
+    return {
+        "fir-filter": compile_kernel(
+            "fir-filter", fir_filter_kernel(iterations=4 * scale)
+        ),
+        "lookup-table": compile_kernel(
+            "lookup-table", lookup_table_kernel(iterations=32 * scale)
+        ),
+        "state-machine": compile_kernel(
+            "state-machine", state_machine_kernel(iterations=24 * scale)
+        ),
+        "sensor-fusion": compile_kernel(
+            "sensor-fusion", sensor_fusion_kernel(iterations=12 * scale)
+        ),
+    }

@@ -1,0 +1,157 @@
+"""Contender tasks: the H-Load / M-Load / L-Load SRI stressors.
+
+Section 4.2: "We stress the application with 3 different co-runners that
+generate an increasing (load) number of accesses to the SRI".  The H-Load
+counter footprint is published in Table 6; M and L are not, so they are
+scaled replicas (factors recorded in :mod:`repro.paper` — L ≈ 0.5 matches
+the published Figure 4 endpoints).
+
+A load generator is structurally simpler than the application: a tight
+loop of code fetches and LMU data traffic with minimal computation gaps,
+deployed under the same scenario as the application (the paper assumes
+deployment configurations apply equally to contenders).
+"""
+
+from __future__ import annotations
+
+from repro import paper
+from repro.counters.readings import TaskReadings
+from repro.errors import WorkloadError
+from repro.platform.targets import Operation, Target
+from repro.sim.program import TaskProgram
+from repro.sim.requests import MissKind
+from repro.workloads.control_loop import split_code_misses, split_data_rw
+from repro.workloads.spec import RequestBlock, WorkloadSpec, spread_counts
+
+#: Loop interleaving granularity of the load generators.
+LOAD_CHUNKS = 16
+
+#: Recognised load levels, highest first.
+LOAD_LEVELS: tuple[str, ...] = ("H", "M", "L")
+
+
+def load_readings(scenario_name: str, level: str) -> TaskReadings:
+    """Counter footprint of one load level (H verbatim from Table 6)."""
+    if level not in LOAD_LEVELS:
+        raise WorkloadError(
+            f"unknown load level {level!r}; expected one of {LOAD_LEVELS}"
+        )
+    try:
+        return paper.contender_readings(scenario_name, level)
+    except KeyError as exc:
+        raise WorkloadError(f"unknown scenario {scenario_name!r}") from exc
+
+
+def build_load(
+    scenario_name: str,
+    level: str,
+    *,
+    scale: float = 1.0,
+    chunks: int = LOAD_CHUNKS,
+) -> TaskProgram:
+    """Build a load-generator program matching a (scaled) footprint.
+
+    Args:
+        scenario_name: ``"scenario1"`` or ``"scenario2"`` (decides where
+            the contender's data traffic goes, per Figure 3).
+        level: ``"H"``, ``"M"`` or ``"L"``.
+        scale: additional footprint scale (the same factor applied to the
+            application keeps the experiment proportions intact).
+    """
+    if scale <= 0 or scale > 1.0:
+        raise WorkloadError("scale must be in (0, 1]")
+    target = load_readings(scenario_name, level)
+    if scale != 1.0:
+        target = target.scaled(scale, name=target.name)
+
+    code_random, code_sequential = split_code_misses(target.pm, target.ps)
+    if scenario_name == "scenario1":
+        clean_misses = 0
+        data_budget = target.ds
+    elif scenario_name == "scenario2":
+        clean_misses = target.dmc + target.dmd
+        data_budget = target.ds - 11 * clean_misses
+        if data_budget < 0:
+            # At strong down-scaling the miss fills can exceed the stall
+            # budget; drop the misses rather than fail (they are a few
+            # hundred out of tens of thousands of cycles).
+            clean_misses = 0
+            data_budget = target.ds
+    else:
+        raise WorkloadError(f"unknown scenario {scenario_name!r}")
+    lmu_reads, lmu_writes = split_data_rw(data_budget)
+
+    chunks = max(1, min(chunks, max(1, target.pm)))
+    code_rand_shares = spread_counts(code_random, [1.0] * chunks)
+    code_seq_shares = spread_counts(code_sequential, [1.0] * chunks)
+    read_shares = spread_counts(lmu_reads, [1.0] * chunks)
+    write_shares = spread_counts(lmu_writes, [1.0] * chunks)
+    miss_shares = spread_counts(clean_misses, [1.0] * chunks)
+
+    blocks: list[RequestBlock] = []
+    for chunk in range(chunks):
+        for flavour_count, fraction in (
+            (code_seq_shares[chunk], 1.0),
+            (code_rand_shares[chunk], 0.0),
+        ):
+            if not flavour_count:
+                continue
+            for pf, share in zip(
+                (Target.PF0, Target.PF1),
+                spread_counts(flavour_count, [1.0, 1.0]),
+            ):
+                if share:
+                    blocks.append(
+                        RequestBlock(
+                            target=pf,
+                            operation=Operation.CODE,
+                            count=share,
+                            gap=0,
+                            sequential_fraction=fraction,
+                            miss_kind=MissKind.ICACHE_MISS,
+                        )
+                    )
+        if miss_shares[chunk]:
+            blocks.append(
+                RequestBlock(
+                    target=Target.LMU,
+                    operation=Operation.DATA,
+                    count=miss_shares[chunk],
+                    gap=0,
+                    sequential_fraction=1.0,
+                    miss_kind=MissKind.DCACHE_MISS_CLEAN,
+                )
+            )
+        if read_shares[chunk]:
+            blocks.append(
+                RequestBlock(
+                    target=Target.LMU,
+                    operation=Operation.DATA,
+                    count=read_shares[chunk],
+                    gap=0,
+                    miss_kind=MissKind.UNCACHED,
+                )
+            )
+        if write_shares[chunk]:
+            blocks.append(
+                RequestBlock(
+                    target=Target.LMU,
+                    operation=Operation.DATA,
+                    count=write_shares[chunk],
+                    gap=0,
+                    write_fraction=1.0,
+                    miss_kind=MissKind.UNCACHED,
+                )
+            )
+    spec = WorkloadSpec(name=target.name, blocks=tuple(blocks))
+    return spec.program()
+
+
+def all_loads(
+    scenario_name: str, *, scale: float = 1.0
+) -> dict[str, TaskProgram]:
+    """All three load generators of one scenario, keyed H/M/L."""
+    return {
+        level: build_load(scenario_name, level, scale=scale)
+        for level in LOAD_LEVELS
+    }

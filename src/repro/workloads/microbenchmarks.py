@@ -1,0 +1,143 @@
+"""Characterisation microbenchmarks (Section 3.3.1-3.3.2 methodology).
+
+The paper derives Table 2 empirically: "we used ... a specific set of
+microbenchmarks comprising a known number of requests of a given type to a
+desired target resource", measuring latencies with the cycle counter and
+per-access stalls with PMEM_STALL/DMEM_STALL.  This module reconstructs
+that suite against the simulator:
+
+* **latency probes** — isolated (non-pipelined) single accesses whose
+  end-to-end SRI occupancy reveals ``l_max`` (and the LMU's bracketed
+  dirty latency);
+* **stream probes** — back-to-back accesses in prefetch-friendly patterns
+  revealing ``l_min`` and, through the stall counters divided by the known
+  access count, the per-access minimum stall ``cs^{t,o}``.
+
+:mod:`repro.analysis.characterization` runs the suite and rebuilds
+Table 2, which the test-suite compares against the paper's values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.platform.targets import (
+    Operation,
+    Target,
+    is_valid_pair,
+    targets_for,
+)
+from repro.sim.program import Step, TaskProgram
+from repro.sim.requests import MissKind, SriRequest
+
+#: Gap between isolated latency-probe accesses: long enough that no
+#: pipelining or prefetching spans two accesses.
+PROBE_GAP = 100
+
+#: Default access count per probe; enough to make per-access division
+#: exact, small enough to keep characterisation instant.
+PROBE_COUNT = 256
+
+
+@dataclasses.dataclass(frozen=True)
+class Probe:
+    """One microbenchmark: a known number of identical accesses.
+
+    Attributes:
+        name: probe identifier, e.g. ``"pf0,co,stream"``.
+        target: SRI slave exercised.
+        operation: access type.
+        flavour: ``"isolated"``, ``"stream"``, ``"write"`` or ``"dirty"``.
+        program: the compiled task program.
+        count: number of SRI accesses the program performs (known by
+            construction, as the methodology requires).
+    """
+
+    name: str
+    target: Target
+    operation: Operation
+    flavour: str
+    program: TaskProgram
+    count: int
+
+
+def _request(
+    target: Target, operation: Operation, flavour: str
+) -> SriRequest:
+    if flavour == "isolated":
+        return SriRequest(target=target, operation=operation)
+    if flavour == "stream":
+        return SriRequest(target=target, operation=operation, sequential=True)
+    if flavour == "write":
+        if operation is not Operation.DATA:
+            raise WorkloadError("write probes are data probes")
+        return SriRequest(
+            target=target,
+            operation=operation,
+            sequential=True,
+            write=True,
+        )
+    if flavour == "dirty":
+        if target is not Target.LMU:
+            raise WorkloadError("dirty probes only exist on the LMU")
+        return SriRequest(
+            target=target,
+            operation=Operation.DATA,
+            miss_kind=MissKind.DCACHE_MISS_DIRTY,
+            dirty_eviction=True,
+        )
+    raise WorkloadError(f"unknown probe flavour {flavour!r}")
+
+
+def probe(
+    target: Target,
+    operation: Operation,
+    flavour: str,
+    *,
+    count: int = PROBE_COUNT,
+) -> Probe:
+    """Build one probe of ``count`` identical accesses.
+
+    Isolated probes space accesses ``PROBE_GAP`` cycles apart; stream
+    probes issue back-to-back.
+    """
+    if count <= 0:
+        raise WorkloadError("probe count must be positive")
+    request = _request(target, operation, flavour)
+    gap = PROBE_GAP if flavour in ("isolated", "dirty") else 0
+
+    def factory() -> Iterator[Step]:
+        for _ in range(count):
+            yield (gap, request)
+
+    name = f"{target.value},{operation.value},{flavour}"
+    return Probe(
+        name=name,
+        target=target,
+        operation=operation,
+        flavour=flavour,
+        program=TaskProgram(name=name, stream_factory=factory),
+        count=count,
+    )
+
+
+def characterization_suite(*, count: int = PROBE_COUNT) -> list[Probe]:
+    """The full probe suite covering every (target, operation) flavour.
+
+    Per valid pair: an isolated probe (worst latency) and a stream probe
+    (best latency / minimum stall); data pairs add a write probe (store
+    buffering) and the LMU adds the dirty-eviction probe.
+    """
+    probes: list[Probe] = []
+    for operation in (Operation.CODE, Operation.DATA):
+        for target in targets_for(operation):
+            if not is_valid_pair(target, operation):
+                continue
+            probes.append(probe(target, operation, "isolated", count=count))
+            probes.append(probe(target, operation, "stream", count=count))
+            if operation is Operation.DATA:
+                probes.append(probe(target, operation, "write", count=count))
+    probes.append(probe(Target.LMU, Operation.DATA, "dirty", count=count))
+    return probes

@@ -1,0 +1,218 @@
+"""Parametric workload specification: blocks of typed SRI requests.
+
+Workloads are described as sequences of :class:`RequestBlock` objects —
+"this phase performs N data reads on the LMU with this much computation in
+between" — and compiled into replayable
+:class:`~repro.sim.program.TaskProgram` streams.
+
+Mix fractions (sequential/random, read/write, clean/dirty) are realised
+with deterministic error-accumulator (Bresenham) sequencing instead of
+random sampling, so a block's counter footprint is *exact* and identical
+across runs and scales — important because the experiment drivers tune
+blocks to hit the paper's Table 6 readings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterator, Sequence
+
+from repro.core.ptac import AccessProfile, profile_from_pairs
+from repro.errors import WorkloadError
+from repro.platform.targets import Operation, Target, check_pair
+from repro.sim.program import Step, TaskProgram
+from repro.sim.requests import MissKind, SriRequest
+
+
+class _FractionSequencer:
+    """Deterministic Bresenham-style boolean sequence with a given density.
+
+    Emits ``True`` with exact long-run frequency ``fraction``; the k-th
+    decision is ``floor((k+1)·f) > floor(k·f)``, so any prefix of length n
+    contains ``round-ish(n·f)`` Trues with error < 1.
+    """
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise WorkloadError(f"fraction {fraction} outside [0, 1]")
+        self.fraction = fraction
+        self._accumulator = 0.0
+
+    def next(self) -> bool:
+        self._accumulator += self.fraction
+        if self._accumulator >= 1.0 - 1e-12:
+            self._accumulator -= 1.0
+            return True
+        return False
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestBlock:
+    """A homogeneous burst of SRI requests.
+
+    Attributes:
+        target: SRI slave addressed by every request of the block.
+        operation: code or data.
+        count: number of requests.
+        gap: core-local computation cycles before each request.
+        sequential_fraction: share of requests that fall in a prefetch
+            stream (best-case service and overlap).
+        write_fraction: share of data requests that are stores.
+        miss_kind: originating cache event (decides which miss counter
+            increments; ``UNCACHED`` for non-cacheable traffic).
+        dirty_fraction: share of data requests that are dirty evictions
+            (forces ``miss_kind`` DCACHE_MISS_DIRTY on those requests).
+    """
+
+    target: Target
+    operation: Operation
+    count: int
+    gap: int = 1
+    sequential_fraction: float = 0.0
+    write_fraction: float = 0.0
+    miss_kind: MissKind = MissKind.UNCACHED
+    dirty_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_pair(self.target, self.operation)
+        if self.count < 0:
+            raise WorkloadError("block count must be non-negative")
+        if self.gap < 0:
+            raise WorkloadError("block gap must be non-negative")
+        if self.operation is Operation.CODE:
+            if self.write_fraction or self.dirty_fraction:
+                raise WorkloadError("code blocks cannot write or dirty-evict")
+            if self.miss_kind in (
+                MissKind.DCACHE_MISS_CLEAN,
+                MissKind.DCACHE_MISS_DIRTY,
+            ):
+                raise WorkloadError("code blocks cannot be data-cache misses")
+        if self.dirty_fraction and self.miss_kind not in (
+            MissKind.DCACHE_MISS_CLEAN,
+            MissKind.DCACHE_MISS_DIRTY,
+        ):
+            raise WorkloadError(
+                "dirty evictions require a data-cache miss kind"
+            )
+
+    def steps(self) -> Iterator[Step]:
+        """Generate the block's steps deterministically."""
+        sequential = _FractionSequencer(self.sequential_fraction)
+        writes = _FractionSequencer(self.write_fraction)
+        dirty = _FractionSequencer(self.dirty_fraction)
+        for _ in range(self.count):
+            is_dirty = (
+                self.operation is Operation.DATA and dirty.next()
+            )
+            miss_kind = self.miss_kind
+            if is_dirty:
+                miss_kind = MissKind.DCACHE_MISS_DIRTY
+            elif miss_kind is MissKind.DCACHE_MISS_DIRTY:
+                miss_kind = MissKind.DCACHE_MISS_CLEAN
+            yield (
+                self.gap,
+                SriRequest(
+                    target=self.target,
+                    operation=self.operation,
+                    miss_kind=miss_kind,
+                    sequential=sequential.next(),
+                    write=(
+                        self.operation is Operation.DATA
+                        and not is_dirty
+                        and writes.next()
+                    ),
+                    dirty_eviction=is_dirty,
+                ),
+            )
+
+    def scaled(self, factor: float) -> "RequestBlock":
+        """The same block with ``count`` scaled (rounded half-up)."""
+        if factor <= 0:
+            raise WorkloadError("scale factor must be positive")
+        return dataclasses.replace(
+            self, count=int(math.floor(self.count * factor + 0.5))
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete task: named phases of request blocks, optionally looped.
+
+    Attributes:
+        name: task name.
+        blocks: the phases, executed in order each iteration.
+        iterations: loop count (control loops run many iterations).
+        epilogue_gap: trailing computation after the last iteration.
+    """
+
+    name: str
+    blocks: tuple[RequestBlock, ...]
+    iterations: int = 1
+    epilogue_gap: int = 0
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise WorkloadError("iterations must be >= 1")
+        if self.epilogue_gap < 0:
+            raise WorkloadError("epilogue gap must be non-negative")
+
+    def program(self) -> TaskProgram:
+        """Compile into a replayable simulator program."""
+        spec = self
+
+        def factory() -> Iterator[Step]:
+            for _ in range(spec.iterations):
+                for block in spec.blocks:
+                    yield from block.steps()
+            if spec.epilogue_gap:
+                yield (spec.epilogue_gap, None)
+
+        return TaskProgram(name=self.name, stream_factory=factory)
+
+    def expected_profile(self) -> AccessProfile:
+        """The exact PTAC the compiled program will exhibit."""
+        return profile_from_pairs(
+            self.name,
+            (
+                (block.target, block.operation, block.count * self.iterations)
+                for block in self.blocks
+            ),
+        )
+
+    def total_requests(self) -> int:
+        """Total SRI requests over all iterations."""
+        return sum(block.count for block in self.blocks) * self.iterations
+
+    def scaled(self, factor: float, *, name: str | None = None) -> "WorkloadSpec":
+        """Spec with every block count scaled (shrinking for fast tests)."""
+        return dataclasses.replace(
+            self,
+            name=name if name is not None else self.name,
+            blocks=tuple(block.scaled(factor) for block in self.blocks),
+            epilogue_gap=int(self.epilogue_gap * factor),
+        )
+
+
+def spread_counts(total: int, weights: Sequence[float]) -> list[int]:
+    """Split ``total`` into integer shares proportional to ``weights``.
+
+    Largest-remainder apportionment: shares sum to ``total`` exactly.
+    Used to distribute code misses over pf0/pf1 and data over targets.
+    """
+    if total < 0:
+        raise WorkloadError("total must be non-negative")
+    if not weights or any(w < 0 for w in weights):
+        raise WorkloadError("weights must be non-empty and non-negative")
+    weight_sum = sum(weights)
+    if weight_sum == 0:
+        raise WorkloadError("weights must not all be zero")
+    raw = [total * w / weight_sum for w in weights]
+    shares = [int(math.floor(r)) for r in raw]
+    remainder = total - sum(shares)
+    by_fraction = sorted(
+        range(len(raw)), key=lambda i: raw[i] - shares[i], reverse=True
+    )
+    for i in by_fraction[:remainder]:
+        shares[i] += 1
+    return shares

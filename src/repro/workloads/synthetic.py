@@ -1,0 +1,127 @@
+"""Randomised synthetic tasks for property tests and soundness sweeps.
+
+The regression experiments replay the paper's workloads; the *soundness*
+claim ("in all experiments our model predictions upperbound the observed
+multicore execution time") deserves wider exercise.  This module generates
+random-but-valid tasks under a deployment scenario: random per-target
+request populations, mixes and gaps, deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+from repro.platform.deployment import DeploymentScenario
+from repro.platform.targets import Operation
+from repro.sim.program import TaskProgram
+from repro.sim.requests import MissKind
+from repro.workloads.spec import RequestBlock, WorkloadSpec
+
+
+def random_workload(
+    name: str,
+    scenario: DeploymentScenario,
+    *,
+    seed: int,
+    max_requests: int = 2_000,
+    max_gap: int = 8,
+    blocks_range: tuple[int, int] = (2, 8),
+) -> WorkloadSpec:
+    """Generate a random workload valid under ``scenario``.
+
+    Args:
+        name: task name.
+        scenario: deployment scenario constraining targets and miss kinds.
+        seed: RNG seed (same seed ⇒ identical workload).
+        max_requests: cap on total SRI requests.
+        max_gap: cap on per-request computation gaps.
+        blocks_range: inclusive range for the number of blocks.
+
+    The generator respects the scenario's counter semantics: cacheable
+    code yields I$-miss transactions (so P$_MISS stays exact), data
+    traffic is uncached except on scenarios with cacheable data, where a
+    random share becomes clean/dirty data-cache misses.
+    """
+    if max_requests <= 0:
+        raise WorkloadError("max_requests must be positive")
+    rng = random.Random(seed)
+    pairs = scenario.valid_pairs()
+    if not pairs:
+        raise WorkloadError(f"scenario {scenario.name!r} admits no traffic")
+
+    n_blocks = rng.randint(*blocks_range)
+    budget = max_requests
+    blocks: list[RequestBlock] = []
+    for index in range(n_blocks):
+        if budget <= 0:
+            break
+        remaining_blocks = n_blocks - index
+        count = (
+            budget
+            if remaining_blocks == 1
+            else rng.randint(1, max(1, budget // remaining_blocks))
+        )
+        budget -= count
+        target, operation = rng.choice(pairs)
+        if operation is Operation.CODE:
+            blocks.append(
+                RequestBlock(
+                    target=target,
+                    operation=operation,
+                    count=count,
+                    gap=rng.randint(0, max_gap),
+                    sequential_fraction=rng.random(),
+                    miss_kind=MissKind.ICACHE_MISS
+                    if scenario.code_count_exact
+                    else MissKind.UNCACHED,
+                )
+            )
+        else:
+            cacheable = (
+                scenario.data_count_lower_bounded and rng.random() < 0.3
+            )
+            if cacheable:
+                dirty_ok = target in scenario.dirty_targets
+                blocks.append(
+                    RequestBlock(
+                        target=target,
+                        operation=operation,
+                        count=count,
+                        gap=rng.randint(0, max_gap),
+                        sequential_fraction=rng.random(),
+                        miss_kind=MissKind.DCACHE_MISS_CLEAN,
+                        dirty_fraction=rng.random() * 0.5 if dirty_ok else 0.0,
+                    )
+                )
+            else:
+                blocks.append(
+                    RequestBlock(
+                        target=target,
+                        operation=operation,
+                        count=count,
+                        gap=rng.randint(0, max_gap),
+                        sequential_fraction=rng.random(),
+                        write_fraction=rng.random(),
+                        miss_kind=MissKind.UNCACHED,
+                    )
+                )
+    if not blocks:
+        raise WorkloadError("generated an empty workload")
+    return WorkloadSpec(name=name, blocks=tuple(blocks))
+
+
+def random_task_pair(
+    scenario: DeploymentScenario,
+    *,
+    seed: int,
+    max_requests: int = 2_000,
+) -> tuple[TaskProgram, TaskProgram]:
+    """A (task under analysis, contender) pair from one seed."""
+    spec_a = random_workload(
+        f"rand-a-{seed}", scenario, seed=seed * 2 + 1, max_requests=max_requests
+    )
+    spec_b = random_workload(
+        f"rand-b-{seed}", scenario, seed=seed * 2 + 2, max_requests=max_requests
+    )
+    return spec_a.program(), spec_b.program()

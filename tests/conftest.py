@@ -1,0 +1,70 @@
+"""Shared fixtures: Table 2 profile, scenarios, paper readings, workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper
+from repro.platform import (
+    architectural_scenario,
+    scenario_1,
+    scenario_2,
+    tc277,
+    tc27x_latency_profile,
+)
+from repro.sim.timing import tc27x_sim_timing
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """Table 2 latency profile."""
+    return tc27x_latency_profile()
+
+
+@pytest.fixture(scope="session")
+def platform():
+    """The TC277 platform object."""
+    return tc277()
+
+
+@pytest.fixture(scope="session")
+def sim_timing():
+    """Simulator device timing (Table 2 consistent)."""
+    return tc27x_sim_timing()
+
+
+@pytest.fixture()
+def sc1():
+    return scenario_1()
+
+
+@pytest.fixture()
+def sc2():
+    return scenario_2()
+
+
+@pytest.fixture()
+def arch_scenario():
+    return architectural_scenario()
+
+
+@pytest.fixture(scope="session")
+def app_sc1():
+    """Table 6, Scenario 1, application (core 1)."""
+    return paper.table6("scenario1", "app")
+
+
+@pytest.fixture(scope="session")
+def hload_sc1():
+    """Table 6, Scenario 1, H-Load (core 2)."""
+    return paper.table6("scenario1", "H-Load")
+
+
+@pytest.fixture(scope="session")
+def app_sc2():
+    return paper.table6("scenario2", "app")
+
+
+@pytest.fixture(scope="session")
+def hload_sc2():
+    return paper.table6("scenario2", "H-Load")

@@ -1,0 +1,208 @@
+"""Tests for the analysis harness: characterisation, MBTA, reports."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.characterization import characterize
+from repro.analysis.experiments import information_ablation
+from repro.analysis.mbta import analyse, measure_isolation, observe_corun
+from repro.analysis.report import (
+    render_ablation,
+    render_figure4,
+    render_latency_table,
+    render_placement_table,
+    render_table,
+    render_table6,
+)
+from repro.errors import SimulationError
+from repro.platform.deployment import scenario_1
+from repro.platform.latency import tc27x_latency_profile
+from repro.platform.targets import Target
+from repro.sim.program import program_from_steps
+from repro.sim.requests import code_fetch
+from repro.sim.timing import tc27x_sim_timing
+from repro.workloads.microbenchmarks import characterization_suite, probe
+from repro.platform.targets import Operation
+
+
+class TestCharacterization:
+    def test_reproduces_table2(self):
+        result = characterize()
+        assert result.profile.as_table() == tc27x_latency_profile().as_table()
+
+    def test_per_probe_stalls_cover_suite(self):
+        result = characterize()
+        assert "pf0,co,stream" in result.per_probe_stalls
+        assert result.per_probe_stalls["pf0,co,stream"] == pytest.approx(6.0)
+        assert result.per_probe_stalls["lmu,da,write"] == pytest.approx(10.0)
+
+    def test_modified_platform_measured_correctly(self):
+        stock = tc27x_sim_timing()
+        slow_pf = dataclasses.replace(
+            stock.devices[Target.PF0],
+            service_random=20,
+            service_sequential=14,
+        )
+        derivative = dataclasses.replace(
+            stock, devices={**stock.devices, Target.PF0: slow_pf}
+        )
+        measured = characterize(timing=derivative)
+        assert measured.profile.timing(Target.PF0).l_max == 20
+        assert measured.profile.timing(Target.PF0).l_min == 14
+        # cs^{pf0,co} follows: 14 - 6 = 8.
+        assert measured.profile.timing(Target.PF0).cs_code == 8
+
+    def test_probe_suite_coverage(self):
+        suite = characterization_suite()
+        names = {p.name for p in suite}
+        # 3 code pairs x 2 + 4 data pairs x 3 + 1 dirty = 19 probes.
+        assert len(suite) == 19
+        assert "lmu,da,dirty" in names
+        assert "dfl,da,write" in names
+
+    def test_probe_flavour_validation(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            probe(Target.PF0, Operation.CODE, "write")
+        with pytest.raises(WorkloadError):
+            probe(Target.PF0, Operation.DATA, "dirty")
+
+
+class TestMbta:
+    @pytest.fixture()
+    def program(self):
+        return program_from_steps(
+            "task", [(2, code_fetch(Target.PF0, sequential=True))] * 50
+        )
+
+    def test_measurement_deterministic(self, program):
+        measurement = measure_isolation(program, runs=3)
+        assert measurement.runs == 3
+        assert len(set(measurement.all_cycles)) == 1  # deterministic sim
+        assert measurement.hwm_cycles == measurement.all_cycles[0]
+
+    def test_variant_hook_hwm(self, program):
+        def variant(index):
+            return program_from_steps(
+                "task",
+                [(2 + index, code_fetch(Target.PF0, sequential=True))] * 50,
+            )
+
+        measurement = measure_isolation(program, runs=3, variant=variant)
+        assert measurement.hwm_cycles == max(measurement.all_cycles)
+        assert measurement.all_cycles[0] < measurement.all_cycles[-1]
+
+    def test_zero_runs_rejected(self, program):
+        with pytest.raises(SimulationError):
+            measure_isolation(program, runs=0)
+
+    def test_analyse_produces_estimate(self, program):
+        measurement = measure_isolation(program)
+        estimate = analyse(
+            measurement,
+            "ftc-refined",
+            tc27x_latency_profile(),
+            scenario_1(),
+        )
+        assert estimate.isolation_cycles == measurement.hwm_cycles
+        assert estimate.wcet_cycles > measurement.hwm_cycles
+
+    def test_observe_corun_sequence_assignment(self, program):
+        contender = program_from_steps(
+            "rival", [(0, code_fetch(Target.PF0))] * 50
+        )
+        measurement = measure_isolation(program)
+        observation = observe_corun(
+            program, [contender], measurement.hwm_cycles
+        )
+        assert observation.observed_cycles >= measurement.hwm_cycles
+        assert observation.slowdown >= 1.0
+
+    def test_observe_corun_core_collision(self, program):
+        with pytest.raises(SimulationError):
+            observe_corun(program, {1: program}, 100)
+
+    def test_observe_corun_needs_contender(self, program):
+        with pytest.raises(SimulationError):
+            observe_corun(program, [], 100)
+
+
+class TestReports:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"], [["a", 1], ["long-name", 123.456]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "123.46" in text
+
+    def test_render_latency_table_shape(self):
+        text = render_latency_table(tc27x_latency_profile())
+        assert "11(21)" in text
+        assert "cs(t,co)" in text
+
+    def test_render_placement_table(self):
+        text = render_placement_table()
+        assert "Data n$" in text
+
+    def test_render_figure4_includes_bars(self):
+        from repro.analysis.experiments import figure4_paper_mode
+
+        text = render_figure4(figure4_paper_mode())
+        assert "#" in text
+        assert "1.95" in text
+
+    def test_render_table6(self):
+        from repro.analysis.experiments import table6_sim_mode
+
+        rows = table6_sim_mode(scale=1 / 256)
+        text = render_table6(rows, scale=1 / 256)
+        assert "scenario1" in text and "paper" in text
+
+    def test_render_ablation(self):
+        rows = information_ablation(scale=1 / 256)
+        text = render_ablation(rows)
+        assert "ideal" in text and "ftc-baseline" in text
+
+
+class TestInformationAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return information_ablation(scale=1 / 128)
+
+    def test_information_ordering(self, rows):
+        """More information => tighter bound, per scenario and load."""
+        for scenario in ("scenario1", "scenario2"):
+            baseline = next(
+                r.delta_cycles
+                for r in rows
+                if r.scenario == scenario and r.model == "ftc-baseline"
+            )
+            refined = next(
+                r.delta_cycles
+                for r in rows
+                if r.scenario == scenario and r.model == "ftc-refined"
+            )
+            assert refined <= baseline
+            for load in ("H", "M", "L"):
+                ilp = next(
+                    r.delta_cycles
+                    for r in rows
+                    if r.scenario == scenario
+                    and r.model == "ilp-ptac"
+                    and r.load == load
+                )
+                ideal = next(
+                    r.delta_cycles
+                    for r in rows
+                    if r.scenario == scenario
+                    and r.model == "ideal"
+                    and r.load == load
+                )
+                assert ideal <= ilp <= refined
+
+    def test_row_inventory(self, rows):
+        # Per scenario: 2 fTC rows + 3 loads x 2 models.
+        assert len(rows) == 16

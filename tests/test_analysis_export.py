@@ -1,0 +1,123 @@
+"""Tests for the CSV/JSON export layer."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.experiments import figure4_paper_mode, information_ablation
+from repro.analysis.export import (
+    ablation_rows,
+    deployment_rows,
+    figure4_rows,
+    soundness_rows,
+    sweep_rows,
+    table6_rows,
+    to_csv,
+    to_json,
+    write,
+)
+from repro.analysis.sweeps import contender_scale_sweep, deployment_sweep
+from repro.errors import ReproError
+from repro import paper
+from repro.platform.deployment import scenario_1
+
+
+@pytest.fixture(scope="module")
+def f4_rows():
+    return figure4_paper_mode()
+
+
+class TestFlattening:
+    def test_figure4(self, f4_rows):
+        records = figure4_rows(f4_rows)
+        assert len(records) == len(f4_rows)
+        assert records[0]["scenario"] == "scenario1"
+        assert records[0]["model"] == "ftc-refined"
+        assert records[1]["slowdown"] == pytest.approx(1.486, abs=0.001)
+        assert records[0]["sound"] is None  # paper mode: no observation
+
+    def test_sweep(self):
+        points = contender_scale_sweep(
+            paper.table6("scenario1", "app"),
+            paper.table6("scenario1", "H-Load"),
+            scenario_1(),
+            scales=(0.5, 1.0),
+        )
+        records = sweep_rows(points)
+        assert [r["scale"] for r in records] == [0.5, 1.0]
+        assert records[0]["slowdown"] is None  # no isolation time given
+
+    def test_deployment(self):
+        rows = deployment_sweep(
+            paper.table6("scenario1", "app"),
+            paper.table6("scenario1", "H-Load"),
+            {"sc1": scenario_1()},
+        )
+        records = deployment_rows(rows)
+        assert records[0]["delta_cycles"] == 6_606_495
+
+    def test_ablation(self):
+        records = ablation_rows(information_ablation(scale=1 / 256))
+        assert {r["model"] for r in records} >= {"ideal", "ilp-ptac"}
+
+    def test_table6(self):
+        from repro.analysis.experiments import table6_sim_mode
+
+        records = table6_rows(table6_sim_mode(scale=1 / 256))
+        counters = {r["counter"] for r in records}
+        assert counters == {"PM", "DMC", "DMD", "PS", "DS"}
+
+    def test_soundness(self):
+        from repro.analysis.validation import soundness_sweep
+        from repro.workloads.synthetic import random_task_pair
+
+        scenario = scenario_1()
+        sweep = soundness_sweep(
+            [random_task_pair(scenario, seed=0, max_requests=300)], scenario
+        )
+        records = soundness_rows(sweep.cases)
+        assert all(r["sound"] for r in records)
+        assert {r["model"] for r in records} == {
+            "ftc-baseline",
+            "ftc-refined",
+            "ilp-ptac",
+        }
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, f4_rows):
+        payload = to_json(figure4_rows(f4_rows))
+        parsed = json.loads(payload)
+        assert parsed[0]["delta_cycles"] == 12_964_270
+
+    def test_csv_roundtrip(self, f4_rows):
+        payload = to_csv(figure4_rows(f4_rows))
+        reader = csv.DictReader(io.StringIO(payload))
+        rows = list(reader)
+        assert rows[0]["model"] == "ftc-refined"
+        assert int(rows[1]["delta_cycles"]) == 6_606_495
+
+    def test_csv_empty_rejected(self):
+        with pytest.raises(ReproError):
+            to_csv([])
+
+    def test_write_infers_format(self, f4_rows, tmp_path):
+        records = figure4_rows(f4_rows)
+        json_path = tmp_path / "f4.json"
+        csv_path = tmp_path / "f4.csv"
+        write(records, str(json_path))
+        write(records, str(csv_path))
+        assert json.loads(json_path.read_text())[0]["load"] == "-"
+        assert "scenario,model" in csv_path.read_text()
+
+    def test_write_unknown_format(self, f4_rows, tmp_path):
+        with pytest.raises(ReproError):
+            write(figure4_rows(f4_rows), str(tmp_path / "f4.xml"))
+        with pytest.raises(ReproError):
+            write(
+                figure4_rows(f4_rows),
+                str(tmp_path / "f4.dat"),
+                format="parquet",
+            )

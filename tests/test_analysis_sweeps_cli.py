@@ -1,0 +1,169 @@
+"""Tests for the sweep API and the command-line interface."""
+
+import pytest
+
+from repro import paper
+from repro.analysis.sweeps import (
+    contender_scale_sweep,
+    deployment_sweep,
+    dirty_latency_sensitivity,
+)
+from repro.cli import main
+from repro.errors import ModelError
+from repro.platform.deployment import scenario_1, scenario_2
+
+
+class TestContenderScaleSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return contender_scale_sweep(
+            paper.table6("scenario1", "app"),
+            paper.table6("scenario1", "H-Load"),
+            scenario_1(),
+            scales=(0.25, 0.5, 1.0, 2.0, 4.0),
+            isolation_cycles=paper.ISOLATION_CYCLES["scenario1"],
+        )
+
+    def test_monotone_nondecreasing(self, points):
+        deltas = [p.delta_cycles for p in points]
+        assert deltas == sorted(deltas)
+
+    def test_linear_before_saturation(self, points):
+        by_scale = {p.scale: p.delta_cycles for p in points}
+        # Below saturation the bound is proportional to the load.
+        assert by_scale[0.5] == pytest.approx(2 * by_scale[0.25], rel=1e-3)
+        assert by_scale[1.0] == pytest.approx(4 * by_scale[0.25], rel=1e-3)
+
+    def test_saturates_at_tc_ceiling(self, points):
+        saturated = [p for p in points if p.saturated]
+        assert saturated, "sweep never saturated"
+        ceiling = saturated[-1].delta_cycles
+        assert all(p.delta_cycles == ceiling for p in saturated)
+        # The ceiling is the fully time-composable ILP bound, which in
+        # turn sits within one rounding unit of the refined fTC bound.
+        assert ceiling == pytest.approx(
+            paper.EXPECTED_DELTA[("scenario1", "ftc-refined")], abs=16
+        )
+
+    def test_h_load_point_matches_figure4(self, points):
+        point = next(p for p in points if p.scale == 1.0)
+        assert point.delta_cycles == paper.EXPECTED_DELTA[
+            ("scenario1", "ilp-ptac", "H")
+        ]
+        assert point.slowdown == pytest.approx(1.49, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            contender_scale_sweep(
+                paper.table6("scenario1", "app"),
+                paper.table6("scenario1", "H-Load"),
+                scenario_1(),
+                scales=(),
+            )
+        with pytest.raises(ModelError):
+            contender_scale_sweep(
+                paper.table6("scenario1", "app"),
+                paper.table6("scenario1", "H-Load"),
+                scenario_1(),
+                scales=(-1.0,),
+            )
+
+
+class TestDeploymentSweep:
+    def test_both_reference_scenarios(self):
+        rows = deployment_sweep(
+            paper.table6("scenario1", "app"),
+            paper.table6("scenario1", "H-Load"),
+            {"sc1": scenario_1()},
+            isolation_cycles=13_600_000,
+        )
+        assert rows[0].scenario == "sc1"
+        assert rows[0].delta_cycles == 6_606_495
+        assert rows[0].slowdown == pytest.approx(1.486, abs=0.001)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            deployment_sweep(
+                paper.table6("scenario1", "app"),
+                paper.table6("scenario1", "H-Load"),
+                {},
+            )
+
+
+class TestDirtySensitivity:
+    def test_scenario2_sensitivity(self):
+        result = dirty_latency_sensitivity(
+            paper.table6("scenario2", "app"),
+            paper.table6("scenario2", "H-Load"),
+            scenario_2(),
+        )
+        assert result.with_dirty_cycles == 3_829_026
+        assert result.without_dirty_cycles < result.with_dirty_cycles
+        assert 0 < result.share < 0.1  # data traffic is small in Sc2
+
+    def test_scenario1_insensitive(self):
+        # Scenario 1 has no dirty targets: both solves coincide.
+        result = dirty_latency_sensitivity(
+            paper.table6("scenario1", "app"),
+            paper.table6("scenario1", "H-Load"),
+            scenario_1(),
+        )
+        assert result.share == 0.0
+
+
+class TestCli:
+    def run(self, capsys, *argv):
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        out = self.run(capsys, "table3")
+        assert "Data n$" in out
+
+    def test_figure4_paper(self, capsys):
+        out = self.run(capsys, "figure4")
+        assert "1.95" in out and "ilp-ptac" in out
+
+    def test_sweep(self, capsys):
+        out = self.run(capsys, "sweep", "--scenario", "1")
+        assert "saturated" in out
+
+    def test_platform(self, capsys):
+        out = self.run(capsys, "platform")
+        assert "SRI" in out
+
+    def test_table6_scaled(self, capsys):
+        out = self.run(capsys, "table6", "--scale", "128")
+        assert "scenario2" in out
+
+    def test_ablation(self, capsys):
+        out = self.run(capsys, "ablation", "--scale", "128")
+        assert "ideal" in out
+
+    def test_soundness(self, capsys):
+        out = self.run(
+            capsys, "soundness", "--pairs", "2", "--requests", "300"
+        )
+        assert "all sound" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fourier"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_figure4_export_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "f4.json"
+        out = self.run(capsys, "figure4", "--export", str(path))
+        assert "wrote" in out
+        rows = json.loads(path.read_text())
+        assert rows[0]["delta_cycles"] == 12_964_270
+
+    def test_sweep_export_csv(self, capsys, tmp_path):
+        path = tmp_path / "sweep.csv"
+        self.run(capsys, "sweep", "--export", str(path))
+        assert "scale,delta_cycles" in path.read_text()

@@ -1,0 +1,102 @@
+"""Tests for the Eq. 2-4 access-count bounds."""
+
+import pytest
+
+from repro.core.access_bounds import (
+    CountSource,
+    access_count_bounds,
+    ceil_div,
+    stall_bound,
+)
+from repro.counters.readings import TaskReadings
+from repro.platform.targets import Operation
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "num,den,expected",
+        [(0, 5, 0), (1, 5, 1), (5, 5, 1), (6, 5, 2), (10, 5, 2), (11, 5, 3)],
+    )
+    def test_values(self, num, den, expected):
+        assert ceil_div(num, den) == expected
+
+    def test_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+
+class TestEquation4:
+    """n̂ = ceil(cs / cs_min) with the paper's Table 6 numbers."""
+
+    def test_code_bound_scenario1(self, app_sc1, profile):
+        bound = stall_bound(app_sc1, profile, Operation.CODE)
+        # ceil(3421242 / 6) = 570207 — the paper's global cs_min^co.
+        assert bound.count == 570_207
+        assert bound.cs_min == 6
+        assert bound.source is CountSource.STALL_BOUND
+
+    def test_data_bound_scenario1(self, app_sc1, profile):
+        bound = stall_bound(app_sc1, profile, Operation.DATA)
+        # ceil(8345056 / 10) = 834506.
+        assert bound.count == 834_506
+        assert bound.cs_min == 10
+
+    def test_bound_overapproximates_true_count(self, app_sc1, profile):
+        # The stall bound must exceed the true code count (P$_MISS).
+        bound = stall_bound(app_sc1, profile, Operation.CODE)
+        assert bound.count >= app_sc1.pm
+
+    def test_zero_stalls_zero_accesses(self, profile):
+        readings = TaskReadings("idle", pmem_stall=0, dmem_stall=0, pcache_miss=0)
+        bound = stall_bound(readings, profile, Operation.CODE)
+        assert bound.count == 0
+        assert bound.source is CountSource.ZERO
+
+    def test_scenario_restricted_cs_min(self, app_sc1, profile, sc1):
+        bound = stall_bound(app_sc1, profile, Operation.DATA, sc1)
+        assert bound.cs_min == 10  # lmu-only happens to match the global min
+
+    def test_one_stall_cycle_counts_one_access(self, profile):
+        readings = TaskReadings("tiny", pmem_stall=1, dmem_stall=0, pcache_miss=0)
+        assert stall_bound(readings, profile, Operation.CODE).count == 1
+
+
+class TestExactCounts:
+    def test_scenario1_code_exact_via_pmiss(self, app_sc1, profile, sc1):
+        bounds = access_count_bounds(app_sc1, profile, sc1)
+        assert bounds.code.count == app_sc1.pm
+        assert bounds.code.exact
+        assert bounds.code.source is CountSource.PCACHE_MISS
+
+    def test_exact_counts_disabled(self, app_sc1, profile, sc1):
+        bounds = access_count_bounds(
+            app_sc1, profile, sc1, use_exact_counts=False
+        )
+        assert bounds.code.count == 570_207
+        assert not bounds.code.exact
+
+    def test_architectural_scenario_never_exact(self, app_sc1, profile):
+        bounds = access_count_bounds(app_sc1, profile)
+        assert bounds.code.source is CountSource.STALL_BOUND
+
+    def test_data_never_exact(self, app_sc2, profile, sc2):
+        # No counter counts SRI data requests exactly in either scenario.
+        bounds = access_count_bounds(app_sc2, profile, sc2)
+        assert bounds.data.source is CountSource.STALL_BOUND
+
+    def test_total(self, app_sc1, profile, sc1):
+        bounds = access_count_bounds(app_sc1, profile, sc1)
+        assert bounds.total == bounds.code.count + bounds.data.count
+
+    def test_bound_lookup_by_operation(self, app_sc1, profile, sc1):
+        bounds = access_count_bounds(app_sc1, profile, sc1)
+        assert bounds.bound(Operation.CODE) is bounds.code
+        assert bounds.bound(Operation.DATA) is bounds.data
+
+    def test_zero_pm_with_exact_semantics(self, profile, sc1):
+        readings = TaskReadings(
+            "local-only", pmem_stall=0, dmem_stall=50, pcache_miss=0
+        )
+        bounds = access_count_bounds(readings, profile, sc1)
+        assert bounds.code.count == 0
+        assert bounds.code.source is CountSource.ZERO

@@ -1,0 +1,96 @@
+"""Tests for the FSB reduction (Section 4.3)."""
+
+import pytest
+
+from repro.core.fsb import (
+    FsbTiming,
+    fsb_closed_form,
+    fsb_ftc_closed_form,
+    fsb_latency_profile,
+    fsb_scenario,
+    fsb_via_crossbar_ilp,
+)
+from repro.counters.readings import TaskReadings
+from repro.errors import ModelError
+
+
+@pytest.fixture()
+def timing():
+    return FsbTiming(latency=20, cs_min=8)
+
+
+@pytest.fixture()
+def readings():
+    a = TaskReadings("a", pmem_stall=800, dmem_stall=400, pcache_miss=50)
+    b = TaskReadings("b", pmem_stall=160, dmem_stall=80, pcache_miss=10)
+    return a, b
+
+
+class TestFsbTiming:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            FsbTiming(latency=0, cs_min=1)
+        with pytest.raises(ModelError):
+            FsbTiming(latency=5, cs_min=6)
+
+    def test_profile_uniform(self, timing):
+        profile = fsb_latency_profile(timing)
+        for target in profile.as_table():
+            assert profile.as_table()[target]["l_max"] == 20
+
+    def test_scenario_single_target(self):
+        scenario = fsb_scenario()
+        assert len(scenario.valid_pairs()) == 2  # lmu code + lmu data
+
+
+class TestClosedForms:
+    def test_closed_form_min_of_totals(self, timing, readings):
+        a, b = readings
+        # n̂_a = ceil(800/8) + ceil(400/8) = 150; n̂_b = 20 + 10 = 30.
+        assert fsb_closed_form(a, b, timing) == 30 * 20
+
+    def test_ftc_closed_form(self, timing, readings):
+        a, _ = readings
+        assert fsb_ftc_closed_form(a, timing) == 150 * 20
+
+    def test_closed_form_symmetric_min(self, timing, readings):
+        a, b = readings
+        assert fsb_closed_form(a, b, timing) == fsb_closed_form(b, a, timing)
+
+
+class TestReductionClaim:
+    """Section 4.3: the crossbar ILP reduces to the FSB closed form."""
+
+    def test_ilp_equals_closed_form(self, timing, readings):
+        a, b = readings
+        result = fsb_via_crossbar_ilp(a, b, timing)
+        assert result.bound.delta_cycles == fsb_closed_form(a, b, timing)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_ilp_equals_closed_form_randomized(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        timing = FsbTiming(
+            latency=rng.randint(5, 40), cs_min=rng.randint(1, 5)
+        )
+        a = TaskReadings(
+            "a",
+            pmem_stall=rng.randint(0, 5_000),
+            dmem_stall=rng.randint(0, 5_000),
+            pcache_miss=rng.randint(0, 100),
+        )
+        b = TaskReadings(
+            "b",
+            pmem_stall=rng.randint(0, 5_000),
+            dmem_stall=rng.randint(0, 5_000),
+            pcache_miss=rng.randint(0, 100),
+        )
+        result = fsb_via_crossbar_ilp(a, b, timing)
+        assert result.bound.delta_cycles == fsb_closed_form(a, b, timing)
+
+    def test_ftc_dominates_contender_aware(self, timing, readings):
+        a, b = readings
+        assert fsb_ftc_closed_form(a, timing) >= fsb_closed_form(
+            a, b, timing
+        )

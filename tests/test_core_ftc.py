@@ -1,0 +1,80 @@
+"""Tests for the fTC models (Eqs. 4, 6-8) against hand-computed values."""
+
+import pytest
+
+from repro.core.ftc import ftc_baseline, ftc_refined
+from repro.counters.readings import TaskReadings
+from repro.errors import ModelError
+from repro.platform.deployment import architectural_scenario
+
+
+class TestBaseline:
+    def test_scenario1_readings_hand_computed(self, app_sc1, profile):
+        bound = ftc_baseline(app_sc1, profile)
+        # n̂co = ceil(3421242/6) = 570207, l_co_max = 16 (Eq. 6)
+        # n̂da = ceil(8345056/10) = 834506, l_da_max = 43 (Eq. 7)
+        assert bound.code_cycles == 570_207 * 16
+        assert bound.data_cycles == 834_506 * 43
+        assert bound.delta_cycles == 45_007_070
+
+    def test_time_composable_flag(self, app_sc1, profile):
+        bound = ftc_baseline(app_sc1, profile)
+        assert bound.time_composable
+        assert bound.contenders == ()
+        assert bound.breakdown is None  # cannot attribute to targets
+
+    def test_dirty_lmu_variant(self, app_sc1, profile):
+        plain = ftc_baseline(app_sc1, profile)
+        dirty = ftc_baseline(app_sc1, profile, dirty_lmu=True)
+        # l_co_max grows 16 -> 21; l_da_max stays 43 (DFlash dominates).
+        assert dirty.code_cycles == 570_207 * 21
+        assert dirty.data_cycles == plain.data_cycles
+        assert dirty.delta_cycles > plain.delta_cycles
+
+    def test_zero_traffic(self, profile):
+        readings = TaskReadings("idle", pmem_stall=0, dmem_stall=0, pcache_miss=0)
+        assert ftc_baseline(readings, profile).delta_cycles == 0
+
+
+class TestRefined:
+    def test_scenario1_hand_computed(self, app_sc1, profile, sc1):
+        bound = ftc_refined(app_sc1, profile, sc1)
+        # code: PM exact (236544) x 16; data: ceil(8345056/10) x 11 (lmu).
+        assert bound.code_cycles == 236_544 * 16
+        assert bound.data_cycles == 834_506 * 11
+        assert bound.delta_cycles == 12_964_270
+
+    def test_scenario2_hand_computed(self, app_sc2, profile, sc2):
+        bound = ftc_refined(app_sc2, profile, sc2)
+        # code: PM exact (458394) x 16; data: ceil(86371/10) x 21 (dirty lmu).
+        assert bound.code_cycles == 458_394 * 16
+        assert bound.data_cycles == 8_638 * 21
+        assert bound.delta_cycles == 7_515_702
+
+    def test_refined_tighter_than_baseline(self, app_sc1, profile, sc1):
+        refined = ftc_refined(app_sc1, profile, sc1)
+        baseline = ftc_baseline(app_sc1, profile)
+        assert refined.delta_cycles < baseline.delta_cycles
+
+    def test_still_time_composable(self, app_sc1, profile, sc1):
+        assert ftc_refined(app_sc1, profile, sc1).time_composable
+
+    def test_architectural_scenario_equals_baseline(self, app_sc1, profile):
+        # Feeding the refined model the no-knowledge scenario must recover
+        # the baseline exactly (same counts, same latencies).
+        refined = ftc_refined(app_sc1, profile, architectural_scenario())
+        baseline = ftc_baseline(app_sc1, profile)
+        assert refined.delta_cycles == baseline.delta_cycles
+
+    def test_with_details(self, app_sc1, profile, sc1):
+        bound, details = ftc_refined(
+            app_sc1, profile, sc1, with_details=True
+        )
+        assert details.l_co_max == 16
+        assert details.l_da_max == 11
+        assert details.bounds.code.exact
+        assert details.bounds.code.count == app_sc1.pm
+
+    def test_requires_scenario(self, app_sc1, profile):
+        with pytest.raises(ModelError):
+            ftc_refined(app_sc1, profile, None)  # type: ignore[arg-type]

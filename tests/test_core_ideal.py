@@ -1,0 +1,82 @@
+"""Tests for the ideal model (Eq. 1)."""
+
+import pytest
+
+from repro.core.ideal import ideal_bound
+from repro.core.ptac import AccessProfile
+from repro.platform.deployment import scenario_2
+from repro.platform.targets import Operation, Target
+
+
+def profile_of(task, **pairs):
+    mapping = {
+        "pf0_co": (Target.PF0, Operation.CODE),
+        "pf1_co": (Target.PF1, Operation.CODE),
+        "lmu_co": (Target.LMU, Operation.CODE),
+        "pf0_da": (Target.PF0, Operation.DATA),
+        "pf1_da": (Target.PF1, Operation.DATA),
+        "lmu_da": (Target.LMU, Operation.DATA),
+        "dfl_da": (Target.DFL, Operation.DATA),
+    }
+    return AccessProfile(
+        task, {mapping[k]: v for k, v in pairs.items()}
+    )
+
+
+class TestEquation1:
+    def test_min_pairing_per_target(self, profile):
+        a = profile_of("a", pf0_co=100, lmu_da=50)
+        b = profile_of("b", pf0_co=30, lmu_da=80)
+        bound = ideal_bound(a, b, profile)
+        # min(100,30)*16 + min(50,80)*11 = 480 + 550.
+        assert bound.delta_cycles == 30 * 16 + 50 * 11
+        assert bound.breakdown[(Target.PF0, Operation.CODE)] == 480
+        assert bound.breakdown[(Target.LMU, Operation.DATA)] == 550
+
+    def test_disjoint_targets_no_contention(self, profile):
+        a = profile_of("a", pf0_co=100)
+        b = profile_of("b", pf1_co=100)
+        assert ideal_bound(a, b, profile).delta_cycles == 0
+
+    def test_same_target_different_ops_do_not_pair(self, profile):
+        # Eq. 1 pairs per (t, o): code of a vs data of b never pair.
+        a = profile_of("a", lmu_co=40)
+        b = profile_of("b", lmu_da=40)
+        assert ideal_bound(a, b, profile).delta_cycles == 0
+
+    def test_dflash_latency(self, profile):
+        a = profile_of("a", dfl_da=5)
+        b = profile_of("b", dfl_da=9)
+        assert ideal_bound(a, b, profile).delta_cycles == 5 * 43
+
+    def test_dirty_scenario_latency(self, profile):
+        a = profile_of("a", lmu_da=10)
+        b = profile_of("b", lmu_da=10)
+        bound = ideal_bound(a, b, profile, scenario_2())
+        assert bound.delta_cycles == 10 * 21  # dirty LMU latency
+
+    def test_symmetric_in_magnitude(self, profile):
+        a = profile_of("a", pf0_co=10, lmu_da=20)
+        b = profile_of("b", pf0_co=25, lmu_da=5)
+        ab = ideal_bound(a, b, profile).delta_cycles
+        ba = ideal_bound(b, a, profile).delta_cycles
+        # min() is symmetric, so the bound is too (same latencies).
+        assert ab == ba
+
+    def test_op_breakdown_sums(self, profile):
+        a = profile_of("a", pf0_co=10, lmu_da=20)
+        b = profile_of("b", pf0_co=10, lmu_da=20)
+        bound = ideal_bound(a, b, profile)
+        assert (
+            bound.code_cycles + bound.data_cycles == bound.delta_cycles
+        )
+        assert bound.code_cycles == 160
+        assert bound.data_cycles == 220
+
+    def test_metadata(self, profile):
+        a = profile_of("a", pf0_co=1)
+        b = profile_of("b", pf0_co=1)
+        bound = ideal_bound(a, b, profile)
+        assert bound.model == "ideal"
+        assert bound.contenders == ("b",)
+        assert not bound.time_composable

@@ -1,0 +1,117 @@
+"""Tests for the multi-contender extension."""
+
+import pytest
+
+from repro import paper
+from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
+from repro.core.multicontender import multi_contender_bound
+from repro.counters.readings import TaskReadings
+from repro.errors import ModelError
+
+
+@pytest.fixture()
+def contenders():
+    h = paper.contender_readings("scenario1", "H")
+    l = paper.contender_readings("scenario1", "L")
+    return [h, l]
+
+
+class TestBasics:
+    def test_single_contender_matches_pairwise_model(
+        self, app_sc1, hload_sc1, profile, sc1
+    ):
+        joint = multi_contender_bound(
+            app_sc1, [hload_sc1], profile, sc1
+        )
+        pairwise = ilp_ptac_bound(app_sc1, hload_sc1, profile, sc1)
+        assert joint.bound.delta_cycles == pairwise.bound.delta_cycles
+
+    def test_joint_not_exceeding_naive_sum(
+        self, app_sc1, profile, sc1, contenders
+    ):
+        joint = multi_contender_bound(app_sc1, contenders, profile, sc1)
+        naive = sum(
+            ilp_ptac_bound(app_sc1, c, profile, sc1).bound.delta_cycles
+            for c in contenders
+        )
+        assert joint.bound.delta_cycles <= naive
+
+    def test_joint_at_least_each_individual(
+        self, app_sc1, profile, sc1, contenders
+    ):
+        joint = multi_contender_bound(app_sc1, contenders, profile, sc1)
+        for contender in contenders:
+            individual = ilp_ptac_bound(
+                app_sc1, contender, profile, sc1
+            ).bound.delta_cycles
+            assert joint.bound.delta_cycles >= individual
+
+    def test_per_contender_attribution_sums(self, app_sc1, profile, sc1, contenders):
+        joint = multi_contender_bound(app_sc1, contenders, profile, sc1)
+        assert (
+            sum(joint.per_contender_cycles.values())
+            == joint.bound.delta_cycles
+        )
+        assert set(joint.per_contender_cycles) == {"H-Load", "L-Load"}
+
+    def test_contender_list_metadata(self, app_sc1, profile, sc1, contenders):
+        joint = multi_contender_bound(app_sc1, contenders, profile, sc1)
+        assert joint.bound.contenders == ("H-Load", "L-Load")
+        assert joint.bound.model == "ilp-ptac-multi"
+        assert not joint.bound.time_composable
+
+
+class TestValidation:
+    def test_empty_contenders_rejected(self, app_sc1, profile, sc1):
+        with pytest.raises(ModelError):
+            multi_contender_bound(app_sc1, [], profile, sc1)
+
+    def test_duplicate_names_rejected(self, app_sc1, hload_sc1, profile, sc1):
+        with pytest.raises(ModelError):
+            multi_contender_bound(
+                app_sc1, [hload_sc1, hload_sc1], profile, sc1
+            )
+
+    def test_tc_mode_rejected(self, app_sc1, hload_sc1, profile, sc1):
+        with pytest.raises(ModelError):
+            multi_contender_bound(
+                app_sc1,
+                [hload_sc1],
+                profile,
+                sc1,
+                IlpPtacOptions(contender_constraints=False),
+            )
+
+
+class TestScaling:
+    def test_idle_contender_contributes_nothing(
+        self, app_sc1, hload_sc1, profile, sc1
+    ):
+        idle = TaskReadings("idle", pmem_stall=0, dmem_stall=0, pcache_miss=0)
+        joint = multi_contender_bound(
+            app_sc1, [hload_sc1, idle], profile, sc1
+        )
+        alone = ilp_ptac_bound(app_sc1, hload_sc1, profile, sc1)
+        assert joint.bound.delta_cycles == alone.bound.delta_cycles
+        assert joint.per_contender_cycles["idle"] == 0
+
+    def test_interference_capped_by_exposure_per_contender(
+        self, app_sc1, profile, sc1, contenders
+    ):
+        joint = multi_contender_bound(app_sc1, contenders, profile, sc1)
+        for name, counts in joint.interference.items():
+            for (target, _), count in counts.items():
+                exposure = sum(
+                    joint.solution.int_value(var)
+                    for var in joint.model.variables
+                    if var.name.startswith("n_a[")
+                    and f"[{target.value}," in var.name
+                )
+                assert count <= exposure
+
+    def test_monotone_in_number_of_contenders(
+        self, app_sc1, profile, sc1, contenders
+    ):
+        one = multi_contender_bound(app_sc1, contenders[:1], profile, sc1)
+        two = multi_contender_bound(app_sc1, contenders, profile, sc1)
+        assert two.bound.delta_cycles >= one.bound.delta_cycles

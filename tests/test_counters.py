@@ -1,0 +1,138 @@
+"""Tests for the DSU counter bank and per-task readings."""
+
+import pytest
+
+from repro.counters.dsu import (
+    COUNTER_MAX,
+    MODEL_COUNTERS,
+    CounterBank,
+    DebugCounter,
+)
+from repro.counters.readings import TaskReadings
+from repro.errors import CounterError
+
+
+class TestDebugCounters:
+    def test_table4_shorthand(self):
+        assert DebugCounter.PMEM_STALL.short_name == "PS"
+        assert DebugCounter.DMEM_STALL.short_name == "DS"
+        assert DebugCounter.PCACHE_MISS.short_name == "PM"
+        assert DebugCounter.DCACHE_MISS_CLEAN.short_name == "DMC"
+        assert DebugCounter.DCACHE_MISS_DIRTY.short_name == "DMD"
+
+    def test_model_counters_are_the_five_of_table4(self):
+        assert len(MODEL_COUNTERS) == 5
+        assert DebugCounter.CCNT not in MODEL_COUNTERS
+
+    def test_descriptions_exist(self):
+        for counter in DebugCounter:
+            assert counter.description
+
+
+class TestCounterBank:
+    def test_increment_and_read(self):
+        bank = CounterBank()
+        bank.increment(DebugCounter.PMEM_STALL, 10)
+        bank.increment(DebugCounter.PMEM_STALL, 5)
+        assert bank.read(DebugCounter.PMEM_STALL) == 15
+        assert bank.read(DebugCounter.DMEM_STALL) == 0
+
+    def test_negative_increment_rejected(self):
+        bank = CounterBank()
+        with pytest.raises(CounterError):
+            bank.increment(DebugCounter.CCNT, -1)
+
+    def test_saturation_at_32_bits(self):
+        bank = CounterBank()
+        bank.increment(DebugCounter.CCNT, COUNTER_MAX - 5)
+        bank.increment(DebugCounter.CCNT, 100)
+        assert bank.read(DebugCounter.CCNT) == COUNTER_MAX
+        assert bank.saturated
+
+    def test_reset(self):
+        bank = CounterBank()
+        bank.increment(DebugCounter.PCACHE_MISS, 3)
+        bank.reset()
+        assert bank.read(DebugCounter.PCACHE_MISS) == 0
+        assert not bank.saturated
+
+    def test_snapshot_is_a_copy(self):
+        bank = CounterBank()
+        snapshot = bank.snapshot()
+        bank.increment(DebugCounter.PCACHE_MISS, 1)
+        assert snapshot[DebugCounter.PCACHE_MISS] == 0
+
+    def test_delta(self):
+        bank = CounterBank()
+        bank.increment(DebugCounter.PCACHE_MISS, 3)
+        before = bank.snapshot()
+        bank.increment(DebugCounter.PCACHE_MISS, 4)
+        assert bank.delta(before)[DebugCounter.PCACHE_MISS] == 4
+
+    def test_delta_rejects_decrease(self):
+        bank = CounterBank()
+        bank.increment(DebugCounter.PCACHE_MISS, 3)
+        before = bank.snapshot()
+        bank.reset()
+        with pytest.raises(CounterError):
+            bank.delta(before)
+
+
+class TestTaskReadings:
+    def test_shorthand_accessors(self, app_sc1):
+        assert app_sc1.ps == 3_421_242
+        assert app_sc1.ds == 8_345_056
+        assert app_sc1.pm == 236_544
+        assert app_sc1.dmc == 0
+        assert app_sc1.dmd == 0
+
+    def test_data_cache_misses_sum(self, app_sc2):
+        assert app_sc2.data_cache_misses == 200
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(CounterError):
+            TaskReadings("x", pmem_stall=-1, dmem_stall=0, pcache_miss=0)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(CounterError):
+            TaskReadings("x", pmem_stall=1.5, dmem_stall=0, pcache_miss=0)
+
+    def test_ccnt_must_cover_stalls(self):
+        with pytest.raises(CounterError):
+            TaskReadings(
+                "x", pmem_stall=100, dmem_stall=100, pcache_miss=1, ccnt=150
+            )
+
+    def test_require_ccnt(self, app_sc1):
+        with pytest.raises(CounterError):
+            app_sc1.require_ccnt()
+        assert app_sc1.with_ccnt(20_000_000).require_ccnt() == 20_000_000
+
+    def test_scaled_rounds_up(self):
+        readings = TaskReadings(
+            "x", pmem_stall=10, dmem_stall=3, pcache_miss=1
+        )
+        scaled = readings.scaled(1 / 3)
+        assert scaled.pmem_stall == 4  # ceil(10/3)
+        assert scaled.dmem_stall == 1
+        assert scaled.pcache_miss == 1
+
+    def test_scaled_rejects_nonpositive(self, app_sc1):
+        with pytest.raises(CounterError):
+            app_sc1.scaled(0)
+
+    def test_as_row_matches_table6_layout(self, app_sc1):
+        row = app_sc1.as_row()
+        assert list(row) == ["PM", "DMC", "DMD", "PS", "DS"]
+        assert row["PS"] == 3_421_242
+
+    def test_from_bank_snapshot(self):
+        bank = CounterBank()
+        bank.increment(DebugCounter.PMEM_STALL, 12)
+        bank.increment(DebugCounter.PCACHE_MISS, 2)
+        readings = TaskReadings.from_bank_snapshot(
+            "t", bank.snapshot(), ccnt=100
+        )
+        assert readings.ps == 12
+        assert readings.pm == 2
+        assert readings.ccnt == 100

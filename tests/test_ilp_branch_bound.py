@@ -1,0 +1,132 @@
+"""Tests for the branch-and-bound MILP solver, incl. scipy cross-checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp.model import IlpModel
+from repro.ilp.solution import SolveStatus
+
+
+class TestBranching:
+    def test_needs_branching(self):
+        # LP optimum x = 3.5 -> must branch to reach 3.
+        model = IlpModel()
+        x = model.add_var("x")
+        model.add_constraint(2 * x <= 7)
+        model.maximize(x + 0)
+        solution = model.solve(backend="bnb")
+        assert solution.objective == 3.0
+        assert solution.stats.nodes >= 1
+
+    def test_knapsack_with_fractional_relaxation(self):
+        # Classic 0/1-style knapsack where LP rounds wrong.
+        model = IlpModel()
+        x = model.add_var("x", upper=1)
+        y = model.add_var("y", upper=1)
+        z = model.add_var("z", upper=1)
+        model.add_constraint(6 * x + 5 * y + 5 * z <= 10)
+        model.maximize(9 * x + 7 * y + 7 * z)
+        solution = model.solve(backend="bnb")
+        assert solution.objective == pytest.approx(14.0)  # y + z
+
+    def test_integer_infeasible_feasible_lp(self):
+        # 2x + 2y == 7 has LP solutions but no integral ones.
+        model = IlpModel()
+        x = model.add_var("x")
+        y = model.add_var("y")
+        model.add_constraint(2 * x + 2 * y == 7)
+        model.maximize(x + y)
+        assert model.solve(backend="bnb").status is SolveStatus.INFEASIBLE
+
+    def test_unbounded_detected(self):
+        model = IlpModel()
+        x = model.add_var("x")
+        model.maximize(x + 0)
+        assert model.solve(backend="bnb").status is SolveStatus.UNBOUNDED
+
+    def test_node_limit(self):
+        model = IlpModel()
+        x = model.add_var("x")
+        model.add_constraint(2 * x <= 7)
+        model.maximize(x + 0)
+        solution = model.solve(backend="bnb", node_limit=1)
+        # With one node the root LP is fractional -> no incumbent yet.
+        assert solution.status in (
+            SolveStatus.NODE_LIMIT,
+            SolveStatus.OPTIMAL,
+        )
+
+    def test_mixed_integer_continuous(self):
+        model = IlpModel()
+        x = model.add_var("x")  # integer
+        y = model.add_var("y", integer=False)
+        model.add_constraint(x + 2 * y <= 5.5)
+        model.add_constraint(y <= 1.2)
+        model.maximize(2 * x + y)
+        solution = model.solve(backend="bnb")
+        # x = 5 (integer), y = (5.5 - 5) / 2 = 0.25 -> objective 10.25.
+        assert solution.objective == pytest.approx(10.25)
+        assert float(solution.value(x)).is_integer()
+        assert solution.value(y) == pytest.approx(0.25)
+
+
+def _random_model(seed: int) -> IlpModel:
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 5))
+    m = int(rng.integers(1, 5))
+    model = IlpModel(f"rand{seed}")
+    variables = [
+        model.add_var(f"v{i}", upper=int(rng.integers(1, 20)))
+        for i in range(n)
+    ]
+    for _ in range(m):
+        coefficients = rng.integers(-3, 4, size=n)
+        rhs = int(rng.integers(0, 25))
+        expr = sum(
+            int(c) * v for c, v in zip(coefficients, variables) if c
+        )
+        if not hasattr(expr, "terms"):
+            continue  # all-zero row
+        model.add_constraint(expr <= rhs)
+    objective_coefficients = rng.integers(-4, 8, size=n)
+    model.maximize(
+        sum(int(c) * v for c, v in zip(objective_coefficients, variables))
+    )
+    return model
+
+
+class TestAgainstScipyMilp:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_bounded_instances(self, seed):
+        model = _random_model(seed)
+        ours = model.solve(backend="bnb")
+        reference = model.solve(backend="scipy")
+        assert ours.status == reference.status
+        if ours.status is SolveStatus.OPTIMAL:
+            assert ours.objective == pytest.approx(
+                reference.objective, abs=1e-6
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    upper=st.lists(st.integers(1, 15), min_size=2, max_size=4),
+    rhs=st.integers(5, 40),
+    weights=st.lists(st.integers(1, 6), min_size=2, max_size=4),
+    values=st.lists(st.integers(0, 9), min_size=2, max_size=4),
+)
+def test_bounded_knapsack_property(upper, rhs, weights, values):
+    """B&B equals scipy on random bounded knapsacks (hypothesis)."""
+    n = min(len(upper), len(weights), len(values))
+    model = IlpModel()
+    variables = [model.add_var(f"x{i}", upper=upper[i]) for i in range(n)]
+    model.add_constraint(
+        sum(weights[i] * variables[i] for i in range(n)) <= rhs
+    )
+    model.maximize(sum(values[i] * variables[i] for i in range(n)))
+    ours = model.solve(backend="bnb")
+    reference = model.solve(backend="scipy")
+    assert ours.status is SolveStatus.OPTIMAL
+    assert ours.objective == pytest.approx(reference.objective, abs=1e-6)

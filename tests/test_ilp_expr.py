@@ -1,0 +1,133 @@
+"""Tests for linear expressions and constraints."""
+
+import pytest
+
+from repro.errors import IlpError
+from repro.ilp.expr import Constraint, LinExpr, Sense, Var, lin_sum
+
+
+class TestVar:
+    def test_bounds_validation(self):
+        with pytest.raises(IlpError):
+            Var("x", lower=5, upper=3)
+
+    def test_identity_hashing(self):
+        a, b = Var("x"), Var("x")
+        assert a is not b
+        assert len({a, b}) == 2
+
+    def test_defaults(self):
+        v = Var("x")
+        assert v.lower == 0.0
+        assert v.upper is None
+        assert v.integer
+
+
+class TestAlgebra:
+    def test_addition(self):
+        x, y = Var("x"), Var("y")
+        expr = x + y + 3
+        assert expr.coefficient(x) == 1.0
+        assert expr.coefficient(y) == 1.0
+        assert expr.constant == 3.0
+
+    def test_subtraction_and_negation(self):
+        x, y = Var("x"), Var("y")
+        expr = x - 2 * y - 1
+        assert expr.coefficient(y) == -2.0
+        neg = -expr
+        assert neg.coefficient(x) == -1.0
+        assert neg.constant == 1.0
+
+    def test_rsub(self):
+        x = Var("x")
+        expr = 10 - x
+        assert expr.constant == 10.0
+        assert expr.coefficient(x) == -1.0
+
+    def test_scaling(self):
+        x = Var("x")
+        expr = 3 * (2 * x + 1)
+        assert expr.coefficient(x) == 6.0
+        assert expr.constant == 3.0
+
+    def test_coefficient_cancellation_drops_term(self):
+        x = Var("x")
+        expr = x - x
+        assert expr.variables() == ()
+
+    def test_product_of_variables_rejected(self):
+        x, y = Var("x"), Var("y")
+        with pytest.raises(IlpError):
+            (x + 0) * y
+
+    def test_invalid_operand_rejected(self):
+        x = Var("x")
+        with pytest.raises(IlpError):
+            x + "one"
+
+    def test_evaluate(self):
+        x, y = Var("x"), Var("y")
+        expr = 2 * x + 3 * y + 1
+        assert expr.evaluate({x: 2, y: 1}) == 8.0
+
+    def test_evaluate_missing_variable(self):
+        x, y = Var("x"), Var("y")
+        with pytest.raises(IlpError):
+            (x + y).evaluate({x: 1})
+
+    def test_lin_sum(self):
+        variables = [Var(f"v{i}") for i in range(4)]
+        expr = lin_sum(v * (i + 1) for i, v in enumerate(variables))
+        assert expr.coefficient(variables[3]) == 4.0
+
+    def test_lin_sum_empty(self):
+        expr = lin_sum([])
+        assert isinstance(expr, LinExpr)
+        assert expr.constant == 0.0
+
+
+class TestConstraints:
+    def test_le_constraint(self):
+        x = Var("x")
+        constraint = 2 * x + 1 <= 5
+        assert isinstance(constraint, Constraint)
+        assert constraint.sense is Sense.LE
+        assert constraint.rhs == 4.0  # folded: 2x <= 4
+
+    def test_ge_constraint(self):
+        x = Var("x")
+        constraint = x >= 3
+        assert constraint.sense is Sense.GE
+        assert constraint.rhs == 3.0
+
+    def test_eq_constraint(self):
+        x = Var("x")
+        constraint = x + 0 == 7
+        assert constraint.sense is Sense.EQ
+        assert constraint.rhs == 7.0
+
+    def test_var_comparison_builds_constraint(self):
+        x, y = Var("x"), Var("y")
+        constraint = x <= y
+        assert constraint.sense is Sense.LE
+        terms = constraint.terms()
+        assert terms[x] == 1.0 and terms[y] == -1.0
+
+    def test_satisfaction(self):
+        x, y = Var("x"), Var("y")
+        c = x + y <= 10
+        assert c.is_satisfied({x: 4, y: 6})
+        assert c.is_satisfied({x: 4, y: 5})
+        assert not c.is_satisfied({x: 7, y: 6})
+
+    def test_eq_satisfaction_with_tolerance(self):
+        x = Var("x")
+        c = x + 0 == 5
+        assert c.is_satisfied({x: 5.0000001})
+        assert not c.is_satisfied({x: 5.1})
+
+    def test_named(self):
+        x = Var("x")
+        c = (x <= 1).named("cap")
+        assert c.name == "cap"

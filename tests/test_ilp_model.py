@@ -1,0 +1,150 @@
+"""Tests for the ILP model builder and solve dispatch."""
+
+import pytest
+
+from repro.errors import IlpError
+from repro.ilp.model import IlpModel
+from repro.ilp.solution import SolveStatus
+
+
+class TestConstruction:
+    def test_duplicate_variable_names_rejected(self):
+        model = IlpModel()
+        model.add_var("x")
+        with pytest.raises(IlpError):
+            model.add_var("x")
+
+    def test_negative_lower_bound_rejected_at_solve(self):
+        model = IlpModel()
+        model.add_var("x", lower=-1)
+        model.maximize(model.variables[0] + 0)
+        with pytest.raises(IlpError):
+            model.solve()
+
+    def test_non_constraint_rejected(self):
+        model = IlpModel()
+        with pytest.raises(IlpError):
+            model.add_constraint(True)  # type: ignore[arg-type]
+
+    def test_foreign_variable_rejected(self):
+        model = IlpModel()
+        model.add_var("x")
+        other = IlpModel()
+        y = other.add_var("y")
+        model.add_constraint(y <= 1)
+        model.maximize(model.variables[0] + 0)
+        with pytest.raises(IlpError):
+            model.solve()
+
+    def test_constraint_named_lookup(self):
+        model = IlpModel()
+        x = model.add_var("x")
+        model.add_constraint(x <= 5, name="cap")
+        assert model.constraint_named("cap").rhs == 5.0
+        with pytest.raises(IlpError):
+            model.constraint_named("missing")
+
+
+class TestSolving:
+    def _knapsack(self) -> IlpModel:
+        model = IlpModel("knapsack")
+        x = model.add_var("x", upper=10)
+        y = model.add_var("y", upper=10)
+        model.add_constraint(2 * x + 3 * y <= 12)
+        model.maximize(3 * x + 4 * y)
+        return model
+
+    @pytest.mark.parametrize("backend", ["bnb", "scipy"])
+    def test_integer_optimum(self, backend):
+        solution = self._knapsack().solve(backend=backend)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(18.0)
+
+    def test_lp_relaxation_at_least_ilp(self):
+        model = self._knapsack()
+        lp = model.solve(backend="lp")
+        ilp = model.solve(backend="bnb")
+        assert lp.objective >= ilp.objective - 1e-9
+
+    def test_unknown_backend(self):
+        with pytest.raises(IlpError):
+            self._knapsack().solve(backend="gurobi")
+
+    def test_lower_bounds_respected(self):
+        model = IlpModel()
+        x = model.add_var("x", lower=3, upper=10)
+        model.maximize(-1 * x)
+        solution = model.solve()
+        assert solution.value(x) == 3.0
+
+    def test_fractional_lp_integral_ilp(self):
+        model = IlpModel()
+        x = model.add_var("x")
+        model.add_constraint(2 * x <= 7)
+        model.maximize(x + 0)
+        assert model.solve(backend="lp").objective == pytest.approx(3.5)
+        assert model.solve(backend="bnb").objective == pytest.approx(3.0)
+
+    def test_continuous_variables(self):
+        model = IlpModel()
+        x = model.add_var("x", integer=False)
+        model.add_constraint(2 * x <= 7)
+        model.maximize(x + 0)
+        assert model.solve(backend="bnb").objective == pytest.approx(3.5)
+
+    def test_objective_constant_carried(self):
+        model = IlpModel()
+        x = model.add_var("x", upper=2)
+        model.maximize(x + 10)
+        assert model.solve().objective == pytest.approx(12.0)
+
+    def test_check_reports_violations(self):
+        model = IlpModel()
+        x = model.add_var("x", upper=5)
+        model.add_constraint(x <= 3, name="cap")
+        violations = model.check({x: 4.0})
+        assert any("cap" in v or "violated" in v for v in violations)
+        assert model.check({x: 2.0}) == []
+
+    def test_check_integrality(self):
+        model = IlpModel()
+        x = model.add_var("x")
+        assert any("integral" in v for v in model.check({x: 1.5}))
+
+
+class TestSolutionApi:
+    def test_value_and_int_value(self):
+        model = IlpModel()
+        x = model.add_var("x", upper=4)
+        model.maximize(2 * x)
+        solution = model.solve()
+        assert solution.value(x) == 4.0
+        assert solution.int_value(x) == 4
+        assert solution[2 * x + 1] == 9.0
+
+    def test_unknown_variable_value(self):
+        model = IlpModel()
+        x = model.add_var("x", upper=1)
+        model.maximize(x + 0)
+        solution = model.solve()
+        from repro.ilp.expr import Var
+
+        with pytest.raises(IlpError):
+            solution.value(Var("ghost"))
+
+    def test_require_optimal_on_infeasible(self):
+        model = IlpModel()
+        x = model.add_var("x")
+        model.add_constraint(x <= 1)
+        model.add_constraint(x >= 2)
+        model.maximize(x + 0)
+        solution = model.solve()
+        assert solution.status is SolveStatus.INFEASIBLE
+        with pytest.raises(IlpError):
+            solution.require_optimal()
+
+    def test_by_name(self):
+        model = IlpModel()
+        x = model.add_var("x", upper=1)
+        model.maximize(x + 0)
+        assert model.solve().by_name() == {"x": 1.0}

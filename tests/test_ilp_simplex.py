@@ -1,0 +1,126 @@
+"""Tests for the two-phase simplex LP solver."""
+
+import numpy as np
+import pytest
+
+from repro.ilp.simplex import LpStatus, solve_lp
+
+
+def minimize(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None):
+    n = len(c)
+    return solve_lp(
+        np.array(c, dtype=float),
+        np.array(a_ub if a_ub is not None else []).reshape(-1, n),
+        np.array(b_ub if b_ub is not None else []),
+        np.array(a_eq if a_eq is not None else []).reshape(-1, n),
+        np.array(b_eq if b_eq is not None else []),
+    )
+
+
+class TestBasicLp:
+    def test_simple_maximization(self):
+        # max 3x + 4y st 2x + 3y <= 12, x,y >= 0 (min of negated costs).
+        result = minimize([-3, -4], a_ub=[[2, 3]], b_ub=[12])
+        assert result.status is LpStatus.OPTIMAL
+        assert result.objective == pytest.approx(-18.0)  # x = 6 wins
+        assert result.x == pytest.approx([6, 0])
+
+    def test_two_constraints(self):
+        # max x + y st x <= 3, y <= 2.
+        result = minimize([-1, -1], a_ub=[[1, 0], [0, 1]], b_ub=[3, 2])
+        assert result.objective == pytest.approx(-5.0)
+
+    def test_equality_constraint(self):
+        # min x + y st x + y == 4 -> 4.
+        result = minimize([1, 1], a_eq=[[1, 1]], b_eq=[4])
+        assert result.status is LpStatus.OPTIMAL
+        assert result.objective == pytest.approx(4.0)
+
+    def test_negative_rhs_inequality(self):
+        # x >= 2 encoded as -x <= -2; min x -> 2.
+        result = minimize([1], a_ub=[[-1]], b_ub=[-2])
+        assert result.status is LpStatus.OPTIMAL
+        assert result.x == pytest.approx([2])
+
+    def test_unconstrained_at_origin(self):
+        result = minimize([1, 2])
+        assert result.status is LpStatus.OPTIMAL
+        assert result.objective == 0.0
+
+    def test_unconstrained_unbounded(self):
+        result = minimize([-1])
+        assert result.status is LpStatus.UNBOUNDED
+
+
+class TestInfeasibility:
+    def test_contradictory_bounds(self):
+        # x <= 1 and x >= 3.
+        result = minimize([1], a_ub=[[1], [-1]], b_ub=[1, -3])
+        assert result.status is LpStatus.INFEASIBLE
+
+    def test_contradictory_equalities(self):
+        result = minimize([1], a_eq=[[1], [1]], b_eq=[1, 2])
+        assert result.status is LpStatus.INFEASIBLE
+
+    def test_negative_equality_rhs_feasible(self):
+        # -x == -3 -> x = 3.
+        result = minimize([1], a_eq=[[-1]], b_eq=[-3])
+        assert result.status is LpStatus.OPTIMAL
+        assert result.x == pytest.approx([3])
+
+
+class TestUnboundedness:
+    def test_unbounded_direction(self):
+        # min -x st y <= 1: x can grow forever.
+        result = minimize([-1, 0], a_ub=[[0, 1]], b_ub=[1])
+        assert result.status is LpStatus.UNBOUNDED
+
+
+class TestDegenerateAndRedundant:
+    def test_redundant_equalities(self):
+        # Same equality twice: solvable despite singular basis candidates.
+        result = minimize([1, 1], a_eq=[[1, 1], [1, 1]], b_eq=[4, 4])
+        assert result.status is LpStatus.OPTIMAL
+        assert result.objective == pytest.approx(4.0)
+
+    def test_degenerate_vertex(self):
+        # Three constraints meeting at one point; Bland's rule must not cycle.
+        result = minimize(
+            [-1, -1],
+            a_ub=[[1, 0], [0, 1], [1, 1]],
+            b_ub=[2, 2, 2],
+        )
+        assert result.status is LpStatus.OPTIMAL
+        assert result.objective == pytest.approx(-2.0)
+
+    def test_zero_rhs_start(self):
+        result = minimize([-1], a_ub=[[1]], b_ub=[0])
+        assert result.status is LpStatus.OPTIMAL
+        assert result.objective == pytest.approx(0.0)
+
+
+class TestAgainstScipy:
+    """Random instances cross-checked against scipy.optimize.linprog."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_instances(self, seed):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(seed)
+        n = rng.integers(2, 6)
+        m = rng.integers(1, 6)
+        c = rng.integers(-5, 6, size=n).astype(float)
+        a_ub = rng.integers(-3, 4, size=(m, n)).astype(float)
+        b_ub = rng.integers(0, 15, size=m).astype(float)
+
+        ours = solve_lp(c, a_ub, b_ub, np.empty((0, n)), np.empty(0))
+        reference = linprog(
+            c, A_ub=a_ub, b_ub=b_ub, bounds=[(0, None)] * n, method="highs"
+        )
+        if reference.status == 3:
+            assert ours.status is LpStatus.UNBOUNDED
+        elif reference.status == 2:
+            assert ours.status is LpStatus.INFEASIBLE
+        else:
+            assert ours.status is LpStatus.OPTIMAL
+            assert ours.objective == pytest.approx(reference.fun, abs=1e-6)

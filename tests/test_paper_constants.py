@@ -1,0 +1,103 @@
+"""Meta-consistency tests for the bundled paper constants.
+
+The derived constants in :mod:`repro.paper` (isolation times, load
+scalings) were obtained by inverting Figure 4 — these tests verify the
+inversion actually closes: feeding the constants back through the models
+must land on the published ratios, and the derived quantities must stay
+mutually consistent (DESIGN.md's "Reference numbers" section).
+"""
+
+import pytest
+
+from repro import paper
+from repro.core.ftc import ftc_refined
+from repro.core.ilp_ptac import ilp_ptac_bound
+from repro.platform.deployment import scenario_1, scenario_2
+from repro.platform.latency import tc27x_latency_profile
+
+PROFILE = tc27x_latency_profile()
+SCENARIOS = {"scenario1": scenario_1, "scenario2": scenario_2}
+
+
+class TestDerivationCloses:
+    """EXPECTED_DELTA / ISOLATION_CYCLES / FIGURE4 form a consistent set."""
+
+    @pytest.mark.parametrize("scenario_name", ["scenario1", "scenario2"])
+    def test_ftc_ratio_closes(self, scenario_name):
+        delta = paper.EXPECTED_DELTA[(scenario_name, "ftc-refined")]
+        isolation = paper.ISOLATION_CYCLES[scenario_name]
+        predicted = 1 + delta / isolation
+        assert predicted == pytest.approx(
+            paper.FIGURE4[scenario_name].ftc, abs=paper.RATIO_TOLERANCE
+        )
+
+    @pytest.mark.parametrize("scenario_name", ["scenario1", "scenario2"])
+    def test_ilp_h_ratio_closes(self, scenario_name):
+        delta = paper.EXPECTED_DELTA[(scenario_name, "ilp-ptac", "H")]
+        isolation = paper.ISOLATION_CYCLES[scenario_name]
+        predicted = 1 + delta / isolation
+        assert predicted == pytest.approx(
+            paper.FIGURE4[scenario_name].ilp["H"],
+            abs=paper.RATIO_TOLERANCE,
+        )
+
+    @pytest.mark.parametrize("scenario_name", ["scenario1", "scenario2"])
+    def test_l_scaling_reproduces_l_endpoint(self, scenario_name):
+        """LOAD_SCALE['L'] was chosen so the L bar lands where published."""
+        scenario = SCENARIOS[scenario_name]()
+        app = paper.table6(scenario_name, "app")
+        contender = paper.contender_readings(scenario_name, "L")
+        delta = ilp_ptac_bound(
+            app, contender, PROFILE, scenario
+        ).bound.delta_cycles
+        predicted = 1 + delta / paper.ISOLATION_CYCLES[scenario_name]
+        assert predicted == pytest.approx(
+            paper.FIGURE4[scenario_name].ilp["L"],
+            abs=paper.RATIO_TOLERANCE,
+        )
+
+    @pytest.mark.parametrize("scenario_name", ["scenario1", "scenario2"])
+    def test_expected_delta_matches_model(self, scenario_name):
+        """The recorded constants are what the models actually produce."""
+        scenario = SCENARIOS[scenario_name]()
+        app = paper.table6(scenario_name, "app")
+        assert (
+            ftc_refined(app, PROFILE, scenario).delta_cycles
+            == paper.EXPECTED_DELTA[(scenario_name, "ftc-refined")]
+        )
+
+
+class TestConstantsIntegrity:
+    def test_load_scales(self):
+        assert paper.LOAD_SCALE["H"] == 1.0
+        assert paper.LOAD_SCALE["L"] == 0.5
+        assert (
+            paper.LOAD_SCALE["L"]
+            < paper.LOAD_SCALE["M"]
+            < paper.LOAD_SCALE["H"]
+        )
+
+    def test_contender_readings_h_is_verbatim(self):
+        assert paper.contender_readings("scenario1", "H") is paper.table6(
+            "scenario1", "H-Load"
+        )
+
+    def test_contender_readings_scaled_names(self):
+        assert paper.contender_readings("scenario2", "M").name == "M-Load"
+
+    def test_isolation_exceeds_stall_totals(self):
+        """Execution time must contain the task's own stall cycles."""
+        for scenario_name, isolation in paper.ISOLATION_CYCLES.items():
+            readings = paper.table6(scenario_name, "app")
+            assert isolation > readings.ps + readings.ds
+
+    def test_figure4_reference_shape(self):
+        for reference in paper.FIGURE4.values():
+            assert set(reference.ilp) == {"H", "L"}  # M unreported
+            assert reference.ftc > max(reference.ilp.values())
+
+    def test_constants_are_readonly_mappings(self):
+        with pytest.raises(TypeError):
+            paper.ISOLATION_CYCLES["scenario1"] = 0  # type: ignore[index]
+        with pytest.raises(TypeError):
+            paper.LOAD_SCALE["H"] = 2.0  # type: ignore[index]

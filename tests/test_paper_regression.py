@@ -1,0 +1,194 @@
+"""Paper regression suite: every published number, reproduced.
+
+These tests pin the reproduction to the paper's own artefacts:
+Table 2 (via characterisation), Table 6 (verbatim constants and simulated
+footprints), Figure 4 (both modes) and the Section 4.2 qualitative claims.
+"""
+
+import pytest
+
+from repro import paper
+from repro.analysis.characterization import characterize
+from repro.analysis.experiments import (
+    figure4_paper_mode,
+    figure4_sim_mode,
+    table6_sim_mode,
+)
+from repro.platform.latency import tc27x_latency_profile
+
+
+class TestTable2:
+    def test_characterised_profile_matches_paper(self):
+        measured = characterize().profile
+        reference = tc27x_latency_profile()
+        assert measured.as_table() == reference.as_table()
+
+
+class TestTable6Constants:
+    """The bundled reference readings are the published ones."""
+
+    @pytest.mark.parametrize(
+        "scenario,task,pm,dmc,dmd,ps,ds",
+        [
+            ("scenario1", "app", 236544, 0, 0, 3421242, 8345056),
+            ("scenario1", "H-Load", 120594, 0, 0, 1744167, 4251811),
+            ("scenario2", "app", 458394, 200, 0, 2753995, 86371),
+            ("scenario2", "H-Load", 233694, 200, 0, 1404145, 42826),
+        ],
+    )
+    def test_row(self, scenario, task, pm, dmc, dmd, ps, ds):
+        readings = paper.table6(scenario, task)
+        assert readings.pm == pm
+        assert readings.dmc == dmc
+        assert readings.dmd == dmd
+        assert readings.ps == ps
+        assert readings.ds == ds
+
+    def test_unknown_row(self):
+        with pytest.raises(KeyError):
+            paper.table6("scenario3", "app")
+
+
+class TestExpectedDeltas:
+    """Analytically derived model outputs on Table 6 inputs (DESIGN.md)."""
+
+    def test_ftc_refined_sc1(self, app_sc1, profile, sc1):
+        from repro.core.ftc import ftc_refined
+
+        assert (
+            ftc_refined(app_sc1, profile, sc1).delta_cycles
+            == paper.EXPECTED_DELTA[("scenario1", "ftc-refined")]
+        )
+
+    def test_ftc_refined_sc2(self, app_sc2, profile, sc2):
+        from repro.core.ftc import ftc_refined
+
+        assert (
+            ftc_refined(app_sc2, profile, sc2).delta_cycles
+            == paper.EXPECTED_DELTA[("scenario2", "ftc-refined")]
+        )
+
+    def test_ilp_sc1(self, app_sc1, hload_sc1, profile, sc1):
+        from repro.core.ilp_ptac import ilp_ptac_bound
+
+        assert (
+            ilp_ptac_bound(app_sc1, hload_sc1, profile, sc1).bound.delta_cycles
+            == paper.EXPECTED_DELTA[("scenario1", "ilp-ptac", "H")]
+        )
+
+    def test_ilp_sc2(self, app_sc2, hload_sc2, profile, sc2):
+        from repro.core.ilp_ptac import ilp_ptac_bound
+
+        assert (
+            ilp_ptac_bound(app_sc2, hload_sc2, profile, sc2).bound.delta_cycles
+            == paper.EXPECTED_DELTA[("scenario2", "ilp-ptac", "H")]
+        )
+
+
+class TestFigure4PaperMode:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure4_paper_mode()
+
+    def test_row_inventory(self, rows):
+        # 2 scenarios x (1 fTC + 3 loads).
+        assert len(rows) == 8
+
+    def test_published_ratios_within_tolerance(self, rows):
+        checked = 0
+        for row in rows:
+            if row.paper_value is None:
+                continue
+            assert row.slowdown == pytest.approx(
+                row.paper_value, abs=paper.RATIO_TOLERANCE
+            ), f"{row.scenario}/{row.model}/{row.load}"
+            checked += 1
+        assert checked == 6  # 2 fTC + 4 ILP endpoints
+
+    def test_ilp_below_half_of_ftc(self, rows):
+        """Section 4.2: 'contention cycles are below half of those for
+        fTC bounds' — for the heaviest contender."""
+        for scenario in ("scenario1", "scenario2"):
+            ftc = next(
+                r.delta_cycles
+                for r in rows
+                if r.scenario == scenario and r.model == "ftc-refined"
+            )
+            ilp_h = next(
+                r.delta_cycles
+                for r in rows
+                if r.scenario == scenario
+                and r.model == "ilp-ptac"
+                and r.load == "H"
+            )
+            assert ilp_h <= ftc * paper.ILP_VS_FTC_MAX_RATIO + 1
+
+    def test_ilp_adapts_to_load_ftc_does_not(self, rows):
+        for scenario in ("scenario1", "scenario2"):
+            ilp = {
+                r.load: r.slowdown
+                for r in rows
+                if r.scenario == scenario and r.model == "ilp-ptac"
+            }
+            assert ilp["L"] < ilp["M"] < ilp["H"]
+
+    def test_published_ranges(self, rows):
+        """Scenario 1 ILP in [1.24, 1.49]; scenario 2 in [1.34, 1.67]."""
+        for row in rows:
+            if row.model != "ilp-ptac":
+                continue
+            lo, hi = {
+                "scenario1": (1.24, 1.49),
+                "scenario2": (1.34, 1.68),
+            }[row.scenario]
+            assert lo - 0.01 <= row.slowdown <= hi + 0.01
+
+
+class TestSimulationMode:
+    """End-to-end on the simulator at 1/64 scale (fast)."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure4_sim_mode(scale=1 / 64)
+
+    def test_ratios_close_to_paper(self, rows):
+        # Simulated counters land within a few cycles of the scaled
+        # Table 6 values, so the ratios stay within the tolerance too.
+        for row in rows:
+            if row.paper_value is not None:
+                assert row.slowdown == pytest.approx(
+                    row.paper_value, abs=paper.RATIO_TOLERANCE
+                )
+
+    def test_all_predictions_sound(self, rows):
+        """'In all experiments our model predictions upperbound the
+        observed multicore execution time.'"""
+        for row in rows:
+            assert row.sound is True, f"{row.scenario}/{row.model}/{row.load}"
+
+    def test_observed_slowdowns_nontrivial(self, rows):
+        # The co-runs must actually contend (otherwise soundness is vacuous).
+        assert any(
+            row.observed_slowdown and row.observed_slowdown > 1.05
+            for row in rows
+        )
+
+
+class TestTable6SimMode:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table6_sim_mode(scale=1 / 64)
+
+    def test_counter_footprints_match_scaled_paper(self, rows):
+        for row in rows:
+            sim, ref = row.simulated, row.reference
+            assert sim.pm == ref.pm, row.task
+            # Stall counters within 0.5% (deterministic mixes, integer
+            # rounding at block boundaries).
+            assert sim.ps == pytest.approx(ref.ps, rel=5e-3)
+            assert sim.ds == pytest.approx(ref.ds, rel=5e-3)
+
+    def test_dirty_misses_zero(self, rows):
+        # Table 6 reports DMD = 0 under both scenarios.
+        for row in rows:
+            assert row.simulated.dmd == 0

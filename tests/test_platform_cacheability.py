@@ -1,0 +1,113 @@
+"""Tests for the Table 3 placement matrix."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.platform.cacheability import (
+    ALL_SECTION_KINDS,
+    CODE_CACHEABLE,
+    CODE_UNCACHEABLE,
+    DATA_CACHEABLE,
+    DATA_UNCACHEABLE,
+    allowed_kinds,
+    allowed_targets,
+    check_placement,
+    check_placements,
+    dirty_eviction_targets,
+    is_placement_valid,
+    placement_matrix,
+    validate_target_set,
+)
+from repro.platform.targets import Target
+
+
+class TestTable3Verbatim:
+    """Every cell of Table 3."""
+
+    @pytest.mark.parametrize(
+        "kind",
+        [CODE_CACHEABLE, CODE_UNCACHEABLE, DATA_CACHEABLE],
+    )
+    def test_first_three_rows(self, kind):
+        # Code $, Code n$, Data $: pf0 ok, pf1 ok, dfl no, lmu ok.
+        assert is_placement_valid(kind, Target.PF0)
+        assert is_placement_valid(kind, Target.PF1)
+        assert not is_placement_valid(kind, Target.DFL)
+        assert is_placement_valid(kind, Target.LMU)
+
+    def test_data_uncacheable_row(self):
+        # Data n$: pf0 no, pf1 no, dfl ok, lmu ok.
+        assert not is_placement_valid(DATA_UNCACHEABLE, Target.PF0)
+        assert not is_placement_valid(DATA_UNCACHEABLE, Target.PF1)
+        assert is_placement_valid(DATA_UNCACHEABLE, Target.DFL)
+        assert is_placement_valid(DATA_UNCACHEABLE, Target.LMU)
+
+    def test_matrix_rendering_matches(self):
+        matrix = placement_matrix()
+        assert matrix["Data n$"]["pf0"] is False
+        assert matrix["Data n$"]["dfl"] is True
+        assert matrix["Code $"]["lmu"] is True
+        assert matrix["Code n$"]["dfl"] is False
+        assert len(matrix) == 4
+
+    def test_dflash_only_accepts_uncacheable_data(self):
+        assert allowed_kinds(Target.DFL) == frozenset({DATA_UNCACHEABLE})
+
+    def test_lmu_accepts_everything(self):
+        assert allowed_kinds(Target.LMU) == frozenset(ALL_SECTION_KINDS)
+
+    def test_allowed_targets_roundtrip(self):
+        for kind in ALL_SECTION_KINDS:
+            for target in allowed_targets(kind):
+                assert kind in allowed_kinds(target)
+
+
+class TestChecks:
+    def test_check_placement_passes(self):
+        check_placement(CODE_CACHEABLE, Target.PF0)
+
+    def test_check_placement_raises(self):
+        with pytest.raises(DeploymentError):
+            check_placement(CODE_CACHEABLE, Target.DFL)
+
+    def test_check_placements_batch(self):
+        check_placements(
+            [(CODE_CACHEABLE, Target.PF0), (DATA_UNCACHEABLE, Target.LMU)]
+        )
+        with pytest.raises(DeploymentError):
+            check_placements(
+                [(CODE_CACHEABLE, Target.PF0), (DATA_UNCACHEABLE, Target.PF1)]
+            )
+
+    def test_section_kind_labels(self):
+        assert CODE_CACHEABLE.label() == "Code $"
+        assert DATA_UNCACHEABLE.label() == "Data n$"
+
+
+class TestDirtyEvictionTargets:
+    def test_cacheable_lmu_data_enables_dirty(self):
+        placements = [(DATA_CACHEABLE, Target.LMU)]
+        assert dirty_eviction_targets(placements) == frozenset({Target.LMU})
+
+    def test_flash_cacheable_data_is_readonly(self):
+        # Cacheable data in flash can never be dirtied (not writable).
+        placements = [(DATA_CACHEABLE, Target.PF0)]
+        assert dirty_eviction_targets(placements) == frozenset()
+
+    def test_uncacheable_data_never_dirty(self):
+        placements = [(DATA_UNCACHEABLE, Target.LMU)]
+        assert dirty_eviction_targets(placements) == frozenset()
+
+    def test_code_never_dirty(self):
+        placements = [(CODE_CACHEABLE, Target.LMU)]
+        assert dirty_eviction_targets(placements) == frozenset()
+
+
+class TestTargetSetValidation:
+    def test_canonical_ordering(self):
+        result = validate_target_set([Target.LMU, Target.PF0])
+        assert result == (Target.PF0, Target.LMU)
+
+    def test_deduplication(self):
+        result = validate_target_set([Target.PF0, Target.PF0])
+        assert result == (Target.PF0,)

@@ -1,0 +1,237 @@
+"""Tests for deployments and the Figure 3 reference scenarios."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.platform.cacheability import (
+    CODE_CACHEABLE,
+    DATA_CACHEABLE,
+    DATA_UNCACHEABLE,
+)
+from repro.platform.deployment import (
+    Deployment,
+    DeploymentScenario,
+    Section,
+    architectural_scenario,
+    custom_scenario,
+    named_scenarios,
+    scenario_1,
+    scenario_2,
+)
+from repro.platform.latency import tc27x_latency_profile
+from repro.platform.targets import Operation, Target
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return tc27x_latency_profile()
+
+
+class TestSections:
+    def test_table3_enforced_on_sections(self):
+        with pytest.raises(DeploymentError):
+            Section("bad", DATA_UNCACHEABLE, Target.PF0)
+
+    def test_scratchpad_sections_unconstrained(self):
+        section = Section("local", DATA_UNCACHEABLE, None)
+        assert not section.on_sri
+
+    def test_positive_size_required(self):
+        with pytest.raises(DeploymentError):
+            Section("zero", CODE_CACHEABLE, Target.PF0, size=0)
+
+    def test_duplicate_section_names_rejected(self):
+        with pytest.raises(DeploymentError):
+            Deployment(
+                [
+                    Section("x", CODE_CACHEABLE, Target.PF0),
+                    Section("x", CODE_CACHEABLE, Target.PF1),
+                ]
+            )
+
+    def test_empty_deployment_rejected(self):
+        with pytest.raises(DeploymentError):
+            Deployment([])
+
+
+class TestDeploymentDerivation:
+    def test_targets_per_operation(self):
+        deployment = Deployment(
+            [
+                Section("code", CODE_CACHEABLE, Target.PF0),
+                Section("data", DATA_UNCACHEABLE, Target.LMU),
+                Section("local", DATA_UNCACHEABLE, None),
+            ]
+        )
+        assert deployment.targets(Operation.CODE) == (Target.PF0,)
+        assert deployment.targets(Operation.DATA) == (Target.LMU,)
+
+    def test_operations_on_target(self):
+        deployment = Deployment(
+            [
+                Section("code", CODE_CACHEABLE, Target.PF0),
+                Section("const", DATA_CACHEABLE, Target.PF0),
+            ]
+        )
+        assert deployment.operations_on(Target.PF0) == (
+            Operation.CODE,
+            Operation.DATA,
+        )
+        assert deployment.operations_on(Target.LMU) == ()
+
+    def test_all_sri_code_cacheable(self):
+        deployment = Deployment(
+            [Section("code", CODE_CACHEABLE, Target.PF0)]
+        )
+        assert deployment.all_sri_code_cacheable()
+
+    def test_dirty_targets_only_with_cacheable_lmu_data(self):
+        with_dirty = Deployment(
+            [Section("d", DATA_CACHEABLE, Target.LMU)]
+        )
+        assert with_dirty.dirty_targets() == frozenset({Target.LMU})
+        without = Deployment(
+            [Section("d", DATA_UNCACHEABLE, Target.LMU)]
+        )
+        assert without.dirty_targets() == frozenset()
+
+
+class TestScenario1:
+    """Figure 3-a derived facts."""
+
+    def test_code_targets(self, sc1):
+        assert sc1.code_targets == (Target.PF0, Target.PF1)
+
+    def test_data_targets_lmu_only(self, sc1):
+        assert sc1.data_targets == (Target.LMU,)
+
+    def test_no_dirty_targets(self, sc1):
+        assert sc1.dirty_targets == frozenset()
+
+    def test_pmiss_exact(self, sc1):
+        assert sc1.code_count_exact
+
+    def test_no_data_count_info(self, sc1):
+        assert not sc1.data_count_lower_bounded
+
+    def test_valid_pairs(self, sc1):
+        assert set(sc1.valid_pairs()) == {
+            (Target.PF0, Operation.CODE),
+            (Target.PF1, Operation.CODE),
+            (Target.LMU, Operation.DATA),
+        }
+
+    def test_cs_min_restricted(self, sc1, profile):
+        assert sc1.cs_min(profile, Operation.CODE) == 6
+        assert sc1.cs_min(profile, Operation.DATA) == 10  # lmu only
+
+    def test_max_interference_latencies(self, sc1, profile):
+        # Code can only collide with contender code on pf0/pf1 -> 16;
+        # data only with contender data on the lmu -> 11 (no dirty).
+        assert sc1.max_interference_latency(profile, Operation.CODE) == 16
+        assert sc1.max_interference_latency(profile, Operation.DATA) == 11
+
+
+class TestScenario2:
+    """Figure 3-b derived facts."""
+
+    def test_code_targets(self, sc2):
+        assert sc2.code_targets == (Target.PF0, Target.PF1)
+
+    def test_data_targets(self, sc2):
+        assert sc2.data_targets == (Target.PF0, Target.PF1, Target.LMU)
+
+    def test_dirty_lmu(self, sc2):
+        assert sc2.dirty_targets == frozenset({Target.LMU})
+
+    def test_counter_semantics(self, sc2):
+        assert sc2.code_count_exact
+        assert sc2.data_count_lower_bounded
+
+    def test_interference_latency_dirty_lmu(self, sc2, profile):
+        assert (
+            sc2.interference_latency(profile, Target.LMU, Operation.DATA)
+            == 21
+        )
+        assert (
+            sc2.interference_latency(profile, Target.PF0, Operation.DATA)
+            == 16
+        )
+
+    def test_max_interference_latencies(self, sc2, profile):
+        assert sc2.max_interference_latency(profile, Operation.CODE) == 16
+        assert sc2.max_interference_latency(profile, Operation.DATA) == 21
+
+
+class TestArchitecturalScenario:
+    def test_full_target_sets(self, arch_scenario):
+        assert arch_scenario.code_targets == (
+            Target.PF0,
+            Target.PF1,
+            Target.LMU,
+        )
+        assert len(arch_scenario.data_targets) == 4
+
+    def test_no_counter_knowledge(self, arch_scenario):
+        assert not arch_scenario.code_count_exact
+        assert not arch_scenario.data_count_lower_bounded
+
+    def test_matches_eqs_6_7(self, arch_scenario, profile):
+        assert (
+            arch_scenario.max_interference_latency(profile, Operation.CODE)
+            == 16
+        )
+        assert (
+            arch_scenario.max_interference_latency(profile, Operation.DATA)
+            == 43
+        )
+
+    def test_dirty_variant(self, profile):
+        scenario = architectural_scenario(dirty_lmu=True)
+        assert (
+            scenario.max_interference_latency(profile, Operation.CODE) == 21
+        )
+
+
+class TestCustomScenario:
+    def test_single_target(self, profile):
+        scenario = custom_scenario(
+            "bus", code_targets=(Target.LMU,), data_targets=(Target.LMU,)
+        )
+        assert scenario.valid_pairs() == (
+            (Target.LMU, Operation.CODE),
+            (Target.LMU, Operation.DATA),
+        )
+
+    def test_invalid_code_target_rejected(self):
+        with pytest.raises(DeploymentError):
+            custom_scenario("bad", code_targets=(Target.DFL,))
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(DeploymentError):
+            custom_scenario("empty")
+
+    def test_no_reachable_target_raises_on_query(self, profile):
+        scenario = custom_scenario("data-only", data_targets=(Target.LMU,))
+        with pytest.raises(DeploymentError):
+            scenario.max_interference_latency(profile, Operation.CODE)
+
+
+class TestNamedScenarios:
+    def test_registry_contents(self):
+        scenarios = named_scenarios()
+        assert set(scenarios) == {"scenario1", "scenario2", "architectural"}
+        assert scenarios["scenario1"].name == "scenario1"
+
+    def test_scenarios_reflect_their_deployments(self):
+        for name in ("scenario1", "scenario2"):
+            scenario = named_scenarios()[name]
+            assert scenario.deployment is not None
+            assert (
+                scenario.code_targets
+                == scenario.deployment.targets(Operation.CODE)
+            )
+            assert (
+                scenario.dirty_targets
+                == scenario.deployment.dirty_targets()
+            )

@@ -1,0 +1,159 @@
+"""Tests for the TC27x memory map."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.memory_map import (
+    MemoryMap,
+    MemoryRegion,
+    cacheable_view,
+    classify_access,
+    region_for,
+    tc27x_regions,
+    uncacheable_view,
+)
+from repro.platform.targets import Operation, Target
+
+
+@pytest.fixture(scope="module")
+def memory_map():
+    return MemoryMap()
+
+
+class TestResolution:
+    @pytest.mark.parametrize(
+        "address,region_name",
+        [
+            (0x8000_0000, "pflash0_cached"),
+            (0x800F_FFFF, "pflash0_cached"),
+            (0x8010_0000, "pflash1_cached"),
+            (0x9000_0000, "lmu_cached"),
+            (0xA000_0000, "pflash0_uncached"),
+            (0xAF00_0000, "dflash"),
+            (0xB000_0000, "lmu_uncached"),
+            (0x7000_0000, "core0_dspr"),
+            (0x7010_0000, "core0_pspr"),
+            (0x6000_0000, "core1_dspr"),
+            (0x5010_0000, "core2_pspr"),
+        ],
+    )
+    def test_resolve(self, memory_map, address, region_name):
+        assert memory_map.resolve(address).name == region_name
+
+    def test_unmapped_address_raises(self, memory_map):
+        with pytest.raises(PlatformError):
+            memory_map.resolve(0x0000_1000)
+
+    def test_region_lookup_by_name(self, memory_map):
+        assert memory_map.region("dflash").target is Target.DFL
+        with pytest.raises(PlatformError):
+            memory_map.region("nonexistent")
+
+
+class TestTargetsAndCacheability:
+    @pytest.mark.parametrize(
+        "address,target",
+        [
+            (0x8000_0000, Target.PF0),
+            (0x8010_0000, Target.PF1),
+            (0x9000_0000, Target.LMU),
+            (0xAF00_0000, Target.DFL),
+        ],
+    )
+    def test_target_of(self, memory_map, address, target):
+        assert memory_map.target_of(address) is target
+
+    def test_scratchpads_have_no_target(self, memory_map):
+        assert memory_map.target_of(0x7000_0000) is None
+
+    def test_segment_8_cacheable(self, memory_map):
+        assert memory_map.is_cacheable(0x8000_0000)
+        assert memory_map.is_cacheable(0x9000_0000)
+
+    def test_segment_a_b_uncacheable(self, memory_map):
+        assert not memory_map.is_cacheable(0xA000_0000)
+        assert not memory_map.is_cacheable(0xB000_0000)
+        assert not memory_map.is_cacheable(0xAF00_0000)
+
+    def test_both_views_exist_for_lmu_and_pflash(self, memory_map):
+        for target in (Target.LMU, Target.PF0, Target.PF1):
+            assert cacheable_view(memory_map, target).cacheable
+            assert not uncacheable_view(memory_map, target).cacheable
+
+    def test_dflash_has_no_cacheable_view(self, memory_map):
+        # Table 3: the DFlash only serves non-cacheable data.
+        with pytest.raises(PlatformError):
+            cacheable_view(memory_map, Target.DFL)
+        assert region_for(memory_map, Target.DFL, cacheable=False).name == "dflash"
+
+    def test_sri_regions_filter(self, memory_map):
+        lmu_regions = memory_map.sri_regions(Target.LMU)
+        assert {r.name for r in lmu_regions} == {"lmu_cached", "lmu_uncached"}
+        assert all(r.target is Target.LMU for r in lmu_regions)
+
+
+class TestCodePlacement:
+    def test_code_from_pflash_ok(self, memory_map):
+        region, cacheable = classify_access(
+            memory_map, 0x8000_0100, Operation.CODE
+        )
+        assert region.target is Target.PF0
+        assert cacheable
+
+    def test_code_from_pspr_ok(self, memory_map):
+        region, _ = classify_access(memory_map, 0x7010_0000, Operation.CODE)
+        assert region.is_local
+
+    def test_code_from_dflash_rejected(self, memory_map):
+        with pytest.raises(PlatformError):
+            classify_access(memory_map, 0xAF00_0000, Operation.CODE)
+
+    def test_code_from_dspr_rejected(self, memory_map):
+        with pytest.raises(PlatformError):
+            classify_access(memory_map, 0x7000_0000, Operation.CODE)
+
+    def test_data_from_dflash_ok(self, memory_map):
+        region, cacheable = classify_access(
+            memory_map, 0xAF00_0000, Operation.DATA
+        )
+        assert region.target is Target.DFL
+        assert not cacheable
+
+
+class TestConstruction:
+    def test_overlapping_regions_rejected(self):
+        regions = [
+            MemoryRegion("a", 0x1000, 0x100, Target.LMU, False),
+            MemoryRegion("b", 0x1080, 0x100, Target.LMU, False),
+        ]
+        with pytest.raises(PlatformError):
+            MemoryMap(regions)
+
+    def test_duplicate_names_rejected(self):
+        regions = [
+            MemoryRegion("a", 0x1000, 0x100, Target.LMU, False),
+            MemoryRegion("a", 0x2000, 0x100, Target.LMU, False),
+        ]
+        with pytest.raises(PlatformError):
+            MemoryMap(regions)
+
+    def test_zero_size_region_rejected(self):
+        with pytest.raises(PlatformError):
+            MemoryRegion("z", 0x1000, 0, Target.LMU, False)
+
+    def test_region_contains(self):
+        region = MemoryRegion("r", 0x1000, 0x100, Target.LMU, False)
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+        assert not region.contains(0x1100)
+        assert not region.contains(0xFFF)
+
+    def test_figure1_sizes(self):
+        regions = {r.name: r for r in tc27x_regions()}
+        assert regions["pflash0_cached"].size == 1024 * 1024
+        assert regions["lmu_cached"].size == 32 * 1024
+        assert regions["dflash"].size == 384 * 1024
+        assert regions["core0_dspr"].size == 112 * 1024  # TC1.6E
+        assert regions["core1_dspr"].size == 120 * 1024  # TC1.6P
+        assert regions["core0_pspr"].size == 24 * 1024
+        assert regions["core1_pspr"].size == 32 * 1024

@@ -1,0 +1,149 @@
+"""Tests for the SRI target/operation taxonomy (Figure 2)."""
+
+import pytest
+
+from repro.errors import InvalidAccessError
+from repro.platform.targets import (
+    ALL_OPERATIONS,
+    ALL_TARGETS,
+    CODE_TARGETS,
+    DATA_TARGETS,
+    VALID_PAIRS,
+    Operation,
+    Target,
+    check_pair,
+    is_valid_pair,
+    operations_for,
+    pair_label,
+    parse_operation,
+    parse_target,
+    sorted_pairs,
+    targets_for,
+)
+
+
+class TestTargetSets:
+    def test_four_targets(self):
+        assert len(ALL_TARGETS) == 4
+        assert set(ALL_TARGETS) == {
+            Target.DFL,
+            Target.PF0,
+            Target.PF1,
+            Target.LMU,
+        }
+
+    def test_two_operations(self):
+        assert ALL_OPERATIONS == (Operation.CODE, Operation.DATA)
+
+    def test_code_targets_exclude_dflash(self):
+        assert Target.DFL not in CODE_TARGETS
+        assert set(CODE_TARGETS) == {Target.PF0, Target.PF1, Target.LMU}
+
+    def test_data_reaches_every_target(self):
+        assert set(DATA_TARGETS) == set(ALL_TARGETS)
+
+    def test_valid_pairs_count(self):
+        # 3 code pairs + 4 data pairs (Figure 2).
+        assert len(VALID_PAIRS) == 7
+
+    def test_targets_for_matches_constants(self):
+        assert targets_for(Operation.CODE) == CODE_TARGETS
+        assert targets_for(Operation.DATA) == DATA_TARGETS
+
+
+class TestValidity:
+    @pytest.mark.parametrize("target", CODE_TARGETS)
+    def test_code_pairs_valid(self, target):
+        assert is_valid_pair(target, Operation.CODE)
+        check_pair(target, Operation.CODE)  # must not raise
+
+    def test_dflash_code_invalid(self):
+        assert not is_valid_pair(Target.DFL, Operation.CODE)
+        with pytest.raises(InvalidAccessError):
+            check_pair(Target.DFL, Operation.CODE)
+
+    @pytest.mark.parametrize("target", ALL_TARGETS)
+    def test_all_data_pairs_valid(self, target):
+        assert is_valid_pair(target, Operation.DATA)
+
+    def test_operations_for_dflash(self):
+        assert operations_for(Target.DFL) == (Operation.DATA,)
+
+    @pytest.mark.parametrize(
+        "target", [Target.PF0, Target.PF1, Target.LMU]
+    )
+    def test_operations_for_others(self, target):
+        assert operations_for(target) == ALL_OPERATIONS
+
+
+class TestTargetProperties:
+    def test_flash_classification(self):
+        assert Target.DFL.is_flash
+        assert Target.PF0.is_flash
+        assert Target.PF1.is_flash
+        assert not Target.LMU.is_flash
+
+    def test_program_flash_classification(self):
+        assert Target.PF0.is_program_flash
+        assert Target.PF1.is_program_flash
+        assert not Target.DFL.is_program_flash
+        assert not Target.LMU.is_program_flash
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("pf0", Target.PF0),
+            ("PF1", Target.PF1),
+            ("lmu", Target.LMU),
+            ("dfl", Target.DFL),
+            ("pflash0", Target.PF0),
+            ("pflash1", Target.PF1),
+            ("dflash", Target.DFL),
+            ("sram", Target.LMU),
+            ("  LMU  ", Target.LMU),
+        ],
+    )
+    def test_parse_target(self, name, expected):
+        assert parse_target(name) is expected
+
+    def test_parse_target_unknown(self):
+        with pytest.raises(InvalidAccessError):
+            parse_target("spram")
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("co", Operation.CODE),
+            ("da", Operation.DATA),
+            ("code", Operation.CODE),
+            ("DATA", Operation.DATA),
+        ],
+    )
+    def test_parse_operation(self, name, expected):
+        assert parse_operation(name) is expected
+
+    def test_parse_operation_unknown(self):
+        with pytest.raises(InvalidAccessError):
+            parse_operation("rw")
+
+
+class TestFormatting:
+    def test_pair_label(self):
+        assert pair_label(Target.PF0, Operation.CODE) == "pf0,co"
+        assert pair_label(Target.DFL, Operation.DATA) == "dfl,da"
+
+    def test_sorted_pairs_canonical_order(self):
+        shuffled = [
+            (Target.LMU, Operation.DATA),
+            (Target.DFL, Operation.DATA),
+            (Target.PF0, Operation.DATA),
+            (Target.PF0, Operation.CODE),
+        ]
+        assert sorted_pairs(shuffled) == [
+            (Target.DFL, Operation.DATA),
+            (Target.PF0, Operation.CODE),
+            (Target.PF0, Operation.DATA),
+            (Target.LMU, Operation.DATA),
+        ]

@@ -1,0 +1,78 @@
+"""Tests for the TC277 platform description (Figure 1)."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.targets import ALL_TARGETS
+from repro.platform.tc27x import CacheGeometry, CoreKind, tc277
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return tc277()
+
+
+class TestFigure1Structure:
+    def test_three_cores(self, platform):
+        assert len(platform.cores) == 3
+
+    def test_core0_is_the_efficiency_core(self, platform):
+        core = platform.core(0)
+        assert core.kind is CoreKind.TC16E
+        assert core.icache.size == 8 * 1024
+        assert core.pspr_size == 24 * 1024
+        assert core.dspr_size == 112 * 1024
+        assert not core.has_data_cache  # 32B DRB instead
+
+    @pytest.mark.parametrize("index", [1, 2])
+    def test_performance_cores(self, platform, index):
+        core = platform.core(index)
+        assert core.kind is CoreKind.TC16P
+        assert core.icache.size == 16 * 1024
+        assert core.dcache is not None and core.dcache.size == 8 * 1024
+        assert core.has_data_cache
+        assert core.pspr_size == 32 * 1024
+        assert core.dspr_size == 120 * 1024
+
+    def test_performance_cores_helper(self, platform):
+        assert [c.index for c in platform.performance_cores()] == [1, 2]
+
+    def test_unknown_core_raises(self, platform):
+        with pytest.raises(PlatformError):
+            platform.core(3)
+
+    def test_sri_targets(self, platform):
+        assert platform.sri_targets == ALL_TARGETS
+
+    def test_drb_geometry(self, platform):
+        drb = platform.core(0).dcache
+        assert drb is not None
+        assert drb.size == 32 and drb.ways == 1 and drb.line_size == 32
+
+
+class TestCacheGeometry:
+    def test_sets_computation(self):
+        geometry = CacheGeometry(size=16 * 1024, line_size=32, ways=2)
+        assert geometry.sets == 256
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(PlatformError):
+            CacheGeometry(size=1000, line_size=32, ways=2)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(PlatformError):
+            CacheGeometry(size=0)
+
+
+class TestConveniences:
+    def test_clock_conversion(self, platform):
+        # 200 MHz: 200e6 cycles == 1 second.
+        assert platform.cycles_to_seconds(200_000_000) == pytest.approx(1.0)
+
+    def test_block_diagram_mentions_everything(self, platform):
+        art = platform.block_diagram()
+        for fragment in ("1.6E", "1.6P", "SRI", "LMU", "DFlash", "PFlash"):
+            assert fragment in art
+
+    def test_core_labels(self, platform):
+        assert platform.core(1).label() == "Core1 (TC1.6P)"

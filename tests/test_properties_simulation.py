@@ -1,0 +1,98 @@
+"""Hypothesis property tests on simulation-level invariants.
+
+Cross-cutting invariants of the event engine that every other result
+relies on:
+
+* CCNT dominates the stall counters it contains;
+* co-running never makes a task faster, and never changes *what* it did
+  (true access counts, miss counters) — contention only adds time;
+* for single-outstanding masters, arbitration policy does not change the
+  task's functional footprint either;
+* transaction statistics are internally consistent.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.platform.deployment import scenario_1, scenario_2
+from repro.sim.system import SystemSimulator, run_corun, run_isolation
+from repro.workloads.synthetic import random_task_pair, random_workload
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_ccnt_contains_stall_cycles(seed):
+    program = random_workload(
+        "w", scenario_1(), seed=seed, max_requests=400
+    ).program()
+    readings = run_isolation(program).readings
+    if readings.ccnt is not None:
+        assert readings.ccnt >= readings.ps + readings.ds
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_corun_only_adds_time(seed):
+    scenario = scenario_2()
+    task, contender = random_task_pair(scenario, seed=seed, max_requests=400)
+    iso = run_isolation(task)
+    corun = run_corun({1: task, 2: contender}).core(1)
+
+    # Time can only grow...
+    assert (
+        corun.readings.require_ccnt() >= iso.readings.require_ccnt()
+    )
+    assert corun.readings.ps >= iso.readings.ps
+    assert corun.readings.ds >= iso.readings.ds
+    # ...but the task still does exactly the same work.
+    assert corun.profile.counts == iso.profile.counts
+    assert corun.readings.pm == iso.readings.pm
+    assert corun.readings.dmc == iso.readings.dmc
+    assert corun.readings.dmd == iso.readings.dmd
+    # The added stall equals the added time (stalls are the only channel
+    # through which contention can stretch a run).
+    added_time = corun.readings.require_ccnt() - iso.readings.require_ccnt()
+    added_stall = (corun.readings.ps + corun.readings.ds) - (
+        iso.readings.ps + iso.readings.ds
+    )
+    assert added_time == added_stall
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_arbitration_policy_preserves_footprint(seed):
+    scenario = scenario_1()
+    task, contender = random_task_pair(scenario, seed=seed, max_requests=300)
+    rr = SystemSimulator().run({1: task, 2: contender}).core(1)
+    prio = (
+        SystemSimulator(arbitration="priority", priorities={1: 1, 2: 0})
+        .run({1: task, 2: contender})
+        .core(1)
+    )
+    assert rr.profile.counts == prio.profile.counts
+    assert rr.readings.pm == prio.readings.pm
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_transaction_stats_consistent(seed):
+    program = random_workload(
+        "w", scenario_2(), seed=seed, max_requests=300
+    ).program()
+    result = run_isolation(program)
+    total = 0
+    for (target, operation), stats in result.transactions.items():
+        total += stats.count
+        assert stats.min_service is not None
+        assert stats.min_service <= stats.max_service
+        assert stats.min_blocking <= stats.max_blocking
+        assert stats.total_wait == 0  # isolation: no queueing
+        assert result.profile.count(target, operation) == stats.count
+    assert total == result.profile.total

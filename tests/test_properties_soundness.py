@@ -1,0 +1,157 @@
+"""Property tests: model soundness and ordering over random workloads.
+
+These are the library's deepest invariants:
+
+* every model's prediction upper-bounds the observed co-run time
+  (the paper's Section 4.2 soundness statement);
+* more information never loosens a bound:
+  ``ideal <= ilp-ptac <= ilp-ptac-tc`` and ``ilp-ptac <= ftc-refined <=
+  ftc-baseline`` on consistent inputs;
+* the ILP bound is monotone in the contender's counter readings.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.validation import check_soundness, soundness_sweep
+from repro.core.ftc import ftc_baseline, ftc_refined
+from repro.core.ideal import ideal_bound
+from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
+from repro.counters.readings import TaskReadings
+from repro.platform.deployment import scenario_1, scenario_2
+from repro.platform.latency import tc27x_latency_profile
+from repro.sim.system import run_isolation
+from repro.workloads.synthetic import random_task_pair
+
+PROFILE = tc27x_latency_profile()
+
+SLOW_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSoundnessSweep:
+    @pytest.mark.parametrize("scenario_f", [scenario_1, scenario_2])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_pairs_sound(self, scenario_f, seed):
+        scenario = scenario_f()
+        task, contender = random_task_pair(
+            scenario, seed=seed, max_requests=800
+        )
+        case = check_soundness(task, contender, scenario)
+        assert case.sound, case.violations
+
+    def test_sweep_aggregation(self):
+        scenario = scenario_1()
+        pairs = [
+            random_task_pair(scenario, seed=seed, max_requests=400)
+            for seed in range(4)
+        ]
+        sweep = soundness_sweep(pairs, scenario)
+        assert sweep.all_sound
+        assert sweep.violations == []
+        assert sweep.mean_tightness("ilp-ptac") >= 1.0
+        # More information => tighter mean predictions.
+        assert sweep.mean_tightness("ilp-ptac") <= sweep.mean_tightness(
+            "ftc-baseline"
+        )
+
+
+@SLOW_SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_model_ordering_on_simulated_readings(seed):
+    """ideal <= ilp <= ilp-tc and ilp <= ftc-refined <= ftc-baseline."""
+    scenario = scenario_1()
+    task, contender = random_task_pair(scenario, seed=seed, max_requests=500)
+    readings_a = run_isolation(task).readings
+    readings_b = run_isolation(contender, core=2).readings
+    profile_a = run_isolation(task).profile
+    profile_b = run_isolation(contender, core=2).profile
+
+    ideal = ideal_bound(profile_a, profile_b, PROFILE, scenario)
+    ilp = ilp_ptac_bound(readings_a, readings_b, PROFILE, scenario)
+    ilp_tc = ilp_ptac_bound(
+        readings_a,
+        None,
+        PROFILE,
+        scenario,
+        IlpPtacOptions(contender_constraints=False),
+    )
+    refined = ftc_refined(readings_a, PROFILE, scenario)
+    baseline = ftc_baseline(readings_a, PROFILE)
+
+    assert ideal.delta_cycles <= ilp.bound.delta_cycles
+    assert ilp.bound.delta_cycles <= ilp_tc.bound.delta_cycles
+    assert ilp.bound.delta_cycles <= refined.delta_cycles
+    assert refined.delta_cycles <= baseline.delta_cycles
+
+
+@SLOW_SETTINGS
+@given(
+    ps=st.integers(0, 100_000),
+    ds=st.integers(0, 100_000),
+    pm=st.integers(0, 2_000),
+    factor=st.floats(0.1, 0.9),
+)
+def test_ilp_monotone_in_contender_size(ps, ds, pm, factor):
+    """Scaling the contender's readings down never raises the bound."""
+    # Keep PM consistent with PS (each miss costs at least 6 stalls).
+    pm = min(pm, ps // 6)
+    app = TaskReadings(
+        "app", pmem_stall=60_000, dmem_stall=40_000, pcache_miss=1_000
+    )
+    big = TaskReadings("big", pmem_stall=ps, dmem_stall=ds, pcache_miss=pm)
+    small = big.scaled(factor, name="small")
+    # Scaling rounds counters up individually; PM may exceed what the
+    # scaled PS allows, which would make the scenario tailoring
+    # infeasible.  Clamp the same way a real measurement would satisfy.
+    small = TaskReadings(
+        "small",
+        pmem_stall=small.pmem_stall,
+        dmem_stall=small.dmem_stall,
+        pcache_miss=min(small.pcache_miss, small.pmem_stall // 6),
+    )
+    scenario = scenario_1()
+    bound_big = ilp_ptac_bound(app, big, PROFILE, scenario).bound.delta_cycles
+    bound_small = ilp_ptac_bound(
+        app, small, PROFILE, scenario
+    ).bound.delta_cycles
+    assert bound_small <= bound_big
+
+
+@SLOW_SETTINGS
+@given(
+    ps=st.integers(0, 50_000),
+    ds=st.integers(0, 50_000),
+)
+def test_ftc_refined_never_exceeds_baseline(ps, ds):
+    pm = ps // 6
+    readings = TaskReadings(
+        "t", pmem_stall=ps, dmem_stall=ds, pcache_miss=pm
+    )
+    refined = ftc_refined(readings, PROFILE, scenario_1())
+    baseline = ftc_baseline(readings, PROFILE)
+    assert refined.delta_cycles <= baseline.delta_cycles
+
+
+@SLOW_SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_interference_wait_below_ilp_bound(seed):
+    """The simulator's measured queueing delay stays below the ILP Δcont.
+
+    Stronger than end-to-end soundness: the bound covers not just the
+    total execution time but the interference component itself.
+    """
+    scenario = scenario_2()
+    task, contender = random_task_pair(scenario, seed=seed, max_requests=400)
+    readings_a = run_isolation(task).readings
+    readings_b = run_isolation(contender, core=2).readings
+    ilp = ilp_ptac_bound(readings_a, readings_b, PROFILE, scenario)
+
+    from repro.sim.system import run_corun
+
+    corun = run_corun({1: task, 2: contender})
+    assert corun.core(1).total_wait_cycles <= ilp.bound.delta_cycles

@@ -1,0 +1,170 @@
+"""Hypothesis property tests on the substrate layers.
+
+The paper-level properties live in ``test_properties_soundness``; these
+pin the invariants of the building blocks the models and the simulator
+rest on: cache bookkeeping, deterministic mix sequencing, apportionment,
+address resolution, the LP solver and the fast isolation-time calculator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.memory_map import MemoryMap
+from repro.platform.tc27x import CacheGeometry
+from repro.sim.caches import SetAssociativeCache
+from repro.workloads.spec import _FractionSequencer, spread_counts
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# Caches
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    addresses=st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=200),
+    writes=st.lists(st.booleans(), min_size=1, max_size=200),
+)
+def test_cache_accounting_invariants(addresses, writes):
+    cache = SetAssociativeCache(CacheGeometry(size=512, line_size=32, ways=2))
+    n = min(len(addresses), len(writes))
+    dirty_seen = 0
+    for address, write in zip(addresses[:n], writes[:n]):
+        result = cache.access(address, write=write)
+        if result.evicted_dirty:
+            dirty_seen += 1
+        # After any access, the line must be resident (write-allocate).
+        assert cache.contains(address)
+    assert cache.hits + cache.misses == n
+    assert cache.dirty_evictions == dirty_seen
+    assert 0.0 <= cache.miss_rate <= 1.0
+
+
+@SETTINGS
+@given(base=st.integers(0, 1 << 20))
+def test_cache_lru_keeps_working_set(base):
+    """Touching at most `ways` distinct same-set lines never evicts."""
+    geometry = CacheGeometry(size=1024, line_size=32, ways=2)
+    cache = SetAssociativeCache(geometry)
+    stride = geometry.sets * geometry.line_size
+    lines = [base, base + stride]  # two lines, same set, 2 ways
+    for _ in range(10):
+        for line in lines:
+            cache.access(line)
+    assert all(cache.contains(line) for line in lines)
+    assert cache.misses == len(lines)  # only the cold misses
+
+
+def test_cache_dirty_requires_prior_write():
+    geometry = CacheGeometry(size=256, line_size=32, ways=2)
+    cache = SetAssociativeCache(geometry)
+    stride = geometry.sets * geometry.line_size
+    for i in range(8):  # read-only sweep with evictions
+        cache.access(i * stride)
+    assert cache.dirty_evictions == 0
+
+
+# ----------------------------------------------------------------------
+# Deterministic mix sequencing and apportionment
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    fraction=st.floats(0.0, 1.0),
+    n=st.integers(1, 2_000),
+)
+def test_fraction_sequencer_exactness(fraction, n):
+    sequencer = _FractionSequencer(fraction)
+    trues = sum(sequencer.next() for _ in range(n))
+    assert int(np.floor(n * fraction - 1e-9)) <= trues
+    assert trues <= int(np.ceil(n * fraction + 1e-9))
+
+
+@SETTINGS
+@given(
+    total=st.integers(0, 100_000),
+    weights=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=8).filter(
+        lambda w: sum(w) > 0
+    ),
+)
+def test_spread_counts_properties(total, weights):
+    shares = spread_counts(total, weights)
+    assert sum(shares) == total
+    assert all(share >= 0 for share in shares)
+    weight_sum = sum(weights)
+    for share, weight in zip(shares, weights):
+        assert abs(share - total * weight / weight_sum) < 1.0
+
+
+# ----------------------------------------------------------------------
+# Memory map
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(data=st.data())
+def test_memory_map_resolution_consistency(data):
+    memory_map = MemoryMap()
+    region = data.draw(st.sampled_from(memory_map.regions))
+    offset = data.draw(st.integers(0, region.size - 1))
+    address = region.base + offset
+    resolved = memory_map.resolve(address)
+    assert resolved is region
+    assert resolved.contains(address)
+    assert memory_map.target_of(address) is region.target
+    assert memory_map.is_cacheable(address) == region.cacheable
+
+
+# ----------------------------------------------------------------------
+# Simplex with equality constraints, against scipy
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_simplex_with_equalities_matches_scipy(seed):
+    from scipy.optimize import linprog
+
+    from repro.ilp.simplex import LpStatus, solve_lp
+
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 6))
+    c = rng.integers(-5, 6, size=n).astype(float)
+    a_ub = rng.integers(-3, 4, size=(int(rng.integers(1, 4)), n)).astype(float)
+    b_ub = rng.integers(0, 12, size=a_ub.shape[0]).astype(float)
+    a_eq = rng.integers(-2, 3, size=(1, n)).astype(float)
+    b_eq = rng.integers(0, 8, size=1).astype(float)
+
+    ours = solve_lp(c, a_ub, b_ub, a_eq, b_eq)
+    reference = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(0, None)] * n,
+        method="highs",
+    )
+    if reference.status == 2:
+        assert ours.status is LpStatus.INFEASIBLE
+    elif reference.status == 3:
+        assert ours.status is LpStatus.UNBOUNDED
+    else:
+        assert ours.status is LpStatus.OPTIMAL
+        assert ours.objective == pytest.approx(reference.fun, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Fast isolation-time calculator vs the event engine
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_isolation_cycles_matches_engine(seed):
+    from repro.platform.deployment import scenario_2
+    from repro.sim.system import run_isolation
+    from repro.workloads.footprint import isolation_cycles
+    from repro.workloads.synthetic import random_workload
+
+    program = random_workload(
+        "w", scenario_2(), seed=seed, max_requests=300
+    ).program()
+    fast = isolation_cycles(program)
+    engine = run_isolation(program).readings.require_ccnt()
+    assert fast == engine

@@ -1,0 +1,197 @@
+"""Tests for the event-driven system simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.platform.targets import Operation, Target
+from repro.sim.program import program_from_steps
+from repro.sim.requests import MissKind, code_fetch, data_access
+from repro.sim.system import SystemSimulator, run_corun, run_isolation
+
+
+def fetch_program(name, count, target=Target.PF0, sequential=True, gap=0):
+    return program_from_steps(
+        name,
+        [(gap, code_fetch(target, sequential=sequential)) for _ in range(count)],
+    )
+
+
+class TestIsolationTiming:
+    def test_sequential_code_stream(self):
+        result = run_isolation(fetch_program("seq", 100))
+        assert result.readings.ps == 600  # 6 stall cycles per fetch
+        assert result.readings.pm == 100
+        assert result.readings.ccnt == 1200  # 12-cycle service each
+
+    def test_random_code_stream(self):
+        result = run_isolation(fetch_program("rand", 100, sequential=False))
+        assert result.readings.ps == 1600
+        assert result.readings.ccnt == 1600
+
+    def test_gaps_add_compute_time(self):
+        result = run_isolation(fetch_program("gapped", 10, gap=50))
+        # gap 50 > overlap 6: each iteration costs 50 - 6 + 12 = 56
+        # except the first (no credit): 50 + 12 = 62.
+        assert result.readings.ccnt == 62 + 9 * 56
+
+    def test_small_gap_hidden_by_overlap(self):
+        result = run_isolation(fetch_program("hidden", 10, gap=3))
+        # gap 3 <= overlap 6: gaps after the first vanish.
+        assert result.readings.ccnt == 3 + 10 * 12
+
+    def test_write_stall_discount(self):
+        program = program_from_steps(
+            "writes",
+            [(0, data_access(Target.LMU, write=True)) for _ in range(50)],
+        )
+        result = run_isolation(program)
+        assert result.readings.ds == 500  # 10 per buffered store
+
+    def test_dirty_eviction_occupancy(self):
+        dirty = data_access(
+            Target.LMU,
+            miss_kind=MissKind.DCACHE_MISS_DIRTY,
+            dirty_eviction=True,
+        )
+        program = program_from_steps("dirty", [(0, dirty)] * 10)
+        result = run_isolation(program)
+        assert result.readings.ds == 210  # 21 per dirty miss
+        assert result.readings.dmd == 10
+
+    def test_miss_counters(self):
+        program = program_from_steps(
+            "mixed",
+            [
+                (0, code_fetch(Target.PF0)),
+                (0, data_access(Target.LMU, miss_kind=MissKind.DCACHE_MISS_CLEAN)),
+                (0, data_access(Target.LMU)),  # uncached: no miss counter
+            ],
+        )
+        readings = run_isolation(program).readings
+        assert readings.pm == 1
+        assert readings.dmc == 1
+        assert readings.dmd == 0
+
+    def test_ground_truth_profile(self):
+        program = program_from_steps(
+            "profiled",
+            [(0, code_fetch(Target.PF0))] * 3
+            + [(0, data_access(Target.LMU))] * 2,
+        )
+        profile = run_isolation(program).profile
+        assert profile.count(Target.PF0, Operation.CODE) == 3
+        assert profile.count(Target.LMU, Operation.DATA) == 2
+
+    def test_transaction_stats(self):
+        result = run_isolation(fetch_program("stats", 10))
+        stats = result.transactions[(Target.PF0, Operation.CODE)]
+        assert stats.count == 10
+        assert stats.min_service == stats.max_service == 12
+        assert stats.min_blocking == stats.max_blocking == 6
+        assert stats.total_wait == 0  # no contention in isolation
+
+    def test_trailing_gap_counts(self):
+        program = program_from_steps(
+            "tail", [(0, code_fetch(Target.PF0)), (100, None)]
+        )
+        assert run_isolation(program).readings.ccnt == 116
+
+    def test_no_wait_in_isolation(self):
+        result = run_isolation(fetch_program("alone", 200))
+        assert result.total_wait_cycles == 0
+
+
+class TestContention:
+    def test_same_target_serialises(self):
+        a = fetch_program("a", 200)
+        b = fetch_program("b", 200)
+        iso = run_isolation(a).readings.require_ccnt()
+        corun = run_corun({1: a, 2: b})
+        assert corun.readings(1).require_ccnt() > iso
+        assert corun.core(1).total_wait_cycles > 0
+
+    def test_disjoint_targets_no_interference(self):
+        a = fetch_program("a", 200, target=Target.PF0)
+        b = fetch_program("b", 200, target=Target.PF1)
+        iso = run_isolation(a).readings.require_ccnt()
+        corun = run_corun({1: a, 2: b})
+        assert corun.readings(1).require_ccnt() == iso
+        assert corun.core(1).total_wait_cycles == 0
+
+    def test_round_robin_fairness(self):
+        # Two identical streams on one target: waits split evenly.
+        a = fetch_program("a", 300)
+        b = fetch_program("b", 300)
+        corun = run_corun({1: a, 2: b})
+        wait1 = corun.core(1).total_wait_cycles
+        wait2 = corun.core(2).total_wait_cycles
+        assert wait1 > 0 and wait2 > 0
+        assert abs(wait1 - wait2) / max(wait1, wait2) < 0.1
+
+    def test_per_request_wait_bounded_by_one_service(self):
+        # With one contender, a request waits at most one full service of
+        # the conflicting request (the model's alignment assumption).
+        a = fetch_program("a", 100, sequential=False)
+        b = fetch_program("b", 100, sequential=False)
+        corun = run_corun({1: a, 2: b})
+        stats = corun.core(1).transactions[(Target.PF0, Operation.CODE)]
+        assert stats.max_blocking <= 16 + 16  # wait <= 16, service 16
+
+    def test_contention_inflates_stall_counters(self):
+        a = fetch_program("a", 200)
+        b = fetch_program("b", 200)
+        iso_ps = run_isolation(a).readings.ps
+        corun_ps = run_corun({1: a, 2: b}).readings(1).ps
+        assert corun_ps > iso_ps
+
+    def test_three_core_corun(self):
+        programs = {
+            0: fetch_program("x", 100),
+            1: fetch_program("y", 100),
+            2: fetch_program("z", 100),
+        }
+        result = run_corun(programs)
+        assert set(result.cores) == {0, 1, 2}
+        # Three-way round-robin: everyone waits more than two-way.
+        assert result.core(1).total_wait_cycles > 0
+
+    def test_makespan_is_max_finish(self):
+        a = fetch_program("long", 300)
+        b = fetch_program("short", 10)
+        result = run_corun({1: a, 2: b})
+        assert result.makespan == max(
+            result.readings(1).require_ccnt(),
+            result.readings(2).require_ccnt(),
+        )
+
+
+class TestApiEdges:
+    def test_empty_run_rejected(self):
+        with pytest.raises(SimulationError):
+            SystemSimulator().run({})
+
+    def test_corun_needs_two(self):
+        with pytest.raises(SimulationError):
+            run_corun({1: fetch_program("solo", 5)})
+
+    def test_missing_core_lookup(self):
+        result = run_isolation(fetch_program("solo", 5), core=1)
+        # CoreResult is for core 1; SimResult lookup of others fails.
+        sim = SystemSimulator().run({1: fetch_program("solo", 5)})
+        with pytest.raises(SimulationError):
+            sim.core(2)
+
+    def test_negative_gap_rejected_at_runtime(self):
+        from repro.sim.program import TaskProgram
+
+        program = TaskProgram(
+            "bad", lambda: iter([(-1, code_fetch(Target.PF0))])
+        )
+        with pytest.raises(SimulationError):
+            run_isolation(program)
+
+    def test_empty_program_finishes_at_zero(self):
+        program = program_from_steps("empty", [])
+        result = run_isolation(program)
+        assert result.readings.ccnt is None  # zero-length run
+        assert result.profile.total == 0

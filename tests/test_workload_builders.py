@@ -1,0 +1,167 @@
+"""Tests for the footprint block builders, program helpers and probes."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.platform.targets import Operation, Target
+from repro.sim.program import concatenate, program_from_steps, repeat
+from repro.sim.requests import MissKind, code_fetch, data_access
+from repro.sim.system import run_isolation
+from repro.workloads.footprint import (
+    cacheable_data_miss_block,
+    code_blocks,
+    dflash_data_block,
+    uncached_lmu_data_block,
+)
+from repro.workloads.microbenchmarks import probe
+
+
+class TestCodeBlocks:
+    def test_footprint_reconstruction(self):
+        blocks = code_blocks(1_000, 10_000)
+        assert sum(b.count for b in blocks) == 1_000
+        program = program_from_steps(
+            "code",
+            [step for block in blocks for step in block.steps()],
+        )
+        readings = run_isolation(program).readings
+        assert readings.pm == 1_000
+        assert readings.ps == pytest.approx(10_000, abs=16)
+
+    def test_single_target(self):
+        blocks = code_blocks(100, 600, targets=(Target.PF0,))
+        assert len(blocks) == 1
+        assert blocks[0].target is Target.PF0
+
+    def test_zero_misses(self):
+        assert code_blocks(0, 0) == []
+
+    def test_unachievable_average_rejected(self):
+        with pytest.raises(WorkloadError):
+            code_blocks(100, 100)  # avg 1 < cs_min 6
+        with pytest.raises(WorkloadError):
+            code_blocks(100, 2_000)  # avg 20 > l_max 16
+
+    def test_stalls_without_misses_rejected(self):
+        with pytest.raises(WorkloadError):
+            code_blocks(0, 50)
+
+
+class TestDataBlocks:
+    def test_uncached_lmu_block_consumes_budget(self):
+        block = uncached_lmu_data_block(10_500)
+        assert block is not None
+        program = program_from_steps("data", list(block.steps()))
+        readings = run_isolation(program).readings
+        assert readings.ds == pytest.approx(10_500, abs=12)
+        assert readings.dmc == 0  # uncached: invisible to D$ counters
+
+    def test_zero_budget(self):
+        assert uncached_lmu_data_block(0) is None
+
+    def test_below_one_access_rejected(self):
+        with pytest.raises(WorkloadError):
+            uncached_lmu_data_block(5)
+
+    def test_cacheable_miss_block(self):
+        block = cacheable_data_miss_block(25, Target.PF0)
+        assert block is not None
+        program = program_from_steps("misses", list(block.steps()))
+        readings = run_isolation(program).readings
+        assert readings.dmc == 25
+        assert readings.dmd == 0
+
+    def test_cacheable_dirty_block(self):
+        block = cacheable_data_miss_block(
+            10, Target.LMU, dirty_fraction=1.0
+        )
+        assert block is not None
+        readings = run_isolation(
+            program_from_steps("dirty", list(block.steps()))
+        ).readings
+        assert readings.dmd == 10
+        assert readings.ds == 210  # 21 cycles per dirty eviction
+
+    def test_cacheable_zero(self):
+        assert cacheable_data_miss_block(0, Target.PF0) is None
+
+    def test_dflash_block(self):
+        block = dflash_data_block(5, write_fraction=1.0)
+        assert block is not None
+        readings = run_isolation(
+            program_from_steps("dfl", list(block.steps()))
+        ).readings
+        assert readings.ds == 5 * 42  # buffered DFlash writes
+
+    def test_dflash_zero(self):
+        assert dflash_data_block(0) is None
+
+
+class TestProgramHelpers:
+    def test_concatenate_runs_in_order(self):
+        first = program_from_steps("a", [(0, code_fetch(Target.PF0))] * 3)
+        second = program_from_steps(
+            "b", [(0, data_access(Target.LMU))] * 2
+        )
+        combined = concatenate("ab", [first, second])
+        profile = combined.ground_truth_profile()
+        assert profile.count(Target.PF0, Operation.CODE) == 3
+        assert profile.count(Target.LMU, Operation.DATA) == 2
+        assert combined.request_count() == 5
+
+    def test_repeat(self):
+        base = program_from_steps("x", [(1, code_fetch(Target.PF0))])
+        assert repeat("x3", base, 3).request_count() == 3
+        assert repeat("x0", base, 0).request_count() == 0
+
+    def test_repeat_negative_rejected(self):
+        from repro.errors import SimulationError
+
+        base = program_from_steps("x", [(1, code_fetch(Target.PF0))])
+        with pytest.raises(SimulationError):
+            repeat("bad", base, -1)
+
+    def test_programs_are_replayable(self):
+        program = program_from_steps(
+            "replay", [(0, code_fetch(Target.PF0))] * 4
+        )
+        assert program.request_count() == 4
+        assert program.request_count() == 4  # second pass identical
+        first = run_isolation(program).readings
+        second = run_isolation(program).readings
+        assert first == second
+
+    def test_compute_cycles(self):
+        program = program_from_steps(
+            "gaps", [(5, code_fetch(Target.PF0)), (7, None)]
+        )
+        assert program.compute_cycles() == 12
+
+
+class TestProbes:
+    def test_probe_count_parameter(self):
+        small = probe(Target.LMU, Operation.DATA, "stream", count=16)
+        assert small.count == 16
+        assert small.program.request_count() == 16
+
+    def test_probe_invalid_count(self):
+        with pytest.raises(WorkloadError):
+            probe(Target.LMU, Operation.DATA, "stream", count=0)
+
+    def test_probe_unknown_flavour(self):
+        with pytest.raises(WorkloadError):
+            probe(Target.LMU, Operation.DATA, "burst")
+
+    def test_isolated_probe_spacing_prevents_streaming(self):
+        isolated = probe(Target.PF0, Operation.CODE, "isolated", count=8)
+        readings = run_isolation(isolated.program).readings
+        # Each access pays the full random latency: no prefetch hits.
+        assert readings.ps == 8 * 16
+
+    def test_dirty_probe_flags(self):
+        dirty = probe(Target.LMU, Operation.DATA, "dirty", count=4)
+        steps = list(dirty.program.steps())
+        assert all(r.dirty_eviction for _, r in steps)
+        assert all(
+            r.miss_kind is MissKind.DCACHE_MISS_DIRTY for _, r in steps
+        )

@@ -1,0 +1,138 @@
+"""Tests for the trace-level kernels."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.platform.targets import Operation, Target
+from repro.sim.system import run_isolation
+from repro.workloads.kernels import (
+    compile_kernel,
+    fir_filter_kernel,
+    kernel_suite,
+    lookup_table_kernel,
+    sensor_fusion_kernel,
+    state_machine_kernel,
+)
+
+
+class TestKernelTraces:
+    def test_fir_deterministic(self):
+        a = fir_filter_kernel(iterations=2)
+        b = fir_filter_kernel(iterations=2)
+        assert a == b
+
+    def test_lookup_seeded(self):
+        a = lookup_table_kernel(iterations=4, seed=1)
+        b = lookup_table_kernel(iterations=4, seed=2)
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            fir_filter_kernel(iterations=0)
+        with pytest.raises(WorkloadError):
+            lookup_table_kernel(table_bytes=8)
+        with pytest.raises(WorkloadError):
+            state_machine_kernel(handlers=0)
+        with pytest.raises(WorkloadError):
+            sensor_fusion_kernel(iterations=0)
+        with pytest.raises(WorkloadError):
+            kernel_suite(scale=0)
+
+
+class TestCompiledFootprints:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            name: run_isolation(program)
+            for name, program in kernel_suite().items()
+        }
+
+    def test_fir_is_lmu_data_dominated(self, results):
+        profile = results["fir-filter"].profile
+        lmu = profile.count(Target.LMU, Operation.DATA)
+        assert lmu > 0.9 * profile.total
+
+    def test_lookup_is_cache_hostile(self, results):
+        readings = results["lookup-table"].readings
+        # Most interpolation reads miss: DMC dominates the SRI traffic.
+        assert readings.dmc > 500
+        profile = results["lookup-table"].profile
+        assert profile.count(Target.PF0, Operation.DATA) == readings.dmc
+
+    def test_state_machine_is_code_dominated(self, results):
+        profile = results["state-machine"].profile
+        code = profile.op_total(Operation.CODE)
+        assert code > 0.7 * profile.total
+        # Code spread over both flash banks.
+        assert profile.count(Target.PF0, Operation.CODE) > 0
+        assert profile.count(Target.PF1, Operation.CODE) > 0
+
+    def test_pmiss_identity_holds(self, results):
+        """All kernel code is cacheable: PM == SRI code requests."""
+        for result in results.values():
+            assert result.readings.pm == result.profile.op_total(
+                Operation.CODE
+            )
+
+    def test_dirty_misses_only_from_sensor_fusion(self, results):
+        # Three kernels only write uncached LMU / scratchpad (no dirty
+        # lines); the fusion kernel's cacheable read-modify-write state
+        # is the one that dirties and evicts.
+        for name, result in results.items():
+            if name == "sensor-fusion":
+                assert result.readings.dmd > 0
+            else:
+                assert result.readings.dmd == 0
+
+    def test_sensor_fusion_soundness_with_dirty_lmu(self):
+        from repro.analysis.validation import check_soundness
+        from repro.platform.deployment import custom_scenario
+
+        scenario = custom_scenario(
+            "fusion",
+            code_targets=(Target.PF0, Target.PF1),
+            data_targets=(Target.PF0, Target.LMU),
+            dirty_targets=(Target.LMU,),
+            code_count_exact=True,
+            data_count_lower_bounded=True,
+        )
+        kernels = kernel_suite()
+        case = check_soundness(
+            kernels["sensor-fusion"], kernels["lookup-table"], scenario
+        )
+        assert case.sound, case.violations
+
+    def test_scratchpad_accesses_invisible(self, results):
+        # The state machine touches DSPR heavily; none of it reaches SRI.
+        profile = results["state-machine"].profile
+        assert profile.total == results["state-machine"].readings.pm + (
+            profile.op_total(Operation.DATA)
+        )
+
+    def test_scale_grows_traffic(self):
+        small = compile_kernel(
+            "s", state_machine_kernel(iterations=8)
+        ).ground_truth_profile()
+        large = compile_kernel(
+            "l", state_machine_kernel(iterations=32)
+        ).ground_truth_profile()
+        assert large.total > small.total
+
+
+class TestKernelContention:
+    def test_end_to_end_soundness(self):
+        from repro.analysis.validation import check_soundness
+        from repro.platform.deployment import custom_scenario
+
+        scenario = custom_scenario(
+            "kernels",
+            code_targets=(Target.PF0, Target.PF1),
+            data_targets=(Target.PF0, Target.LMU),
+            code_count_exact=True,
+            data_count_lower_bounded=True,
+        )
+        kernels = kernel_suite()
+        case = check_soundness(
+            kernels["lookup-table"], kernels["fir-filter"], scenario
+        )
+        assert case.sound, case.violations
