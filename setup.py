@@ -1,10 +1,44 @@
-"""Legacy setup shim.
+"""Packaging for the ``repro`` library (src layout).
 
-Allows ``pip install -e . --no-build-isolation`` / ``python setup.py develop``
-on environments without the ``wheel`` package (all metadata lives in
-pyproject.toml).
+``pip install -e .`` provides both entry points::
+
+    repro figure4            # console script
+    python -m repro figure4  # module execution
+
+The library is pure Python with no runtime dependencies; the optional
+``scipy`` ILP backend is used only when scipy is importable.
 """
 
-from setuptools import setup
+import pathlib
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+# Single source of truth for the version: the package itself.
+_INIT = pathlib.Path(__file__).parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(
+    r'^__version__ = "(.+?)"', _INIT.read_text(), re.MULTILINE
+).group(1)
+
+setup(
+    name="repro-tc27x-contention",
+    version=VERSION,
+    description=(
+        "Reproduction of 'Modelling Multicore Contention on the AURIX "
+        "TC27x' (DAC 2018): contention models, TC27x memory-system "
+        "simulator and a unified experiment engine"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+)

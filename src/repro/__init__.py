@@ -1,8 +1,8 @@
 """repro — reproduction of "Modelling Multicore Contention on the AURIX
 TC27x" (Diaz, Mezzetti, Kosmidis, Abella, Cazorla — DAC 2018).
 
-The library has four layers; each is importable on its own and re-exported
-here for convenience:
+The library has five layers; each is importable on its own and the most
+useful names are re-exported here for convenience:
 
 * :mod:`repro.platform` — TC27x architecture facts: SRI targets, Table 2
   latencies, memory map, Table 3 placement rules, deployment scenarios.
@@ -12,9 +12,16 @@ here for convenience:
 * :mod:`repro.sim` — a cycle-level simulator of the TC27x memory system
   standing in for the paper's hardware testbed, with
   :mod:`repro.workloads` generating the evaluation tasks.
+* :mod:`repro.engine` — the unified experiment engine: deployments as
+  declarative, registered :class:`~repro.engine.scenario.ScenarioSpec`
+  data (any core count), experiments as batches of independent jobs
+  fanned out serially or over thread/process pools, and a
+  content-addressed result cache that lets repeated sweeps skip
+  re-simulation.
 * :mod:`repro.analysis` — MBTA protocol, platform characterisation and
   the drivers regenerating every table and figure of the paper
-  (reference constants in :mod:`repro.paper`).
+  (reference constants in :mod:`repro.paper`); every driver accepts an
+  optional ``engine=`` for parallel, cached execution.
 
 Quickstart::
 
@@ -30,6 +37,22 @@ Quickstart::
         "ilp-ptac", app, tc27x_latency_profile(), scenario_1(), rival,
     )
     print(estimate.describe())   # isolation + Δcont, 1.49x
+
+Registering and running a new deployment scenario::
+
+    from repro import ScenarioSpec, WorkloadRef, register_scenario, run_spec
+
+    register_scenario(ScenarioSpec(
+        name="my-quad",
+        base="scenario2",
+        app=WorkloadRef.control_loop(scale=1 / 32),
+        contenders=(
+            (0, WorkloadRef.load("H", scale=1 / 32)),
+            (2, WorkloadRef.load("M", scale=1 / 32)),
+            (3, WorkloadRef.load("L", scale=1 / 32)),
+        ),
+    ))
+    print(run_spec("my-quad").sound)   # measured, bounded, co-run: True
 """
 
 from repro.core import (
@@ -48,6 +71,14 @@ from repro.core import (
     wcet_estimate,
 )
 from repro.counters import DebugCounter, TaskReadings
+from repro.engine import (
+    ExperimentEngine,
+    ResultCache,
+    ScenarioSpec,
+    WorkloadRef,
+    register_scenario,
+    run_spec,
+)
 from repro.errors import ReproError
 from repro.platform import (
     DeploymentScenario,
@@ -69,14 +100,18 @@ __all__ = [
     "ContentionBound",
     "DebugCounter",
     "DeploymentScenario",
+    "ExperimentEngine",
     "IlpPtacOptions",
     "LatencyProfile",
     "ModelKind",
     "Operation",
     "ReproError",
+    "ResultCache",
+    "ScenarioSpec",
     "Target",
     "TaskReadings",
     "WcetEstimate",
+    "WorkloadRef",
     "__version__",
     "access_count_bounds",
     "architectural_scenario",
@@ -87,6 +122,8 @@ __all__ = [
     "ideal_bound",
     "ilp_ptac_bound",
     "multi_contender_bound",
+    "register_scenario",
+    "run_spec",
     "scenario_1",
     "scenario_2",
     "tc277",

@@ -24,6 +24,7 @@ from repro.analysis.experiments import (
     figure4_paper_mode,
     figure4_sim_mode,
     information_ablation,
+    reference_scenario,
     simulate_scenario,
     table6_sim_mode,
 )
@@ -36,6 +37,7 @@ from repro.analysis.mbta import (
 )
 from repro.analysis.report import (
     render_ablation,
+    render_artifact,
     render_figure4,
     render_latency_table,
     render_placement_table,
@@ -55,6 +57,7 @@ from repro.analysis.validation import (
     SoundnessCase,
     SoundnessSweep,
     check_soundness,
+    random_soundness_sweep,
     soundness_sweep,
 )
 
@@ -83,7 +86,10 @@ __all__ = [
     "information_ablation",
     "measure_isolation",
     "observe_corun",
+    "random_soundness_sweep",
+    "reference_scenario",
     "render_ablation",
+    "render_artifact",
     "render_figure4",
     "render_latency_table",
     "render_placement_table",

@@ -11,6 +11,13 @@ Two operating modes per experiment, matching DESIGN.md:
   the measured readings, and additionally co-run the tasks to check that
   every prediction upper-bounds the observed multicore time (the paper's
   soundness statement).
+
+Every driver expresses its work as a batch of independent engine jobs
+(one per scenario/workload/model combination) and accepts an optional
+``engine=`` argument: ``None`` runs serially, exactly as before; an
+:class:`~repro.engine.runner.ExperimentEngine` adds parallel fan-out and
+content-addressed result caching (a cached simulation is never re-run,
+whichever driver asked for it first).  Output is identical in every mode.
 """
 
 from __future__ import annotations
@@ -25,12 +32,10 @@ from repro.core.ideal import ideal_bound
 from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
 from repro.core.results import WcetEstimate
 from repro.counters.readings import TaskReadings
+from repro.engine.batch import job
+from repro.engine.runner import ExperimentEngine, run_jobs
 from repro.errors import ModelError
-from repro.platform.deployment import (
-    DeploymentScenario,
-    scenario_1,
-    scenario_2,
-)
+from repro.platform.deployment import DeploymentScenario, named_scenarios
 from repro.platform.latency import LatencyProfile, tc27x_latency_profile
 from repro.sim.system import run_isolation
 from repro.sim.timing import SimTiming
@@ -40,12 +45,16 @@ from repro.workloads.loads import LOAD_LEVELS, build_load
 SCENARIOS: tuple[str, ...] = ("scenario1", "scenario2")
 
 
-def _scenario(name: str) -> DeploymentScenario:
-    if name == "scenario1":
-        return scenario_1()
-    if name == "scenario2":
-        return scenario_2()
-    raise ModelError(f"unknown scenario {name!r}")
+def reference_scenario(name: str) -> DeploymentScenario:
+    """Resolve one of the paper's two reference scenarios by name.
+
+    The shared validator of every driver that takes a scenario *name*
+    (Figure 4, Table 6, ablation, three-core): only the evaluated
+    deployments are accepted, with a :class:`ModelError` otherwise.
+    """
+    if name not in SCENARIOS:
+        raise ModelError(f"unknown scenario {name!r}")
+    return named_scenarios()[name]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -82,10 +91,52 @@ class Figure4Row:
 # ----------------------------------------------------------------------
 # Paper-counters mode
 # ----------------------------------------------------------------------
+def _paper_ftc_row(scenario_name: str, profile: LatencyProfile) -> Figure4Row:
+    """Job: the refined fTC bar of one scenario (published readings)."""
+    scenario = reference_scenario(scenario_name)
+    readings_a = paper.table6(scenario_name, "app")
+    isolation = paper.ISOLATION_CYCLES[scenario_name]
+    ftc = ftc_refined(readings_a, profile, scenario)
+    return Figure4Row(
+        scenario=scenario_name,
+        load="-",
+        model=ftc.model,
+        delta_cycles=ftc.delta_cycles,
+        slowdown=WcetEstimate(isolation, ftc).slowdown,
+        paper_value=paper.FIGURE4[scenario_name].ftc,
+    )
+
+
+def _paper_ilp_row(
+    scenario_name: str, load: str, profile: LatencyProfile, backend: str
+) -> Figure4Row:
+    """Job: one ILP-PTAC bar (scenario × load, published readings)."""
+    scenario = reference_scenario(scenario_name)
+    readings_a = paper.table6(scenario_name, "app")
+    readings_b = paper.contender_readings(scenario_name, load)
+    isolation = paper.ISOLATION_CYCLES[scenario_name]
+    result = ilp_ptac_bound(
+        readings_a,
+        readings_b,
+        profile,
+        scenario,
+        IlpPtacOptions(backend=backend),
+    )
+    return Figure4Row(
+        scenario=scenario_name,
+        load=load,
+        model=result.bound.model,
+        delta_cycles=result.bound.delta_cycles,
+        slowdown=WcetEstimate(isolation, result.bound).slowdown,
+        paper_value=paper.FIGURE4[scenario_name].ilp.get(load),
+    )
+
+
 def figure4_paper_mode(
     *,
     profile: LatencyProfile | None = None,
     backend: str = "bnb",
+    engine: ExperimentEngine | None = None,
 ) -> list[Figure4Row]:
     """Figure 4 from the published Table 6 readings.
 
@@ -93,44 +144,28 @@ def figure4_paper_mode(
     ILP-PTAC bound per (scenario, load level).
     """
     profile = profile or tc27x_latency_profile()
-    rows: list[Figure4Row] = []
+    jobs = []
     for scenario_name in SCENARIOS:
-        scenario = _scenario(scenario_name)
-        readings_a = paper.table6(scenario_name, "app")
-        isolation = paper.ISOLATION_CYCLES[scenario_name]
-        reference = paper.FIGURE4[scenario_name]
-
-        ftc = ftc_refined(readings_a, profile, scenario)
-        rows.append(
-            Figure4Row(
-                scenario=scenario_name,
-                load="-",
-                model=ftc.model,
-                delta_cycles=ftc.delta_cycles,
-                slowdown=WcetEstimate(isolation, ftc).slowdown,
-                paper_value=reference.ftc,
+        jobs.append(
+            job(
+                _paper_ftc_row,
+                scenario_name,
+                profile,
+                label=f"figure4-paper:{scenario_name}:ftc",
             )
         )
         for load in LOAD_LEVELS:
-            readings_b = paper.contender_readings(scenario_name, load)
-            result = ilp_ptac_bound(
-                readings_a,
-                readings_b,
-                profile,
-                scenario,
-                IlpPtacOptions(backend=backend),
-            )
-            rows.append(
-                Figure4Row(
-                    scenario=scenario_name,
-                    load=load,
-                    model=result.bound.model,
-                    delta_cycles=result.bound.delta_cycles,
-                    slowdown=WcetEstimate(isolation, result.bound).slowdown,
-                    paper_value=reference.ilp.get(load),
+            jobs.append(
+                job(
+                    _paper_ilp_row,
+                    scenario_name,
+                    load,
+                    profile,
+                    backend,
+                    label=f"figure4-paper:{scenario_name}:ilp:{load}",
                 )
             )
-    return rows
+    return run_jobs(jobs, engine)
 
 
 # ----------------------------------------------------------------------
@@ -156,6 +191,10 @@ def simulate_scenario(
 ) -> ScenarioSimData:
     """Measure the application and the loads on the simulator.
 
+    This is the expensive half of simulation mode and an engine job in
+    its own right: the sim-mode drivers schedule it once per scenario and
+    a caching engine reuses the measurement across drivers and sweeps.
+
     Args:
         scenario_name: which reference scenario to reproduce.
         scale: workload scale relative to the paper's full-size run.
@@ -163,7 +202,7 @@ def simulate_scenario(
         with_coruns: also co-run the application against each load to
             collect observed multicore times (the soundness check).
     """
-    scenario = _scenario(scenario_name)
+    scenario = reference_scenario(scenario_name)
     app_program, _ = build_control_loop(scenario, scale=scale)
     app_result = run_isolation(app_program, timing=timing)
     app_readings = app_result.readings
@@ -192,6 +231,127 @@ def simulate_scenario(
     )
 
 
+def _sim_ftc_row(
+    scenario_name: str, data: ScenarioSimData, profile: LatencyProfile
+) -> Figure4Row:
+    """Job: the refined fTC bar from measured counters."""
+    ftc = ftc_refined(data.app_readings, profile, data.scenario)
+    worst_observed = max(
+        (
+            observation.slowdown
+            for observation in data.corun_observations.values()
+        ),
+        default=None,
+    )
+    return Figure4Row(
+        scenario=scenario_name,
+        load="-",
+        model=ftc.model,
+        delta_cycles=ftc.delta_cycles,
+        slowdown=WcetEstimate(data.app_isolation_cycles, ftc).slowdown,
+        paper_value=paper.FIGURE4[scenario_name].ftc,
+        observed_slowdown=worst_observed,
+    )
+
+
+def _sim_ilp_row(
+    scenario_name: str,
+    load: str,
+    data: ScenarioSimData,
+    profile: LatencyProfile,
+    backend: str,
+) -> Figure4Row:
+    """Job: one ILP-PTAC bar from measured counters."""
+    result = ilp_ptac_bound(
+        data.app_readings,
+        data.load_readings[load],
+        profile,
+        data.scenario,
+        IlpPtacOptions(backend=backend),
+    )
+    observation = data.corun_observations.get(load)
+    return Figure4Row(
+        scenario=scenario_name,
+        load=load,
+        model=result.bound.model,
+        delta_cycles=result.bound.delta_cycles,
+        slowdown=WcetEstimate(
+            data.app_isolation_cycles, result.bound
+        ).slowdown,
+        paper_value=paper.FIGURE4[scenario_name].ilp.get(load),
+        observed_slowdown=(observation.slowdown if observation else None),
+    )
+
+
+def _corun_observations(
+    scenario_name: str,
+    scale: float,
+    timing: SimTiming | None,
+    isolation_cycles: int,
+) -> dict[str, CorunObservation]:
+    """Job: co-run the application against each load level.
+
+    Split from the isolation measurements so the two stages cache
+    independently: Table 6 needs only the measurements, Figure 4 needs
+    both, and with a shared engine neither re-simulates the other's part.
+    """
+    scenario = reference_scenario(scenario_name)
+    app_program, _ = build_control_loop(scenario, scale=scale)
+    coruns: dict[str, CorunObservation] = {}
+    for load in LOAD_LEVELS:
+        load_program = build_load(scenario_name, load, scale=scale)
+        coruns[load] = observe_corun(
+            app_program,
+            {2: load_program},
+            isolation_cycles,
+            timing=timing,
+        )
+    return coruns
+
+
+def _simulate_datasets(
+    scale: float,
+    timing: SimTiming | None,
+    with_coruns: bool,
+    engine: ExperimentEngine | None,
+) -> list[ScenarioSimData]:
+    """Measure both scenarios, in two independently-cached job stages."""
+    datasets = run_jobs(
+        [
+            job(
+                simulate_scenario,
+                scenario_name,
+                scale=scale,
+                timing=timing,
+                with_coruns=False,
+                label=f"simulate:{scenario_name}:scale={scale:g}",
+            )
+            for scenario_name in SCENARIOS
+        ],
+        engine,
+    )
+    if not with_coruns:
+        return datasets
+    corun_maps = run_jobs(
+        [
+            job(
+                _corun_observations,
+                scenario_name,
+                scale,
+                timing,
+                data.app_isolation_cycles,
+                label=f"corun:{scenario_name}:scale={scale:g}",
+            )
+            for scenario_name, data in zip(SCENARIOS, datasets)
+        ],
+        engine,
+    )
+    return [
+        dataclasses.replace(data, corun_observations=coruns)
+        for data, coruns in zip(datasets, corun_maps)
+    ]
+
+
 def figure4_sim_mode(
     *,
     scale: float = 1 / 16,
@@ -199,60 +359,40 @@ def figure4_sim_mode(
     timing: SimTiming | None = None,
     backend: str = "bnb",
     with_coruns: bool = True,
+    engine: ExperimentEngine | None = None,
 ) -> list[Figure4Row]:
     """Figure 4 end-to-end on the simulator (counters measured, models
-    applied, predictions validated against observed co-runs)."""
-    profile = profile or tc27x_latency_profile()
-    rows: list[Figure4Row] = []
-    for scenario_name in SCENARIOS:
-        data = simulate_scenario(
-            scenario_name, scale=scale, timing=timing, with_coruns=with_coruns
-        )
-        reference = paper.FIGURE4[scenario_name]
-        isolation = data.app_isolation_cycles
+    applied, predictions validated against observed co-runs).
 
-        ftc = ftc_refined(data.app_readings, profile, data.scenario)
-        worst_observed = max(
-            (
-                observation.slowdown
-                for observation in data.corun_observations.values()
-            ),
-            default=None,
-        )
-        rows.append(
-            Figure4Row(
-                scenario=scenario_name,
-                load="-",
-                model=ftc.model,
-                delta_cycles=ftc.delta_cycles,
-                slowdown=WcetEstimate(isolation, ftc).slowdown,
-                paper_value=reference.ftc,
-                observed_slowdown=worst_observed,
+    Two engine phases: the per-scenario measurements run first (parallel
+    across scenarios, cached across drivers), then one model job per bar.
+    """
+    profile = profile or tc27x_latency_profile()
+    datasets = _simulate_datasets(scale, timing, with_coruns, engine)
+    model_jobs = []
+    for scenario_name, data in zip(SCENARIOS, datasets):
+        model_jobs.append(
+            job(
+                _sim_ftc_row,
+                scenario_name,
+                data,
+                profile,
+                label=f"figure4-sim:{scenario_name}:ftc",
             )
         )
         for load in LOAD_LEVELS:
-            result = ilp_ptac_bound(
-                data.app_readings,
-                data.load_readings[load],
-                profile,
-                data.scenario,
-                IlpPtacOptions(backend=backend),
-            )
-            observation = data.corun_observations.get(load)
-            rows.append(
-                Figure4Row(
-                    scenario=scenario_name,
-                    load=load,
-                    model=result.bound.model,
-                    delta_cycles=result.bound.delta_cycles,
-                    slowdown=WcetEstimate(isolation, result.bound).slowdown,
-                    paper_value=reference.ilp.get(load),
-                    observed_slowdown=(
-                        observation.slowdown if observation else None
-                    ),
+            model_jobs.append(
+                job(
+                    _sim_ilp_row,
+                    scenario_name,
+                    load,
+                    data,
+                    profile,
+                    backend,
+                    label=f"figure4-sim:{scenario_name}:ilp:{load}",
                 )
             )
-    return rows
+    return run_jobs(model_jobs, engine)
 
 
 # ----------------------------------------------------------------------
@@ -269,14 +409,16 @@ class Table6Row:
     reference: TaskReadings
 
 
-def table6_sim_mode(*, scale: float = 1 / 16) -> list[Table6Row]:
+def table6_sim_mode(
+    *,
+    scale: float = 1 / 16,
+    engine: ExperimentEngine | None = None,
+) -> list[Table6Row]:
     """Regenerate Table 6 on the simulator and pair it with the paper's
     readings scaled by the same factor (shape comparison)."""
+    datasets = _simulate_datasets(scale, None, with_coruns=False, engine=engine)
     rows: list[Table6Row] = []
-    for scenario_name in SCENARIOS:
-        data = simulate_scenario(
-            scenario_name, scale=scale, with_coruns=False
-        )
+    for scenario_name, data in zip(SCENARIOS, datasets):
         rows.append(
             Table6Row(
                 scenario=scenario_name,
@@ -309,10 +451,63 @@ class AblationRow:
     slowdown: float
 
 
+def _ablation_scenario_rows(
+    scenario_name: str, scale: float, backend: str
+) -> list[AblationRow]:
+    """Job: the full information ladder of one scenario."""
+    profile = tc27x_latency_profile()
+    scenario = reference_scenario(scenario_name)
+    app_program, _ = build_control_loop(scenario, scale=scale)
+    app_result = run_isolation(app_program)
+    isolation = app_result.readings.require_ccnt()
+
+    rows: list[AblationRow] = []
+    baseline = ftc_baseline(app_result.readings, profile)
+    refined = ftc_refined(app_result.readings, profile, scenario)
+    for bound in (baseline, refined):
+        rows.append(
+            AblationRow(
+                scenario=scenario_name,
+                load="-",
+                model=bound.model,
+                delta_cycles=bound.delta_cycles,
+                slowdown=WcetEstimate(isolation, bound).slowdown,
+            )
+        )
+    for load in LOAD_LEVELS:
+        load_program = build_load(scenario_name, load, scale=scale)
+        load_result = run_isolation(load_program, core=2)
+        ilp = ilp_ptac_bound(
+            app_result.readings,
+            load_result.readings,
+            profile,
+            scenario,
+            IlpPtacOptions(backend=backend),
+        ).bound
+        ideal = ideal_bound(
+            app_result.profile,
+            load_result.profile,
+            profile,
+            scenario,
+        )
+        for bound in (ilp, ideal):
+            rows.append(
+                AblationRow(
+                    scenario=scenario_name,
+                    load=load,
+                    model=bound.model,
+                    delta_cycles=bound.delta_cycles,
+                    slowdown=WcetEstimate(isolation, bound).slowdown,
+                )
+            )
+    return rows
+
+
 def information_ablation(
     *,
     scale: float = 1 / 32,
     backend: str = "bnb",
+    engine: ExperimentEngine | None = None,
 ) -> list[AblationRow]:
     """Quantify what each level of information buys (experiment A1).
 
@@ -321,50 +516,17 @@ def information_ablation(
     (deployment knowledge about τa), ``ilp-ptac`` (+ contender counters)
     and ``ideal`` (ground-truth PTACs, unobtainable on real hardware).
     """
-    profile = tc27x_latency_profile()
-    rows: list[AblationRow] = []
-    for scenario_name in SCENARIOS:
-        scenario = _scenario(scenario_name)
-        app_program, _ = build_control_loop(scenario, scale=scale)
-        app_result = run_isolation(app_program)
-        isolation = app_result.readings.require_ccnt()
-
-        baseline = ftc_baseline(app_result.readings, profile)
-        refined = ftc_refined(app_result.readings, profile, scenario)
-        for bound in (baseline, refined):
-            rows.append(
-                AblationRow(
-                    scenario=scenario_name,
-                    load="-",
-                    model=bound.model,
-                    delta_cycles=bound.delta_cycles,
-                    slowdown=WcetEstimate(isolation, bound).slowdown,
-                )
+    row_lists = run_jobs(
+        [
+            job(
+                _ablation_scenario_rows,
+                scenario_name,
+                scale,
+                backend,
+                label=f"ablation:{scenario_name}",
             )
-        for load in LOAD_LEVELS:
-            load_program = build_load(scenario_name, load, scale=scale)
-            load_result = run_isolation(load_program, core=2)
-            ilp = ilp_ptac_bound(
-                app_result.readings,
-                load_result.readings,
-                profile,
-                scenario,
-                IlpPtacOptions(backend=backend),
-            ).bound
-            ideal = ideal_bound(
-                app_result.profile,
-                load_result.profile,
-                profile,
-                scenario,
-            )
-            for bound in (ilp, ideal):
-                rows.append(
-                    AblationRow(
-                        scenario=scenario_name,
-                        load=load,
-                        model=bound.model,
-                        delta_cycles=bound.delta_cycles,
-                        slowdown=WcetEstimate(isolation, bound).slowdown,
-                    )
-                )
-    return rows
+            for scenario_name in SCENARIOS
+        ],
+        engine,
+    )
+    return [row for rows in row_lists for row in rows]

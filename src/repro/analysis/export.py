@@ -4,6 +4,12 @@ The report module renders for humans; downstream tooling (plotting
 scripts, CI dashboards, regression trackers) wants rows.  This module
 flattens every experiment result type into plain dictionaries and writes
 CSV or JSON, with stable column orders so diffs stay readable.
+
+It is also where driver rows are lifted into the engine's common
+:class:`~repro.engine.artifact.ExperimentArtifact` record (the
+``*_artifact`` builders): one artifact type that
+:func:`repro.analysis.report.render_artifact` renders and
+:func:`write_artifact` serialises, whatever experiment produced it.
 """
 
 from __future__ import annotations
@@ -15,7 +21,10 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.analysis.experiments import AblationRow, Figure4Row, Table6Row
 from repro.analysis.sweeps import DeploymentComparison, SweepPoint
+from repro.analysis.three_core import ThreeCoreRow
 from repro.analysis.validation import SoundnessCase
+from repro.engine.artifact import ExperimentArtifact, artifact
+from repro.engine.experiment import ScenarioRunResult
 from repro.errors import ReproError
 
 
@@ -123,6 +132,172 @@ def soundness_rows(cases: Sequence[SoundnessCase]) -> list[dict[str, Any]]:
     return flat
 
 
+def three_core_rows(rows: Sequence[ThreeCoreRow]) -> list[dict[str, Any]]:
+    """Flatten the three-core evaluation."""
+    return [
+        {
+            "scenario": row.scenario,
+            "loads": "+".join(row.loads),
+            "isolation_cycles": row.isolation_cycles,
+            "joint_delta": row.joint_delta,
+            "pairwise_sum_delta": row.pairwise_sum_delta,
+            "joint_saving": row.joint_saving,
+            "observed_cycles": row.observed_cycles,
+            "observed_slowdown": round(row.observed_slowdown, 6),
+            "sound": row.sound,
+        }
+        for row in rows
+    ]
+
+
+def scenario_run_rows(
+    results: Sequence[ScenarioRunResult],
+) -> list[dict[str, Any]]:
+    """Flatten generic N-core scenario-spec runs."""
+    return [
+        {
+            "spec": result.spec_name,
+            "base": result.base,
+            "cores": result.core_count,
+            "isolation_cycles": result.isolation_cycles,
+            "joint_delta": result.joint_delta,
+            "pairwise_sum_delta": result.pairwise_sum_delta,
+            "observed_cycles": result.observed_cycles,
+            "predicted_slowdown": round(result.predicted_slowdown, 6),
+            "observed_slowdown": round(result.observed_slowdown, 6),
+            "sound": result.sound,
+        }
+        for result in results
+    ]
+
+
+# ----------------------------------------------------------------------
+# Artifact builders: driver rows → the engine's common record
+# ----------------------------------------------------------------------
+_ARTIFACT_COLUMNS = {
+    "figure4": (
+        "scenario",
+        "model",
+        "load",
+        "delta_cycles",
+        "slowdown",
+        "paper_value",
+        "observed_slowdown",
+        "sound",
+    ),
+    "table6": ("scenario", "core", "task", "counter", "simulated", "reference"),
+    "ablation": ("scenario", "load", "model", "delta_cycles", "slowdown"),
+    "sweep": ("scale", "delta_cycles", "slowdown", "saturated"),
+    "deployment": ("scenario", "delta_cycles", "slowdown"),
+    "soundness": (
+        "case",
+        "model",
+        "isolation_cycles",
+        "observed_cycles",
+        "predicted_wcet",
+        "sound",
+        "tightness",
+    ),
+    "three-core": (
+        "scenario",
+        "loads",
+        "isolation_cycles",
+        "joint_delta",
+        "pairwise_sum_delta",
+        "joint_saving",
+        "observed_cycles",
+        "observed_slowdown",
+        "sound",
+    ),
+    "scenario-run": (
+        "spec",
+        "base",
+        "cores",
+        "isolation_cycles",
+        "joint_delta",
+        "pairwise_sum_delta",
+        "observed_cycles",
+        "predicted_slowdown",
+        "observed_slowdown",
+        "sound",
+    ),
+}
+
+
+def _build_artifact(
+    kind: str, title: str, records: list[dict[str, Any]], **meta: Any
+) -> ExperimentArtifact:
+    return artifact(kind, title, _ARTIFACT_COLUMNS[kind], records, **meta)
+
+
+def figure4_artifact(
+    rows: Sequence[Figure4Row], *, title: str = "Figure 4", **meta: Any
+) -> ExperimentArtifact:
+    return _build_artifact("figure4", title, figure4_rows(rows), **meta)
+
+
+def table6_artifact(
+    rows: Sequence[Table6Row], *, title: str = "Table 6", **meta: Any
+) -> ExperimentArtifact:
+    return _build_artifact("table6", title, table6_rows(rows), **meta)
+
+
+def ablation_artifact(
+    rows: Sequence[AblationRow],
+    *,
+    title: str = "Information-degree ablation",
+    **meta: Any,
+) -> ExperimentArtifact:
+    return _build_artifact("ablation", title, ablation_rows(rows), **meta)
+
+
+def sweep_artifact(
+    points: Sequence[SweepPoint],
+    *,
+    title: str = "Contender-load sweep",
+    **meta: Any,
+) -> ExperimentArtifact:
+    return _build_artifact("sweep", title, sweep_rows(points), **meta)
+
+
+def deployment_artifact(
+    rows: Sequence[DeploymentComparison],
+    *,
+    title: str = "Deployment sweep",
+    **meta: Any,
+) -> ExperimentArtifact:
+    return _build_artifact("deployment", title, deployment_rows(rows), **meta)
+
+
+def soundness_artifact(
+    cases: Sequence[SoundnessCase],
+    *,
+    title: str = "Soundness sweep",
+    **meta: Any,
+) -> ExperimentArtifact:
+    return _build_artifact("soundness", title, soundness_rows(cases), **meta)
+
+
+def three_core_artifact(
+    rows: Sequence[ThreeCoreRow],
+    *,
+    title: str = "Three-core evaluation",
+    **meta: Any,
+) -> ExperimentArtifact:
+    return _build_artifact("three-core", title, three_core_rows(rows), **meta)
+
+
+def scenario_run_artifact(
+    results: Sequence[ScenarioRunResult],
+    *,
+    title: str = "Scenario runs",
+    **meta: Any,
+) -> ExperimentArtifact:
+    return _build_artifact(
+        "scenario-run", title, scenario_run_rows(results), **meta
+    )
+
+
 def to_json(records: Iterable[Mapping[str, Any]], *, indent: int = 2) -> str:
     """Serialise flattened records to a JSON array."""
     return json.dumps(list(records), indent=indent)
@@ -164,3 +339,10 @@ def write(
         raise ReproError(f"unknown export format {format!r}")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(payload)
+
+
+def write_artifact(
+    item: ExperimentArtifact, path: str, *, format: str | None = None
+) -> None:
+    """Write an engine artifact's records to ``path`` (CSV or JSON)."""
+    write(item.record_dicts(), path, format=format)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.analysis.experiments import AblationRow, Figure4Row, Table6Row
+from repro.engine.artifact import ExperimentArtifact
 from repro.platform.cacheability import placement_matrix
 from repro.platform.latency import LatencyProfile
 
@@ -150,6 +151,20 @@ def render_figure4(rows: Sequence[Figure4Row], *, title: str = "Figure 4") -> st
             f"{bar} {row.slowdown:.2f}{reference}"
         )
     return table + "\n\n" + "\n".join(bars)
+
+
+def render_artifact(artifact: ExperimentArtifact) -> str:
+    """Render any engine artifact as a fixed-width table.
+
+    The generic counterpart of the ``render_*`` functions above: every
+    experiment that flattens into an
+    :class:`~repro.engine.artifact.ExperimentArtifact` (see the
+    ``*_artifact`` builders in :mod:`repro.analysis.export`) renders
+    through this single entry point.
+    """
+    return render_table(
+        artifact.columns, artifact.rows(), title=artifact.title
+    )
 
 
 def render_ablation(rows: Sequence[AblationRow]) -> str:

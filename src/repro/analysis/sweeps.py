@@ -15,6 +15,11 @@ integration".  This module packages that use case:
   deployment scenarios (the integrator's layout question).
 * :func:`dirty_latency_sensitivity` — how much of a Scenario 2 bound is
   attributable to the LMU's bracketed 21-cycle dirty-miss latency.
+
+Every sweep point is an independent ILP solve, so each sweep is one
+engine batch: pass ``engine=`` to fan the solves out over cores and to
+cache them content-addressed (a repeated sweep, or one sharing points
+with an earlier sweep, skips the solver entirely).
 """
 
 from __future__ import annotations
@@ -24,9 +29,24 @@ from typing import Mapping, Sequence
 
 from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
 from repro.counters.readings import TaskReadings
+from repro.engine.batch import job
+from repro.engine.runner import ExperimentEngine, run_jobs
 from repro.errors import ModelError
 from repro.platform.deployment import DeploymentScenario
 from repro.platform.latency import LatencyProfile, tc27x_latency_profile
+
+
+def _ilp_delta(
+    readings_a: TaskReadings,
+    readings_b: TaskReadings | None,
+    profile: LatencyProfile,
+    scenario: DeploymentScenario,
+    options: IlpPtacOptions,
+) -> int:
+    """Job: one ILP-PTAC solve, reduced to its Δ-cycles bound."""
+    return ilp_ptac_bound(
+        readings_a, readings_b, profile, scenario, options
+    ).bound.delta_cycles
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,6 +76,7 @@ def contender_scale_sweep(
     profile: LatencyProfile | None = None,
     isolation_cycles: int | None = None,
     options: IlpPtacOptions | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> list[SweepPoint]:
     """ILP-PTAC bound as a function of contender load.
 
@@ -67,48 +88,62 @@ def contender_scale_sweep(
         profile: Table 2 constants.
         isolation_cycles: optional isolation time for normalised output.
         options: ILP knobs.
+        engine: optional execution engine (parallel solves, caching).
 
     Returns:
         One :class:`SweepPoint` per scale, in order.
     """
+    scales = tuple(scales)  # accept one-shot iterables
     if not scales:
         raise ModelError("at least one scale is required")
-    profile = profile or tc27x_latency_profile()
-    options = options or IlpPtacOptions()
-
-    ceiling = ilp_ptac_bound(
-        readings_a,
-        None,
-        profile,
-        scenario,
-        dataclasses.replace(options, contender_constraints=False),
-    ).bound.delta_cycles
-
-    points = []
     for scale in scales:
         if scale <= 0:
             raise ModelError("scales must be positive")
+    profile = profile or tc27x_latency_profile()
+    options = options or IlpPtacOptions()
+
+    jobs = [
+        job(
+            _ilp_delta,
+            readings_a,
+            None,
+            profile,
+            scenario,
+            dataclasses.replace(options, contender_constraints=False),
+            label=f"sweep:{scenario.name}:ceiling",
+        )
+    ]
+    for scale in scales:
         contender = (
             reference_contender
             if scale == 1.0
             else reference_contender.scaled(scale)
         )
-        delta = ilp_ptac_bound(
-            readings_a, contender, profile, scenario, options
-        ).bound.delta_cycles
-        points.append(
-            SweepPoint(
-                scale=scale,
-                delta_cycles=delta,
-                slowdown=(
-                    1 + delta / isolation_cycles
-                    if isolation_cycles
-                    else None
-                ),
-                saturated=delta >= ceiling,
+        jobs.append(
+            job(
+                _ilp_delta,
+                readings_a,
+                contender,
+                profile,
+                scenario,
+                options,
+                label=f"sweep:{scenario.name}:x{scale:g}",
             )
         )
-    return points
+    results = run_jobs(jobs, engine)
+    ceiling, deltas = results[0], results[1:]
+
+    return [
+        SweepPoint(
+            scale=scale,
+            delta_cycles=delta,
+            slowdown=(
+                1 + delta / isolation_cycles if isolation_cycles else None
+            ),
+            saturated=delta >= ceiling,
+        )
+        for scale, delta in zip(scales, deltas)
+    ]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -128,6 +163,7 @@ def deployment_sweep(
     profile: LatencyProfile | None = None,
     isolation_cycles: int | None = None,
     options: IlpPtacOptions | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> list[DeploymentComparison]:
     """Compare candidate deployments by their worst-case contention.
 
@@ -140,23 +176,33 @@ def deployment_sweep(
     if not scenarios:
         raise ModelError("at least one scenario is required")
     profile = profile or tc27x_latency_profile()
-    rows = []
-    for name, scenario in scenarios.items():
-        delta = ilp_ptac_bound(
-            readings_a, readings_b, profile, scenario, options
-        ).bound.delta_cycles
-        rows.append(
-            DeploymentComparison(
-                scenario=name,
-                delta_cycles=delta,
-                slowdown=(
-                    1 + delta / isolation_cycles
-                    if isolation_cycles
-                    else None
-                ),
+    options = options or IlpPtacOptions()
+    names = list(scenarios)
+    deltas = run_jobs(
+        [
+            job(
+                _ilp_delta,
+                readings_a,
+                readings_b,
+                profile,
+                scenarios[name],
+                options,
+                label=f"deployment:{name}",
             )
+            for name in names
+        ],
+        engine,
+    )
+    return [
+        DeploymentComparison(
+            scenario=name,
+            delta_cycles=delta,
+            slowdown=(
+                1 + delta / isolation_cycles if isolation_cycles else None
+            ),
         )
-    return rows
+        for name, delta in zip(names, deltas)
+    ]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -187,6 +233,7 @@ def dirty_latency_sensitivity(
     *,
     profile: LatencyProfile | None = None,
     options: IlpPtacOptions | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> DirtySensitivity:
     """Quantify the cost of assuming dirty evictions on the LMU.
 
@@ -197,15 +244,33 @@ def dirty_latency_sensitivity(
     configuration (no dirty lines) buys a meaningful bound reduction.
     """
     profile = profile or tc27x_latency_profile()
-    with_dirty = ilp_ptac_bound(
-        readings_a, readings_b, profile, scenario, options
-    ).bound.delta_cycles
     clean_scenario = dataclasses.replace(
         scenario, dirty_targets=frozenset()
     )
-    without_dirty = ilp_ptac_bound(
-        readings_a, readings_b, profile, clean_scenario, options
-    ).bound.delta_cycles
+    options = options or IlpPtacOptions()
+    with_dirty, without_dirty = run_jobs(
+        [
+            job(
+                _ilp_delta,
+                readings_a,
+                readings_b,
+                profile,
+                scenario,
+                options,
+                label=f"dirty:{scenario.name}:with",
+            ),
+            job(
+                _ilp_delta,
+                readings_a,
+                readings_b,
+                profile,
+                clean_scenario,
+                options,
+                label=f"dirty:{scenario.name}:without",
+            ),
+        ],
+        engine,
+    )
     return DirtySensitivity(
         with_dirty_cycles=with_dirty, without_dirty_cycles=without_dirty
     )

@@ -11,6 +11,13 @@ three cores, so the realistic integration question is: application plus
    naive sum of pairwise bounds;
 3. co-run all three cores on the simulator and verify both bounds cover
    the observation — and report how much the joint formulation saves.
+
+The experiment is engine-batched: the application's isolation run is one
+(cacheable) job shared by every pairing, then each load pairing is an
+independent job.  Beyond three cores, register an N-core
+:class:`~repro.engine.scenario.ScenarioSpec` and use
+:func:`repro.engine.experiment.run_spec`, which generalises this driver
+to any core count.
 """
 
 from __future__ import annotations
@@ -18,11 +25,12 @@ from __future__ import annotations
 import dataclasses
 from typing import Sequence
 
+from repro.analysis.experiments import reference_scenario
 from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
 from repro.core.multicontender import multi_contender_bound
 from repro.counters.readings import TaskReadings
-from repro.errors import ModelError
-from repro.platform.deployment import DeploymentScenario, scenario_1, scenario_2
+from repro.engine.batch import job
+from repro.engine.runner import ExperimentEngine, run_jobs
 from repro.platform.latency import LatencyProfile, tc27x_latency_profile
 from repro.sim.system import SystemSimulator, run_isolation
 from repro.sim.timing import SimTiming
@@ -73,14 +81,67 @@ class ThreeCoreRow:
 
 
 def _rename(readings: TaskReadings, name: str) -> TaskReadings:
-    return TaskReadings(
-        name=name,
-        pmem_stall=readings.pmem_stall,
-        dmem_stall=readings.dmem_stall,
-        pcache_miss=readings.pcache_miss,
-        dcache_miss_clean=readings.dcache_miss_clean,
-        dcache_miss_dirty=readings.dcache_miss_dirty,
-        ccnt=readings.ccnt,
+    return dataclasses.replace(readings, name=name)
+
+
+def _app_isolation(
+    scenario_name: str, scale: float, timing: SimTiming | None
+) -> TaskReadings:
+    """Job: the application's isolation measurement (shared by pairings)."""
+    scenario = reference_scenario(scenario_name)
+    app_program, _ = build_control_loop(scenario, scale=scale)
+    return run_isolation(app_program, timing=timing).readings
+
+
+def _three_core_pair_row(
+    scenario_name: str,
+    first: str,
+    second: str,
+    app_readings: TaskReadings,
+    scale: float,
+    profile: LatencyProfile,
+    timing: SimTiming | None,
+    options: IlpPtacOptions | None,
+) -> ThreeCoreRow:
+    """Job: one (load, load) pairing — bounds plus three-core co-run."""
+    scenario = reference_scenario(scenario_name)
+    app_program, _ = build_control_loop(scenario, scale=scale)
+    isolation = app_readings.require_ccnt()
+
+    program_0 = build_load(scenario_name, first, scale=scale)
+    program_2 = build_load(scenario_name, second, scale=scale)
+    readings_0 = _rename(
+        run_isolation(program_0, core=0, timing=timing).readings,
+        f"{first}-Load@core0",
+    )
+    readings_2 = _rename(
+        run_isolation(program_2, core=2, timing=timing).readings,
+        f"{second}-Load@core2",
+    )
+
+    joint = multi_contender_bound(
+        app_readings, [readings_0, readings_2], profile, scenario, options
+    ).bound.delta_cycles
+    pairwise = sum(
+        ilp_ptac_bound(
+            app_readings, contender, profile, scenario, options
+        ).bound.delta_cycles
+        for contender in (readings_0, readings_2)
+    )
+
+    observed = (
+        SystemSimulator(timing)
+        .run({0: program_0, 1: app_program, 2: program_2})
+        .readings(1)
+        .require_ccnt()
+    )
+    return ThreeCoreRow(
+        scenario=scenario_name,
+        loads=(first, second),
+        isolation_cycles=isolation,
+        joint_delta=joint,
+        pairwise_sum_delta=pairwise,
+        observed_cycles=observed,
     )
 
 
@@ -92,6 +153,7 @@ def three_core_experiment(
     profile: LatencyProfile | None = None,
     timing: SimTiming | None = None,
     options: IlpPtacOptions | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> list[ThreeCoreRow]:
     """Run the three-core evaluation for several contender pairings.
 
@@ -101,56 +163,39 @@ def three_core_experiment(
         scale: workload scale (the application is the Table 6 control
             loop; the 1.6E core 0 gets the second load generator).
         profile, timing, options: the usual knobs.
+        engine: optional execution engine (pairings run in parallel; the
+            application's isolation measurement is computed once).
     """
-    if scenario_name == "scenario1":
-        scenario: DeploymentScenario = scenario_1()
-    elif scenario_name == "scenario2":
-        scenario = scenario_2()
-    else:
-        raise ModelError(f"unknown scenario {scenario_name!r}")
+    reference_scenario(scenario_name)  # validate the name before any work
     profile = profile or tc27x_latency_profile()
 
-    app_program, _ = build_control_loop(scenario, scale=scale)
-    app = run_isolation(app_program, timing=timing)
-    isolation = app.readings.require_ccnt()
-
-    rows = []
-    for first, second in load_pairs:
-        program_0 = build_load(scenario_name, first, scale=scale)
-        program_2 = build_load(scenario_name, second, scale=scale)
-        readings_0 = _rename(
-            run_isolation(program_0, core=0, timing=timing).readings,
-            f"{first}-Load@core0",
-        )
-        readings_2 = _rename(
-            run_isolation(program_2, core=2, timing=timing).readings,
-            f"{second}-Load@core2",
-        )
-
-        joint = multi_contender_bound(
-            app.readings, [readings_0, readings_2], profile, scenario, options
-        ).bound.delta_cycles
-        pairwise = sum(
-            ilp_ptac_bound(
-                app.readings, contender, profile, scenario, options
-            ).bound.delta_cycles
-            for contender in (readings_0, readings_2)
-        )
-
-        observed = (
-            SystemSimulator(timing)
-            .run({0: program_0, 1: app_program, 2: program_2})
-            .readings(1)
-            .require_ccnt()
-        )
-        rows.append(
-            ThreeCoreRow(
-                scenario=scenario_name,
-                loads=(first, second),
-                isolation_cycles=isolation,
-                joint_delta=joint,
-                pairwise_sum_delta=pairwise,
-                observed_cycles=observed,
+    app_readings = run_jobs(
+        [
+            job(
+                _app_isolation,
+                scenario_name,
+                scale,
+                timing,
+                label=f"three-core:{scenario_name}:isolation",
             )
-        )
-    return rows
+        ],
+        engine,
+    )[0]
+    return run_jobs(
+        [
+            job(
+                _three_core_pair_row,
+                scenario_name,
+                first,
+                second,
+                app_readings,
+                scale,
+                profile,
+                timing,
+                options,
+                label=f"three-core:{scenario_name}:{first}+{second}",
+            )
+            for first, second in load_pairs
+        ],
+        engine,
+    )

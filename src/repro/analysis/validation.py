@@ -17,10 +17,13 @@ from repro.analysis.mbta import measure_isolation, observe_corun
 from repro.core.ftc import ftc_baseline, ftc_refined
 from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
 from repro.core.results import WcetEstimate
+from repro.engine.batch import job
+from repro.engine.runner import ExperimentEngine, run_jobs
 from repro.platform.deployment import DeploymentScenario
 from repro.platform.latency import LatencyProfile, tc27x_latency_profile
 from repro.sim.program import TaskProgram
 from repro.sim.timing import SimTiming
+from repro.workloads.synthetic import random_task_pair
 
 
 @dataclasses.dataclass(frozen=True)
@@ -140,18 +143,90 @@ def soundness_sweep(
     profile: LatencyProfile | None = None,
     timing: SimTiming | None = None,
     backend: str = "bnb",
+    engine: ExperimentEngine | None = None,
 ) -> SoundnessSweep:
-    """Run :func:`check_soundness` over many task pairs."""
-    cases = tuple(
-        check_soundness(
-            task,
-            contender,
-            scenario,
-            profile=profile,
-            timing=timing,
-            backend=backend,
-            name=f"{task.name} vs {contender.name}",
-        )
-        for task, contender in pairs
+    """Run :func:`check_soundness` over many task pairs.
+
+    Each pair is one engine job.  Note task programs carry closures, so
+    a process-mode engine transparently demotes these jobs to in-process
+    execution; for fully parallel sweeps generate the pairs inside the
+    job via :func:`random_soundness_sweep`.
+    """
+    cases = run_jobs(
+        [
+            job(
+                check_soundness,
+                task,
+                contender,
+                scenario,
+                profile=profile,
+                timing=timing,
+                backend=backend,
+                name=f"{task.name} vs {contender.name}",
+                label=f"soundness:{task.name} vs {contender.name}",
+                cacheable=False,
+            )
+            for task, contender in pairs
+        ],
+        engine,
     )
-    return SoundnessSweep(cases=cases)
+    return SoundnessSweep(cases=tuple(cases))
+
+
+def _random_soundness_case(
+    scenario: DeploymentScenario,
+    seed: int,
+    max_requests: int,
+    profile: LatencyProfile | None,
+    timing: SimTiming | None,
+    backend: str,
+) -> SoundnessCase:
+    """Job: one seeded pair through the full soundness pipeline."""
+    task, contender = random_task_pair(
+        scenario, seed=seed, max_requests=max_requests
+    )
+    return check_soundness(
+        task,
+        contender,
+        scenario,
+        profile=profile,
+        timing=timing,
+        backend=backend,
+        name=f"{task.name} vs {contender.name}",
+    )
+
+
+def random_soundness_sweep(
+    scenario: DeploymentScenario,
+    *,
+    pairs: int,
+    max_requests: int = 2_000,
+    profile: LatencyProfile | None = None,
+    timing: SimTiming | None = None,
+    backend: str = "bnb",
+    engine: ExperimentEngine | None = None,
+) -> SoundnessSweep:
+    """Seeded randomized soundness sweep, fully engine-parallel.
+
+    Equivalent to building ``random_task_pair(scenario, seed=s)`` for
+    ``s in range(pairs)`` and calling :func:`soundness_sweep`, but the
+    pair construction happens *inside* each job, so every job is plain
+    data and can run in a worker process or hit the result cache.
+    """
+    cases = run_jobs(
+        [
+            job(
+                _random_soundness_case,
+                scenario,
+                seed,
+                max_requests,
+                profile,
+                timing,
+                backend,
+                label=f"soundness:{scenario.name}:seed={seed}",
+            )
+            for seed in range(pairs)
+        ],
+        engine,
+    )
+    return SoundnessSweep(cases=tuple(cases))

@@ -1,19 +1,25 @@
 """Command-line interface: regenerate any paper artefact from a shell.
 
-Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``)::
 
-    python -m repro table2                 # Table 2 via characterisation
-    python -m repro table3                 # placement matrix
-    python -m repro table6 --scale 16      # counter readings at 1/16 scale
-    python -m repro figure4                # paper-counters mode
-    python -m repro figure4 --mode sim --scale 32
-    python -m repro ablation               # information-degree ladder
-    python -m repro soundness --pairs 5    # randomized soundness sweep
-    python -m repro sweep                  # contender-load sweep curve
-    python -m repro platform               # Figure 1 block diagram
+    repro table2                 # Table 2 via characterisation
+    repro table3                 # placement matrix
+    repro table6 --scale 16      # counter readings at 1/16 scale
+    repro figure4                # paper-counters mode
+    repro figure4 --mode sim --scale 32 --jobs 4
+    repro ablation               # information-degree ladder
+    repro soundness --pairs 5    # randomized soundness sweep
+    repro sweep                  # contender-load sweep curve
+    repro three-core             # TC277 joint-contention evaluation
+    repro scenarios              # registered deployment scenarios
+    repro run scenario1-4core    # any registered spec, end to end
+    repro platform               # Figure 1 block diagram
 
 Every command prints the same rendering the benchmark suite produces, so
-shell users and CI logs see identical artefacts.
+shell users and CI logs see identical artefacts.  Commands that fan out
+over independent jobs accept ``--jobs N`` to execute on the experiment
+engine's process pool; results are identical to serial runs, and a
+shared per-invocation result cache deduplicates repeated work.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.report import (
     render_ablation,
+    render_artifact,
     render_figure4,
     render_latency_table,
     render_placement_table,
@@ -39,10 +46,43 @@ from repro.analysis.report import (
     render_table6,
 )
 from repro.analysis.sweeps import contender_scale_sweep
-from repro.analysis.validation import soundness_sweep
+from repro.analysis.three_core import three_core_experiment
+from repro.analysis.validation import random_soundness_sweep
+from repro.engine import (
+    ExperimentEngine,
+    ResultCache,
+    default_registry,
+    run_specs,
+)
+from repro.errors import ReproError
 from repro.platform.deployment import scenario_1, scenario_2
 from repro.platform.tc27x import tc277
-from repro.workloads.synthetic import random_task_pair
+
+
+def _engine(args: argparse.Namespace) -> ExperimentEngine | None:
+    """Build the execution engine a command asked for (None = serial).
+
+    The instance is remembered on ``args`` so :func:`main` can shut its
+    worker pool down once the command returns.
+    """
+    jobs = getattr(args, "jobs", 1) or 1
+    if jobs <= 1:
+        return None
+    engine = ExperimentEngine(
+        mode="process", workers=jobs, cache=ResultCache()
+    )
+    args._engine_instance = engine
+    return engine
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent jobs out over N worker processes",
+    )
 
 
 def _cmd_table2(args: argparse.Namespace) -> str:
@@ -58,35 +98,41 @@ def _cmd_table3(args: argparse.Namespace) -> str:
 
 def _cmd_table6(args: argparse.Namespace) -> str:
     scale = 1 / args.scale
-    return render_table6(table6_sim_mode(scale=scale), scale=scale)
+    return render_table6(
+        table6_sim_mode(scale=scale, engine=_engine(args)), scale=scale
+    )
 
 
 def _cmd_figure4(args: argparse.Namespace) -> str:
+    engine = _engine(args)
     if args.mode == "paper":
-        rows = figure4_paper_mode()
+        rows = figure4_paper_mode(engine=engine)
         title = "Figure 4 (paper-counters mode)"
     else:
-        rows = figure4_sim_mode(scale=1 / args.scale)
+        rows = figure4_sim_mode(scale=1 / args.scale, engine=engine)
         title = f"Figure 4 (simulation mode, scale 1/{args.scale})"
     if args.export:
-        from repro.analysis.export import figure4_rows, write
+        from repro.analysis.export import figure4_artifact, write_artifact
 
-        write(figure4_rows(rows), args.export)
+        write_artifact(figure4_artifact(rows, title=title), args.export)
         return f"wrote {len(rows)} rows to {args.export}"
     return render_figure4(rows, title=title)
 
 
 def _cmd_ablation(args: argparse.Namespace) -> str:
-    return render_ablation(information_ablation(scale=1 / args.scale))
+    return render_ablation(
+        information_ablation(scale=1 / args.scale, engine=_engine(args))
+    )
 
 
 def _cmd_soundness(args: argparse.Namespace) -> str:
     scenario = scenario_1() if args.scenario == 1 else scenario_2()
-    pairs = [
-        random_task_pair(scenario, seed=seed, max_requests=args.requests)
-        for seed in range(args.pairs)
-    ]
-    sweep = soundness_sweep(pairs, scenario)
+    sweep = random_soundness_sweep(
+        scenario,
+        pairs=args.pairs,
+        max_requests=args.requests,
+        engine=_engine(args),
+    )
     rows = [
         [
             case.name,
@@ -120,11 +166,12 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         contender,
         scenario,
         isolation_cycles=paper.ISOLATION_CYCLES[scenario.name],
+        engine=_engine(args),
     )
     if args.export:
-        from repro.analysis.export import sweep_rows, write
+        from repro.analysis.export import sweep_artifact, write_artifact
 
-        write(sweep_rows(points), args.export)
+        write_artifact(sweep_artifact(points), args.export)
         return f"wrote {len(points)} points to {args.export}"
     return render_table(
         ["contender scale", "Δcont (cyc)", "pred", "saturated"],
@@ -134,6 +181,53 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         ],
         title=f"Contender-load sweep ({scenario.name}, x of H-Load)",
     )
+
+
+def _cmd_three_core(args: argparse.Namespace) -> str:
+    scenario_name = f"scenario{args.scenario}"
+    rows = three_core_experiment(
+        scenario_name, scale=1 / args.scale, engine=_engine(args)
+    )
+    from repro.analysis.export import three_core_artifact
+
+    return render_artifact(
+        three_core_artifact(
+            rows,
+            title=(
+                f"Three-core evaluation ({scenario_name}, "
+                f"scale 1/{args.scale})"
+            ),
+        )
+    )
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> str:
+    registry = default_registry()
+    return render_table(
+        ["name", "base", "cores", "description"],
+        [
+            [spec.name, spec.base, spec.core_count, spec.description]
+            for spec in registry
+        ],
+        title=f"Registered scenarios ({len(registry)})",
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    registry = default_registry()
+    names = registry.names() if args.all else args.scenario
+    if not names:
+        return "nothing to run (name scenarios or pass --all)"
+    results = run_specs(names, engine=_engine(args))
+    from repro.analysis.export import scenario_run_artifact, write_artifact
+
+    item = scenario_run_artifact(
+        results, title=f"Scenario runs ({len(results)} specs)"
+    )
+    if args.export:
+        write_artifact(item, args.export)
+        return f"wrote {len(results)} runs to {args.export}"
+    return render_artifact(item)
 
 
 def _cmd_platform(args: argparse.Namespace) -> str:
@@ -156,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table6", help="Table 6 counter readings (simulated)")
     p.add_argument("--scale", type=int, default=16, help="scale denominator")
+    _add_jobs_flag(p)
 
     p = sub.add_parser("figure4", help="Figure 4 model predictions")
     p.add_argument("--mode", choices=("paper", "sim"), default="paper")
@@ -163,20 +258,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--export", metavar="PATH.{json,csv}", help="write rows instead of rendering"
     )
+    _add_jobs_flag(p)
 
     p = sub.add_parser("ablation", help="information-degree ablation (A1)")
     p.add_argument("--scale", type=int, default=32)
+    _add_jobs_flag(p)
 
     p = sub.add_parser("soundness", help="randomized soundness sweep (A4)")
     p.add_argument("--pairs", type=int, default=5)
     p.add_argument("--requests", type=int, default=1_000)
     p.add_argument("--scenario", type=int, choices=(1, 2), default=1)
+    _add_jobs_flag(p)
 
     p = sub.add_parser("sweep", help="contender-load sweep (Section 4.2)")
     p.add_argument("--scenario", type=int, choices=(1, 2), default=1)
     p.add_argument(
         "--export", metavar="PATH.{json,csv}", help="write rows instead of rendering"
     )
+    _add_jobs_flag(p)
+
+    p = sub.add_parser(
+        "three-core", help="TC277 three-core joint-contention evaluation"
+    )
+    p.add_argument("--scenario", type=int, choices=(1, 2), default=1)
+    p.add_argument("--scale", type=int, default=32, help="scale denominator")
+    _add_jobs_flag(p)
+
+    sub.add_parser("scenarios", help="list registered scenario specs")
+
+    p = sub.add_parser(
+        "run", help="run registered scenario specs end to end"
+    )
+    p.add_argument(
+        "scenario", nargs="*", help="registered spec names (see 'scenarios')"
+    )
+    p.add_argument("--all", action="store_true", help="run every spec")
+    p.add_argument(
+        "--export", metavar="PATH.{json,csv}", help="write rows instead of rendering"
+    )
+    _add_jobs_flag(p)
 
     sub.add_parser("platform", help="Figure 1 block diagram")
     return parser
@@ -190,6 +310,9 @@ _COMMANDS = {
     "ablation": _cmd_ablation,
     "soundness": _cmd_soundness,
     "sweep": _cmd_sweep,
+    "three-core": _cmd_three_core,
+    "scenarios": _cmd_scenarios,
+    "run": _cmd_run,
     "platform": _cmd_platform,
 }
 
@@ -197,7 +320,15 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    output = _COMMANDS[args.command](args)
+    try:
+        output = _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        engine = getattr(args, "_engine_instance", None)
+        if engine is not None:
+            engine.close()
     print(output)
     return 0
 

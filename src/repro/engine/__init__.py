@@ -1,0 +1,71 @@
+"""Unified experiment engine: scenarios as data, experiments as batches.
+
+The engine layer decouples *what* an experiment is from *how* it runs:
+
+* :mod:`repro.engine.scenario` / :mod:`repro.engine.registry` — declarative
+  :class:`ScenarioSpec` deployments (any core count, any contender mix,
+  optional DMA) registered under names, so new deployments are data;
+* :mod:`repro.engine.batch` / :mod:`repro.engine.runner` — experiments as
+  batches of independent ``(scenario, workload, model)`` jobs, executed
+  serially (deterministic default) or fanned out over threads/processes,
+  with results always in job order;
+* :mod:`repro.engine.cache` — a content-addressed result cache keyed by a
+  stable hash of the job inputs, so repeated sweeps and figure
+  regenerations skip re-simulation;
+* :mod:`repro.engine.artifact` — the common :class:`ExperimentArtifact`
+  record the report/export layers render;
+* :mod:`repro.engine.experiment` — the generic end-to-end driver that
+  turns any registered spec into measurements, bounds and a soundness
+  check.
+
+Every analysis driver in :mod:`repro.analysis` accepts an optional
+``engine=`` argument; ``None`` preserves the historical serial behaviour
+bit for bit.
+"""
+
+from repro.engine.artifact import ExperimentArtifact, artifact
+from repro.engine.batch import Job, as_jobs, job
+from repro.engine.cache import CacheStats, ResultCache, stable_hash
+from repro.engine.experiment import ScenarioRunResult, run_spec, run_specs
+from repro.engine.registry import (
+    ScenarioRegistry,
+    builtin_specs,
+    default_registry,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.engine.runner import (
+    EXECUTION_MODES,
+    EngineStats,
+    ExperimentEngine,
+    run_jobs,
+)
+from repro.engine.scenario import DmaSpec, ScenarioSpec, WorkloadRef
+
+__all__ = [
+    "EXECUTION_MODES",
+    "CacheStats",
+    "DmaSpec",
+    "EngineStats",
+    "ExperimentArtifact",
+    "ExperimentEngine",
+    "Job",
+    "ResultCache",
+    "ScenarioRegistry",
+    "ScenarioRunResult",
+    "ScenarioSpec",
+    "WorkloadRef",
+    "artifact",
+    "as_jobs",
+    "builtin_specs",
+    "default_registry",
+    "get_scenario",
+    "job",
+    "register_scenario",
+    "run_jobs",
+    "run_spec",
+    "run_specs",
+    "scenario_names",
+    "stable_hash",
+]

@@ -1,0 +1,79 @@
+"""The common experiment artefact record.
+
+Every driver used to return its own ad-hoc dataclass and every renderer
+knew one of them; an :class:`ExperimentArtifact` is the shared currency
+instead: a kind tag, a title, a column order and flat records.  The
+report layer renders any artifact as a fixed-width table
+(:func:`repro.analysis.report.render_artifact`) and the export layer
+writes any artifact as CSV/JSON
+(:func:`repro.analysis.export.write_artifact`) without knowing which
+experiment produced it.
+
+Artifacts are built *from* the drivers' row dataclasses (see the
+``*_artifact`` builders in :mod:`repro.analysis.export`), so the typed
+rows remain the programmatic API while rendering and serialisation are
+unified here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, Mapping, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentArtifact:
+    """One rendered-or-exported experiment result.
+
+    Attributes:
+        kind: machine tag (``"figure4"``, ``"sweep"``, ``"soundness"`` ...).
+        title: human heading used by the table renderer.
+        columns: column order; every record must carry these keys.
+        records: flat result rows (plain mappings — JSON/CSV ready).
+        meta: free-form provenance (scale, backend, engine mode, ...).
+    """
+
+    kind: str
+    title: str
+    columns: tuple[str, ...]
+    records: tuple[Mapping[str, Any], ...]
+    meta: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for record in self.records:
+            missing = [c for c in self.columns if c not in record]
+            if missing:
+                raise ValueError(
+                    f"artifact {self.kind!r}: record misses columns {missing}"
+                )
+
+    def rows(self) -> list[list[Any]]:
+        """Records as lists in column order (table-renderer input)."""
+        return [
+            [record[column] for column in self.columns]
+            for record in self.records
+        ]
+
+    def record_dicts(self) -> list[dict[str, Any]]:
+        """Records as plain dicts (export input)."""
+        return [dict(record) for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def artifact(
+    kind: str,
+    title: str,
+    columns: Sequence[str],
+    records: Iterable[Mapping[str, Any]],
+    **meta: Any,
+) -> ExperimentArtifact:
+    """Ergonomic :class:`ExperimentArtifact` constructor."""
+    return ExperimentArtifact(
+        kind=kind,
+        title=title,
+        columns=tuple(columns),
+        records=tuple(records),
+        meta=meta,
+    )

@@ -1,0 +1,188 @@
+"""Content-addressed result cache for the experiment engine.
+
+Every engine job is a pure function of picklable inputs (a scenario spec,
+counter readings, a timing configuration, model options), so its result
+can be cached under a *stable content hash* of those inputs.  Repeated
+sweeps and figure regenerations then skip re-simulation entirely: the
+second identical run performs zero simulator or solver work (asserted by
+the engine test-suite via the runner's execution counter).
+
+The hash is structural, not ``repr``-based: dataclasses, enums, mappings,
+sets and plain objects are canonicalised into a JSON document whose SHA-256
+digest is the cache key.  Two values hash equal iff their canonical forms
+are equal, independent of dict ordering or object identity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import threading
+from collections.abc import Mapping, Set
+from typing import Any, Callable
+
+from repro.errors import EngineError
+
+#: Sentinel distinguishing "cached None" from "not cached".
+_MISS = object()
+
+
+def canonicalise(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serialisable canonical form.
+
+    Supported inputs: JSON scalars, floats, enums, dataclasses, mappings,
+    sequences, sets/frozensets, callables (identified by their dotted
+    name) and plain objects with a ``__dict__``.  Anything else raises
+    :class:`~repro.errors.EngineError` — silent fallback to ``id()`` or
+    ``repr()`` would make cache keys unstable across processes.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr() round-trips floats exactly; JSON's float encoding does
+        # not distinguish 1.0 from 1, which would merge distinct keys.
+        return ["float", repr(obj)]
+    if isinstance(obj, bytes):
+        return ["bytes", obj.hex()]
+    if isinstance(obj, enum.Enum):
+        return ["enum", _type_tag(obj), canonicalise(obj.value)]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            "dataclass",
+            _type_tag(obj),
+            [
+                [field.name, canonicalise(getattr(obj, field.name))]
+                for field in dataclasses.fields(obj)
+            ],
+        ]
+    if isinstance(obj, Mapping):
+        items = [
+            [_key_token(key), canonicalise(value)]
+            for key, value in obj.items()
+        ]
+        items.sort(key=lambda item: item[0])
+        return ["mapping", items]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [canonicalise(item) for item in obj]]
+    if isinstance(obj, Set):
+        return ["set", sorted(_key_token(item) for item in obj)]
+    if callable(obj):
+        module = getattr(obj, "__module__", None)
+        qualname = getattr(obj, "__qualname__", None)
+        if not module or not qualname or "<locals>" in qualname:
+            raise EngineError(
+                f"cannot derive a stable cache key from {obj!r}: only "
+                "module-level callables are addressable"
+            )
+        return ["callable", module, qualname]
+    attributes = getattr(obj, "__dict__", None)
+    if attributes is not None:
+        return [
+            "object",
+            _type_tag(obj),
+            canonicalise(attributes),
+        ]
+    raise EngineError(
+        f"cannot derive a stable cache key from {type(obj).__qualname__!r}"
+    )
+
+
+def _type_tag(obj: Any) -> str:
+    """Fully-qualified type name; same-named types in different modules
+    must not collide in the key space."""
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def _key_token(key: Any) -> str:
+    """Serialise a mapping key / set element into a sortable string."""
+    return json.dumps(canonicalise(key), sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 hex digest of ``obj``'s canonical form.
+
+    Deterministic across processes and interpreter runs (no reliance on
+    ``hash()`` randomisation), so cached results survive process-pool
+    round-trips and, in principle, on-disk persistence.
+    """
+    payload = json.dumps(
+        canonicalise(obj), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """In-memory content-addressed store of completed job results.
+
+    Thread-safe (the engine's thread mode shares one instance across
+    workers).  Keys are the stable hashes produced by
+    :func:`stable_hash`; values are whatever the job returned.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def lookup(self, key: str) -> Any:
+        """Return the cached value or the module's miss sentinel.
+
+        Use :func:`is_miss` on the result; ``None`` is a legitimate cached
+        value.
+        """
+        with self._lock:
+            value = self._store.get(key, _MISS)
+            if value is _MISS:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return value
+
+    def store(self, key: str, value: Any) -> None:
+        """Record ``value`` under ``key`` (last write wins)."""
+        with self._lock:
+            self._store[key] = value
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Convenience: lookup, computing and storing on a miss."""
+        value = self.lookup(key)
+        if value is _MISS:
+            value = compute()
+            self.store(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self.stats = CacheStats()
+
+
+def is_miss(value: Any) -> bool:
+    """Whether a :meth:`ResultCache.lookup` result was a miss."""
+    return value is _MISS

@@ -1,0 +1,216 @@
+"""Generic end-to-end execution of a registered scenario spec.
+
+:func:`run_spec` is the engine's universal driver: given any
+:class:`~repro.engine.scenario.ScenarioSpec` — two cores, the TC277's
+three, or an N-core derivative — it performs the paper's full protocol:
+
+1. measure the application and every contender in isolation;
+2. bound the joint contention (single-contender ILP-PTAC for a pair, the
+   multi-contender ILP otherwise) and, for comparison, the naive sum of
+   pairwise bounds;
+3. co-run all cores (plus any declared DMA masters) and check the
+   prediction upper-bounds the observation.
+
+Because it is a module-level function of picklable arguments, whole-spec
+runs are themselves engine jobs: :func:`run_specs` fans a list of specs
+out over worker processes and caches each result under the spec's content
+hash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
+from repro.core.multicontender import multi_contender_bound
+from repro.counters.readings import TaskReadings
+from repro.engine.batch import job
+from repro.engine.registry import default_registry
+from repro.engine.runner import ExperimentEngine, run_jobs
+from repro.engine.scenario import ScenarioSpec
+from repro.platform.latency import LatencyProfile, tc27x_latency_profile
+from repro.sim.system import SystemSimulator
+from repro.sim.timing import SimTiming
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioRunResult:
+    """Outcome of one spec's end-to-end run.
+
+    Attributes:
+        spec_name: the executed spec.
+        base: deployment base of the spec.
+        core_count: cores occupied (application included).
+        isolation_cycles: application's isolation time.
+        contender_names: per-core-tagged contender identifiers.
+        joint_delta: joint contention bound over all core contenders.
+        pairwise_deltas: single-contender bound per contender (same order
+            as ``contender_names``).
+        observed_cycles: application's time in the full co-run.
+        dma_delta: occupancy bound on the declared DMA masters'
+            interference (zero when the spec has none).
+    """
+
+    spec_name: str
+    base: str
+    core_count: int
+    isolation_cycles: int
+    contender_names: tuple[str, ...]
+    joint_delta: int
+    pairwise_deltas: tuple[int, ...]
+    observed_cycles: int
+    dma_delta: int = 0
+
+    @property
+    def pairwise_sum_delta(self) -> int:
+        return sum(self.pairwise_deltas)
+
+    @property
+    def joint_prediction(self) -> int:
+        return self.isolation_cycles + self.joint_delta + self.dma_delta
+
+    @property
+    def predicted_slowdown(self) -> float:
+        return self.joint_prediction / self.isolation_cycles
+
+    @property
+    def observed_slowdown(self) -> float:
+        return self.observed_cycles / self.isolation_cycles
+
+    @property
+    def sound(self) -> bool:
+        """Prediction upper-bounds the observation (must hold)."""
+        return self.joint_prediction >= self.observed_cycles
+
+    @property
+    def joint_saving(self) -> int:
+        """Cycles the joint formulation saves over the pairwise sum."""
+        return self.pairwise_sum_delta - self.joint_delta
+
+
+def _tagged(readings: TaskReadings, core: int) -> TaskReadings:
+    """Disambiguate contender names by core (two H-Loads must not clash
+    in the multi-contender ILP's per-contender variables)."""
+    return dataclasses.replace(readings, name=f"{readings.name}@core{core}")
+
+
+def _dma_delta(spec: ScenarioSpec, profile: LatencyProfile) -> int:
+    """Occupancy bound on the declared DMA masters' interference.
+
+    Each DMA transaction occupies its slave once, delaying at most one
+    conflicting application request by at most the per-request
+    interference latency ``l^{t,o}`` — so ``count · l^{t,o}`` summed over
+    agents is a sound (if blunt) bound.  Agents addressing slaves the
+    application cannot reach interfere with nothing and contribute zero.
+    """
+    deployment = spec.deployment()
+    total = 0
+    for agent in spec.dma:
+        if not deployment.operations_on(agent.target):
+            continue
+        total += agent.count * deployment.interference_latency(
+            profile, agent.target, agent.operation
+        )
+    return total
+
+
+def run_spec(
+    spec: ScenarioSpec | str,
+    *,
+    profile: LatencyProfile | None = None,
+    timing: SimTiming | None = None,
+    options: IlpPtacOptions | None = None,
+) -> ScenarioRunResult:
+    """Execute one spec end to end (measure → bound → co-run → check).
+
+    Args:
+        spec: a :class:`ScenarioSpec` or the name of a registered one.
+        profile: Table 2 constants.
+        timing: simulator timing.
+        options: ILP knobs shared by the joint and pairwise solves.
+    """
+    if isinstance(spec, str):
+        spec = default_registry().get(spec)
+    profile = profile or tc27x_latency_profile()
+    deployment = spec.deployment()
+    simulator = SystemSimulator(timing)
+
+    app_program = spec.app_program()
+    app = simulator.run({spec.app_core: app_program}).core(spec.app_core)
+    isolation = app.readings.require_ccnt()
+
+    contender_programs = spec.contender_programs()
+    contender_readings: list[TaskReadings] = []
+    for core in sorted(contender_programs):
+        result = simulator.run({core: contender_programs[core]}).core(core)
+        contender_readings.append(_tagged(result.readings, core))
+
+    pairwise = tuple(
+        ilp_ptac_bound(
+            app.readings, contender, profile, deployment, options
+        ).bound.delta_cycles
+        for contender in contender_readings
+    )
+    if len(contender_readings) == 1:
+        joint = pairwise[0]
+    elif contender_readings:
+        joint = multi_contender_bound(
+            app.readings, contender_readings, profile, deployment, options
+        ).bound.delta_cycles
+    else:
+        joint = 0
+
+    corun_programs = {spec.app_core: app_program, **contender_programs}
+    if len(corun_programs) > 1 or spec.dma:
+        observed = (
+            simulator.run(corun_programs, dma_agents=spec.dma_agents())
+            .core(spec.app_core)
+            .readings.require_ccnt()
+        )
+    else:
+        observed = isolation
+
+    return ScenarioRunResult(
+        spec_name=spec.name,
+        base=spec.base,
+        core_count=spec.core_count,
+        isolation_cycles=isolation,
+        contender_names=tuple(r.name for r in contender_readings),
+        joint_delta=joint,
+        pairwise_deltas=pairwise,
+        observed_cycles=observed,
+        dma_delta=_dma_delta(spec, profile),
+    )
+
+
+def run_specs(
+    specs,
+    *,
+    engine: ExperimentEngine | None = None,
+    profile: LatencyProfile | None = None,
+    timing: SimTiming | None = None,
+    options: IlpPtacOptions | None = None,
+) -> list[ScenarioRunResult]:
+    """Run many specs as one engine batch (parallel-safe, cacheable).
+
+    Args:
+        specs: iterable of :class:`ScenarioSpec` objects or registered
+            names (resolved eagerly so workers need no registry state).
+        engine: execution engine; ``None`` runs serially.
+    """
+    resolved = [
+        default_registry().get(spec) if isinstance(spec, str) else spec
+        for spec in specs
+    ]
+    jobs = [
+        job(
+            run_spec,
+            spec,
+            profile=profile,
+            timing=timing,
+            options=options,
+            label=f"run-spec:{spec.name}",
+        )
+        for spec in resolved
+    ]
+    return run_jobs(jobs, engine)

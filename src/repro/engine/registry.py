@@ -1,0 +1,177 @@
+"""Named scenario registry: deployments as data, not code.
+
+Adding an experiment deployment used to mean writing a driver; now it
+means registering a :class:`~repro.engine.scenario.ScenarioSpec`::
+
+    from repro.engine import ScenarioSpec, WorkloadRef, register_scenario
+
+    register_scenario(ScenarioSpec(
+        name="sc1-quad",
+        base="scenario1",
+        description="app + three staggered loads (4-core derivative)",
+        contenders=(
+            (0, WorkloadRef.load("H", scale=1 / 64)),
+            (2, WorkloadRef.load("M", scale=1 / 64)),
+            (3, WorkloadRef.load("L", scale=1 / 64)),
+        ),
+        app=WorkloadRef.control_loop(scale=1 / 64),
+    ))
+
+after which ``repro run sc1-quad`` (or
+:func:`repro.engine.experiment.run_spec`) executes it end to end.
+
+The default registry ships the paper's pairings, the three-core TC277
+layouts and a four-core derivative per reference deployment, so scenario
+diversity is no longer capped at the paper's two figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.engine.scenario import ScenarioSpec, WorkloadRef
+from repro.errors import EngineError
+
+#: Workload scale of the bundled multi-core specs (keeps them fast).
+_BUILTIN_SCALE = 1 / 32
+
+
+class ScenarioRegistry:
+    """An ordered name → :class:`ScenarioSpec` mapping."""
+
+    def __init__(self, specs: Iterable[ScenarioSpec] = ()) -> None:
+        self._specs: dict[str, ScenarioSpec] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(
+        self, spec: ScenarioSpec, *, replace: bool = False
+    ) -> ScenarioSpec:
+        """Add a spec under its name; re-registration needs ``replace``."""
+        if not isinstance(spec, ScenarioSpec):
+            raise EngineError(
+                f"expected a ScenarioSpec, got {type(spec).__qualname__}"
+            )
+        if spec.name in self._specs and not replace:
+            raise EngineError(
+                f"scenario {spec.name!r} is already registered "
+                "(pass replace=True to overwrite)"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def unregister(self, name: str) -> None:
+        if name not in self._specs:
+            raise EngineError(f"scenario {name!r} is not registered")
+        del self._specs[name]
+
+    def get(self, name: str) -> ScenarioSpec:
+        try:
+            return self._specs[name]
+        except KeyError as exc:
+            raise EngineError(
+                f"unknown scenario {name!r}; "
+                f"registered: {', '.join(self.names()) or '(none)'}"
+            ) from exc
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._specs)
+
+    def specs(self) -> tuple[ScenarioSpec, ...]:
+        return tuple(self._specs.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self._specs.values())
+
+
+def builtin_specs() -> tuple[ScenarioSpec, ...]:
+    """The specs every registry starts from.
+
+    Per reference deployment: the paper's three two-core pairings
+    (Figure 4's bars), the three-core TC277 layout (application plus two
+    loads) and a four-core derivative demonstrating that specs are not
+    capped at the TC27x's core count.
+    """
+    specs: list[ScenarioSpec] = []
+    for base in ("scenario1", "scenario2"):
+        for level in ("H", "M", "L"):
+            specs.append(
+                ScenarioSpec(
+                    name=f"{base}-pair-{level}",
+                    base=base,
+                    description=(
+                        f"paper pairing: app on core 1 vs {level}-Load "
+                        "on core 2"
+                    ),
+                    app=WorkloadRef.control_loop(scale=_BUILTIN_SCALE),
+                    contenders=(
+                        (2, WorkloadRef.load(level, scale=_BUILTIN_SCALE)),
+                    ),
+                )
+            )
+        specs.append(
+            ScenarioSpec(
+                name=f"{base}-3core",
+                base=base,
+                description=(
+                    "full TC277: app on core 1, H-Load on core 0, "
+                    "L-Load on core 2"
+                ),
+                app=WorkloadRef.control_loop(scale=_BUILTIN_SCALE),
+                contenders=(
+                    (0, WorkloadRef.load("H", scale=_BUILTIN_SCALE)),
+                    (2, WorkloadRef.load("L", scale=_BUILTIN_SCALE)),
+                ),
+            )
+        )
+        specs.append(
+            ScenarioSpec(
+                name=f"{base}-4core",
+                base=base,
+                description=(
+                    "four-core derivative: app on core 1, H/M/L loads "
+                    "on cores 0, 2, 3"
+                ),
+                app=WorkloadRef.control_loop(scale=_BUILTIN_SCALE),
+                contenders=(
+                    (0, WorkloadRef.load("H", scale=_BUILTIN_SCALE)),
+                    (2, WorkloadRef.load("M", scale=_BUILTIN_SCALE)),
+                    (3, WorkloadRef.load("L", scale=_BUILTIN_SCALE)),
+                ),
+            )
+        )
+    return tuple(specs)
+
+
+_DEFAULT: ScenarioRegistry | None = None
+
+
+def default_registry() -> ScenarioRegistry:
+    """The process-wide registry, created with the builtin specs."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ScenarioRegistry(builtin_specs())
+    return _DEFAULT
+
+
+def register_scenario(
+    spec: ScenarioSpec, *, replace: bool = False
+) -> ScenarioSpec:
+    """Register a spec in the default registry."""
+    return default_registry().register(spec, replace=replace)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look a spec up in the default registry."""
+    return default_registry().get(name)
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Names registered in the default registry."""
+    return default_registry().names()

@@ -1,0 +1,284 @@
+"""The execution engine: fan a batch of jobs out, deterministically.
+
+Every analysis driver expresses its experiment as a batch of independent
+:class:`~repro.engine.batch.Job` objects and hands them to one
+:class:`ExperimentEngine`.  The engine
+
+* consults its :class:`~repro.engine.cache.ResultCache` first — a job
+  whose content hash was seen before returns instantly, without touching
+  the simulator or a solver;
+* executes the remaining jobs in one of three modes: ``"serial"`` (the
+  deterministic fallback and the default), ``"thread"`` or ``"process"``
+  (``concurrent.futures`` fan-out over CPU cores);
+* always returns results **in job order**, so driver output is identical
+  in every mode — parallelism changes wall-clock time, never artefacts.
+
+Robustness: process pools need picklable jobs and a platform that allows
+spawning workers.  Jobs that cannot be pickled (e.g. carrying a closure-
+backed :class:`~repro.sim.program.TaskProgram`) and pool start-up failures
+silently degrade to in-process execution; ``stats.fallbacks`` records how
+often that happened.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Any, Iterable, Sequence
+
+from repro.engine.batch import Job, as_jobs
+from repro.engine.cache import ResultCache, is_miss
+from repro.errors import EngineError
+
+#: Supported execution modes.
+EXECUTION_MODES = ("serial", "thread", "process")
+
+
+@dataclasses.dataclass
+class EngineStats:
+    """Cumulative execution statistics of one engine instance.
+
+    Attributes:
+        executed: jobs actually run (cache misses).  The test-suite's
+            "zero re-simulations" assertion watches this counter.
+        cached: jobs answered from the result cache.
+        batches: number of :meth:`ExperimentEngine.run` calls.
+        fallbacks: jobs that were demoted from a worker pool to in-process
+            execution (unpicklable payload or pool start-up failure).
+    """
+
+    executed: int = 0
+    cached: int = 0
+    batches: int = 0
+    fallbacks: int = 0
+
+
+def _run_job(item: Job) -> Any:
+    """Module-level trampoline so process workers can execute jobs."""
+    return item.run()
+
+
+class ExperimentEngine:
+    """Runs job batches with optional parallelism and result caching.
+
+    Args:
+        mode: ``"serial"`` (default), ``"thread"`` or ``"process"``.
+        workers: worker count for the pooled modes; defaults to the CPU
+            count.  The pool is created lazily on the first pooled batch
+            and reused until :meth:`close` (or context-manager exit).
+        cache: shared :class:`ResultCache`; ``None`` disables caching.
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "serial",
+        workers: int | None = None,
+        cache: ResultCache | None = None,
+    ) -> None:
+        if mode not in EXECUTION_MODES:
+            raise EngineError(
+                f"unknown execution mode {mode!r}; "
+                f"expected one of {EXECUTION_MODES}"
+            )
+        if workers is not None and workers < 1:
+            raise EngineError("worker count must be at least 1")
+        self.mode = mode
+        self.workers = workers
+        self.cache = cache
+        self.stats = EngineStats()
+        self._executor: Executor | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def run_count(self) -> int:
+        """Jobs executed so far (excludes cache hits)."""
+        return self.stats.executed
+
+    def _worker_count(self) -> int:
+        return max(1, self.workers or os.cpu_count() or 1)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idle pools also drain at exit)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Iterable[Job]) -> list[Any]:
+        """Execute a batch and return results aligned with the job order."""
+        batch = as_jobs(jobs)
+        self.stats.batches += 1
+        results: list[Any] = [None] * len(batch)
+        pending: list[int] = []
+
+        keys: list[str | None] = [None] * len(batch)
+        duplicates: dict[int, int] = {}  # index -> representative index
+        if self.cache is None:
+            pending = list(range(len(batch)))
+        else:
+            representative: dict[str, int] = {}
+            for index, item in enumerate(batch):
+                key: str | None = None
+                if item.cacheable:
+                    try:
+                        key = item.resolved_cache_key()
+                    except EngineError:
+                        key = None  # closure-backed args: run uncached
+                keys[index] = key
+                if key is None:
+                    pending.append(index)
+                    continue
+                value = self.cache.lookup(key)
+                if not is_miss(value):
+                    results[index] = value
+                    self.stats.cached += 1
+                elif key in representative:
+                    # Same content hash earlier in this batch: execute
+                    # once, share the result.
+                    duplicates[index] = representative[key]
+                else:
+                    representative[key] = index
+                    pending.append(index)
+
+        if pending:
+            self._execute(batch, pending, results)
+            if self.cache is not None:
+                for index in pending:
+                    key = keys[index]
+                    if key is not None:
+                        self.cache.store(key, results[index])
+        for index, source in duplicates.items():
+            results[index] = results[source]
+            self.stats.cached += 1
+        return results
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self, batch: Sequence[Job], pending: list[int], results: list[Any]
+    ) -> None:
+        if self.mode == "serial" or len(pending) == 1:
+            self._execute_serial(batch, pending, results)
+            return
+        if self.mode == "process":
+            pooled, local = self._split_picklable(batch, pending)
+        else:
+            pooled, local = list(pending), []
+        if pooled and not self._pool_execute(batch, pooled, results):
+            # No pool on this platform: degrade to in-process execution.
+            # Jobs are pure, so re-running any that completed before the
+            # pool broke is safe.
+            self.stats.fallbacks += len(pooled)
+            local = sorted(local + pooled)
+        if local:
+            self._execute_serial(batch, local, results)
+
+    def _pool_execute(
+        self, batch: Sequence[Job], pooled: Sequence[int], results: list[Any]
+    ) -> bool:
+        """Run ``pooled`` jobs on the worker pool; False if no pool worked.
+
+        The pool is created lazily and kept for the engine's lifetime, so
+        multi-phase drivers (measure, then model) pay worker start-up
+        once per engine, not once per batch.  Pool *infrastructure*
+        failures — construction, worker spawning (ProcessPoolExecutor
+        forks lazily, so a sandbox that forbids it surfaces as
+        OSError/BrokenExecutor from submit()/result()) — discard the pool
+        and return ``False`` so the caller can degrade to serial
+        execution.  Exceptions raised by a job function itself propagate
+        unchanged, exactly as they would in serial mode.
+        """
+        try:
+            if self._executor is None:
+                self._executor = self._make_executor()
+            executor = self._executor
+        except (OSError, ValueError, PermissionError):
+            return False
+        broken = False
+        futures: dict[int, Any] = {}
+        try:
+            for index in pooled:
+                futures[index] = executor.submit(_run_job, batch[index])
+        except (OSError, RuntimeError, BrokenExecutor):
+            broken = True
+        if not broken:
+            try:
+                for index, future in futures.items():
+                    results[index] = future.result()
+            except BrokenExecutor:
+                broken = True
+            except BaseException:
+                # A *job* failed: cancel the rest of the batch instead of
+                # letting queued jobs drain at interpreter exit, then let
+                # the job's exception propagate as in serial mode.
+                executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+                raise
+        if broken:
+            executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            return False
+        self.stats.executed += len(pooled)
+        return True
+
+    def _execute_serial(
+        self, batch: Sequence[Job], pending: Sequence[int], results: list[Any]
+    ) -> None:
+        for index in pending:
+            results[index] = batch[index].run()
+            self.stats.executed += 1
+
+    def _split_picklable(
+        self, batch: Sequence[Job], pending: Sequence[int]
+    ) -> tuple[list[int], list[int]]:
+        """Partition pending jobs into pool-safe and local-only sets.
+
+        The upfront ``pickle.dumps`` probe serialises each payload once
+        more than strictly needed, but it is the only way to demote an
+        unpicklable job cleanly: ProcessPoolExecutor pickles in its
+        feeder thread, so a submit-time payload error would otherwise
+        surface asynchronously as a broken future.
+        """
+        pooled: list[int] = []
+        local: list[int] = []
+        for index in pending:
+            try:
+                pickle.dumps(batch[index])
+            except Exception:
+                local.append(index)
+                self.stats.fallbacks += 1
+            else:
+                pooled.append(index)
+        return pooled, local
+
+    def _make_executor(self) -> Executor:
+        workers = self._worker_count()
+        if self.mode == "thread":
+            return ThreadPoolExecutor(max_workers=workers)
+        return ProcessPoolExecutor(max_workers=workers)
+
+
+def run_jobs(
+    jobs: Iterable[Job], engine: ExperimentEngine | None = None
+) -> list[Any]:
+    """Run a batch on ``engine``, or serially when no engine is supplied.
+
+    This is the hook every analysis driver uses: passing ``engine=None``
+    reproduces the historical single-threaded behaviour exactly.
+    """
+    if engine is None:
+        engine = ExperimentEngine()
+    return engine.run(jobs)

@@ -59,3 +59,8 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload specification is malformed (negative counts, ...)."""
+
+
+class EngineError(ReproError):
+    """The experiment engine was misused (unknown scenario, bad batch,
+    unhashable cache key, invalid execution mode, ...)."""

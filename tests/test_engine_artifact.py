@@ -1,0 +1,107 @@
+"""Tests for the common ExperimentArtifact record and its builders."""
+
+import json
+
+import pytest
+
+from repro import paper
+from repro.analysis.export import (
+    figure4_artifact,
+    figure4_rows,
+    scenario_run_artifact,
+    sweep_artifact,
+    three_core_artifact,
+    write,
+    write_artifact,
+)
+from repro.analysis.experiments import figure4_paper_mode
+from repro.analysis.report import render_artifact
+from repro.analysis.sweeps import contender_scale_sweep
+from repro.engine import artifact, get_scenario, run_specs
+from repro.engine.artifact import ExperimentArtifact
+from repro.platform.deployment import scenario_1
+
+
+@pytest.fixture(scope="module")
+def figure4_rows_fixture():
+    return figure4_paper_mode()
+
+
+class TestArtifactRecord:
+    def test_construction_and_rows(self):
+        item = artifact(
+            "demo",
+            "Demo",
+            ["a", "b"],
+            [{"a": 1, "b": 2}, {"a": 3, "b": 4, "extra": 9}],
+            scale=0.5,
+        )
+        assert item.rows() == [[1, 2], [3, 4]]
+        assert len(item) == 2
+        assert item.meta["scale"] == 0.5
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentArtifact(
+                kind="demo",
+                title="Demo",
+                columns=("a", "b"),
+                records=({"a": 1},),
+            )
+
+    def test_render(self):
+        item = artifact("demo", "Demo title", ["x"], [{"x": 7}])
+        rendered = render_artifact(item)
+        assert "Demo title" in rendered
+        assert "7" in rendered
+
+
+class TestBuilders:
+    def test_figure4_artifact_mirrors_flattener(self, figure4_rows_fixture):
+        item = figure4_artifact(figure4_rows_fixture, title="F4")
+        assert item.record_dicts() == figure4_rows(figure4_rows_fixture)
+        assert item.kind == "figure4"
+        rendered = render_artifact(item)
+        assert "ilp-ptac" in rendered
+
+    def test_sweep_artifact(self):
+        points = contender_scale_sweep(
+            paper.table6("scenario1", "app"),
+            paper.table6("scenario1", "H-Load"),
+            scenario_1(),
+            scales=(0.5, 4.0),
+            isolation_cycles=paper.ISOLATION_CYCLES["scenario1"],
+        )
+        item = sweep_artifact(points)
+        assert item.columns == ("scale", "delta_cycles", "slowdown", "saturated")
+        assert len(item) == 2
+
+    def test_scenario_run_artifact(self):
+        spec = get_scenario("scenario1-pair-L").scaled(1 / 8)
+        item = scenario_run_artifact(run_specs([spec]))
+        record = item.record_dicts()[0]
+        assert record["cores"] == 2
+        assert record["sound"] is True
+
+    def test_three_core_artifact_columns(self):
+        assert three_core_artifact([]).columns[0] == "scenario"
+
+
+class TestWriteArtifact:
+    def test_json_payload_matches_legacy_write(
+        self, tmp_path, figure4_rows_fixture
+    ):
+        legacy = tmp_path / "legacy.json"
+        unified = tmp_path / "unified.json"
+        write(figure4_rows(figure4_rows_fixture), str(legacy))
+        write_artifact(
+            figure4_artifact(figure4_rows_fixture), str(unified)
+        )
+        assert legacy.read_text() == unified.read_text()
+        assert json.loads(unified.read_text())[0]["model"]
+
+    def test_csv_export(self, tmp_path, figure4_rows_fixture):
+        path = tmp_path / "f4.csv"
+        write_artifact(figure4_artifact(figure4_rows_fixture), str(path))
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("scenario,model,load,delta_cycles")

@@ -1,0 +1,131 @@
+"""Tests for the content-addressed result cache and its stable hash."""
+
+import dataclasses
+
+import pytest
+
+from repro.counters.readings import TaskReadings
+from repro.engine.cache import (
+    ResultCache,
+    canonicalise,
+    is_miss,
+    stable_hash,
+)
+from repro.errors import EngineError
+from repro.platform.deployment import scenario_1
+from repro.platform.latency import tc27x_latency_profile
+from repro.platform.targets import Operation, Target
+from repro.sim.timing import tc27x_sim_timing
+
+
+class TestStableHash:
+    def test_deterministic_across_instances(self):
+        a = TaskReadings("t", pmem_stall=1, dmem_stall=2, pcache_miss=3)
+        b = TaskReadings("t", pmem_stall=1, dmem_stall=2, pcache_miss=3)
+        assert a is not b
+        assert stable_hash(a) == stable_hash(b)
+
+    def test_field_changes_change_the_hash(self):
+        a = TaskReadings("t", pmem_stall=1, dmem_stall=2, pcache_miss=3)
+        b = dataclasses.replace(a, pmem_stall=2)
+        assert stable_hash(a) != stable_hash(b)
+
+    def test_dict_ordering_is_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_int_and_float_do_not_collide(self):
+        assert stable_hash(1) != stable_hash(1.0)
+
+    def test_enums_and_frozensets(self):
+        key = {
+            "targets": frozenset({Target.PF0, Target.LMU}),
+            "op": Operation.CODE,
+        }
+        same = {
+            "op": Operation.CODE,
+            "targets": frozenset({Target.LMU, Target.PF0}),
+        }
+        assert stable_hash(key) == stable_hash(same)
+
+    def test_domain_objects_hash(self):
+        # The values drivers actually use as cache-key components.
+        for obj in (
+            scenario_1(),
+            tc27x_latency_profile(),
+            tc27x_sim_timing(),
+        ):
+            assert stable_hash(obj) == stable_hash(obj)
+
+    def test_scenarios_hash_differently(self):
+        from repro.platform.deployment import scenario_2
+
+        assert stable_hash(scenario_1()) != stable_hash(scenario_2())
+
+    def test_same_named_types_from_different_modules_differ(self):
+        # Type identity includes the module: two structurally identical
+        # dataclasses that share a name must not collide in key space.
+        def make(module):
+            @dataclasses.dataclass(frozen=True)
+            class A:
+                x: int
+
+            A.__qualname__ = "A"
+            A.__module__ = module
+            return A
+
+        one, two = make("mod_one"), make("mod_two")
+        assert stable_hash(one(5)) != stable_hash(two(5))
+
+    def test_module_level_callables_are_addressable(self):
+        assert stable_hash(stable_hash) == stable_hash(stable_hash)
+
+    def test_closures_are_rejected(self):
+        def local():  # pragma: no cover - never called
+            return None
+
+        with pytest.raises(EngineError):
+            stable_hash(local)
+
+    def test_canonicalise_rejects_opaque_objects(self):
+        with pytest.raises(EngineError):
+            canonicalise(object())
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        key = stable_hash("k")
+        assert is_miss(cache.lookup(key))
+        cache.store(key, 42)
+        assert cache.lookup(key) == 42
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert len(cache) == 1
+
+    def test_cached_none_is_not_a_miss(self):
+        cache = ResultCache()
+        cache.store("k", None)
+        value = cache.lookup("k")
+        assert value is None
+        assert not is_miss(value)
+
+    def test_get_or_compute(self):
+        cache = ResultCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute("k", compute) == "value"
+        assert cache.get_or_compute("k", compute) == "value"
+        assert len(calls) == 1
+
+    def test_clear_resets_stats(self):
+        cache = ResultCache()
+        cache.store("k", 1)
+        cache.lookup("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+        assert cache.stats.hit_rate == 0.0

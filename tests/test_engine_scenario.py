@@ -1,0 +1,172 @@
+"""Tests for declarative scenario specs and the named registry."""
+
+import pickle
+
+import pytest
+
+from repro.engine.registry import (
+    ScenarioRegistry,
+    builtin_specs,
+    default_registry,
+    get_scenario,
+    scenario_names,
+)
+from repro.engine.scenario import DmaSpec, ScenarioSpec, WorkloadRef
+from repro.errors import EngineError
+from repro.platform.targets import Target
+
+
+class TestWorkloadRef:
+    def test_kinds_validate(self):
+        with pytest.raises(EngineError):
+            WorkloadRef(kind="mystery")
+        with pytest.raises(EngineError):
+            WorkloadRef(kind="load")  # missing level
+        with pytest.raises(EngineError):
+            WorkloadRef(kind="synthetic")  # missing seed
+        with pytest.raises(EngineError):
+            WorkloadRef(kind="spec")  # missing spec
+        with pytest.raises(EngineError):
+            WorkloadRef.load("H", scale=0)
+
+    def test_control_loop_requires_reference_base(self):
+        # Rejected at construction, not deep inside a worker at run time.
+        with pytest.raises(EngineError, match="reference deployments"):
+            ScenarioSpec(
+                name="arch-app",
+                base="architectural",
+                app=WorkloadRef.control_loop(),
+            )
+
+    def test_load_contender_requires_reference_base(self):
+        with pytest.raises(EngineError, match="core 2"):
+            ScenarioSpec(
+                name="arch-load",
+                base="architectural",
+                app=WorkloadRef.synthetic(1),
+                contenders=((2, WorkloadRef.load("H")),),
+            )
+
+    def test_synthetic_build_is_deterministic(self):
+        spec = ScenarioSpec(
+            name="synth",
+            base="scenario1",
+            app=WorkloadRef.synthetic(7, max_requests=100),
+        )
+        first = spec.app_program()
+        second = spec.app_program()
+        assert first.request_count() == second.request_count()
+
+
+class TestScenarioSpec:
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            ScenarioSpec(name="")
+        with pytest.raises(EngineError):
+            ScenarioSpec(name="x", base="scenario9")
+        with pytest.raises(EngineError):
+            ScenarioSpec(name="x", base="custom")  # no targets
+        with pytest.raises(EngineError):
+            ScenarioSpec(
+                name="x",
+                contenders=((1, WorkloadRef.load("H")),),  # core 1 is taken
+            )
+        with pytest.raises(EngineError):
+            ScenarioSpec(
+                name="x",
+                contenders=(
+                    (2, WorkloadRef.load("H")),
+                    (2, WorkloadRef.load("L")),
+                ),
+            )
+        with pytest.raises(EngineError):
+            ScenarioSpec(
+                name="x",
+                dma=(DmaSpec(master_id=1, target=Target.LMU, count=10),),
+            )
+
+    def test_four_core_shape(self):
+        spec = ScenarioSpec(
+            name="quad",
+            contenders=(
+                (0, WorkloadRef.load("H", scale=1 / 64)),
+                (2, WorkloadRef.load("M", scale=1 / 64)),
+                (3, WorkloadRef.load("L", scale=1 / 64)),
+            ),
+            app=WorkloadRef.control_loop(scale=1 / 64),
+        )
+        assert spec.core_count == 4
+        assert spec.cores == (0, 1, 2, 3)
+        programs = spec.programs()
+        assert sorted(programs) == [0, 1, 2, 3]
+        assert programs[1].name == "app"
+
+    def test_specs_are_picklable(self):
+        for spec in builtin_specs():
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+
+    def test_scaled_rescales_every_workload(self):
+        spec = get_scenario("scenario1-pair-H").scaled(0.5)
+        assert spec.app.scale == pytest.approx(1 / 64)
+        assert spec.contenders[0][1].scale == pytest.approx(1 / 64)
+        with pytest.raises(EngineError):
+            spec.scaled(0)
+
+    def test_custom_base_deployment(self):
+        spec = ScenarioSpec(
+            name="pf0-only",
+            base="custom",
+            app=WorkloadRef.synthetic(1),
+            code_targets=(Target.PF0,),
+            data_targets=(Target.LMU,),
+            code_count_exact=True,
+        )
+        deployment = spec.deployment()
+        assert deployment.code_targets == (Target.PF0,)
+        assert deployment.code_count_exact
+
+    def test_dma_agent_materialisation(self):
+        spec = DmaSpec(
+            master_id=7, target=Target.LMU, count=5, queue_depth=2
+        )
+        agent = spec.agent()
+        assert agent.master_id == 7
+        assert agent.count == 5
+        assert agent.request.target is Target.LMU
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        names = scenario_names()
+        for base in ("scenario1", "scenario2"):
+            for level in ("H", "M", "L"):
+                assert f"{base}-pair-{level}" in names
+            assert f"{base}-3core" in names
+            assert f"{base}-4core" in names
+
+    def test_builtin_four_core_spec(self):
+        spec = get_scenario("scenario1-4core")
+        assert spec.core_count == 4
+
+    def test_get_unknown_lists_alternatives(self):
+        with pytest.raises(EngineError, match="scenario1-pair-H"):
+            default_registry().get("nope")
+
+    def test_register_replace_and_unregister(self):
+        registry = ScenarioRegistry()
+        spec = ScenarioSpec(name="mine")
+        registry.register(spec)
+        assert "mine" in registry
+        with pytest.raises(EngineError):
+            registry.register(spec)
+        registry.register(spec, replace=True)
+        assert len(registry) == 1
+        registry.unregister("mine")
+        assert "mine" not in registry
+        with pytest.raises(EngineError):
+            registry.unregister("mine")
+
+    def test_register_rejects_non_specs(self):
+        with pytest.raises(EngineError):
+            ScenarioRegistry().register("scenario1")  # type: ignore[arg-type]
