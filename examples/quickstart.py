@@ -12,8 +12,8 @@ Run:  python examples/quickstart.py
 
 from repro import (
     TaskReadings,
-    ftc_baseline,
-    ftc_refined,
+    get_model,
+    model_names,
     scenario_1,
     tc277,
     tc27x_latency_profile,
@@ -53,15 +53,14 @@ scenario = scenario_1()
 profile = tc27x_latency_profile()  # Table 2 constants
 
 # ----------------------------------------------------------------------
-# 3. WCET estimates under three models of decreasing pessimism.
+# 3. WCET estimates under three models of decreasing pessimism.  Models
+#    are addressed by registry name (`python -m repro models` lists all
+#    of them); every counter-based one runs off the same inputs.
 # ----------------------------------------------------------------------
-for bound in (
-    ftc_baseline(app, profile),
-    ftc_refined(app, profile, scenario),
-):
-    estimate = wcet_estimate(
-        bound.model, app, profile, scenario, isolation_cycles=app.ccnt
-    )
+print("registered models:", ", ".join(model_names()))
+print()
+for model in ("ftc-baseline", "ftc-refined"):
+    estimate = wcet_estimate(model, app, profile, scenario)
     print(estimate.describe())
 
 ilp = wcet_estimate("ilp-ptac", app, profile, scenario, contender)
@@ -69,3 +68,8 @@ print(ilp.describe())
 print()
 print("Contention breakdown of the ILP bound:")
 print(ilp.bound.describe())
+print()
+spec = get_model("ilp-ptac")
+print(f"{spec.name}: {spec.description}")
+print(f"  time-composable: {spec.capabilities.time_composable}; "
+      f"contenders: {spec.capabilities.contender_summary()}")

@@ -6,9 +6,12 @@ useful names are re-exported here for convenience:
 
 * :mod:`repro.platform` — TC27x architecture facts: SRI targets, Table 2
   latencies, memory map, Table 3 placement rules, deployment scenarios.
-* :mod:`repro.core` — the contention models (ideal, fTC, ILP-PTAC) and
-  WCET assembly; :mod:`repro.ilp` is the self-contained ILP substrate
-  underneath.
+* :mod:`repro.core` — the contention models as a registered,
+  name-addressable family (fTC, ILP-PTAC and its time-composable /
+  multi-contender variants, ideal, the priority/DMA occupancy bounds
+  and the FSB reductions — ``repro models`` lists them) behind one
+  ``contention_bound(name, ...)`` facade, plus WCET assembly;
+  :mod:`repro.ilp` is the self-contained ILP substrate underneath.
 * :mod:`repro.sim` — a cycle-level simulator of the TC27x memory system
   standing in for the paper's hardware testbed, with
   :mod:`repro.workloads` generating the evaluation tasks.
@@ -57,17 +60,24 @@ Registering and running a new deployment scenario::
 
 from repro.core import (
     AccessProfile,
+    AnalysisContext,
     ContentionBound,
+    ContentionModel,
     IlpPtacOptions,
+    ModelCapabilities,
     ModelKind,
+    ModelSpec,
     WcetEstimate,
     access_count_bounds,
     contention_bound,
     ftc_baseline,
     ftc_refined,
+    get_model,
     ideal_bound,
     ilp_ptac_bound,
+    model_names,
     multi_contender_bound,
+    register_model,
     wcet_estimate,
 )
 from repro.counters import DebugCounter, TaskReadings
@@ -97,13 +107,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessProfile",
+    "AnalysisContext",
     "ContentionBound",
+    "ContentionModel",
     "DebugCounter",
     "DeploymentScenario",
     "ExperimentEngine",
     "IlpPtacOptions",
     "LatencyProfile",
+    "ModelCapabilities",
     "ModelKind",
+    "ModelSpec",
     "Operation",
     "ReproError",
     "ResultCache",
@@ -119,9 +133,12 @@ __all__ = [
     "custom_scenario",
     "ftc_baseline",
     "ftc_refined",
+    "get_model",
     "ideal_bound",
     "ilp_ptac_bound",
+    "model_names",
     "multi_contender_bound",
+    "register_model",
     "register_scenario",
     "run_spec",
     "scenario_1",

@@ -18,19 +18,25 @@ Every driver expresses its work as a batch of independent engine jobs
 :class:`~repro.engine.runner.ExperimentEngine` adds parallel fan-out and
 content-addressed result caching (a cached simulation is never re-run,
 whichever driver asked for it first).  Output is identical in every mode.
+
+Models are addressed by *registry name* throughout (see
+:mod:`repro.core.registry`): the ``models=`` arguments accept any
+registered contention model, and the names travel through engine jobs as
+plain data, so model choice is picklable for process-mode fan-out and
+participates in each job's content-addressed cache key.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro import paper
 from repro.analysis.mbta import CorunObservation, observe_corun
-from repro.core.ftc import ftc_baseline, ftc_refined
-from repro.core.ideal import ideal_bound
-from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
+from repro.core.ilp_ptac import IlpPtacOptions
+from repro.core.registry import get_model
 from repro.core.results import WcetEstimate
+from repro.core.wcet import contention_bound
 from repro.counters.readings import TaskReadings
 from repro.engine.batch import job
 from repro.engine.runner import ExperimentEngine, run_jobs
@@ -43,6 +49,28 @@ from repro.workloads.control_loop import build_control_loop
 from repro.workloads.loads import LOAD_LEVELS, build_load
 
 SCENARIOS: tuple[str, ...] = ("scenario1", "scenario2")
+
+#: The two bars Figure 4 plots per scenario/load.
+DEFAULT_FIGURE4_MODELS: tuple[str, ...] = ("ftc-refined", "ilp-ptac")
+
+#: The information-degree ladder of experiment A1.
+DEFAULT_ABLATION_MODELS: tuple[str, ...] = (
+    "ftc-baseline",
+    "ftc-refined",
+    "ilp-ptac",
+    "ideal",
+)
+
+
+def _model_loads(model: str) -> tuple[str, ...]:
+    """The contender loads a model produces bars for.
+
+    Contender-blind models yield one bar per scenario (load ``"-"``);
+    contender-aware models yield one bar per load level.
+    """
+    if get_model(model).capabilities.uses_contender_information:
+        return LOAD_LEVELS
+    return ("-",)
 
 
 def reference_scenario(name: str) -> DeploymentScenario:
@@ -91,80 +119,80 @@ class Figure4Row:
 # ----------------------------------------------------------------------
 # Paper-counters mode
 # ----------------------------------------------------------------------
-def _paper_ftc_row(scenario_name: str, profile: LatencyProfile) -> Figure4Row:
-    """Job: the refined fTC bar of one scenario (published readings)."""
-    scenario = reference_scenario(scenario_name)
-    readings_a = paper.table6(scenario_name, "app")
-    isolation = paper.ISOLATION_CYCLES[scenario_name]
-    ftc = ftc_refined(readings_a, profile, scenario)
-    return Figure4Row(
-        scenario=scenario_name,
-        load="-",
-        model=ftc.model,
-        delta_cycles=ftc.delta_cycles,
-        slowdown=WcetEstimate(isolation, ftc).slowdown,
-        paper_value=paper.FIGURE4[scenario_name].ftc,
-    )
+def _figure4_reference(
+    scenario_name: str, model: str, load: str
+) -> float | None:
+    """The published Figure 4 ratio for a bar, when the paper reports one."""
+    published = paper.FIGURE4[scenario_name]
+    if model == "ftc-refined":
+        return published.ftc
+    if model == "ilp-ptac":
+        return published.ilp.get(load)
+    return None
 
 
-def _paper_ilp_row(
-    scenario_name: str, load: str, profile: LatencyProfile, backend: str
+def _paper_model_row(
+    scenario_name: str,
+    load: str,
+    model: str,
+    profile: LatencyProfile,
+    options: IlpPtacOptions | None,
 ) -> Figure4Row:
-    """Job: one ILP-PTAC bar (scenario × load, published readings)."""
+    """Job: one Figure 4 bar (scenario × model × load, published readings)."""
     scenario = reference_scenario(scenario_name)
     readings_a = paper.table6(scenario_name, "app")
-    readings_b = paper.contender_readings(scenario_name, load)
+    readings_b = (
+        paper.contender_readings(scenario_name, load) if load != "-" else None
+    )
     isolation = paper.ISOLATION_CYCLES[scenario_name]
-    result = ilp_ptac_bound(
-        readings_a,
-        readings_b,
-        profile,
-        scenario,
-        IlpPtacOptions(backend=backend),
+    bound = contention_bound(
+        model, readings_a, profile, scenario, readings_b, options=options
     )
     return Figure4Row(
         scenario=scenario_name,
         load=load,
-        model=result.bound.model,
-        delta_cycles=result.bound.delta_cycles,
-        slowdown=WcetEstimate(isolation, result.bound).slowdown,
-        paper_value=paper.FIGURE4[scenario_name].ilp.get(load),
+        model=bound.model,
+        delta_cycles=bound.delta_cycles,
+        slowdown=WcetEstimate(isolation, bound).slowdown,
+        paper_value=_figure4_reference(scenario_name, model, load),
     )
 
 
 def figure4_paper_mode(
     *,
+    models: Sequence[str] = DEFAULT_FIGURE4_MODELS,
     profile: LatencyProfile | None = None,
     backend: str = "bnb",
+    options: IlpPtacOptions | None = None,
     engine: ExperimentEngine | None = None,
 ) -> list[Figure4Row]:
     """Figure 4 from the published Table 6 readings.
 
-    Returns one row per bar: the refined fTC bound per scenario and the
-    ILP-PTAC bound per (scenario, load level).
+    Returns one row per bar: contender-blind models once per scenario,
+    contender-aware models once per (scenario, load level).  ``models``
+    accepts any registered counter-based model names.
     """
     profile = profile or tc27x_latency_profile()
+    # `backend` is shorthand for options=IlpPtacOptions(backend=...);
+    # an explicit `options` takes precedence over it.
+    options = options or IlpPtacOptions(backend=backend)
     jobs = []
     for scenario_name in SCENARIOS:
-        jobs.append(
-            job(
-                _paper_ftc_row,
-                scenario_name,
-                profile,
-                label=f"figure4-paper:{scenario_name}:ftc",
-            )
-        )
-        for load in LOAD_LEVELS:
-            jobs.append(
-                job(
-                    _paper_ilp_row,
-                    scenario_name,
-                    load,
-                    profile,
-                    backend,
-                    label=f"figure4-paper:{scenario_name}:ilp:{load}",
+        for model in models:
+            for load in _model_loads(model):
+                jobs.append(
+                    job(
+                        _paper_model_row,
+                        scenario_name,
+                        load,
+                        model,
+                        profile,
+                        options,
+                        label=(
+                            f"figure4-paper:{scenario_name}:{model}:{load}"
+                        ),
+                    )
                 )
-            )
     return run_jobs(jobs, engine)
 
 
@@ -231,55 +259,40 @@ def simulate_scenario(
     )
 
 
-def _sim_ftc_row(
-    scenario_name: str, data: ScenarioSimData, profile: LatencyProfile
-) -> Figure4Row:
-    """Job: the refined fTC bar from measured counters."""
-    ftc = ftc_refined(data.app_readings, profile, data.scenario)
-    worst_observed = max(
-        (
-            observation.slowdown
-            for observation in data.corun_observations.values()
-        ),
-        default=None,
-    )
-    return Figure4Row(
-        scenario=scenario_name,
-        load="-",
-        model=ftc.model,
-        delta_cycles=ftc.delta_cycles,
-        slowdown=WcetEstimate(data.app_isolation_cycles, ftc).slowdown,
-        paper_value=paper.FIGURE4[scenario_name].ftc,
-        observed_slowdown=worst_observed,
-    )
-
-
-def _sim_ilp_row(
+def _sim_model_row(
     scenario_name: str,
     load: str,
+    model: str,
     data: ScenarioSimData,
     profile: LatencyProfile,
-    backend: str,
+    options: IlpPtacOptions | None,
 ) -> Figure4Row:
-    """Job: one ILP-PTAC bar from measured counters."""
-    result = ilp_ptac_bound(
-        data.app_readings,
-        data.load_readings[load],
-        profile,
-        data.scenario,
-        IlpPtacOptions(backend=backend),
+    """Job: one Figure 4 bar (scenario × model × load, measured counters)."""
+    readings_b = data.load_readings[load] if load != "-" else None
+    bound = contention_bound(
+        model, data.app_readings, profile, data.scenario, readings_b,
+        options=options,
     )
-    observation = data.corun_observations.get(load)
+    if load == "-":
+        # Contender-blind bars must cover the worst co-run of any load.
+        observed = max(
+            (
+                observation.slowdown
+                for observation in data.corun_observations.values()
+            ),
+            default=None,
+        )
+    else:
+        observation = data.corun_observations.get(load)
+        observed = observation.slowdown if observation else None
     return Figure4Row(
         scenario=scenario_name,
         load=load,
-        model=result.bound.model,
-        delta_cycles=result.bound.delta_cycles,
-        slowdown=WcetEstimate(
-            data.app_isolation_cycles, result.bound
-        ).slowdown,
-        paper_value=paper.FIGURE4[scenario_name].ilp.get(load),
-        observed_slowdown=(observation.slowdown if observation else None),
+        model=bound.model,
+        delta_cycles=bound.delta_cycles,
+        slowdown=WcetEstimate(data.app_isolation_cycles, bound).slowdown,
+        paper_value=_figure4_reference(scenario_name, model, load),
+        observed_slowdown=observed,
     )
 
 
@@ -354,10 +367,12 @@ def _simulate_datasets(
 
 def figure4_sim_mode(
     *,
+    models: Sequence[str] = DEFAULT_FIGURE4_MODELS,
     scale: float = 1 / 16,
     profile: LatencyProfile | None = None,
     timing: SimTiming | None = None,
     backend: str = "bnb",
+    options: IlpPtacOptions | None = None,
     with_coruns: bool = True,
     engine: ExperimentEngine | None = None,
 ) -> list[Figure4Row]:
@@ -365,33 +380,29 @@ def figure4_sim_mode(
     applied, predictions validated against observed co-runs).
 
     Two engine phases: the per-scenario measurements run first (parallel
-    across scenarios, cached across drivers), then one model job per bar.
+    across scenarios, cached across drivers), then one model job per bar
+    (any registered counter-based model via ``models=``).
     """
     profile = profile or tc27x_latency_profile()
+    # `backend` is shorthand; an explicit `options` takes precedence.
+    options = options or IlpPtacOptions(backend=backend)
     datasets = _simulate_datasets(scale, timing, with_coruns, engine)
     model_jobs = []
     for scenario_name, data in zip(SCENARIOS, datasets):
-        model_jobs.append(
-            job(
-                _sim_ftc_row,
-                scenario_name,
-                data,
-                profile,
-                label=f"figure4-sim:{scenario_name}:ftc",
-            )
-        )
-        for load in LOAD_LEVELS:
-            model_jobs.append(
-                job(
-                    _sim_ilp_row,
-                    scenario_name,
-                    load,
-                    data,
-                    profile,
-                    backend,
-                    label=f"figure4-sim:{scenario_name}:ilp:{load}",
+        for model in models:
+            for load in _model_loads(model):
+                model_jobs.append(
+                    job(
+                        _sim_model_row,
+                        scenario_name,
+                        load,
+                        model,
+                        data,
+                        profile,
+                        options,
+                        label=f"figure4-sim:{scenario_name}:{model}:{load}",
+                    )
                 )
-            )
     return run_jobs(model_jobs, engine)
 
 
@@ -452,77 +463,87 @@ class AblationRow:
 
 
 def _ablation_scenario_rows(
-    scenario_name: str, scale: float, backend: str
+    scenario_name: str,
+    scale: float,
+    models: tuple[str, ...],
+    options: IlpPtacOptions | None,
 ) -> list[AblationRow]:
-    """Job: the full information ladder of one scenario."""
+    """Job: the full information ladder of one scenario.
+
+    Contender-blind models run once per scenario; contender-aware ones
+    once per load level.  Every model runs over the *same* context
+    superset (measured counters plus ground-truth access profiles), so
+    the ladder is a pure information-degree comparison.
+    """
     profile = tc27x_latency_profile()
     scenario = reference_scenario(scenario_name)
     app_program, _ = build_control_loop(scenario, scale=scale)
     app_result = run_isolation(app_program)
     isolation = app_result.readings.require_ccnt()
+    blind = [m for m in models if "-" in _model_loads(m)]
+    aware = [m for m in models if "-" not in _model_loads(m)]
 
     rows: list[AblationRow] = []
-    baseline = ftc_baseline(app_result.readings, profile)
-    refined = ftc_refined(app_result.readings, profile, scenario)
-    for bound in (baseline, refined):
+
+    def append(model: str, load: str, readings_b, profile_b) -> None:
+        bound = contention_bound(
+            model,
+            app_result.readings,
+            profile,
+            scenario,
+            readings_b,
+            access_profile_a=app_result.profile,
+            access_profile_b=profile_b,
+            options=options,
+        )
         rows.append(
             AblationRow(
                 scenario=scenario_name,
-                load="-",
+                load=load,
                 model=bound.model,
                 delta_cycles=bound.delta_cycles,
                 slowdown=WcetEstimate(isolation, bound).slowdown,
             )
         )
+
+    for model in blind:
+        append(model, "-", None, None)
     for load in LOAD_LEVELS:
         load_program = build_load(scenario_name, load, scale=scale)
         load_result = run_isolation(load_program, core=2)
-        ilp = ilp_ptac_bound(
-            app_result.readings,
-            load_result.readings,
-            profile,
-            scenario,
-            IlpPtacOptions(backend=backend),
-        ).bound
-        ideal = ideal_bound(
-            app_result.profile,
-            load_result.profile,
-            profile,
-            scenario,
-        )
-        for bound in (ilp, ideal):
-            rows.append(
-                AblationRow(
-                    scenario=scenario_name,
-                    load=load,
-                    model=bound.model,
-                    delta_cycles=bound.delta_cycles,
-                    slowdown=WcetEstimate(isolation, bound).slowdown,
-                )
-            )
+        for model in aware:
+            append(model, load, load_result.readings, load_result.profile)
     return rows
 
 
 def information_ablation(
     *,
+    models: Sequence[str] = DEFAULT_ABLATION_MODELS,
     scale: float = 1 / 32,
     backend: str = "bnb",
+    options: IlpPtacOptions | None = None,
     engine: ExperimentEngine | None = None,
 ) -> list[AblationRow]:
     """Quantify what each level of information buys (experiment A1).
 
-    Runs four models on identical simulator-measured inputs:
-    ``ftc-baseline`` (no deployment knowledge), ``ftc-refined``
+    By default runs the four-step ladder on identical simulator-measured
+    inputs: ``ftc-baseline`` (no deployment knowledge), ``ftc-refined``
     (deployment knowledge about τa), ``ilp-ptac`` (+ contender counters)
     and ``ideal`` (ground-truth PTACs, unobtainable on real hardware).
+    Any registered model name can join the ladder via ``models=``.
     """
+    for model in models:
+        get_model(model)  # fail fast on unknown names, before any job
+    # `backend` is shorthand; an explicit `options` takes precedence.
+    options = options or IlpPtacOptions(backend=backend)
     row_lists = run_jobs(
         [
             job(
                 _ablation_scenario_rows,
                 scenario_name,
                 scale,
-                backend,
+                tuple(models),
+                options,
                 label=f"ablation:{scenario_name}",
             )
             for scenario_name in SCENARIOS

@@ -23,6 +23,8 @@ from repro.analysis.experiments import AblationRow, Figure4Row, Table6Row
 from repro.analysis.sweeps import DeploymentComparison, SweepPoint
 from repro.analysis.three_core import ThreeCoreRow
 from repro.analysis.validation import SoundnessCase
+from repro.core.model import ContentionModel
+from repro.core.registry import default_model_registry
 from repro.engine.artifact import ExperimentArtifact, artifact
 from repro.engine.experiment import ScenarioRunResult
 from repro.errors import ReproError
@@ -150,6 +152,27 @@ def three_core_rows(rows: Sequence[ThreeCoreRow]) -> list[dict[str, Any]]:
     ]
 
 
+def model_registry_rows(
+    models: Sequence[ContentionModel] | None = None,
+) -> list[dict[str, Any]]:
+    """Flatten the contention-model registry (defaults to the default
+    registry's contents, in registration order)."""
+    listed = (
+        list(models) if models is not None else list(default_model_registry())
+    )
+    return [
+        {
+            "model": model.name,
+            "time_composable": model.capabilities.time_composable,
+            "contenders": model.capabilities.contender_summary(),
+            "needs_ilp": model.capabilities.needs_ilp,
+            "dma_aware": model.capabilities.dma_aware,
+            "description": model.description,
+        }
+        for model in listed
+    ]
+
+
 def scenario_run_rows(
     results: Sequence[ScenarioRunResult],
 ) -> list[dict[str, Any]]:
@@ -158,6 +181,7 @@ def scenario_run_rows(
         {
             "spec": result.spec_name,
             "base": result.base,
+            "model": result.model,
             "cores": result.core_count,
             "isolation_cycles": result.isolation_cycles,
             "joint_delta": result.joint_delta,
@@ -209,9 +233,18 @@ _ARTIFACT_COLUMNS = {
         "observed_slowdown",
         "sound",
     ),
+    "models": (
+        "model",
+        "time_composable",
+        "contenders",
+        "needs_ilp",
+        "dma_aware",
+        "description",
+    ),
     "scenario-run": (
         "spec",
         "base",
+        "model",
         "cores",
         "isolation_cycles",
         "joint_delta",
@@ -296,6 +329,15 @@ def scenario_run_artifact(
     return _build_artifact(
         "scenario-run", title, scenario_run_rows(results), **meta
     )
+
+
+def models_artifact(
+    models: Sequence[ContentionModel] | None = None,
+    *,
+    title: str = "Registered contention models",
+    **meta: Any,
+) -> ExperimentArtifact:
+    return _build_artifact("models", title, model_registry_rows(models), **meta)
 
 
 def to_json(records: Iterable[Mapping[str, Any]], *, indent: int = 2) -> str:

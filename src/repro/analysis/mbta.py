@@ -94,15 +94,26 @@ def analyse(
     profile: LatencyProfile,
     scenario: DeploymentScenario,
     contender: TaskReadings | None = None,
+    *,
+    contenders: Sequence[TaskReadings] = (),
+    **model_kwargs,
 ) -> WcetEstimate:
-    """Turn an isolation measurement into a contention-aware WCET estimate."""
+    """Turn an isolation measurement into a contention-aware WCET estimate.
+
+    ``model`` is any registered contention-model name (see
+    ``repro models``); ``contenders`` feeds multi-contender models and
+    further keywords (ILP options, DMA agents, ...) are forwarded to
+    :func:`~repro.core.wcet.contention_bound`.
+    """
     return wcet_estimate(
         model,
         measurement.readings,
         profile,
         scenario,
         contender,
+        contenders=tuple(contenders),
         isolation_cycles=measurement.hwm_cycles,
+        **model_kwargs,
     )
 
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.analysis.experiments import AblationRow, Figure4Row, Table6Row
+from repro.core.model import ContentionModel
+from repro.core.registry import default_model_registry
 from repro.engine.artifact import ExperimentArtifact
 from repro.platform.cacheability import placement_matrix
 from repro.platform.latency import LatencyProfile
@@ -151,6 +153,32 @@ def render_figure4(rows: Sequence[Figure4Row], *, title: str = "Figure 4") -> st
             f"{bar} {row.slowdown:.2f}{reference}"
         )
     return table + "\n\n" + "\n".join(bars)
+
+
+def render_models(
+    models: Sequence[ContentionModel] | None = None,
+    *,
+    title: str | None = None,
+) -> str:
+    """Render the contention-model registry (the ``repro models`` output).
+
+    One row per registered model: name, whether the bound is fully
+    time-composable, the contender arity it consumes, whether it solves
+    an ILP / covers higher-priority DMA masters, and its description.
+    Rides the same artifact builder as ``repro models --export``, so the
+    rendered and exported rows cannot diverge.
+    """
+    from repro.analysis.export import models_artifact
+
+    listed = (
+        list(models) if models is not None else list(default_model_registry())
+    )
+    return render_artifact(
+        models_artifact(
+            listed,
+            title=title or f"Registered contention models ({len(listed)})",
+        )
+    )
 
 
 def render_artifact(artifact: ExperimentArtifact) -> str:

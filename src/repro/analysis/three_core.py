@@ -6,9 +6,9 @@ three cores, so the realistic integration question is: application plus
 *two* co-runners.  This driver runs that experiment end to end:
 
 1. measure the application and both contenders in isolation;
-2. bound the joint contention with the multi-contender ILP
-   (:func:`repro.core.multicontender.multi_contender_bound`) and with the
-   naive sum of pairwise bounds;
+2. bound the joint contention with the multi-contender ILP (the
+   registered ``ilp-ptac-multi`` model) and with the naive sum of
+   pairwise ``ilp-ptac`` bounds;
 3. co-run all three cores on the simulator and verify both bounds cover
    the observation — and report how much the joint formulation saves.
 
@@ -26,8 +26,8 @@ import dataclasses
 from typing import Sequence
 
 from repro.analysis.experiments import reference_scenario
-from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
-from repro.core.multicontender import multi_contender_bound
+from repro.core.ilp_ptac import IlpPtacOptions
+from repro.core.wcet import contention_bound
 from repro.counters.readings import TaskReadings
 from repro.engine.batch import job
 from repro.engine.runner import ExperimentEngine, run_jobs
@@ -119,13 +119,19 @@ def _three_core_pair_row(
         f"{second}-Load@core2",
     )
 
-    joint = multi_contender_bound(
-        app_readings, [readings_0, readings_2], profile, scenario, options
-    ).bound.delta_cycles
+    joint = contention_bound(
+        "ilp-ptac-multi",
+        app_readings,
+        profile,
+        scenario,
+        contenders=(readings_0, readings_2),
+        options=options,
+    ).delta_cycles
     pairwise = sum(
-        ilp_ptac_bound(
-            app_readings, contender, profile, scenario, options
-        ).bound.delta_cycles
+        contention_bound(
+            "ilp-ptac", app_readings, profile, scenario, contender,
+            options=options,
+        ).delta_cycles
         for contender in (readings_0, readings_2)
     )
 

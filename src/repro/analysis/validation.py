@@ -14,9 +14,9 @@ import dataclasses
 from typing import Sequence
 
 from repro.analysis.mbta import measure_isolation, observe_corun
-from repro.core.ftc import ftc_baseline, ftc_refined
-from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
+from repro.core.ilp_ptac import IlpPtacOptions
 from repro.core.results import WcetEstimate
+from repro.core.wcet import contention_bound
 from repro.engine.batch import job
 from repro.engine.runner import ExperimentEngine, run_jobs
 from repro.platform.deployment import DeploymentScenario
@@ -24,6 +24,13 @@ from repro.platform.latency import LatencyProfile, tc27x_latency_profile
 from repro.sim.program import TaskProgram
 from repro.sim.timing import SimTiming
 from repro.workloads.synthetic import random_task_pair
+
+#: Models every soundness case runs by default (counter-based family).
+DEFAULT_SOUNDNESS_MODELS: tuple[str, ...] = (
+    "ftc-baseline",
+    "ftc-refined",
+    "ilp-ptac",
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -63,6 +70,7 @@ def check_soundness(
     contender: TaskProgram,
     scenario: DeploymentScenario,
     *,
+    models: Sequence[str] = DEFAULT_SOUNDNESS_MODELS,
     profile: LatencyProfile | None = None,
     timing: SimTiming | None = None,
     backend: str = "bnb",
@@ -70,24 +78,25 @@ def check_soundness(
 ) -> SoundnessCase:
     """Full pipeline soundness check for one (τa, τb) pair.
 
-    Measures both tasks in isolation, computes the fTC (baseline and
-    refined) and ILP-PTAC bounds from the measured counters, co-runs the
+    Measures both tasks in isolation, computes every requested
+    registered model's bound from the measured counters, co-runs the
     pair, and compares predictions against the observation.
     """
     profile = profile or tc27x_latency_profile()
+    options = IlpPtacOptions(backend=backend)
     measurement_a = measure_isolation(task, timing=timing)
     measurement_b = measure_isolation(contender, core=2, timing=timing)
 
     bounds = {
-        "ftc-baseline": ftc_baseline(measurement_a.readings, profile),
-        "ftc-refined": ftc_refined(measurement_a.readings, profile, scenario),
-        "ilp-ptac": ilp_ptac_bound(
+        model: contention_bound(
+            model,
             measurement_a.readings,
-            measurement_b.readings,
             profile,
             scenario,
-            IlpPtacOptions(backend=backend),
-        ).bound,
+            measurement_b.readings,
+            options=options,
+        )
+        for model in models
     }
     predictions = {
         model: WcetEstimate(measurement_a.hwm_cycles, bound).wcet_cycles
@@ -140,6 +149,7 @@ def soundness_sweep(
     pairs: Sequence[tuple[TaskProgram, TaskProgram]],
     scenario: DeploymentScenario,
     *,
+    models: Sequence[str] = DEFAULT_SOUNDNESS_MODELS,
     profile: LatencyProfile | None = None,
     timing: SimTiming | None = None,
     backend: str = "bnb",
@@ -159,6 +169,7 @@ def soundness_sweep(
                 task,
                 contender,
                 scenario,
+                models=tuple(models),
                 profile=profile,
                 timing=timing,
                 backend=backend,
@@ -177,6 +188,7 @@ def _random_soundness_case(
     scenario: DeploymentScenario,
     seed: int,
     max_requests: int,
+    models: tuple[str, ...],
     profile: LatencyProfile | None,
     timing: SimTiming | None,
     backend: str,
@@ -189,6 +201,7 @@ def _random_soundness_case(
         task,
         contender,
         scenario,
+        models=models,
         profile=profile,
         timing=timing,
         backend=backend,
@@ -201,6 +214,7 @@ def random_soundness_sweep(
     *,
     pairs: int,
     max_requests: int = 2_000,
+    models: Sequence[str] = DEFAULT_SOUNDNESS_MODELS,
     profile: LatencyProfile | None = None,
     timing: SimTiming | None = None,
     backend: str = "bnb",
@@ -211,7 +225,8 @@ def random_soundness_sweep(
     Equivalent to building ``random_task_pair(scenario, seed=s)`` for
     ``s in range(pairs)`` and calling :func:`soundness_sweep`, but the
     pair construction happens *inside* each job, so every job is plain
-    data and can run in a worker process or hit the result cache.
+    data — the model *names* included — and can run in a worker process
+    or hit the result cache (keyed per model set).
     """
     cases = run_jobs(
         [
@@ -220,6 +235,7 @@ def random_soundness_sweep(
                 scenario,
                 seed,
                 max_requests,
+                tuple(models),
                 profile,
                 timing,
                 backend,

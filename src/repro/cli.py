@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``)::
     repro sweep                  # contender-load sweep curve
     repro three-core             # TC277 joint-contention evaluation
     repro scenarios              # registered deployment scenarios
+    repro models                 # registered contention models
     repro run scenario1-4core    # any registered spec, end to end
     repro platform               # Figure 1 block diagram
 
@@ -19,7 +20,11 @@ Every command prints the same rendering the benchmark suite produces, so
 shell users and CI logs see identical artefacts.  Commands that fan out
 over independent jobs accept ``--jobs N`` to execute on the experiment
 engine's process pool; results are identical to serial runs, and a
-shared per-invocation result cache deduplicates repeated work.
+shared per-invocation result cache deduplicates repeated work.  Passing
+``--cache-dir PATH`` persists that cache to disk, making figure
+regeneration incremental *across* invocations and CI runs.  Commands
+that run contention models accept ``--model`` with any registered name
+(see ``repro models``).
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ from repro.analysis.report import (
     render_artifact,
     render_figure4,
     render_latency_table,
+    render_models,
     render_placement_table,
     render_table,
     render_table6,
@@ -48,6 +54,7 @@ from repro.analysis.report import (
 from repro.analysis.sweeps import contender_scale_sweep
 from repro.analysis.three_core import three_core_experiment
 from repro.analysis.validation import random_soundness_sweep
+from repro.core.registry import default_model_registry
 from repro.engine import (
     ExperimentEngine,
     ResultCache,
@@ -62,14 +69,20 @@ from repro.platform.tc27x import tc277
 def _engine(args: argparse.Namespace) -> ExperimentEngine | None:
     """Build the execution engine a command asked for (None = serial).
 
-    The instance is remembered on ``args`` so :func:`main` can shut its
-    worker pool down once the command returns.
+    ``--jobs N`` (N > 1) turns on the process pool; ``--cache-dir``
+    turns on disk-persistent result caching (serial execution unless
+    combined with ``--jobs``).  The instance is remembered on ``args``
+    so :func:`main` can shut its worker pool down once the command
+    returns.
     """
     jobs = getattr(args, "jobs", 1) or 1
-    if jobs <= 1:
+    cache_dir = getattr(args, "cache_dir", None)
+    if jobs <= 1 and cache_dir is None:
         return None
     engine = ExperimentEngine(
-        mode="process", workers=jobs, cache=ResultCache()
+        mode="process" if jobs > 1 else "serial",
+        workers=jobs if jobs > 1 else None,
+        cache=ResultCache(directory=cache_dir),
     )
     args._engine_instance = engine
     return engine
@@ -82,6 +95,14 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         default=1,
         metavar="N",
         help="fan independent jobs out over N worker processes",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help=(
+            "persist the result cache under PATH so repeated invocations "
+            "skip already-computed jobs"
+        ),
     )
 
 
@@ -105,11 +126,15 @@ def _cmd_table6(args: argparse.Namespace) -> str:
 
 def _cmd_figure4(args: argparse.Namespace) -> str:
     engine = _engine(args)
+    models = tuple(args.model) if args.model else None
+    model_kwargs = {"models": models} if models else {}
     if args.mode == "paper":
-        rows = figure4_paper_mode(engine=engine)
+        rows = figure4_paper_mode(engine=engine, **model_kwargs)
         title = "Figure 4 (paper-counters mode)"
     else:
-        rows = figure4_sim_mode(scale=1 / args.scale, engine=engine)
+        rows = figure4_sim_mode(
+            scale=1 / args.scale, engine=engine, **model_kwargs
+        )
         title = f"Figure 4 (simulation mode, scale 1/{args.scale})"
     if args.export:
         from repro.analysis.export import figure4_artifact, write_artifact
@@ -213,12 +238,22 @@ def _cmd_scenarios(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_models(args: argparse.Namespace) -> str:
+    registry = default_model_registry()
+    if args.export:
+        from repro.analysis.export import models_artifact, write_artifact
+
+        write_artifact(models_artifact(registry.specs()), args.export)
+        return f"wrote {len(registry)} models to {args.export}"
+    return render_models(registry.specs())
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
     registry = default_registry()
     names = registry.names() if args.all else args.scenario
     if not names:
         return "nothing to run (name scenarios or pass --all)"
-    results = run_specs(names, engine=_engine(args))
+    results = run_specs(names, model=args.model, engine=_engine(args))
     from repro.analysis.export import scenario_run_artifact, write_artifact
 
     item = scenario_run_artifact(
@@ -256,6 +291,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=("paper", "sim"), default="paper")
     p.add_argument("--scale", type=int, default=32, help="sim-mode scale denominator")
     p.add_argument(
+        "--model",
+        action="append",
+        metavar="NAME",
+        help=(
+            "registered model to plot (repeatable; see 'repro models'); "
+            "default: ftc-refined + ilp-ptac"
+        ),
+    )
+    p.add_argument(
         "--export", metavar="PATH.{json,csv}", help="write rows instead of rendering"
     )
     _add_jobs_flag(p)
@@ -286,6 +330,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("scenarios", help="list registered scenario specs")
 
+    p = sub.add_parser("models", help="list registered contention models")
+    p.add_argument(
+        "--export", metavar="PATH.{json,csv}", help="write rows instead of rendering"
+    )
+
     p = sub.add_parser(
         "run", help="run registered scenario specs end to end"
     )
@@ -293,6 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario", nargs="*", help="registered spec names (see 'scenarios')"
     )
     p.add_argument("--all", action="store_true", help="run every spec")
+    p.add_argument(
+        "--model",
+        default="ilp-ptac",
+        metavar="NAME",
+        help="registered contention model for the bounds (see 'repro models')",
+    )
     p.add_argument(
         "--export", metavar="PATH.{json,csv}", help="write rows instead of rendering"
     )
@@ -312,6 +367,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "three-core": _cmd_three_core,
     "scenarios": _cmd_scenarios,
+    "models": _cmd_models,
     "run": _cmd_run,
     "platform": _cmd_platform,
 }

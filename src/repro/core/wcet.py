@@ -8,16 +8,27 @@ that already includes multicore contention:
 
     WCET = ET_isolation(high-watermark) + Δcont(model)
 
-This module provides the one-call facade over the individual models, used
-by the examples and the Figure 4 driver.
+:func:`contention_bound` and :func:`wcet_estimate` are the one-call
+facade over the model family.  They are thin lookups into the
+:mod:`repro.core.registry`: the ``model`` argument is any registered
+name (see ``repro models`` or
+:func:`~repro.core.registry.model_names`), the remaining arguments are
+folded into an :class:`~repro.core.model.AnalysisContext`, and the
+registered model's capabilities decide which of them are required.
+
+:class:`ModelKind` is the deprecated enum the facade used to dispatch
+on; it survives as an alias layer (its members name the same four
+registry entries) so existing callers keep working.
 """
 
 from __future__ import annotations
 
 import enum
 
-from repro.core.ftc import ftc_baseline, ftc_refined
-from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
+from repro.core.model import AnalysisContext
+from repro.core.registry import get_model, model_names
+from repro.core.ilp_ptac import IlpPtacOptions
+from repro.core.ptac import AccessProfile
 from repro.core.results import ContentionBound, WcetEstimate
 from repro.counters.readings import TaskReadings
 from repro.errors import ModelError
@@ -26,7 +37,14 @@ from repro.platform.latency import LatencyProfile
 
 
 class ModelKind(enum.Enum):
-    """The contention models selectable through the facade."""
+    """Deprecated closed enumeration of the facade's original models.
+
+    Kept as an alias layer: each member's value is the registry name of
+    the same model.  New code should pass registry names (strings)
+    directly — the registry also knows the models this enum never
+    learned about (``ilp-ptac-multi``, ``ideal``, the occupancy and FSB
+    bounds, and anything registered downstream).
+    """
 
     FTC_BASELINE = "ftc-baseline"
     FTC_REFINED = "ftc-refined"
@@ -39,76 +57,118 @@ class ModelKind(enum.Enum):
         for kind in cls:
             if kind.value == name:
                 return kind
-        raise ModelError(f"unknown model kind {name!r}")
+        raise ModelError(
+            f"unknown model kind {name!r}; "
+            f"valid kinds: {', '.join(kind.value for kind in cls)} "
+            f"(the model registry additionally knows: "
+            f"{', '.join(n for n in model_names() if n not in cls._value2member_map_)})"
+        )
 
 
 def contention_bound(
-    model: ModelKind | str,
-    readings_a: TaskReadings,
-    profile: LatencyProfile,
-    scenario: DeploymentScenario,
+    model: "ModelKind | str",
+    readings_a: TaskReadings | None = None,
+    profile: LatencyProfile | None = None,
+    scenario: DeploymentScenario | None = None,
     readings_b: TaskReadings | None = None,
     *,
+    contenders=(),
+    access_profile_a: AccessProfile | None = None,
+    access_profile_b: AccessProfile | None = None,
+    contender_profiles=(),
+    dma_agents=(),
+    fsb_timing=None,
     options: IlpPtacOptions | None = None,
+    task: str | None = None,
 ) -> ContentionBound:
-    """Compute Δcont with the selected model.
+    """Compute Δcont with any registered model.
 
     Args:
-        model: which model to run (a :class:`ModelKind` or its name).
-        readings_a: isolation readings of the task under analysis.
+        model: a registered model name (see ``repro models``) or a
+            deprecated :class:`ModelKind` member.
+        readings_a: isolation readings of the task under analysis
+            (required by the counter-based models).
         profile: Table 2 constants.
-        scenario: deployment scenario (used by every model except the
-            baseline fTC, which ignores deployment knowledge by design).
-        readings_b: contender readings; required by ``ILP_PTAC`` only.
-        options: ILP knobs, forwarded to the ILP variants.
-    """
-    if isinstance(model, str):
-        model = ModelKind.parse(model)
-    if model is ModelKind.FTC_BASELINE:
-        return ftc_baseline(readings_a, profile)
-    if model is ModelKind.FTC_REFINED:
-        return ftc_refined(readings_a, profile, scenario)
-    if model is ModelKind.ILP_PTAC:
-        if readings_b is None:
-            raise ModelError("ilp-ptac needs contender readings")
-        return ilp_ptac_bound(
-            readings_a, readings_b, profile, scenario, options
-        ).bound
-    # ILP without contender constraints (fully time-composable variant).
-    base = options or IlpPtacOptions()
-    import dataclasses as _dc
+        scenario: deployment scenario (ignored by models that declare no
+            deployment knowledge, e.g. the baseline fTC).
+        readings_b: single-contender shorthand for ``contenders``.
+        contenders: contender readings (the multi-contender ILP accepts
+            any number; single-contender models read the first).
+        access_profile_a: τa's ground-truth per-target access profile
+            (the ideal model's input; simulator-only).
+        access_profile_b: single-contender shorthand for
+            ``contender_profiles``.
+        contender_profiles: ground-truth / statically-known contender or
+            higher-priority-master access profiles.
+        dma_agents: DMA transfer descriptors (``dma-occupancy``).
+        fsb_timing: bus timing constants (the ``fsb-*`` reductions).
+        options: ILP knobs, forwarded to the ILP-backed models.
+        task: victim name for models needing no τa measurements.
 
-    tc_options = _dc.replace(base, contender_constraints=False)
-    return ilp_ptac_bound(
-        readings_a, None, profile, scenario, tc_options
-    ).bound
+    Raises:
+        ModelError: unknown model name (the message lists the registered
+            names), or the chosen model's declared inputs are missing.
+    """
+    name = model.value if isinstance(model, ModelKind) else str(model)
+    spec = get_model(name)
+    all_contenders = tuple(contenders)
+    if readings_b is not None:
+        all_contenders = (readings_b,) + all_contenders
+    profiles = tuple(contender_profiles)
+    if access_profile_b is not None:
+        profiles = (access_profile_b,) + profiles
+    context = AnalysisContext(
+        profile=profile,
+        scenario=scenario,
+        readings=readings_a,
+        contenders=all_contenders,
+        access_profile=access_profile_a,
+        contender_profiles=profiles,
+        dma_agents=tuple(dma_agents),
+        fsb_timing=fsb_timing,
+        options=options,
+        task=task,
+    )
+    return spec.bound(context)
 
 
 def wcet_estimate(
-    model: ModelKind | str,
+    model: "ModelKind | str",
     readings_a: TaskReadings,
-    profile: LatencyProfile,
-    scenario: DeploymentScenario,
+    profile: LatencyProfile | None = None,
+    scenario: DeploymentScenario | None = None,
     readings_b: TaskReadings | None = None,
     *,
     isolation_cycles: int | None = None,
+    contenders=(),
     options: IlpPtacOptions | None = None,
+    **context_kwargs,
 ) -> WcetEstimate:
     """One-call WCET estimate: isolation time + model contention bound.
 
     Args:
-        model: which contention model to use.
+        model: which contention model to use (any registered name).
         readings_a: isolation readings of the task under analysis;
             must carry ``ccnt`` unless ``isolation_cycles`` is given.
         profile: Table 2 constants.
         scenario: deployment scenario.
-        readings_b: contender readings (ILP-PTAC only).
+        readings_b: contender readings (single-contender shorthand).
         isolation_cycles: override for the isolation execution time
             (e.g. a high-watermark over many runs rather than one run).
+        contenders: contender readings for multi-contender models.
         options: ILP knobs.
+        **context_kwargs: any further :func:`contention_bound` keyword
+            (access profiles, DMA agents, FSB timing, task name).
     """
     bound = contention_bound(
-        model, readings_a, profile, scenario, readings_b, options=options
+        model,
+        readings_a,
+        profile,
+        scenario,
+        readings_b,
+        contenders=contenders,
+        options=options,
+        **context_kwargs,
     )
     cycles = (
         isolation_cycles

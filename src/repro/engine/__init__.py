@@ -11,7 +11,9 @@ The engine layer decouples *what* an experiment is from *how* it runs:
   with results always in job order;
 * :mod:`repro.engine.cache` — a content-addressed result cache keyed by a
   stable hash of the job inputs, so repeated sweeps and figure
-  regenerations skip re-simulation;
+  regenerations skip re-simulation; ``ResultCache(directory=...)``
+  additionally persists entries to disk, making the cache survive
+  across processes and CLI invocations (``--cache-dir``);
 * :mod:`repro.engine.artifact` — the common :class:`ExperimentArtifact`
   record the report/export layers render;
 * :mod:`repro.engine.experiment` — the generic end-to-end driver that

@@ -11,6 +11,16 @@ The hash is structural, not ``repr``-based: dataclasses, enums, mappings,
 sets and plain objects are canonicalised into a JSON document whose SHA-256
 digest is the cache key.  Two values hash equal iff their canonical forms
 are equal, independent of dict ordering or object identity.
+
+Because the hash is process-stable, the cache can also **persist to
+disk**: construct ``ResultCache(directory=...)`` (or pass
+``--cache-dir`` to the CLI) and every stored result is additionally
+pickled under ``<directory>/v<version>/<key>.pkl`` (namespaced per
+library version, since keys hash job *inputs*, not code).  A later
+process — a second CLI invocation, a CI run — reuses those entries,
+making figure regeneration incremental across invocations.  Unpicklable
+results (e.g. carrying closure-backed programs) simply stay in-memory;
+corrupt or truncated files are dropped and recomputed.
 """
 
 from __future__ import annotations
@@ -19,8 +29,11 @@ import dataclasses
 import enum
 import hashlib
 import json
+import os
+import pickle
 import threading
 from collections.abc import Mapping, Set
+from pathlib import Path
 from typing import Any, Callable
 
 from repro.errors import EngineError
@@ -116,10 +129,15 @@ def stable_hash(obj: Any) -> str:
 
 @dataclasses.dataclass
 class CacheStats:
-    """Hit/miss counters of one cache instance."""
+    """Hit/miss counters of one cache instance.
+
+    ``disk_hits`` counts the subset of ``hits`` answered from the
+    persistent directory rather than process memory.
+    """
 
     hits: int = 0
     misses: int = 0
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -131,24 +149,55 @@ class CacheStats:
 
 
 class ResultCache:
-    """In-memory content-addressed store of completed job results.
+    """Content-addressed store of completed job results.
 
     Thread-safe (the engine's thread mode shares one instance across
     workers).  Keys are the stable hashes produced by
     :func:`stable_hash`; values are whatever the job returned.
+
+    Args:
+        directory: optional persistence directory.  When given, stored
+            values are additionally pickled under a per-library-version
+            subdirectory (``<directory>/v<repro.__version__>/<key>.pkl``)
+            and misses fall back to it, so a fresh process (another CLI
+            invocation, a CI job) reuses earlier results.  The version
+            namespace keeps results from leaking across releases — job
+            keys hash inputs, not code, so a model fix must not be
+            answered with a pre-fix pickle.  The directory is created if
+            needed.  Values that cannot be pickled stay purely
+            in-memory; unreadable entries are discarded and recomputed.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
         self._store: dict[str, Any] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        self._directory: Path | None = None
+        if directory is not None:
+            from repro import __version__  # deferred: package-init cycle
+
+            self._directory = Path(directory) / f"v{__version__}"
+            self._directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path | None:
+        """The persistence directory (``None`` for in-memory only)."""
+        return self._directory
+
+    def _path(self, key: str) -> Path:
+        assert self._directory is not None
+        return self._directory / f"{key}.pkl"
 
     def __len__(self) -> int:
         return len(self._store)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
-            return key in self._store
+            if key in self._store:
+                return True
+            return (
+                self._directory is not None and self._path(key).is_file()
+            )
 
     def lookup(self, key: str) -> Any:
         """Return the cached value or the module's miss sentinel.
@@ -158,16 +207,54 @@ class ResultCache:
         """
         with self._lock:
             value = self._store.get(key, _MISS)
+            if value is _MISS and self._directory is not None:
+                value = self._load(key)
+                if value is not _MISS:
+                    self._store[key] = value
+                    self.stats.disk_hits += 1
             if value is _MISS:
                 self.stats.misses += 1
             else:
                 self.stats.hits += 1
             return value
 
+    def _load(self, key: str) -> Any:
+        """Read one persisted entry; corrupt files are dropped silently."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return _MISS
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return _MISS
+
     def store(self, key: str, value: Any) -> None:
         """Record ``value`` under ``key`` (last write wins)."""
         with self._lock:
             self._store[key] = value
+            if self._directory is not None:
+                self._persist(key, value)
+
+    def _persist(self, key: str, value: Any) -> None:
+        """Write one entry atomically (tmp + rename); best-effort only."""
+        path = self._path(key)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            # Unpicklable value or unwritable directory: the entry simply
+            # stays in-memory for this process.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
         """Convenience: lookup, computing and storing on a miss."""
@@ -178,9 +265,16 @@ class ResultCache:
         return value
 
     def clear(self) -> None:
+        """Drop every entry, in memory and (when persistent) on disk."""
         with self._lock:
             self._store.clear()
             self.stats = CacheStats()
+            if self._directory is not None:
+                for path in self._directory.glob("*.pkl"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
 
 
 def is_miss(value: Any) -> bool:

@@ -21,13 +21,15 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.core.ilp_ptac import IlpPtacOptions, ilp_ptac_bound
-from repro.core.multicontender import multi_contender_bound
+from repro.core.ilp_ptac import IlpPtacOptions
+from repro.core.registry import get_model
+from repro.core.wcet import contention_bound
 from repro.counters.readings import TaskReadings
 from repro.engine.batch import job
 from repro.engine.registry import default_registry
 from repro.engine.runner import ExperimentEngine, run_jobs
 from repro.engine.scenario import ScenarioSpec
+from repro.errors import ModelError
 from repro.platform.latency import LatencyProfile, tc27x_latency_profile
 from repro.sim.system import SystemSimulator
 from repro.sim.timing import SimTiming
@@ -49,6 +51,7 @@ class ScenarioRunResult:
         observed_cycles: application's time in the full co-run.
         dma_delta: occupancy bound on the declared DMA masters'
             interference (zero when the spec has none).
+        model: registered name of the pairwise contention model used.
     """
 
     spec_name: str
@@ -60,6 +63,7 @@ class ScenarioRunResult:
     pairwise_deltas: tuple[int, ...]
     observed_cycles: int
     dma_delta: int = 0
+    model: str = "ilp-ptac"
 
     @property
     def pairwise_sum_delta(self) -> int:
@@ -117,6 +121,7 @@ def _dma_delta(spec: ScenarioSpec, profile: LatencyProfile) -> int:
 def run_spec(
     spec: ScenarioSpec | str,
     *,
+    model: str = "ilp-ptac",
     profile: LatencyProfile | None = None,
     timing: SimTiming | None = None,
     options: IlpPtacOptions | None = None,
@@ -125,12 +130,34 @@ def run_spec(
 
     Args:
         spec: a :class:`ScenarioSpec` or the name of a registered one.
+        model: registered contention-model name used for the per-contender
+            bounds; must be counter-based (its only inputs the readings a
+            scenario run measures).  The joint bound follows the model's
+            declared contender arity: unbounded models take all
+            contenders at once, models declaring a ``joint_counterpart``
+            (``ilp-ptac`` → ``ilp-ptac-multi``) delegate to it, and
+            every other model sums the per-core bounds (each victim
+            request waits once per co-runner core per round under
+            round-robin, so per-contender bounds add).
         profile: Table 2 constants.
         timing: simulator timing.
         options: ILP knobs shared by the joint and pairwise solves.
     """
     if isinstance(spec, str):
         spec = default_registry().get(spec)
+    capabilities = get_model(model).capabilities  # validate the name early
+    if (
+        not capabilities.needs_readings
+        or capabilities.needs_fsb_timing
+        or capabilities.needs_access_profile
+        or capabilities.needs_contender_profiles
+        or capabilities.needs_dma_agents
+    ):
+        raise ModelError(
+            f"model {model!r} cannot drive a scenario run: run_spec only "
+            "measures counter readings, so pick a counter-based model "
+            "such as 'ilp-ptac' or 'ftc-refined'"
+        )
     profile = profile or tc27x_latency_profile()
     deployment = spec.deployment()
     simulator = SystemSimulator(timing)
@@ -146,19 +173,33 @@ def run_spec(
         contender_readings.append(_tagged(result.readings, core))
 
     pairwise = tuple(
-        ilp_ptac_bound(
-            app.readings, contender, profile, deployment, options
-        ).bound.delta_cycles
+        contention_bound(
+            model, app.readings, profile, deployment, contender,
+            options=options,
+        ).delta_cycles
         for contender in contender_readings
     )
-    if len(contender_readings) == 1:
-        joint = pairwise[0]
-    elif contender_readings:
-        joint = multi_contender_bound(
-            app.readings, contender_readings, profile, deployment, options
-        ).bound.delta_cycles
-    else:
+    if not contender_readings:
         joint = 0
+    elif len(contender_readings) == 1:
+        joint = pairwise[0]
+    elif capabilities.max_contenders is None:
+        joint = contention_bound(
+            model, app.readings, profile, deployment,
+            contenders=tuple(contender_readings), options=options,
+        ).delta_cycles
+    elif capabilities.joint_counterpart is not None:
+        # The model declares its multi-contender generalisation (one
+        # shared victim mapping); bound the whole set jointly with it.
+        joint = contention_bound(
+            capabilities.joint_counterpart, app.readings, profile,
+            deployment, contenders=tuple(contender_readings),
+            options=options,
+        ).delta_cycles
+    else:
+        # No joint formulation: per-contender bounds are additive under
+        # round-robin (one delay per co-runner core per round).
+        joint = sum(pairwise)
 
     corun_programs = {spec.app_core: app_program, **contender_programs}
     if len(corun_programs) > 1 or spec.dma:
@@ -180,6 +221,7 @@ def run_spec(
         pairwise_deltas=pairwise,
         observed_cycles=observed,
         dma_delta=_dma_delta(spec, profile),
+        model=model,
     )
 
 
@@ -187,6 +229,7 @@ def run_specs(
     specs,
     *,
     engine: ExperimentEngine | None = None,
+    model: str = "ilp-ptac",
     profile: LatencyProfile | None = None,
     timing: SimTiming | None = None,
     options: IlpPtacOptions | None = None,
@@ -197,6 +240,10 @@ def run_specs(
         specs: iterable of :class:`ScenarioSpec` objects or registered
             names (resolved eagerly so workers need no registry state).
         engine: execution engine; ``None`` runs serially.
+        model: registered contention-model name; travels through each
+            job as plain data, so it is picklable for process-mode
+            fan-out and participates in the content-addressed cache key
+            (the same spec under two models caches separately).
     """
     resolved = [
         default_registry().get(spec) if isinstance(spec, str) else spec
@@ -206,10 +253,11 @@ def run_specs(
         job(
             run_spec,
             spec,
+            model=model,
             profile=profile,
             timing=timing,
             options=options,
-            label=f"run-spec:{spec.name}",
+            label=f"run-spec:{spec.name}:{model}",
         )
         for spec in resolved
     ]

@@ -154,6 +154,51 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_models_lists_registry(self, capsys):
+        from repro.core.registry import model_names
+
+        out = self.run(capsys, "models")
+        for name in model_names():
+            assert name in out
+
+    def test_models_export_json(self, capsys, tmp_path):
+        import json
+
+        from repro.core.registry import model_names
+
+        path = tmp_path / "models.json"
+        out = self.run(capsys, "models", "--export", str(path))
+        assert "wrote" in out
+        rows = json.loads(path.read_text())
+        assert [row["model"] for row in rows] == list(model_names())
+
+    def test_figure4_model_flag(self, capsys):
+        out = self.run(capsys, "figure4", "--model", "ilp-ptac-tc")
+        assert "ilp-ptac-tc" in out
+        assert "ftc-refined" not in out
+
+    def test_figure4_unknown_model_fails_helpfully(self, capsys):
+        assert main(["figure4", "--model", "magic"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown model" in err and "ilp-ptac" in err
+
+    def test_run_model_flag(self, capsys):
+        out = self.run(
+            capsys, "run", "scenario1-pair-L", "--model", "ftc-refined"
+        )
+        assert "ftc-refined" in out
+
+    def test_cache_dir_reuses_results(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = self.run(
+            capsys, "figure4", "--cache-dir", str(cache_dir)
+        )
+        assert list(cache_dir.rglob("*.pkl"))  # results persisted
+        second = self.run(
+            capsys, "figure4", "--cache-dir", str(cache_dir)
+        )
+        assert first == second
+
     def test_figure4_export_json(self, capsys, tmp_path):
         import json
 

@@ -129,3 +129,91 @@ class TestResultCache:
         assert len(cache) == 0
         assert cache.stats.lookups == 0
         assert cache.stats.hit_rate == 0.0
+
+
+class TestDiskPersistence:
+    """ResultCache(directory=...): entries survive across instances."""
+
+    def test_value_survives_a_new_instance(self, tmp_path):
+        first = ResultCache(directory=tmp_path)
+        key = stable_hash("job-inputs")
+        first.store(key, {"delta": 42})
+
+        second = ResultCache(directory=tmp_path)
+        assert key in second
+        assert second.lookup(key) == {"delta": 42}
+        assert second.stats.hits == 1
+        assert second.stats.disk_hits == 1
+        # Once loaded, further lookups are answered from memory.
+        second.lookup(key)
+        assert second.stats.disk_hits == 1
+
+    def test_directory_is_created_and_version_namespaced(self, tmp_path):
+        from repro import __version__
+
+        nested = tmp_path / "a" / "b"
+        cache = ResultCache(directory=nested)
+        assert cache.directory == nested / f"v{__version__}"
+        assert cache.directory.is_dir()
+
+    def test_other_version_entries_are_invisible(self, tmp_path):
+        # A pickle persisted by a different library version must miss:
+        # keys hash job inputs, not code, so cross-version reuse would
+        # serve results computed by old model implementations.
+        import pickle
+
+        stale = tmp_path / "v0.0.0"
+        stale.mkdir()
+        (stale / "k.pkl").write_bytes(pickle.dumps("stale"))
+        assert is_miss(ResultCache(directory=tmp_path).lookup("k"))
+
+    def test_persisted_none_is_not_a_miss(self, tmp_path):
+        ResultCache(directory=tmp_path).store("k", None)
+        value = ResultCache(directory=tmp_path).lookup("k")
+        assert value is None
+        assert not is_miss(value)
+
+    def test_corrupt_entry_is_dropped_and_recomputed(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        key = stable_hash("x")
+        (cache.directory / f"{key}.pkl").write_bytes(b"not a pickle")
+        assert is_miss(cache.lookup(key))
+        assert not (cache.directory / f"{key}.pkl").exists()
+        assert cache.get_or_compute(key, lambda: "fresh") == "fresh"
+        assert ResultCache(directory=tmp_path).lookup(key) == "fresh"
+
+    def test_unpicklable_value_stays_in_memory(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        value = lambda: None  # noqa: E731 - deliberately unpicklable
+        cache.store("k", value)
+        assert cache.lookup("k") is value
+        assert list(cache.directory.glob("*.pkl")) == []
+        assert is_miss(ResultCache(directory=tmp_path).lookup("k"))
+
+    def test_clear_removes_disk_entries(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.store("k", 1)
+        assert list(cache.directory.glob("*.pkl"))
+        cache.clear()
+        assert list(cache.directory.glob("*.pkl")) == []
+        assert is_miss(ResultCache(directory=tmp_path).lookup("k"))
+
+    def test_engine_reuses_results_across_processeslike_instances(self, tmp_path):
+        """Two engines with fresh caches over one directory share work."""
+        from repro.engine import ExperimentEngine, job
+
+        calls = []
+
+        def compute(x):
+            calls.append(x)
+            return x * 2
+
+        # "compute" is module-unreachable (a closure), so give the job an
+        # explicit stable key, as a CLI invocation's hash would be.
+        batch = [job(compute, 3, cache_key="job-3", cacheable=True)]
+        with ExperimentEngine(cache=ResultCache(directory=tmp_path)) as one:
+            assert one.run(batch) == [6]
+        with ExperimentEngine(cache=ResultCache(directory=tmp_path)) as two:
+            assert two.run(batch) == [6]
+            assert two.stats.executed == 0
+        assert calls == [3]
