@@ -1,0 +1,134 @@
+"""Experiment P1: cold vs warm-started batch ILP solving.
+
+The batch solver's pitch (ROADMAP "batch-aware ILP solving"): sweep
+points over one (model, scenario) pair share their whole constraint
+structure, so reusing the previous point's simplex basis and incumbent
+should cut solve effort severalfold *without changing a single result*.
+This benchmark quantifies the claim on the Figure 4 contender ladder —
+the exact repeated-structure regime the layer targets:
+
+* solve every sweep instance cold (``warm_start=False``), counting
+  simplex iterations, branch-and-bound nodes and wall-clock time;
+* solve the identical instances through one warm :class:`BatchSolver`
+  chain and count again;
+* assert bit-identical bounds and **at least a 3x reduction in total
+  simplex iterations**, the PR's acceptance criterion.
+
+The measured trajectory lands in the session's JSON report
+(``.benchmarks/engine_report.json``) via the shared ``report`` fixture
+and seeds the repo's ``BENCH_ILP.json``, so CI tracks the cold/warm
+ratio over time.
+"""
+
+import time
+
+import pytest
+
+from repro import paper
+from repro.analysis.report import render_table
+from repro.core.ilp_ptac import IlpPtacOptions, build_ilp_ptac
+from repro.ilp.batch import BatchSolver
+from repro.platform.deployment import scenario_1, scenario_2
+from repro.platform.latency import tc27x_latency_profile
+
+#: The Figure 4 contender ladder, densified into a sweep (the H/M/L
+#: levels are roughly 1.0 / 0.6 / 0.3 of the H-Load footprint).
+SWEEP_SCALES = (0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0)
+
+#: Acceptance criterion: warm solving must cut total simplex iterations
+#: at least this much on the contender sweep.
+MIN_ITERATION_REDUCTION = 3.0
+
+
+def _sweep_models():
+    """One ILP-PTAC model per (scenario, contender-scale) sweep point."""
+    profile = tc27x_latency_profile()
+    models = []
+    for scenario in (scenario_1(), scenario_2()):
+        readings_a = paper.table6(scenario.name, "app")
+        contender = paper.table6(scenario.name, "H-Load")
+        for scale in SWEEP_SCALES:
+            models.append(
+                build_ilp_ptac(
+                    readings_a,
+                    contender if scale == 1.0 else contender.scaled(scale),
+                    profile,
+                    scenario,
+                    IlpPtacOptions(),
+                )
+            )
+    return models
+
+
+@pytest.mark.benchmark(group="ilp-batch")
+def test_ilp_batch_warm_start(benchmark, report):
+    models = _sweep_models()
+
+    cold_iterations = cold_nodes = 0
+    cold_objectives = []
+    start = time.perf_counter()
+    for model in models:
+        solution = model.solve()
+        cold_iterations += solution.stats.simplex_iterations
+        cold_nodes += solution.stats.nodes
+        cold_objectives.append(solution.objective)
+    cold_seconds = time.perf_counter() - start
+
+    def warm_sweep():
+        solver = BatchSolver()
+        return solver, [solver.solve(model) for model in models]
+
+    solver, warm_solutions = benchmark.pedantic(
+        warm_sweep, rounds=1, iterations=1
+    )
+    warm_seconds = benchmark.stats.stats.total
+    warm_iterations = solver.stats.simplex_iterations
+    warm_nodes = solver.stats.nodes
+
+    # Warm solving must be a pure performance change: bit-identical
+    # objectives on every sweep point.
+    assert [s.objective for s in warm_solutions] == cold_objectives
+    # Every point after the first per structure is a warm hit (the two
+    # scenarios contribute one structure each).
+    assert solver.stats.structures == 2
+    assert solver.stats.warm_hits == len(models) - 2
+
+    reduction = cold_iterations / max(warm_iterations, 1)
+    assert reduction >= MIN_ITERATION_REDUCTION, (
+        f"warm start cut simplex iterations only {reduction:.2f}x "
+        f"({cold_iterations} -> {warm_iterations}); the batch layer "
+        f"promises >= {MIN_ITERATION_REDUCTION}x on the contender sweep"
+    )
+
+    speedup = cold_seconds / warm_seconds if warm_seconds else 0.0
+    report.add(
+        f"P1 — batch ILP warm start ({len(models)} sweep solves)",
+        render_table(
+            ["mode", "simplex iterations", "bnb nodes", "seconds"],
+            [
+                ["cold", cold_iterations, cold_nodes, f"{cold_seconds:.3f}"],
+                ["warm", warm_iterations, warm_nodes, f"{warm_seconds:.3f}"],
+                [
+                    "reduction",
+                    f"{reduction:.2f}x",
+                    f"{cold_nodes / max(warm_nodes, 1):.2f}x",
+                    f"{speedup:.2f}x",
+                ],
+            ],
+        ),
+    )
+    report.record(
+        "ilp_batch_warm_start",
+        {
+            "sweep_solves": len(models),
+            "cold_simplex_iterations": cold_iterations,
+            "warm_simplex_iterations": warm_iterations,
+            "iteration_reduction": round(reduction, 3),
+            "cold_nodes": cold_nodes,
+            "warm_nodes": warm_nodes,
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "wall_clock_speedup": round(speedup, 3),
+            "warm_hit_rate": round(solver.stats.warm_hit_rate, 3),
+        },
+    )

@@ -34,12 +34,15 @@ from typing import Mapping, Sequence
 from repro import paper
 from repro.analysis.mbta import CorunObservation, observe_corun
 from repro.core.ilp_ptac import IlpPtacOptions
-from repro.core.registry import get_model
+from repro.core.registry import default_model_registry, get_model
 from repro.core.results import WcetEstimate
 from repro.core.wcet import contention_bound
 from repro.counters.readings import TaskReadings
 from repro.engine.batch import job
+from repro.engine.experiment import ScenarioRunResult, spec_job
+from repro.engine.registry import default_registry
 from repro.engine.runner import ExperimentEngine, run_jobs
+from repro.engine.scenario import ScenarioSpec
 from repro.errors import ModelError
 from repro.platform.deployment import DeploymentScenario, named_scenarios
 from repro.platform.latency import LatencyProfile, tc27x_latency_profile
@@ -71,6 +74,19 @@ def _model_loads(model: str) -> tuple[str, ...]:
     if get_model(model).capabilities.uses_contender_information:
         return LOAD_LEVELS
     return ("-",)
+
+
+def _warm_group(tag: str, scenario_name: str, model: str) -> str | None:
+    """Warm-group tag for one (scenario, model) job family.
+
+    All jobs of one (scenario, model) pair solve structurally identical
+    ILPs, so the engine routes them to one worker whose batch solver
+    warm-starts each solve from the previous one.  Models that solve no
+    ILP fan out ungrouped.
+    """
+    if not get_model(model).capabilities.needs_ilp:
+        return None
+    return f"{tag}:{scenario_name}:{model}"
 
 
 def reference_scenario(name: str) -> DeploymentScenario:
@@ -190,6 +206,9 @@ def figure4_paper_mode(
                         options,
                         label=(
                             f"figure4-paper:{scenario_name}:{model}:{load}"
+                        ),
+                        warm_group=_warm_group(
+                            "figure4", scenario_name, model
                         ),
                     )
                 )
@@ -401,6 +420,9 @@ def figure4_sim_mode(
                         profile,
                         options,
                         label=f"figure4-sim:{scenario_name}:{model}:{load}",
+                        warm_group=_warm_group(
+                            "figure4-sim", scenario_name, model
+                        ),
                     )
                 )
     return run_jobs(model_jobs, engine)
@@ -514,6 +536,84 @@ def _ablation_scenario_rows(
         for model in aware:
             append(model, load, load_result.readings, load_result.profile)
     return rows
+
+
+# ----------------------------------------------------------------------
+# The model × scenario matrix (every counter-based model, every spec)
+# ----------------------------------------------------------------------
+def counter_based_model_names() -> tuple[str, ...]:
+    """Registered models a scenario run can drive, in registry order.
+
+    Exactly the models whose declared capabilities are satisfied by
+    counter measurements alone (see
+    :attr:`~repro.core.model.ModelCapabilities.counter_based`); the
+    matrix driver's default model set.
+    """
+    return tuple(
+        spec.name
+        for spec in default_model_registry()
+        if spec.capabilities.counter_based
+    )
+
+
+def model_scenario_matrix(
+    *,
+    models: Sequence[str] | None = None,
+    specs: Sequence[ScenarioSpec | str] | None = None,
+    profile: LatencyProfile | None = None,
+    timing: SimTiming | None = None,
+    options: IlpPtacOptions | None = None,
+    engine: ExperimentEngine | None = None,
+) -> list[ScenarioRunResult]:
+    """Run every model over every scenario spec — the full matrix.
+
+    The two registries composed: by default every counter-based
+    contention model (:func:`counter_based_model_names`) is run end to
+    end over every registered deployment spec, one engine job per
+    (spec, model) cell.  Rows come back spec-major in registration
+    order — ``repro matrix`` renders them grouped per spec, so the
+    models' joint bounds line up for comparison.
+
+    Cell jobs fan out ungrouped — a cell is simulation-dominated, so
+    parallel width beats cross-cell solver reuse (see
+    :func:`~repro.engine.experiment.spec_job`) — but each cell's own
+    pairwise and joint ILPs share its worker's warm-start pool.  With a
+    caching engine the matrix is also incremental: cells are
+    content-addressed by (spec, model), and repeated invocations only
+    compute what changed.
+
+    Args:
+        models: registered model names (must be counter-based; defaults
+            to all of them).
+        specs: scenario specs or registered names (defaults to every
+            registered spec).
+        profile: Table 2 constants.
+        timing: simulator timing.
+        options: ILP knobs shared by every cell.
+        engine: optional execution engine (parallel cells, caching).
+    """
+    model_names = (
+        tuple(models) if models is not None else counter_based_model_names()
+    )
+    for name in model_names:
+        capabilities = get_model(name).capabilities  # fail fast
+        if not capabilities.counter_based:
+            raise ModelError(
+                f"model {name!r} cannot join the matrix: scenario runs "
+                "measure counter readings only, so pick counter-based "
+                f"models ({', '.join(counter_based_model_names())})"
+            )
+    registry = default_registry()
+    resolved = [
+        registry.get(spec) if isinstance(spec, str) else spec
+        for spec in (specs if specs is not None else registry.specs())
+    ]
+    jobs = [
+        spec_job(spec, model, profile, timing, options)
+        for spec in resolved
+        for model in model_names
+    ]
+    return run_jobs(jobs, engine)
 
 
 def information_ablation(

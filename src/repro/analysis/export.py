@@ -255,6 +255,9 @@ _ARTIFACT_COLUMNS = {
         "sound",
     ),
 }
+# Matrix cells *are* scenario runs (same flattening), so the column
+# tuples must never drift apart.
+_ARTIFACT_COLUMNS["matrix"] = _ARTIFACT_COLUMNS["scenario-run"]
 
 
 def _build_artifact(
@@ -328,6 +331,23 @@ def scenario_run_artifact(
 ) -> ExperimentArtifact:
     return _build_artifact(
         "scenario-run", title, scenario_run_rows(results), **meta
+    )
+
+
+def matrix_artifact(
+    results: Sequence[ScenarioRunResult],
+    *,
+    title: str = "Model × scenario matrix",
+    **meta: Any,
+) -> ExperimentArtifact:
+    """The full model × scenario comparison, one record per cell.
+
+    Rows share the scenario-run flattening (the cells *are* scenario
+    runs) under their own artifact kind, so downstream tooling can tell
+    a full matrix export from a hand-picked run list.
+    """
+    return _build_artifact(
+        "matrix", title, scenario_run_rows(results), **meta
     )
 
 

@@ -14,6 +14,7 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``)::
     repro scenarios              # registered deployment scenarios
     repro models                 # registered contention models
     repro run scenario1-4core    # any registered spec, end to end
+    repro matrix --jobs 4        # every model x every scenario spec
     repro platform               # Figure 1 block diagram
 
 Every command prints the same rendering the benchmark suite produces, so
@@ -39,6 +40,7 @@ from repro.analysis.experiments import (
     figure4_paper_mode,
     figure4_sim_mode,
     information_ablation,
+    model_scenario_matrix,
     table6_sim_mode,
 )
 from repro.analysis.report import (
@@ -265,6 +267,28 @@ def _cmd_run(args: argparse.Namespace) -> str:
     return render_artifact(item)
 
 
+def _cmd_matrix(args: argparse.Namespace) -> str:
+    results = model_scenario_matrix(
+        models=tuple(args.model) if args.model else None,
+        specs=tuple(args.spec) if args.spec else None,
+        engine=_engine(args),
+    )
+    from repro.analysis.export import matrix_artifact, write_artifact
+
+    item = matrix_artifact(
+        results,
+        title=(
+            "Model × scenario matrix "
+            f"({len({r.model for r in results})} models × "
+            f"{len({r.spec_name for r in results})} specs)"
+        ),
+    )
+    if args.export:
+        write_artifact(item, args.export)
+        return f"wrote {len(results)} matrix cells to {args.export}"
+    return render_artifact(item)
+
+
 def _cmd_platform(args: argparse.Namespace) -> str:
     return tc277().block_diagram()
 
@@ -353,6 +377,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_flag(p)
 
+    p = sub.add_parser(
+        "matrix",
+        help="every counter-based model × every registered scenario spec",
+    )
+    p.add_argument(
+        "--model",
+        action="append",
+        metavar="NAME",
+        help=(
+            "restrict to a registered counter-based model (repeatable; "
+            "default: all of them)"
+        ),
+    )
+    p.add_argument(
+        "--spec",
+        action="append",
+        metavar="NAME",
+        help="restrict to a registered spec (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--export", metavar="PATH.{json,csv}", help="write cells instead of rendering"
+    )
+    _add_jobs_flag(p)
+
     sub.add_parser("platform", help="Figure 1 block diagram")
     return parser
 
@@ -369,6 +417,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "models": _cmd_models,
     "run": _cmd_run,
+    "matrix": _cmd_matrix,
     "platform": _cmd_platform,
 }
 

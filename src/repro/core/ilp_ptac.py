@@ -74,6 +74,13 @@ class IlpPtacOptions:
         backend: ILP backend (``"bnb"``, ``"scipy"`` or ``"lp"`` for the
             relaxation bound, which is also sound and ≥ the ILP optimum).
         node_limit: branch-and-bound node budget.
+        warm_start: solve through the per-worker
+            :class:`~repro.ilp.batch.BatchSolver`, reusing the previous
+            same-structure solve's basis and incumbent (``"bnb"``
+            backend only).  Results are bit-identical to cold solves —
+            the simplex reports the canonical optimal vertex either
+            way — so this is purely a performance knob; disable it to
+            benchmark cold solving.
     """
 
     stall_budget: str = "minimum"
@@ -81,6 +88,7 @@ class IlpPtacOptions:
     use_exact_code_counts: bool = True
     backend: str = "bnb"
     node_limit: int = 100_000
+    warm_start: bool = True
 
     def __post_init__(self) -> None:
         if self.stall_budget not in ("minimum", "exact"):
@@ -299,6 +307,28 @@ class _IlpPtacBuilder:
             )
 
 
+def solve_contention_ilp(model: IlpModel, options: IlpPtacOptions) -> Solution:
+    """Solve a contention ILP honouring the options' solver knobs.
+
+    The shared dispatch of every ILP-backed model (single-contender,
+    time-composable, multi-contender, FSB reduction): with the default
+    ``bnb`` backend and ``warm_start`` enabled, the solve goes through
+    the per-worker :class:`~repro.ilp.batch.BatchSolver`, so batches of
+    same-structure instances (sweep points, matrix cells) reuse each
+    other's simplex bases and incumbents.  Any other configuration is
+    handed to :meth:`~repro.ilp.model.IlpModel.solve` unchanged.
+    """
+    if options.backend == "bnb" and options.warm_start:
+        from repro.ilp.batch import default_batch_solver
+
+        return default_batch_solver().solve(
+            model, node_limit=options.node_limit
+        )
+    return model.solve(
+        backend=options.backend, node_limit=options.node_limit
+    )
+
+
 def build_ilp_ptac(
     readings_a: TaskReadings,
     readings_b: TaskReadings | None,
@@ -340,9 +370,7 @@ def ilp_ptac_bound(
         readings_a, readings_b, profile, scenario, options
     )
     model = builder.build()
-    solution = model.solve(
-        backend=options.backend, node_limit=options.node_limit
-    ).require_optimal()
+    solution = solve_contention_ilp(model, options).require_optimal()
 
     # With the "lp" backend the relaxation optimum is fractional; rounding
     # each interference term *up* keeps the reported bound sound (the LP

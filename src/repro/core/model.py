@@ -121,6 +121,25 @@ class ModelCapabilities:
         """Whether per-contender inputs shape the bound at all."""
         return self.min_contenders > 0 or self.needs_contender_profiles
 
+    @property
+    def counter_based(self) -> bool:
+        """Whether the model runs on counter measurements alone.
+
+        True when the model consumes the analysed task's (and possibly
+        contenders') debug-counter readings and nothing a scenario run
+        cannot measure — no simulator-only access profiles, no DMA
+        descriptors, no bus timing.  Exactly these models can drive
+        :func:`~repro.engine.experiment.run_spec` and populate the
+        model × scenario matrix.
+        """
+        return (
+            self.needs_readings
+            and not self.needs_fsb_timing
+            and not self.needs_access_profile
+            and not self.needs_contender_profiles
+            and not self.needs_dma_agents
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class AnalysisContext:

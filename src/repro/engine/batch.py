@@ -40,6 +40,14 @@ class Job:
             from the function's dotted name and the arguments.
         cacheable: opt out of result caching (for jobs whose arguments
             carry closures or other non-addressable state).
+        warm_group: jobs sharing a warm group are executed *sequentially
+            on one worker* by the pooled engine modes, so per-worker
+            solver state (the batch ILP solver's warm-start pool, keyed
+            by constraint-structure hash) accumulates across them.
+            Drivers set it to a proxy of the constraint structure —
+            typically ``scenario:model`` — for jobs whose solves share a
+            template.  Purely a performance hint: results are identical
+            with or without it, whatever the engine mode.
     """
 
     fn: Callable[..., Any]
@@ -48,6 +56,7 @@ class Job:
     label: str = ""
     cache_key: str | None = None
     cacheable: bool = True
+    warm_group: str | None = None
 
     def resolved_cache_key(self) -> str:
         """The content-address of this job's result."""
@@ -69,13 +78,15 @@ def job(
     label: str = "",
     cache_key: str | None = None,
     cacheable: bool = True,
+    warm_group: str | None = None,
     **kwargs: Any,
 ) -> Job:
     """Build a :class:`Job` with ergonomic call syntax.
 
     ``job(solve, readings, scenario, backend="bnb")`` reads like the call
-    it defers.  ``label``, ``cache_key`` and ``cacheable`` are reserved
-    keywords; any other keyword is forwarded to ``fn``.
+    it defers.  ``label``, ``cache_key``, ``cacheable`` and
+    ``warm_group`` are reserved keywords; any other keyword is forwarded
+    to ``fn``.
     """
     if not callable(fn):
         raise EngineError(f"job function must be callable, got {fn!r}")
@@ -86,6 +97,7 @@ def job(
         label=label,
         cache_key=cache_key,
         cacheable=cacheable,
+        warm_group=warm_group,
     )
 
 

@@ -146,13 +146,7 @@ def run_spec(
     if isinstance(spec, str):
         spec = default_registry().get(spec)
     capabilities = get_model(model).capabilities  # validate the name early
-    if (
-        not capabilities.needs_readings
-        or capabilities.needs_fsb_timing
-        or capabilities.needs_access_profile
-        or capabilities.needs_contender_profiles
-        or capabilities.needs_dma_agents
-    ):
+    if not capabilities.counter_based:
         raise ModelError(
             f"model {model!r} cannot drive a scenario run: run_spec only "
             "measures counter readings, so pick a counter-based model "
@@ -249,16 +243,35 @@ def run_specs(
         default_registry().get(spec) if isinstance(spec, str) else spec
         for spec in specs
     ]
-    jobs = [
-        job(
-            run_spec,
-            spec,
-            model=model,
-            profile=profile,
-            timing=timing,
-            options=options,
-            label=f"run-spec:{spec.name}:{model}",
-        )
-        for spec in resolved
-    ]
-    return run_jobs(jobs, engine)
+    return run_jobs(
+        [spec_job(spec, model, profile, timing, options) for spec in resolved],
+        engine,
+    )
+
+
+def spec_job(
+    spec: ScenarioSpec,
+    model: str,
+    profile: LatencyProfile | None = None,
+    timing: SimTiming | None = None,
+    options: IlpPtacOptions | None = None,
+):
+    """One :func:`run_spec` engine job.
+
+    Deliberately *not* warm-grouped: a scenario run is dominated by its
+    simulations (the ILP solves are ~1% of the job), so serialising
+    same-template jobs onto one worker would cost far more fan-out than
+    the warm starts save.  Each job still warm-starts internally — its
+    own pairwise and joint solves share the worker's batch solver pool.
+    Warm groups are reserved for solve-dominated batches (sweeps, the
+    Figure 4 bars).
+    """
+    return job(
+        run_spec,
+        spec,
+        model=model,
+        profile=profile,
+        timing=timing,
+        options=options,
+        label=f"run-spec:{spec.name}:{model}",
+    )

@@ -65,6 +65,17 @@ def _run_job(item: Job) -> Any:
     return item.run()
 
 
+def _run_job_group(items: tuple[Job, ...]) -> list[Any]:
+    """Trampoline for a warm group: run sequentially on one worker.
+
+    Jobs sharing a :attr:`~repro.engine.batch.Job.warm_group` solve
+    structurally identical ILPs; executing them back-to-back in one
+    process lets the per-worker batch solver reuse its warm-start pool
+    across them.  Results are order-aligned with ``items``.
+    """
+    return [item.run() for item in items]
+
+
 class ExperimentEngine:
     """Runs job batches with optional parallelism and result caching.
 
@@ -200,6 +211,12 @@ class ExperimentEngine:
         and return ``False`` so the caller can degrade to serial
         execution.  Exceptions raised by a job function itself propagate
         unchanged, exactly as they would in serial mode.
+
+        Jobs sharing a ``warm_group`` are submitted as one sequential
+        unit so they land on one worker and its batch-ILP warm-start
+        pool; ungrouped jobs fan out individually.  Grouping trades
+        fan-out width for solver-state reuse within the group — results
+        are identical either way.
         """
         try:
             if self._executor is None:
@@ -207,17 +224,28 @@ class ExperimentEngine:
             executor = self._executor
         except (OSError, ValueError, PermissionError):
             return False
+        units = self._warm_units(batch, pooled)
         broken = False
-        futures: dict[int, Any] = {}
+        futures: list[tuple[list[int], Any]] = []
         try:
-            for index in pooled:
-                futures[index] = executor.submit(_run_job, batch[index])
+            for unit in units:
+                if len(unit) == 1:
+                    future = executor.submit(_run_job, batch[unit[0]])
+                else:
+                    future = executor.submit(
+                        _run_job_group, tuple(batch[i] for i in unit)
+                    )
+                futures.append((unit, future))
         except (OSError, RuntimeError, BrokenExecutor):
             broken = True
         if not broken:
             try:
-                for index, future in futures.items():
-                    results[index] = future.result()
+                for unit, future in futures:
+                    if len(unit) == 1:
+                        results[unit[0]] = future.result()
+                    else:
+                        for index, value in zip(unit, future.result()):
+                            results[index] = value
             except BrokenExecutor:
                 broken = True
             except BaseException:
@@ -233,6 +261,31 @@ class ExperimentEngine:
             return False
         self.stats.executed += len(pooled)
         return True
+
+    @staticmethod
+    def _warm_units(
+        batch: Sequence[Job], pooled: Sequence[int]
+    ) -> list[list[int]]:
+        """Partition pooled job indices into submission units.
+
+        Jobs with the same ``warm_group`` form one unit (in batch
+        order); every other job is its own unit, preserving the
+        historical one-job-per-future fan-out.
+        """
+        units: list[list[int]] = []
+        grouped: dict[str, list[int]] = {}
+        for index in pooled:
+            group = batch[index].warm_group
+            if group is None:
+                units.append([index])
+                continue
+            bucket = grouped.get(group)
+            if bucket is None:
+                grouped[group] = bucket = [index]
+                units.append(bucket)
+            else:
+                bucket.append(index)
+        return units
 
     def _execute_serial(
         self, batch: Sequence[Job], pending: Sequence[int], results: list[Any]

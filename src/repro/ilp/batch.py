@@ -1,0 +1,373 @@
+"""Batch-aware ILP solving: structure templates and warm-started solves.
+
+Sweep-style experiments (Figure 4's contender ladder, the contender-scale
+sweep, the model × scenario matrix) solve long runs of ILPs that share
+their entire *structure* — variables, constraint rows, integrality — and
+differ only in a handful of coefficients (scaled stall budgets, changed
+latencies).  Cold-solving each point repeats the expensive part of the
+work: the Phase-1 simplex restart and the branch-and-bound tree descent
+rediscover what the previous point already knew.
+
+This module is the reuse layer:
+
+* :func:`structure_signature` fingerprints a
+  :class:`~repro.ilp.model.StandardForm`'s structure — shapes, sparsity
+  patterns, integrality, variable names — while ignoring every
+  coefficient value, so all points of one sweep hash alike;
+* :class:`ParametricForm` factors a form into that immutable template
+  plus a flat mutable coefficient vector, and can re-instantiate a
+  ``StandardForm`` from template + coefficients (the round-trip the
+  parity suite checks);
+* :class:`BatchSolver` holds one
+  :class:`~repro.ilp.branch_and_bound.BnbWarmStart` per structure
+  signature and threads it through consecutive
+  :func:`~repro.ilp.branch_and_bound.solve_bnb_warm` calls: the previous
+  optimal basis warm-starts the next root relaxation (dual-simplex
+  recovery instead of Phase 1) and the previous optimum seeds the next
+  incumbent.
+
+Determinism: warm-started solves return **bit-identical** solutions to
+cold ones — the simplex lands every LP on the canonical optimal vertex
+(see :func:`repro.ilp.simplex._canonical_polish`), making each node
+relaxation a function of the instance alone, so the search explores the
+same tree and reports the same optimum whatever state the solver pool
+holds.  Results therefore never depend on batch order, engine mode or
+worker placement; only the iteration counts do.
+
+Per-worker usage: :func:`default_batch_solver` keeps one solver per
+thread.  Engine jobs marked with the same ``warm_group`` are routed to
+one worker by the runner (see :mod:`repro.engine.runner`), so
+same-structure jobs actually meet the same pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import threading
+
+import numpy as np
+
+from repro.errors import IlpError
+from repro.ilp.branch_and_bound import BnbWarmStart, solve_bnb_warm
+from repro.ilp.model import IlpModel, StandardForm
+from repro.ilp.solution import Solution, SolveStatus
+
+__all__ = [
+    "BatchSolver",
+    "BatchSolverStats",
+    "ParametricForm",
+    "default_batch_solver",
+    "reset_default_batch_solver",
+    "structure_signature",
+]
+
+
+def _as_form(model_or_form: IlpModel | StandardForm) -> StandardForm:
+    if isinstance(model_or_form, IlpModel):
+        return model_or_form.standard_form()
+    return model_or_form
+
+
+def _nonzero_pattern(matrix: np.ndarray) -> list[list[int]]:
+    """Per-row sorted column indices of the non-zero entries."""
+    return [
+        sorted(int(j) for j in np.flatnonzero(row)) for row in matrix
+    ]
+
+
+def structure_signature(model_or_form: IlpModel | StandardForm) -> str:
+    """Fingerprint of an instance's constraint *structure*.
+
+    Two instances share a signature iff they have the same variables
+    (names, order, integrality, which bounds exist), the same constraint
+    shapes and the same sparsity patterns — i.e. iff one is the other
+    with different coefficient values.  All points of a sweep over one
+    (model, scenario) pair therefore hash alike, which is what keys the
+    :class:`BatchSolver` warm-start pool: a basis from one instance is
+    structurally valid for every other instance with the same signature.
+    """
+    form = _as_form(model_or_form)
+    payload = {
+        "variables": [
+            [var.name, bool(var.integer)] for var in form.variables
+        ],
+        "has_upper": [bool(np.isfinite(u)) for u in form.upper],
+        "has_lower": [bool(lo > 0) for lo in form.lower],
+        "c": sorted(int(j) for j in np.flatnonzero(form.c)),
+        "a_ub": _nonzero_pattern(form.a_ub),
+        "a_eq": _nonzero_pattern(form.a_eq),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    )
+    return digest.hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class ParametricForm:
+    """A :class:`StandardForm` factored into template and coefficients.
+
+    The *template* (everything except :attr:`coefficients`) is immutable
+    and shared by all instances of one structure; the coefficient vector
+    is the flat concatenation of the values that actually vary across a
+    sweep: the objective's non-zeros and constant, each constraint row's
+    non-zeros, every right-hand side, and the variable bounds.
+    :meth:`instantiate` rebuilds a full ``StandardForm`` from the
+    template plus any compatible coefficient vector — the round trip
+    ``ParametricForm.from_form(f).instantiate()`` reproduces ``f``
+    exactly.
+
+    Attributes:
+        signature: the shared :func:`structure_signature`.
+        variables: model variables in column order.
+        integer_mask: integrality of each column.
+        c_pattern: non-zero columns of the objective.
+        ub_pattern: per-row non-zero columns of ``a_ub``.
+        eq_pattern: per-row non-zero columns of ``a_eq``.
+        bounded_above: columns with a finite upper bound.
+        bounded_below: columns with a positive lower bound.
+        coefficients: the instance's coefficient vector.
+    """
+
+    signature: str
+    variables: tuple
+    integer_mask: tuple[bool, ...]
+    c_pattern: tuple[int, ...]
+    ub_pattern: tuple[tuple[int, ...], ...]
+    eq_pattern: tuple[tuple[int, ...], ...]
+    bounded_above: tuple[int, ...]
+    bounded_below: tuple[int, ...]
+    coefficients: np.ndarray
+
+    @classmethod
+    def from_form(
+        cls, model_or_form: IlpModel | StandardForm
+    ) -> "ParametricForm":
+        """Factor a form (or a model's form) into template + vector."""
+        form = _as_form(model_or_form)
+        c_pattern = tuple(int(j) for j in np.flatnonzero(form.c))
+        ub_pattern = tuple(
+            tuple(int(j) for j in np.flatnonzero(row)) for row in form.a_ub
+        )
+        eq_pattern = tuple(
+            tuple(int(j) for j in np.flatnonzero(row)) for row in form.a_eq
+        )
+        bounded_above = tuple(
+            int(j) for j in np.flatnonzero(np.isfinite(form.upper))
+        )
+        bounded_below = tuple(
+            int(j) for j in np.flatnonzero(form.lower > 0)
+        )
+        parts: list[np.ndarray] = [
+            np.asarray([form.objective_constant], dtype=float),
+            form.c[list(c_pattern)],
+        ]
+        for row, pattern in zip(form.a_ub, ub_pattern):
+            parts.append(row[list(pattern)])
+        parts.append(np.asarray(form.b_ub, dtype=float).reshape(-1))
+        for row, pattern in zip(form.a_eq, eq_pattern):
+            parts.append(row[list(pattern)])
+        parts.append(np.asarray(form.b_eq, dtype=float).reshape(-1))
+        parts.append(form.lower[list(bounded_below)])
+        parts.append(form.upper[list(bounded_above)])
+        coefficients = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=float)
+        )
+        return cls(
+            signature=structure_signature(form),
+            variables=form.variables,
+            integer_mask=tuple(bool(b) for b in form.integer_mask),
+            c_pattern=c_pattern,
+            ub_pattern=ub_pattern,
+            eq_pattern=eq_pattern,
+            bounded_above=bounded_above,
+            bounded_below=bounded_below,
+            coefficients=coefficients,
+        )
+
+    @property
+    def n_coefficients(self) -> int:
+        return int(self.coefficients.shape[0])
+
+    def instantiate(
+        self, coefficients: np.ndarray | None = None
+    ) -> StandardForm:
+        """Rebuild a :class:`StandardForm` from the template.
+
+        Args:
+            coefficients: replacement coefficient vector (defaults to
+                this instance's own); must have :attr:`n_coefficients`
+                entries.
+        """
+        vector = (
+            self.coefficients
+            if coefficients is None
+            else np.asarray(coefficients, dtype=float).reshape(-1)
+        )
+        if vector.shape[0] != self.n_coefficients:
+            raise IlpError(
+                f"coefficient vector has {vector.shape[0]} entries; the "
+                f"structure template needs {self.n_coefficients}"
+            )
+        n = len(self.variables)
+        cursor = 0
+
+        def take(count: int) -> np.ndarray:
+            nonlocal cursor
+            piece = vector[cursor : cursor + count]
+            cursor += count
+            return piece
+
+        form = object.__new__(StandardForm)
+        form.variables = self.variables
+        form.objective_constant = float(take(1)[0])
+        form.c = np.zeros(n)
+        form.c[list(self.c_pattern)] = take(len(self.c_pattern))
+        rows = []
+        for pattern in self.ub_pattern:
+            row = np.zeros(n)
+            row[list(pattern)] = take(len(pattern))
+            rows.append(row)
+        form.a_ub = np.array(rows) if rows else np.empty((0, n))
+        form.b_ub = np.array(take(len(self.ub_pattern)))
+        rows = []
+        for pattern in self.eq_pattern:
+            row = np.zeros(n)
+            row[list(pattern)] = take(len(pattern))
+            rows.append(row)
+        form.a_eq = np.array(rows) if rows else np.empty((0, n))
+        form.b_eq = np.array(take(len(self.eq_pattern)))
+        form.integer_mask = np.array(self.integer_mask)
+        form.lower = np.zeros(n)
+        form.lower[list(self.bounded_below)] = take(len(self.bounded_below))
+        form.upper = np.full(n, np.inf)
+        form.upper[list(self.bounded_above)] = take(len(self.bounded_above))
+        return form
+
+
+@dataclasses.dataclass
+class BatchSolverStats:
+    """Cumulative effort counters of one :class:`BatchSolver`.
+
+    Attributes:
+        solves: total solve calls.
+        warm_hits: solves that found reusable state for their structure.
+        simplex_iterations: simplex pivots across all solves.
+        nodes: branch-and-bound nodes across all solves.
+        structures: distinct constraint structures seen.
+    """
+
+    solves: int = 0
+    warm_hits: int = 0
+    simplex_iterations: int = 0
+    nodes: int = 0
+    structures: int = 0
+
+    @property
+    def warm_hit_rate(self) -> float:
+        return self.warm_hits / self.solves if self.solves else 0.0
+
+
+class BatchSolver:
+    """Warm-start pool for batches of same-structure ILP solves.
+
+    Holds one :class:`~repro.ilp.branch_and_bound.BnbWarmStart` per
+    :func:`structure_signature` and threads it through consecutive
+    solves, so a sweep over one (model, scenario) pair pays the Phase-1
+    simplex once and recovers every later root by a few dual pivots.
+
+    Solutions are **bit-identical** to cold :meth:`IlpModel.solve`
+    calls — the canonical-vertex simplex makes the search path
+    state-independent — so holding a solver per worker process is purely
+    a performance decision, never a correctness one.
+
+    Not thread-safe; use :func:`default_batch_solver` for a per-thread
+    instance.
+    """
+
+    def __init__(self) -> None:
+        self._pool: dict[str, BnbWarmStart] = {}
+        self.stats = BatchSolverStats()
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def warm_state(self, signature: str) -> BnbWarmStart | None:
+        """The pooled state for one structure (None before its first
+        solve) — exposed for tests and diagnostics."""
+        return self._pool.get(signature)
+
+    def reset(self) -> None:
+        """Drop all pooled state and zero the counters."""
+        self._pool.clear()
+        self.stats = BatchSolverStats()
+
+    def solve(
+        self,
+        model: IlpModel,
+        *,
+        node_limit: int = 100_000,
+        verify: bool = True,
+    ) -> Solution:
+        """Solve ``model`` with warm-start state for its structure.
+
+        Mirrors ``model.solve(backend="bnb")`` — including the
+        feasibility re-check of the returned point — while reusing the
+        pooled basis/incumbent of the model's structure signature and
+        banking the refreshed state for the next same-structure solve.
+        """
+        form = model.standard_form()
+        signature = structure_signature(form)
+        warm = self._pool.get(signature)
+        if warm is None:
+            self.stats.structures += 1
+        solution, state = solve_bnb_warm(form, warm, node_limit=node_limit)
+        if warm is not None:
+            # An infeasible/degenerate point may produce no fresh state;
+            # keep the previous basis and incumbent for the next point.
+            if state.basis is None:
+                state = dataclasses.replace(state, basis=warm.basis)
+            if state.incumbent is None:
+                state = dataclasses.replace(
+                    state, incumbent=warm.incumbent
+                )
+        self._pool[signature] = state
+        self.stats.solves += 1
+        self.stats.warm_hits += 1 if warm is not None else 0
+        self.stats.simplex_iterations += solution.stats.simplex_iterations
+        self.stats.nodes += solution.stats.nodes
+
+        if verify and solution.status is SolveStatus.OPTIMAL:
+            violations = model.check(dict(solution.values))
+            if violations:
+                raise IlpError(
+                    "warm-started solve returned an infeasible point: "
+                    + "; ".join(violations[:5])
+                )
+        return solution
+
+
+_LOCAL = threading.local()
+
+
+def default_batch_solver() -> BatchSolver:
+    """The per-thread solver the ILP-backed models share.
+
+    One instance per thread keeps the pool safe under the engine's
+    thread mode while letting every solve in a worker process (or a
+    serial run) reuse the accumulated state.
+    """
+    solver = getattr(_LOCAL, "solver", None)
+    if solver is None:
+        solver = BatchSolver()
+        _LOCAL.solver = solver
+    return solver
+
+
+def reset_default_batch_solver() -> None:
+    """Drop the calling thread's pooled state (tests, benchmarks)."""
+    solver = getattr(_LOCAL, "solver", None)
+    if solver is not None:
+        solver.reset()

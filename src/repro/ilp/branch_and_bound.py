@@ -35,19 +35,51 @@ from repro.ilp.solution import Solution, SolveStats, SolveStatus
 #: Values closer than this to an integer are treated as integral.
 INTEGRALITY_TOLERANCE = 1e-6
 
+#: Warm mode hands each child its parent's remapped basis only for this
+#: many explored nodes.  Per-child warm-starting costs a basis
+#: refactorisation; on the small trees the contention instances
+#: normally produce it eliminates most pivots, but on a pathological
+#: plateau blow-up the refactorisations would dominate, so past the cap
+#: children simply cold-solve.  Purely a cost knob: the canonical-vertex
+#: simplex returns the same result either way.
+BASIS_REUSE_NODE_LIMIT = 256
+
+
+@dataclasses.dataclass(frozen=True)
+class BnbWarmStart:
+    """Reusable solver state shared by same-structure solves.
+
+    Produced by :func:`solve_bnb_warm` and fed back into the next solve
+    of a structurally identical instance (same variables, same
+    constraint rows — only coefficients changed, the sweep situation).
+
+    Attributes:
+        basis: the root relaxation's optimal basis; the next root LP
+            recovers from it by dual simplex instead of Phase 1.
+        incumbent: the previous optimal point; when still feasible it
+            seeds the next search with a proven lower bound on the
+            optimum, pruning strictly-worse subtrees immediately.
+    """
+
+    basis: np.ndarray | None = None
+    incumbent: np.ndarray | None = None
+
 
 @dataclasses.dataclass(order=True)
 class _Node:
     """One branch-and-bound node, ordered for the best-first heap.
 
     ``priority`` is the negated parent LP bound so that ``heapq`` pops the
-    most promising node first; ``counter`` breaks ties FIFO.
+    most promising node first; ``counter`` breaks ties FIFO.  ``basis``
+    optionally carries the parent LP's optimal basis remapped onto this
+    node's rows (warm mode only).
     """
 
     priority: float
     counter: int
     lower: np.ndarray = dataclasses.field(compare=False)
     upper: np.ndarray = dataclasses.field(compare=False)
+    basis: np.ndarray | None = dataclasses.field(compare=False, default=None)
 
 
 def _bound_rows(
@@ -108,6 +140,114 @@ def _floor_heuristic(
     return candidate
 
 
+def _bound_keys(
+    form: StandardForm, lower: np.ndarray, upper: np.ndarray
+) -> list[tuple[int, int]]:
+    """Identity of each per-node bound row, in :func:`_bound_rows` order.
+
+    Keys are ``(column, 0)`` for an upper-bound row and ``(column, 1)``
+    for a lower-bound row; they let a parent basis be remapped onto a
+    child whose bound-row set grew by one.
+    """
+    keys: list[tuple[int, int]] = []
+    for j in range(form.n_variables):
+        if upper[j] != np.inf:
+            keys.append((j, 0))
+        if lower[j] > 0.0:
+            keys.append((j, 1))
+    return keys
+
+
+def _child_warm_basis(
+    form: StandardForm,
+    parent_basis: np.ndarray | None,
+    parent_lower: np.ndarray,
+    parent_upper: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> np.ndarray | None:
+    """Remap a parent node's optimal basis onto a child node's rows.
+
+    Branching only ever *adds* a bound row or tightens an existing one,
+    so every parent row persists in the child; a fresh bound row enters
+    with its own slack as the basic column.  The result is dual-feasible
+    for the unchanged objective and one dual pivot (the violated branch
+    bound) away from optimality in the common case.  Returns ``None``
+    whenever the mapping cannot be built (residual artificials, shape
+    drift), letting the child fall back to a cold solve.
+    """
+    if parent_basis is None:
+        return None
+    n = form.n_variables
+    m0 = form.a_ub.shape[0]
+    m_eq = form.a_eq.shape[0]
+    parent_keys = _bound_keys(form, parent_lower, parent_upper)
+    child_keys = _bound_keys(form, lower, upper)
+    m_ub_parent = m0 + len(parent_keys)
+    if parent_basis.shape[0] != m_ub_parent + m_eq:
+        return None
+    if parent_basis.max(initial=0) >= n + m_ub_parent:
+        return None  # residual artificial column: not reusable
+    child_pos = {key: m0 + i for i, key in enumerate(child_keys)}
+    parent_pos = {key: m0 + i for i, key in enumerate(parent_keys)}
+
+    def remap(col: int) -> int | None:
+        if col < n + m0:
+            return col  # structural column or shared-row slack
+        position = child_pos.get(parent_keys[col - n - m0])
+        return None if position is None else n + position
+
+    m_ub_child = m0 + len(child_keys)
+    child = np.empty(m_ub_child + m_eq, dtype=int)
+    for row in range(m0):
+        mapped = remap(int(parent_basis[row]))
+        if mapped is None:
+            return None
+        child[row] = mapped
+    for i, key in enumerate(child_keys):
+        source = parent_pos.get(key)
+        if source is None:
+            child[m0 + i] = n + m0 + i  # new bound row: slack is basic
+        else:
+            mapped = remap(int(parent_basis[source]))
+            if mapped is None:
+                return None
+            child[m0 + i] = mapped
+    for row in range(m_eq):
+        mapped = remap(int(parent_basis[m_ub_parent + row]))
+        if mapped is None:
+            return None
+        child[m_ub_child + row] = mapped
+    if np.unique(child).shape[0] != child.shape[0]:
+        return None
+    return child
+
+
+def _feasible_incumbent(
+    form: StandardForm, x: np.ndarray | None
+) -> tuple[np.ndarray, float] | None:
+    """Validate a candidate point against the (possibly changed) form.
+
+    Used to seed a warm search with the previous sweep point's optimum;
+    a point that the moved coefficients made infeasible is discarded.
+    """
+    if x is None:
+        return None
+    x = np.asarray(x, dtype=float)
+    if x.shape != (form.n_variables,):
+        return None
+    if np.any(x < -INTEGRALITY_TOLERANCE):
+        return None
+    mask = form.integer_mask
+    if np.any(np.abs(x[mask] - np.round(x[mask])) > INTEGRALITY_TOLERANCE):
+        return None
+    if form.a_ub.size and np.any(form.a_ub @ x > form.b_ub + 1e-6):
+        return None
+    if form.a_eq.size and np.any(np.abs(form.a_eq @ x - form.b_eq) > 1e-6):
+        return None
+    return x.copy(), float(form.c @ x)
+
+
 def _most_fractional(x: np.ndarray, integer_mask: np.ndarray) -> int | None:
     """Index of the integer column farthest from integrality, or ``None``.
 
@@ -138,6 +278,42 @@ def solve_bnb(form: StandardForm, *, node_limit: int = 100_000) -> Solution:
         node_limit: maximum nodes to explore; on exhaustion the best
             incumbent is returned with status ``NODE_LIMIT``.
     """
+    return _solve(form, node_limit, warm=None, reuse_bases=False)[0]
+
+
+def solve_bnb_warm(
+    form: StandardForm,
+    warm: BnbWarmStart | None = None,
+    *,
+    node_limit: int = 100_000,
+) -> tuple[Solution, BnbWarmStart]:
+    """Warm-started :func:`solve_bnb`, for batched same-structure solves.
+
+    Reuses three kinds of work (see :mod:`repro.ilp.batch` for the
+    grouping layer that feeds this):
+
+    * the previous solve's root basis warm-starts this root relaxation
+      (dual-simplex recovery instead of a Phase-1 restart);
+    * within the tree, each child LP starts from its parent's optimal
+      basis remapped onto the child's rows;
+    * the previous optimum, when still feasible, seeds the incumbent as
+      a proven lower bound just below its value — subtrees that cannot
+      reach it are pruned without affecting which optimal point the
+      search reports (the returned bound and solution are identical to a
+      cold :func:`solve_bnb`).
+
+    Returns the solution together with the state to feed into the next
+    same-structure solve.
+    """
+    return _solve(form, node_limit, warm=warm, reuse_bases=True)
+
+
+def _solve(
+    form: StandardForm,
+    node_limit: int,
+    warm: BnbWarmStart | None,
+    reuse_bases: bool,
+) -> tuple[Solution, BnbWarmStart]:
     n = form.n_variables
     c_min = -form.c  # the simplex minimises
     integral_data = bool(
@@ -146,6 +322,23 @@ def solve_bnb(form: StandardForm, *, node_limit: int = 100_000) -> Solution:
 
     incumbent_x: np.ndarray | None = None
     incumbent_value = -np.inf
+    seed_x: np.ndarray | None = None
+    seed_value = -np.inf
+    if warm is not None:
+        seed = _feasible_incumbent(form, warm.incumbent)
+        if seed is not None:
+            # Seed the incumbent *just below* the proven lower bound:
+            # subtrees strictly below the previous optimum are pruned,
+            # while any node that can still tie it is explored, so the
+            # search reports the same optimal point a cold solve would.
+            seed_x, seed_value = seed
+            incumbent_x = seed_x
+            incumbent_value = (
+                seed_value - 1.0
+                if integral_data
+                else seed_value - 10 * INTEGRALITY_TOLERANCE
+            )
+    root_basis: np.ndarray | None = None
     total_iterations = 0
     nodes_explored = 0
     counter = itertools.count()
@@ -155,6 +348,7 @@ def solve_bnb(form: StandardForm, *, node_limit: int = 100_000) -> Solution:
         counter=next(counter),
         lower=np.zeros(n),
         upper=np.full(n, np.inf),
+        basis=warm.basis if warm is not None else None,
     )
     heap = [root]
 
@@ -170,9 +364,13 @@ def solve_bnb(form: StandardForm, *, node_limit: int = 100_000) -> Solution:
             continue
 
         a_ub, b_ub = _bound_rows(form, node.lower, node.upper)
-        result = solve_lp(c_min, a_ub, b_ub, form.a_eq, form.b_eq)
+        result = solve_lp(
+            c_min, a_ub, b_ub, form.a_eq, form.b_eq, basis=node.basis
+        )
         nodes_explored += 1
         total_iterations += result.iterations
+        if node.priority == -np.inf:
+            root_basis = result.basis
 
         if result.status is LpStatus.INFEASIBLE:
             continue
@@ -184,7 +382,7 @@ def solve_bnb(form: StandardForm, *, node_limit: int = 100_000) -> Solution:
                     nodes=nodes_explored,
                     backend="bnb",
                 ),
-            )
+            ), BnbWarmStart(basis=root_basis)
 
         bound = -result.objective  # back to maximisation
         if integral_data:
@@ -208,7 +406,6 @@ def solve_bnb(form: StandardForm, *, node_limit: int = 100_000) -> Solution:
             value = bound if integral_data else -result.objective
             if value > incumbent_value:
                 incumbent_value = value
-                incumbent_x = np.round(result.x * 1.0)
                 # Round only integer columns; keep continuous ones exact.
                 incumbent_x = result.x.copy()
                 mask = form.integer_mask
@@ -230,6 +427,16 @@ def solve_bnb(form: StandardForm, *, node_limit: int = 100_000) -> Solution:
             upper=node.upper.copy(),
         )
         up.lower[branch_j] = math.ceil(value)
+        if reuse_bases and nodes_explored <= BASIS_REUSE_NODE_LIMIT:
+            for child in (down, up):
+                child.basis = _child_warm_basis(
+                    form,
+                    result.basis,
+                    node.lower,
+                    node.upper,
+                    child.lower,
+                    child.upper,
+                )
         heapq.heappush(heap, down)
         heapq.heappush(heap, up)
 
@@ -238,11 +445,22 @@ def solve_bnb(form: StandardForm, *, node_limit: int = 100_000) -> Solution:
         nodes=nodes_explored,
         backend="bnb",
     )
+    if incumbent_x is seed_x and seed_x is not None:
+        # The previous optimum was never beaten: it *is* the optimum
+        # (the seed floor sits strictly below it, so every tying node
+        # was explored); restore its true value.
+        incumbent_value = seed_value
     if incumbent_x is None:
         if heap:  # ran out of node budget with no incumbent
-            return Solution(status=SolveStatus.NODE_LIMIT, stats=stats)
-        return Solution(status=SolveStatus.INFEASIBLE, stats=stats)
-    status = SolveStatus.OPTIMAL if not heap or nodes_explored < node_limit else SolveStatus.OPTIMAL
+            return (
+                Solution(status=SolveStatus.NODE_LIMIT, stats=stats),
+                BnbWarmStart(basis=root_basis),
+            )
+        return (
+            Solution(status=SolveStatus.INFEASIBLE, stats=stats),
+            BnbWarmStart(basis=root_basis),
+        )
+    status = SolveStatus.OPTIMAL
     if heap and nodes_explored >= node_limit:
         status = SolveStatus.NODE_LIMIT
     return Solution(
@@ -250,4 +468,7 @@ def solve_bnb(form: StandardForm, *, node_limit: int = 100_000) -> Solution:
         objective=float(incumbent_value + form.objective_constant),
         values=form.assignment(incumbent_x),
         stats=stats,
+    ), BnbWarmStart(
+        basis=root_basis,
+        incumbent=incumbent_x.copy(),
     )

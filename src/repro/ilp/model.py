@@ -128,6 +128,7 @@ class IlpModel:
         self._names: set[str] = set()
         self._constraints: list[Constraint] = []
         self._objective: LinExpr = LinExpr()
+        self._form: StandardForm | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -154,6 +155,7 @@ class IlpModel:
         var = Var(name=name, lower=lower, upper=upper, integer=integer)
         self._variables.append(var)
         self._names.add(name)
+        self._form = None
         return var
 
     def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
@@ -166,6 +168,7 @@ class IlpModel:
         if name:
             constraint = constraint.named(name)
         self._constraints.append(constraint)
+        self._form = None
         return constraint
 
     def maximize(self, expr: LinExpr | Var) -> None:
@@ -173,6 +176,7 @@ class IlpModel:
         if isinstance(expr, Var):
             expr = expr + 0
         self._objective = expr
+        self._form = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -197,8 +201,17 @@ class IlpModel:
         raise IlpError(f"model has no constraint named {name!r}")
 
     def standard_form(self) -> StandardForm:
-        """Dense-array view shared by all solver backends."""
-        return StandardForm(self)
+        """Dense-array view shared by all solver backends.
+
+        Memoised: repeated solves (and the batch solver's structure
+        fingerprinting) reuse one construction; any mutation —
+        ``add_var``, ``add_constraint``, ``maximize`` — invalidates the
+        cached form.  Callers must treat the returned arrays as
+        read-only (every backend does).
+        """
+        if self._form is None:
+            self._form = StandardForm(self)
+        return self._form
 
     def check(self, values: dict[Var, float], *, tolerance: float = 1e-6) -> list[str]:
         """Return human-readable violations of ``values`` (empty = feasible).

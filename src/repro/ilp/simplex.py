@@ -15,6 +15,19 @@ The entry point :func:`solve_lp` accepts the standard "computational form"
 
 (maximisation is handled by the caller negating ``c``).  General variable
 bounds are reduced to this form by :mod:`repro.ilp.model`.
+
+Two properties serve the batch-solving layer (:mod:`repro.ilp.batch`):
+
+* **warm starts** — ``solve_lp(..., basis=)`` rebuilds the tableau from
+  a previous optimal basis and recovers primal feasibility with a dual
+  simplex instead of restarting Phase 1 (every result carries its final
+  basis for exactly this);
+* **canonical vertices** — every optimal solve finishes on the
+  lexicographically greatest optimal point, so the reported vertex is a
+  function of the instance alone, never of the pivot path.  Warm and
+  cold solves of one instance therefore return bit-identical results,
+  which is what lets warm-started sweeps share solver state without
+  influencing any artefact.
 """
 
 from __future__ import annotations
@@ -51,12 +64,22 @@ class LpResult:
         x: primal values of the *original* variables (empty on failure).
         objective: objective value ``c @ x`` (minimisation).
         iterations: simplex pivots performed across both phases.
+        basis: the final basis (column indices into ``[x | slacks]``,
+            one per constraint row) when the solve produced one.  Feed it
+            back as ``solve_lp(..., basis=)`` to warm-start a solve of a
+            structurally identical instance.  Entries ``>= n + m_ub``
+            denote residual artificial columns pinned in degenerate rows;
+            such a basis is rejected by the warm-start path and triggers
+            a cold solve.
+        warm: whether the result was produced by the warm-start path.
     """
 
     status: LpStatus
     x: np.ndarray
     objective: float
     iterations: int
+    basis: np.ndarray | None = None
+    warm: bool = False
 
 
 def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
@@ -124,6 +147,276 @@ def _iterate(
         iterations += 1
 
 
+def _dual_iterate(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    cost: np.ndarray,
+    iteration_budget: int,
+) -> tuple[LpStatus, int]:
+    """Run dual-simplex pivots until primal feasibility (or infeasibility).
+
+    Requires a dual-feasible starting basis (no negative reduced cost);
+    used by the warm-start path to recover from right-hand-side changes
+    without a Phase-1 restart.  Bland's rule on both the leaving basic
+    variable (smallest basis index among infeasible rows) and the
+    entering column (smallest index among ratio-test ties) precludes
+    cycling, mirroring the primal iterator.
+    """
+    m = tableau.shape[0]
+    iterations = 0
+    while True:
+        if iterations >= iteration_budget:
+            raise IlpNumericalError(
+                f"dual simplex exceeded {iteration_budget} pivots; "
+                "instance is numerically pathological"
+            )
+        leaving = -1
+        for i in range(m):
+            if tableau[i, -1] < -TOLERANCE and (
+                leaving < 0 or basis[i] < basis[leaving]
+            ):
+                leaving = i
+        if leaving < 0:
+            return LpStatus.OPTIMAL, iterations
+
+        cost_basis = cost[basis]
+        reduced = cost[:-1] - cost_basis @ tableau[:, :-1]
+        entering = -1
+        best_ratio = np.inf
+        for j in range(tableau.shape[1] - 1):
+            coef = tableau[leaving, j]
+            if coef < -TOLERANCE:
+                ratio = reduced[j] / -coef
+                if ratio < best_ratio - TOLERANCE or (
+                    abs(ratio - best_ratio) <= TOLERANCE and entering < 0
+                ):
+                    best_ratio = ratio
+                    entering = j
+        if entering < 0:
+            # A violated row with no negative coefficient certifies
+            # primal infeasibility.
+            return LpStatus.INFEASIBLE, iterations
+
+        _pivot(tableau, basis, leaving, entering)
+        iterations += 1
+
+
+def _canonical_polish(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    cost: np.ndarray,
+    n: int,
+    iteration_budget: int,
+) -> int:
+    """Move an optimal basis to the *canonical* optimal vertex.
+
+    Degenerate instances (the contention ILPs' symmetric pf0/pf1 columns)
+    have many optimal vertices, and which one a simplex run ends on
+    depends on its pivot path — cold Phase-1/2 and a warm-started
+    recovery would report different (equally optimal) points.  To make
+    the reported point a function of the *instance only*, both paths
+    finish here: sequentially maximise ``x_0``, then ``x_1``, … over the
+    optimal face, pivoting only on columns whose reduced costs vanish
+    for the objective and for every already-locked coordinate.  The
+    lexicographically greatest optimal solution is unique, so any
+    optimal starting basis converges to the same vertex — the property
+    the warm-started batch solver's bit-identical-to-cold guarantee
+    rests on.
+
+    Unique-optimum instances take zero pivots (no eligible column ever
+    improves).  An unbounded face direction (impossible for the bounded
+    contention instances) simply leaves that coordinate as-is.
+
+    Returns the number of polish pivots, counted against the shared
+    budget.
+    """
+    m, width = tableau.shape
+    cols = width - 1
+    # Row 0: reduced costs of the objective; row 1+k: reduced costs of
+    # the coordinate objective e_k.  All evolve with the tableau so that
+    # eligibility stays elementwise comparisons.
+    reduced = np.zeros((n + 1, cols))
+    reduced[0] = cost[:-1] - cost[basis] @ tableau[:, :-1]
+    reduced[1:, :n] = np.eye(n)
+    structural = basis < n
+    if np.any(structural):
+        # Basis entries are unique, so fancy-indexed subtraction is safe.
+        reduced[1 + basis[structural]] -= tableau[structural, :-1]
+
+    # Face pivots leave every already-locked row untouched (the entering
+    # column's locked reduced costs are ~0), so a step that went quiet
+    # can never reactivate.  Taking the globally smallest active step
+    # after each pivot therefore reproduces the sequential
+    # step-0-to-completion, then step-1, ... order exactly — and lets
+    # the common no-pivot case finish in one vectorised check.
+    iterations = 0
+    abandoned = np.zeros(n, dtype=bool)  # unbounded-face coordinates
+    while True:
+        small = np.abs(reduced) <= TOLERANCE
+        locked_ok = np.logical_and.accumulate(small[:-1], axis=0)
+        eligible = (reduced[1:] > TOLERANCE) & locked_ok
+        eligible[abandoned] = False
+        active = np.flatnonzero(eligible.any(axis=1))
+        if active.size == 0:
+            return iterations
+        if iterations >= iteration_budget:
+            raise IlpNumericalError(
+                f"canonicalisation exceeded {iteration_budget} pivots; "
+                "instance is numerically pathological"
+            )
+        # Bland: smallest coordinate still improvable, then the smallest
+        # eligible entering column.
+        step = int(active[0])
+        entering = int(np.flatnonzero(eligible[step])[0])
+
+        best_ratio = np.inf
+        leaving = -1
+        for i in range(m):
+            coef = tableau[i, entering]
+            if coef > TOLERANCE:
+                ratio = tableau[i, -1] / coef
+                if ratio < best_ratio - TOLERANCE or (
+                    abs(ratio - best_ratio) <= TOLERANCE
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            # Unbounded face direction: x_step cannot be canonicalised;
+            # leave it (still locked for later steps) and move on.
+            abandoned[step] = True
+            continue
+
+        _pivot(tableau, basis, leaving, entering)
+        reduced -= reduced[:, entering : entering + 1] * tableau[
+            leaving, :-1
+        ]
+        iterations += 1
+
+
+def _extract(
+    tableau: np.ndarray, basis: np.ndarray, c: np.ndarray
+) -> tuple[np.ndarray, float]:
+    """Read the primal point of the original variables off the tableau."""
+    n = c.shape[0]
+    x = np.zeros(n)
+    for i, col in enumerate(basis):
+        if col < n:
+            x[col] = tableau[i, -1]
+    x[np.abs(x) < TOLERANCE] = np.abs(x[np.abs(x) < TOLERANCE])
+    return x, float(c @ x)
+
+
+def _warm_start(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    basis: np.ndarray,
+    max_iterations: int,
+) -> LpResult | None:
+    """Attempt a warm solve from a previous basis; ``None`` falls back cold.
+
+    The basis must index into ``[x | slacks]`` of an instance with the
+    same shape (row/column counts).  Recovery strategy:
+
+    * factor the basis and rebuild the reduced tableau in one shot
+      (``B^-1 [A | S | b]``) instead of pivoting from scratch;
+    * if the point is primal-infeasible but dual-feasible (the typical
+      sweep situation — right-hand sides moved, objective did not), run
+      the dual simplex until feasibility is restored;
+    * if it is primal-feasible (objective moved, activities did not),
+      jump straight into primal Phase-2 pivots;
+    * anything else — singular or ill-conditioned basis, residual
+      artificials, a numerically stalled recovery — abandons the warm
+      attempt so the caller can fall back to the two-phase cold path.
+    """
+    n = c.shape[0]
+    m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
+    m = m_ub + m_eq
+    total_cols = n + m_ub
+
+    basis = np.asarray(basis, dtype=int)
+    if basis.shape != (m,):
+        return None
+    if m == 0 or basis.min() < 0 or basis.max() >= total_cols:
+        return None
+    if np.unique(basis).shape[0] != m:
+        return None
+
+    rows = np.vstack([a_ub, a_eq])
+    rhs = np.concatenate([b_ub, b_eq])
+    slack_block = (
+        np.vstack([np.eye(m_ub), np.zeros((m_eq, m_ub))])
+        if m_ub
+        else np.empty((m, 0))
+    )
+    full = np.hstack([rows, slack_block, rhs.reshape(-1, 1)])
+    try:
+        tableau = np.linalg.solve(full[:, basis], full)
+    except np.linalg.LinAlgError:
+        return None
+    if not np.all(np.isfinite(tableau)):
+        return None
+    # An ill-conditioned factorisation shows up as basis columns failing
+    # to reduce to the identity; such a basis cannot seed pivots safely.
+    if np.abs(tableau[:, basis] - np.eye(m)).max() > 1e-7:
+        return None
+
+    basis = basis.copy()
+    cost = np.zeros(total_cols + 1)
+    cost[:n] = c
+    iterations = 0
+    try:
+        if np.any(tableau[:, -1] < -TOLERANCE):
+            reduced = cost[:-1] - cost[basis] @ tableau[:, :-1]
+            if np.any(reduced < -TOLERANCE):
+                # Neither primal- nor dual-feasible: a cold two-phase
+                # solve is the reliable route.
+                return None
+            status, its = _dual_iterate(
+                tableau, basis, cost, max_iterations
+            )
+            iterations += its
+            if status is LpStatus.INFEASIBLE:
+                return LpResult(
+                    LpStatus.INFEASIBLE,
+                    np.empty(0),
+                    np.inf,
+                    iterations,
+                    basis=basis.copy(),
+                    warm=True,
+                )
+        status, its = _iterate(
+            tableau, basis, cost, max_iterations - iterations
+        )
+        iterations += its
+        if status is LpStatus.UNBOUNDED:
+            return LpResult(
+                LpStatus.UNBOUNDED,
+                np.empty(0),
+                -np.inf,
+                iterations,
+                basis=basis.copy(),
+                warm=True,
+            )
+        iterations += _canonical_polish(
+            tableau, basis, cost, n, max_iterations - iterations
+        )
+    except IlpNumericalError:
+        return None
+    x, objective = _extract(tableau, basis, c)
+    return LpResult(
+        LpStatus.OPTIMAL,
+        x,
+        objective,
+        iterations,
+        basis=basis.copy(),
+        warm=True,
+    )
+
+
 def solve_lp(
     c: np.ndarray,
     a_ub: np.ndarray,
@@ -132,6 +425,7 @@ def solve_lp(
     b_eq: np.ndarray,
     *,
     max_iterations: int = MAX_ITERATIONS,
+    basis: np.ndarray | None = None,
 ) -> LpResult:
     """Minimise ``c @ x`` subject to ``a_ub x <= b_ub``, ``a_eq x == b_eq``,
     ``x >= 0`` with a two-phase dense simplex.
@@ -143,6 +437,12 @@ def solve_lp(
         a_eq: equality matrix, shape ``(m_eq, n)`` (may be empty).
         b_eq: equality right-hand sides, shape ``(m_eq,)``.
         max_iterations: pivot budget shared by both phases.
+        basis: optional warm-start basis from a previous
+            :attr:`LpResult.basis` of a structurally identical instance
+            (same row and column counts).  Primal feasibility is
+            recovered with the dual simplex instead of a Phase-1
+            restart; an unusable basis silently falls back to the cold
+            two-phase path.
 
     Returns:
         An :class:`LpResult`; ``x`` has shape ``(n,)`` when optimal.
@@ -160,8 +460,27 @@ def solve_lp(
         # No constraints: optimum is at the origin unless some cost is
         # negative, in which case the LP is unbounded below.
         if np.any(c < -TOLERANCE):
-            return LpResult(LpStatus.UNBOUNDED, np.empty(0), -np.inf, 0)
-        return LpResult(LpStatus.OPTIMAL, np.zeros(n), 0.0, 0)
+            return LpResult(
+                LpStatus.UNBOUNDED,
+                np.empty(0),
+                -np.inf,
+                0,
+                basis=np.empty(0, dtype=int),
+            )
+        return LpResult(
+            LpStatus.OPTIMAL,
+            np.zeros(n),
+            0.0,
+            0,
+            basis=np.empty(0, dtype=int),
+        )
+
+    if basis is not None:
+        result = _warm_start(
+            c, a_ub, b_ub, a_eq, b_eq, basis, max_iterations
+        )
+        if result is not None:
+            return result
 
     # Assemble [A | slacks | artificials | rhs] with all rhs >= 0.
     rows = np.vstack([a_ub, a_eq])
@@ -213,7 +532,13 @@ def solve_lp(
             raise IlpNumericalError("phase 1 cannot be unbounded")
         infeasibility = phase1_cost[basis] @ tableau[:, -1]
         if infeasibility > 1e-7:
-            return LpResult(LpStatus.INFEASIBLE, np.empty(0), np.inf, iterations)
+            return LpResult(
+                LpStatus.INFEASIBLE,
+                np.empty(0),
+                np.inf,
+                iterations,
+                basis=basis.copy(),
+            )
 
         # Drive any residual artificial out of the basis (degenerate rows).
         for i in range(m):
@@ -243,12 +568,21 @@ def solve_lp(
     )
     iterations += its
     if status is LpStatus.UNBOUNDED:
-        return LpResult(LpStatus.UNBOUNDED, np.empty(0), -np.inf, iterations)
+        return LpResult(
+            LpStatus.UNBOUNDED,
+            np.empty(0),
+            -np.inf,
+            iterations,
+            basis=basis.copy(),
+        )
 
-    x = np.zeros(n)
-    for i, col in enumerate(basis):
-        if col < n:
-            x[col] = tableau[i, -1]
-    # Clamp tiny negatives introduced by roundoff.
-    x[np.abs(x) < TOLERANCE] = np.abs(x[np.abs(x) < TOLERANCE])
-    return LpResult(LpStatus.OPTIMAL, x, float(c @ x), iterations)
+    # Land on the canonical optimal vertex so warm-started re-solves of
+    # the same instance report the identical point (see _canonical_polish).
+    iterations += _canonical_polish(
+        tableau, basis, phase2_cost, n, max_iterations - iterations
+    )
+    # Clamp tiny negatives introduced by roundoff (inside _extract).
+    x, objective = _extract(tableau, basis, c)
+    return LpResult(
+        LpStatus.OPTIMAL, x, objective, iterations, basis=basis.copy()
+    )

@@ -299,6 +299,14 @@ class SystemSimulator:
         rr_modulus = max(all_ids) + 2  # cyclic distance for round-robin
         device_keys = {target: i for i, target in enumerate(Target)}
         key_devices = {i: target for target, i in device_keys.items()}
+        # Arbitration constants, hoisted out of the per-grant hot path:
+        # every master's priority class is fixed for the run, and the
+        # policy check reduces to one bool instead of a string compare
+        # (and a key-closure allocation) per grant.
+        use_priority = self.arbitration == "priority"
+        priority_of = {
+            master_id: self._priority(master_id) for master_id in all_ids
+        }
 
         def advance(state: _CoreState, now: int) -> None:
             """Fetch the core's next step and schedule its issue/idle end."""
@@ -330,22 +338,39 @@ class SystemSimulator:
 
             Selection: highest priority class first (under ``"priority"``
             arbitration), round-robin distance from the last served master
-            within a class.
+            within a class.  Ties keep the earliest-queued entry (strict
+            ``<`` mirrors ``min()``'s first-minimum rule), so the chosen
+            grants — and hence the traces — are identical to the former
+            closure-based ``min(range(len(queue)), key=...)`` selection;
+            the inline scan just stops allocating a closure and re-keying
+            the arbitration policy on every grant.
             """
             nonlocal seq
-            if device.current is not None or not device.queue:
+            queue = device.queue
+            if device.current is not None or not queue:
                 return
 
-            def key(index: int) -> tuple[int, int]:
-                requester = device.queue[index][0]
-                master_id: int = requester.core_id  # type: ignore[attr-defined]
-                distance = (master_id - device.last_served - 1) % rr_modulus
-                if self.arbitration == "priority":
-                    return (self._priority(master_id), distance)
-                return (0, distance)
+            chosen = 0
+            if len(queue) > 1:
+                last_served = device.last_served
+                best_priority = best_distance = -1
+                for index, entry in enumerate(queue):
+                    master_id: int = entry[0].core_id  # type: ignore[attr-defined]
+                    distance = (master_id - last_served - 1) % rr_modulus
+                    if use_priority:
+                        priority = priority_of[master_id]
+                        if best_distance < 0 or (
+                            (priority, distance)
+                            < (best_priority, best_distance)
+                        ):
+                            best_priority = priority
+                            best_distance = distance
+                            chosen = index
+                    elif best_distance < 0 or distance < best_distance:
+                        best_distance = distance
+                        chosen = index
 
-            chosen = min(range(len(device.queue)), key=key)
-            entry = device.queue.pop(chosen)
+            entry = queue.pop(chosen)
             device.current = entry
             device.last_served = entry[0].core_id  # type: ignore[attr-defined]
             completion = now + self.timing.service_time(entry[1])

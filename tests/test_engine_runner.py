@@ -173,3 +173,62 @@ class TestProcessFallback:
         assert calls == [1]
         assert engine.stats.fallbacks >= 1
         assert engine.run_count == 2
+
+
+class TestWarmGroups:
+    def test_units_group_by_tag_preserving_batch_order(self):
+        batch = as_jobs(
+            [
+                job(max, 1, 2, warm_group="a"),
+                job(max, 3, 4),
+                job(max, 5, 6, warm_group="b"),
+                job(max, 7, 8, warm_group="a"),
+                job(max, 9, 10, warm_group="b"),
+            ]
+        )
+        units = ExperimentEngine._warm_units(batch, range(len(batch)))
+        assert units == [[0, 3], [1], [2, 4]]
+
+    def test_units_respect_pending_subset(self):
+        batch = as_jobs(
+            [job(max, i, i + 1, warm_group="a") for i in range(4)]
+        )
+        assert ExperimentEngine._warm_units(batch, [1, 3]) == [[1, 3]]
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_grouped_batches_keep_result_order(self, mode):
+        engine = ExperimentEngine(mode=mode, workers=2)
+        jobs = [
+            job(max, i, 100 - i, warm_group="even" if i % 2 == 0 else "odd")
+            for i in range(8)
+        ]
+        assert engine.run(jobs) == [max(i, 100 - i) for i in range(8)]
+
+    def test_grouped_solves_match_serial(self):
+        profile = tc27x_latency_profile()
+        scenario = scenario_1()
+        scales = (0.5, 1.0, 2.0)
+
+        def solve_batch(warm_group):
+            return [
+                job(
+                    _ilp_delta,
+                    paper.table6("scenario1", "app"),
+                    paper.table6("scenario1", "H-Load").scaled(scale),
+                    profile,
+                    scenario,
+                    IlpPtacOptions(),
+                    warm_group=warm_group,
+                )
+                for scale in scales
+            ]
+
+        serial = run_jobs(solve_batch(None))
+        with ExperimentEngine(mode="thread", workers=2) as engine:
+            grouped = engine.run(solve_batch("sweep:scenario1"))
+        assert grouped == serial
+
+    def test_warm_group_does_not_change_cache_key(self):
+        tagged = job(max, 1, 2, warm_group="g")
+        untagged = job(max, 1, 2)
+        assert tagged.resolved_cache_key() == untagged.resolved_cache_key()

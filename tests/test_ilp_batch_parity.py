@@ -1,0 +1,487 @@
+"""Parity suite for the batch-aware (warm-started) ILP solving layer.
+
+The contract under test: warm-started batch solves are **bit-identical**
+to cold solves — same objective values, same solution points — on every
+registered ILP model, whatever solver state the pool has accumulated.
+The suite drives the same instances the paper's artefacts use: the
+published Table 6 readings (Figure 4's paper-counters mode) and the
+simulator-measured Table 6 counters (Figure 4's simulation mode), plus
+regression cases for degenerate bases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import paper
+from repro.analysis.experiments import (
+    counter_based_model_names,
+    figure4_paper_mode,
+    model_scenario_matrix,
+    simulate_scenario,
+)
+from repro.analysis.sweeps import contender_scale_sweep
+from repro.core.ilp_ptac import IlpPtacOptions, build_ilp_ptac, ilp_ptac_bound
+from repro.core.multicontender import multi_contender_bound
+from repro.engine import ExperimentEngine, ResultCache
+from repro.ilp.batch import (
+    BatchSolver,
+    ParametricForm,
+    default_batch_solver,
+    reset_default_batch_solver,
+    structure_signature,
+)
+from repro.ilp.branch_and_bound import BnbWarmStart, solve_bnb, solve_bnb_warm
+from repro.ilp.model import IlpModel
+from repro.ilp.simplex import LpStatus, solve_lp
+from repro.platform.deployment import scenario_1, scenario_2
+from repro.platform.latency import tc27x_latency_profile
+
+COLD = IlpPtacOptions(warm_start=False)
+SCALES = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    """Each test starts (and leaves) a clean thread-local solver pool."""
+    reset_default_batch_solver()
+    yield
+    reset_default_batch_solver()
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return tc27x_latency_profile()
+
+
+def by_name(solution):
+    return {var.name: value for var, value in solution.values.items()}
+
+
+def assert_identical(cold, warm, label=""):
+    assert cold.status is warm.status, label
+    assert cold.objective == warm.objective, label
+    assert by_name(cold) == by_name(warm), label
+
+
+# ----------------------------------------------------------------------
+# ParametricForm: template/coefficient factoring
+# ----------------------------------------------------------------------
+class TestParametricForm:
+    def test_round_trip_reproduces_form(self, profile):
+        scenario = scenario_1()
+        model = build_ilp_ptac(
+            paper.table6("scenario1", "app"),
+            paper.table6("scenario1", "H-Load"),
+            profile,
+            scenario,
+        )
+        form = model.standard_form()
+        rebuilt = ParametricForm.from_form(form).instantiate()
+        assert rebuilt.variables == form.variables
+        np.testing.assert_array_equal(rebuilt.c, form.c)
+        np.testing.assert_array_equal(rebuilt.a_ub, form.a_ub)
+        np.testing.assert_array_equal(rebuilt.b_ub, form.b_ub)
+        np.testing.assert_array_equal(rebuilt.a_eq, form.a_eq)
+        np.testing.assert_array_equal(rebuilt.b_eq, form.b_eq)
+        np.testing.assert_array_equal(rebuilt.lower, form.lower)
+        np.testing.assert_array_equal(rebuilt.upper, form.upper)
+        np.testing.assert_array_equal(
+            rebuilt.integer_mask, form.integer_mask
+        )
+        assert rebuilt.objective_constant == form.objective_constant
+
+    def test_sweep_points_share_structure(self, profile):
+        scenario = scenario_1()
+        readings_a = paper.table6("scenario1", "app")
+        contender = paper.table6("scenario1", "H-Load")
+        signatures = set()
+        coefficient_vectors = []
+        for scale in SCALES:
+            model = build_ilp_ptac(
+                readings_a, contender.scaled(scale), profile, scenario
+            )
+            parametric = ParametricForm.from_form(model.standard_form())
+            signatures.add(parametric.signature)
+            coefficient_vectors.append(parametric.coefficients)
+        # One structure template, several coefficient vectors.
+        assert len(signatures) == 1
+        assert len(
+            {tuple(vector) for vector in coefficient_vectors}
+        ) == len(SCALES)
+
+    def test_distinct_structures_hash_apart(self, profile):
+        readings_a = paper.table6("scenario1", "app")
+        contender = paper.table6("scenario1", "H-Load")
+        full = build_ilp_ptac(readings_a, contender, profile, scenario_1())
+        composable = build_ilp_ptac(
+            readings_a,
+            None,
+            profile,
+            scenario_1(),
+            IlpPtacOptions(contender_constraints=False),
+        )
+        other_scenario = build_ilp_ptac(
+            paper.table6("scenario2", "app"),
+            paper.table6("scenario2", "H-Load"),
+            profile,
+            scenario_2(),
+        )
+        signatures = {
+            structure_signature(full),
+            structure_signature(composable),
+            structure_signature(other_scenario),
+        }
+        assert len(signatures) == 3
+
+    def test_instantiate_rejects_wrong_arity(self, profile):
+        model = build_ilp_ptac(
+            paper.table6("scenario1", "app"),
+            paper.table6("scenario1", "H-Load"),
+            profile,
+            scenario_1(),
+        )
+        parametric = ParametricForm.from_form(model.standard_form())
+        from repro.errors import IlpError
+
+        with pytest.raises(IlpError):
+            parametric.instantiate(np.zeros(parametric.n_coefficients + 1))
+
+
+# ----------------------------------------------------------------------
+# Solver-level parity: warm chains vs cold solves, bit for bit
+# ----------------------------------------------------------------------
+class TestSolverParity:
+    @pytest.mark.parametrize("scenario_name", ["scenario1", "scenario2"])
+    def test_contender_sweep_bit_identical(self, scenario_name, profile):
+        scenario = (
+            scenario_1() if scenario_name == "scenario1" else scenario_2()
+        )
+        readings_a = paper.table6(scenario_name, "app")
+        contender = paper.table6(scenario_name, "H-Load")
+        warm_state = None
+        cold_iterations = warm_iterations = 0
+        for scale in SCALES:
+            form = build_ilp_ptac(
+                readings_a, contender.scaled(scale), profile, scenario
+            ).standard_form()
+            cold = solve_bnb(form)
+            warm, warm_state = solve_bnb_warm(form, warm_state)
+            assert_identical(cold, warm, f"{scenario_name} x{scale}")
+            cold_iterations += cold.stats.simplex_iterations
+            warm_iterations += warm.stats.simplex_iterations
+        # The parity guarantee must not come from secretly solving cold.
+        assert warm_iterations < cold_iterations
+
+    @pytest.mark.parametrize("scenario_name", ["scenario1", "scenario2"])
+    @pytest.mark.parametrize("load", ["H", "M", "L"])
+    def test_figure4_bars_bit_identical(self, scenario_name, load, profile):
+        """Figure 4's paper-counter instances, solved via a shared pool."""
+        scenario = (
+            scenario_1() if scenario_name == "scenario1" else scenario_2()
+        )
+        readings_a = paper.table6(scenario_name, "app")
+        readings_b = paper.contender_readings(scenario_name, load)
+        cold = ilp_ptac_bound(
+            readings_a, readings_b, profile, scenario, COLD
+        )
+        warm = ilp_ptac_bound(readings_a, readings_b, profile, scenario)
+        assert cold.bound == warm.bound
+        assert cold.interference == warm.interference
+        assert cold.worst_profile_a == warm.worst_profile_a
+        assert cold.worst_profile_b == warm.worst_profile_b
+        assert_identical(cold.solution, warm.solution)
+
+    def test_time_composable_variant_bit_identical(self, profile):
+        options = IlpPtacOptions(contender_constraints=False)
+        for scenario in (scenario_1(), scenario_2()):
+            readings_a = paper.table6(scenario.name, "app")
+            cold = ilp_ptac_bound(
+                readings_a,
+                None,
+                profile,
+                scenario,
+                dataclasses.replace(options, warm_start=False),
+            )
+            # Twice via the pool: the second run is the warm-hit path.
+            ilp_ptac_bound(readings_a, None, profile, scenario, options)
+            warm = ilp_ptac_bound(
+                readings_a, None, profile, scenario, options
+            )
+            assert cold.bound == warm.bound
+            assert_identical(cold.solution, warm.solution, scenario.name)
+
+    def test_multi_contender_bit_identical(self, profile):
+        scenario = scenario_1()
+        readings_a = paper.table6("scenario1", "app")
+        contenders = [
+            dataclasses.replace(
+                paper.contender_readings("scenario1", load), name=f"{load}@c{i}"
+            )
+            for i, load in enumerate(("H", "M"), start=2)
+        ]
+        cold = multi_contender_bound(
+            readings_a, contenders, profile, scenario, COLD
+        )
+        for _ in range(2):  # second solve runs fully warm
+            warm = multi_contender_bound(
+                readings_a, contenders, profile, scenario
+            )
+        assert cold.bound == warm.bound
+        assert cold.per_contender_cycles == warm.per_contender_cycles
+        assert cold.interference == warm.interference
+        assert_identical(cold.solution, warm.solution)
+
+    def test_table6_measured_counters_bit_identical(self, profile):
+        """Simulation-mode parity: the simulator-measured Table 6
+        readings drive the same warm/cold equivalence as the published
+        ones."""
+        data = simulate_scenario(
+            "scenario1", scale=1 / 32, with_coruns=False
+        )
+        for load, readings_b in data.load_readings.items():
+            cold = ilp_ptac_bound(
+                data.app_readings, readings_b, profile, data.scenario, COLD
+            )
+            warm = ilp_ptac_bound(
+                data.app_readings, readings_b, profile, data.scenario
+            )
+            assert cold.bound == warm.bound, load
+            assert_identical(cold.solution, warm.solution, load)
+
+    def test_pool_state_cannot_leak_across_structures(self, profile):
+        """Interleaving structures exercises the signature keying: each
+        chain must behave as if it ran alone."""
+        solver = BatchSolver()
+        jobs = []
+        for scale in SCALES:
+            for scenario in (scenario_1(), scenario_2()):
+                jobs.append(
+                    build_ilp_ptac(
+                        paper.table6(scenario.name, "app"),
+                        paper.table6(scenario.name, "H-Load").scaled(scale),
+                        profile,
+                        scenario,
+                    )
+                )
+        for model in jobs:
+            cold = model.solve()
+            warm = solver.solve(model)
+            assert_identical(cold, warm, model.name)
+        assert len(solver) == 2  # one pool entry per structure
+        assert solver.stats.warm_hits == len(jobs) - 2
+
+
+# ----------------------------------------------------------------------
+# Warm-start machinery regressions
+# ----------------------------------------------------------------------
+class TestWarmStartMachinery:
+    def test_lp_warm_start_recovers_rhs_change(self):
+        c = np.array([-3.0, -2.0])
+        a_ub = np.array([[1.0, 1.0], [2.0, 1.0]])
+        b_ub = np.array([4.0, 6.0])
+        empty = np.empty((0, 2))
+        cold = solve_lp(c, a_ub, b_ub, empty, np.empty(0))
+        assert cold.status is LpStatus.OPTIMAL
+        # Tighten the right-hand side: the old vertex is primal
+        # infeasible, and dual-simplex recovery must agree with cold.
+        shrunk = np.array([3.0, 4.0])
+        recold = solve_lp(c, a_ub, shrunk, empty, np.empty(0))
+        rewarm = solve_lp(
+            c, a_ub, shrunk, empty, np.empty(0), basis=cold.basis
+        )
+        assert rewarm.warm
+        assert rewarm.status is LpStatus.OPTIMAL
+        assert rewarm.objective == recold.objective
+        np.testing.assert_array_equal(rewarm.x, recold.x)
+        assert rewarm.iterations <= recold.iterations
+
+    def test_lp_warm_start_detects_infeasibility(self):
+        c = np.array([1.0, 1.0])
+        a_ub = np.array([[1.0, 1.0]])
+        a_eq = np.array([[1.0, 1.0]])
+        cold = solve_lp(c, a_ub, np.array([5.0]), a_eq, np.array([2.0]))
+        assert cold.status is LpStatus.OPTIMAL
+        warm = solve_lp(
+            c,
+            a_ub,
+            np.array([5.0]),
+            a_eq,
+            np.array([9.0]),  # equality now out of reach of the <= row
+            basis=cold.basis,
+        )
+        assert warm.status is LpStatus.INFEASIBLE
+
+    def test_degenerate_basis_with_residual_artificial_falls_back(self):
+        """A redundant equality pins an artificial in the cold basis; the
+        warm path must reject that basis and cold-solve, not crash or
+        mis-solve."""
+        c = np.array([-1.0, -1.0])
+        a_eq = np.array([[1.0, 1.0], [2.0, 2.0]])  # second row redundant
+        b_eq = np.array([2.0, 4.0])
+        empty_ub = np.empty((0, 2))
+        cold = solve_lp(c, empty_ub, np.empty(0), a_eq, b_eq)
+        assert cold.status is LpStatus.OPTIMAL
+        assert cold.basis is not None
+        assert cold.basis.max() >= 2  # the residual artificial column
+        rewarm = solve_lp(
+            c, empty_ub, np.empty(0), a_eq, b_eq, basis=cold.basis
+        )
+        assert not rewarm.warm  # fell back to the cold two-phase path
+        assert rewarm.objective == cold.objective
+        np.testing.assert_array_equal(rewarm.x, cold.x)
+
+    def test_garbage_bases_fall_back_cold(self):
+        c = np.array([-1.0, -2.0])
+        a_ub = np.array([[1.0, 1.0]])
+        b_ub = np.array([3.0])
+        reference = solve_lp(c, a_ub, b_ub, np.empty((0, 2)), np.empty(0))
+        for bad in (
+            np.array([99]),  # out of range
+            np.array([0, 1]),  # wrong length
+            np.array([-1]),  # negative
+        ):
+            result = solve_lp(
+                c, a_ub, b_ub, np.empty((0, 2)), np.empty(0), basis=bad
+            )
+            assert not result.warm
+            assert result.objective == reference.objective
+
+    def test_stale_incumbent_is_discarded(self, profile):
+        """A warm incumbent the new coefficients make infeasible must not
+        corrupt the solve."""
+        scenario = scenario_1()
+        readings_a = paper.table6("scenario1", "app")
+        contender = paper.table6("scenario1", "H-Load")
+        big = build_ilp_ptac(
+            readings_a, contender, profile, scenario
+        ).standard_form()
+        _, state = solve_bnb_warm(big)
+        tiny_model = build_ilp_ptac(
+            readings_a, contender.scaled(0.01), profile, scenario
+        )
+        cold = solve_bnb(tiny_model.standard_form())
+        warm, _ = solve_bnb_warm(tiny_model.standard_form(), state)
+        assert_identical(cold, warm)
+
+    def test_incumbent_seed_survives_identical_resolve(self, profile):
+        """Re-solving the identical instance warm must reproduce it and
+        cost almost nothing."""
+        model = build_ilp_ptac(
+            paper.table6("scenario1", "app"),
+            paper.table6("scenario1", "H-Load"),
+            tc27x_latency_profile(),
+            scenario_1(),
+        )
+        form = model.standard_form()
+        first, state = solve_bnb_warm(form)
+        again, _ = solve_bnb_warm(form, state)
+        assert_identical(first, again)
+        assert (
+            again.stats.simplex_iterations
+            <= first.stats.simplex_iterations // 2
+        )
+
+    def test_warm_state_round_trips_through_pool(self, profile):
+        solver = default_batch_solver()
+        model = build_ilp_ptac(
+            paper.table6("scenario1", "app"),
+            paper.table6("scenario1", "H-Load"),
+            profile,
+            scenario_1(),
+        )
+        signature = structure_signature(model.standard_form())
+        assert solver.warm_state(signature) is None
+        solver.solve(model)
+        state = solver.warm_state(signature)
+        assert isinstance(state, BnbWarmStart)
+        assert state.basis is not None
+        assert state.incumbent is not None
+
+
+# ----------------------------------------------------------------------
+# Driver-level parity: warm state never changes an artefact
+# ----------------------------------------------------------------------
+class TestDriverParity:
+    def test_figure4_rows_identical_cold_vs_warm(self):
+        cold_rows = figure4_paper_mode(options=COLD)
+        warm_rows = figure4_paper_mode()
+        assert cold_rows == warm_rows
+
+    def test_sweep_identical_across_engine_modes(self):
+        """Serial (one shared pool) and threaded (grouped warm units)
+        execution must agree point for point."""
+        scenario = scenario_1()
+        readings_a = paper.table6("scenario1", "app")
+        contender = paper.table6("scenario1", "H-Load")
+        serial = contender_scale_sweep(readings_a, contender, scenario)
+        with ExperimentEngine(
+            mode="thread", workers=4, cache=ResultCache()
+        ) as engine:
+            threaded = contender_scale_sweep(
+                readings_a, contender, scenario, engine=engine
+            )
+        assert serial == threaded
+
+    def test_matrix_driver_covers_all_counter_models(self):
+        models = counter_based_model_names()
+        assert set(models) == {
+            "ftc-baseline",
+            "ftc-refined",
+            "ilp-ptac",
+            "ilp-ptac-tc",
+            "ilp-ptac-multi",
+        }
+        results = model_scenario_matrix(
+            models=("ftc-refined", "ilp-ptac"),
+            specs=("scenario1-pair-H", "scenario2-pair-H"),
+        )
+        assert [
+            (result.spec_name, result.model) for result in results
+        ] == [
+            ("scenario1-pair-H", "ftc-refined"),
+            ("scenario1-pair-H", "ilp-ptac"),
+            ("scenario2-pair-H", "ftc-refined"),
+            ("scenario2-pair-H", "ilp-ptac"),
+        ]
+        for result in results:
+            assert result.sound
+
+    def test_matrix_rejects_non_counter_models(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError, match="counter-based"):
+            model_scenario_matrix(models=("ideal",))
+
+
+# ----------------------------------------------------------------------
+# Memoised standard_form (solve no longer rebuilds it per call)
+# ----------------------------------------------------------------------
+class TestStandardFormMemo:
+    def test_solve_reuses_construction(self):
+        model = IlpModel("memo")
+        x = model.add_var("x", upper=4)
+        model.add_constraint(x <= 3)
+        model.maximize(2 * x)
+        first = model.standard_form()
+        assert model.standard_form() is first
+        model.solve()
+        assert model.standard_form() is first
+
+    def test_mutation_invalidates(self):
+        model = IlpModel("memo")
+        x = model.add_var("x", upper=4)
+        model.maximize(x)
+        first = model.standard_form()
+        y = model.add_var("y", upper=1)
+        second = model.standard_form()
+        assert second is not first
+        assert second.n_variables == 2
+        model.add_constraint(x + y <= 3)
+        third = model.standard_form()
+        assert third is not second
+        model.maximize(x + y)
+        assert model.standard_form() is not third
