@@ -16,6 +16,8 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``)::
     repro run scenario1-4core    # any registered spec, end to end
     repro matrix --jobs 4        # every model x every scenario spec
     repro platform               # Figure 1 block diagram
+    repro worker --port 8750     # serve engine jobs to remote clients
+    repro matrix --workers http://127.0.0.1:8750,http://127.0.0.1:8751
 
 Every command prints the same rendering the benchmark suite produces, so
 shell users and CI logs see identical artefacts.  Commands that fan out
@@ -23,9 +25,11 @@ over independent jobs accept ``--jobs N`` to execute on the experiment
 engine's process pool; results are identical to serial runs, and a
 shared per-invocation result cache deduplicates repeated work.  Passing
 ``--cache-dir PATH`` persists that cache to disk, making figure
-regeneration incremental *across* invocations and CI runs.  Commands
-that run contention models accept ``--model`` with any registered name
-(see ``repro models``).
+regeneration incremental *across* invocations and CI runs.  ``--workers
+URL,...`` shards the batch over ``repro worker`` processes instead
+(``mode="remote"``; see :mod:`repro.engine.remote` for the two-terminal
+quickstart).  Commands that run contention models accept ``--model``
+with any registered name (see ``repro models``).
 """
 
 from __future__ import annotations
@@ -68,24 +72,39 @@ from repro.platform.deployment import scenario_1, scenario_2
 from repro.platform.tc27x import tc277
 
 
+def _worker_urls(args: argparse.Namespace) -> tuple[str, ...]:
+    """Parse ``--workers URL,...`` into a URL tuple (empty = local)."""
+    raw = getattr(args, "workers", None) or ""
+    return tuple(url.strip() for url in raw.split(",") if url.strip())
+
+
 def _engine(args: argparse.Namespace) -> ExperimentEngine | None:
     """Build the execution engine a command asked for (None = serial).
 
-    ``--jobs N`` (N > 1) turns on the process pool; ``--cache-dir``
-    turns on disk-persistent result caching (serial execution unless
-    combined with ``--jobs``).  The instance is remembered on ``args``
-    so :func:`main` can shut its worker pool down once the command
-    returns.
+    ``--workers URL,...`` runs the batch on ``mode="remote"`` (sharded
+    over `repro worker` processes); otherwise ``--jobs N`` (N > 1) turns
+    on the local process pool.  ``--cache-dir`` turns on disk-persistent
+    result caching in either case (serial execution unless combined with
+    one of the two).  The instance is remembered on ``args`` so
+    :func:`main` can shut its worker pool down once the command returns.
     """
     jobs = getattr(args, "jobs", 1) or 1
     cache_dir = getattr(args, "cache_dir", None)
-    if jobs <= 1 and cache_dir is None:
+    urls = _worker_urls(args)
+    if urls:
+        engine = ExperimentEngine(
+            mode="remote",
+            worker_urls=urls,
+            cache=ResultCache(directory=cache_dir),
+        )
+    elif jobs > 1 or cache_dir is not None:
+        engine = ExperimentEngine(
+            mode="process" if jobs > 1 else "serial",
+            workers=jobs if jobs > 1 else None,
+            cache=ResultCache(directory=cache_dir),
+        )
+    else:
         return None
-    engine = ExperimentEngine(
-        mode="process" if jobs > 1 else "serial",
-        workers=jobs if jobs > 1 else None,
-        cache=ResultCache(directory=cache_dir),
-    )
     args._engine_instance = engine
     return engine
 
@@ -97,6 +116,14 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         default=1,
         metavar="N",
         help="fan independent jobs out over N worker processes",
+    )
+    parser.add_argument(
+        "--workers",
+        metavar="URL[,URL...]",
+        help=(
+            "comma-separated `repro worker` URLs; shards the batch over "
+            "them (mode='remote', overrides --jobs)"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
@@ -293,6 +320,13 @@ def _cmd_platform(args: argparse.Namespace) -> str:
     return tc277().block_diagram()
 
 
+def _cmd_worker(args: argparse.Namespace) -> str:
+    from repro.engine.remote.worker import serve
+
+    serve(host=args.host, port=args.port, cache_dir=args.cache_dir)
+    return "worker stopped"
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -401,6 +435,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_flag(p)
 
+    p = sub.add_parser(
+        "worker",
+        help="serve engine jobs over HTTP (the mode='remote' backend)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        help="TCP port (0 binds an ephemeral one; default 8750)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help=(
+            "shared disk result cache; workers pointed at the same PATH "
+            "dedupe each other's completed jobs"
+        ),
+    )
+
     sub.add_parser("platform", help="Figure 1 block diagram")
     return parser
 
@@ -419,6 +473,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "matrix": _cmd_matrix,
     "platform": _cmd_platform,
+    "worker": _cmd_worker,
 }
 
 

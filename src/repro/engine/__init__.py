@@ -7,8 +7,9 @@ The engine layer decouples *what* an experiment is from *how* it runs:
   optional DMA) registered under names, so new deployments are data;
 * :mod:`repro.engine.batch` / :mod:`repro.engine.runner` — experiments as
   batches of independent ``(scenario, workload, model)`` jobs, executed
-  serially (deterministic default) or fanned out over threads/processes,
-  with results always in job order;
+  serially (deterministic default), fanned out over threads/processes,
+  or sharded across a pool of HTTP workers (``mode="remote"``, see
+  :mod:`repro.engine.remote`), with results always in job order;
 * :mod:`repro.engine.cache` — a content-addressed result cache keyed by a
   stable hash of the job inputs, so repeated sweeps and figure
   regenerations skip re-simulation; ``ResultCache(directory=...)``
@@ -26,9 +27,16 @@ bit for bit.
 """
 
 from repro.engine.artifact import ExperimentArtifact, artifact
-from repro.engine.batch import Job, as_jobs, job
+from repro.engine.batch import Job, as_jobs, job, warm_units
 from repro.engine.cache import CacheStats, ResultCache, stable_hash
 from repro.engine.experiment import ScenarioRunResult, run_spec, run_specs
+from repro.engine.remote import (
+    RemoteExecutor,
+    RemoteStats,
+    WorkerServer,
+    wait_for_workers,
+    worker_health,
+)
 from repro.engine.registry import (
     ScenarioRegistry,
     builtin_specs,
@@ -53,8 +61,11 @@ __all__ = [
     "ExperimentArtifact",
     "ExperimentEngine",
     "Job",
+    "RemoteExecutor",
+    "RemoteStats",
     "ResultCache",
     "ScenarioRegistry",
+    "WorkerServer",
     "ScenarioRunResult",
     "ScenarioSpec",
     "WorkloadRef",
@@ -70,4 +81,7 @@ __all__ = [
     "run_specs",
     "scenario_names",
     "stable_hash",
+    "wait_for_workers",
+    "warm_units",
+    "worker_health",
 ]

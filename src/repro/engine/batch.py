@@ -19,7 +19,7 @@ result list always aligns with the job list, whatever executed where.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.engine.cache import stable_hash
 from repro.errors import EngineError
@@ -108,3 +108,30 @@ def as_jobs(jobs: Iterable[Job]) -> tuple[Job, ...]:
         if not isinstance(item, Job):
             raise EngineError(f"expected a Job, got {type(item).__qualname__}")
     return materialised
+
+
+def warm_units(batch: Sequence[Job], pending: Iterable[int]) -> list[list[int]]:
+    """Partition job indices into submission units.
+
+    Jobs with the same ``warm_group`` form one unit (in batch order);
+    every other job is its own unit.  A unit is the granularity at which
+    the pooled and remote execution backends place work on a worker:
+    executing one unit sequentially on one worker lets its batch-ILP
+    warm-start pool accumulate across the unit's structurally identical
+    solves.  Shared by the process-pool runner and the remote client so
+    both backends shard identically.
+    """
+    units: list[list[int]] = []
+    grouped: dict[str, list[int]] = {}
+    for index in pending:
+        group = batch[index].warm_group
+        if group is None:
+            units.append([index])
+            continue
+        bucket = grouped.get(group)
+        if bucket is None:
+            grouped[group] = bucket = [index]
+            units.append(bucket)
+        else:
+            bucket.append(index)
+    return units

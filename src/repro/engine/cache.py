@@ -31,6 +31,7 @@ import hashlib
 import json
 import os
 import pickle
+import tempfile
 import threading
 from collections.abc import Mapping, Set
 from pathlib import Path
@@ -40,6 +41,13 @@ from repro.errors import EngineError
 
 #: Sentinel distinguishing "cached None" from "not cached".
 _MISS = object()
+
+
+def _process_umask() -> int:
+    """The process umask (os offers no read-only accessor)."""
+    mask = os.umask(0)
+    os.umask(mask)
+    return mask
 
 
 def canonicalise(obj: Any) -> Any:
@@ -241,20 +249,50 @@ class ResultCache:
                 self._persist(key, value)
 
     def _persist(self, key: str, value: Any) -> None:
-        """Write one entry atomically (tmp + rename); best-effort only."""
+        """Write one entry atomically (tmp + rename); best-effort only.
+
+        The tmp file comes from :func:`tempfile.mkstemp`, which
+        guarantees a *fresh* name — a pid-suffixed name is not enough:
+        two cache instances in one process (an engine plus a worker, two
+        engines sharing ``--cache-dir``) share a pid, and pids collide
+        across hosts on a shared mount, so concurrent writers of the
+        same key could interleave writes into one tmp file and rename a
+        torn pickle into place.  With unique tmp names every rename
+        publishes a complete pickle; last write wins, as documented.
+        """
         path = self._path(key)
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        fd: int | None = None
+        tmp: str | None = None
         try:
-            with open(tmp, "wb") as handle:
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self._directory), prefix=f".{key}.", suffix=".tmp"
+            )
+            # mkstemp creates 0600; restore open()'s umask-derived mode
+            # so other *users* of a shared cache mount (a worker fleet)
+            # can read published entries.  Best-effort: a failure here
+            # must not abort the persist itself.
+            try:
+                os.fchmod(fd, 0o666 & ~_process_umask())
+            except (AttributeError, OSError):
+                pass
+            with os.fdopen(fd, "wb") as handle:
+                fd = None  # fdopen owns (and closes) the descriptor now
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
+            tmp = None
         except Exception:
             # Unpicklable value or unwritable directory: the entry simply
             # stays in-memory for this process.
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
+            if fd is not None:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
         """Convenience: lookup, computing and storing on a miss."""

@@ -1,0 +1,316 @@
+"""The remote client: shard a batch across a worker pool, fault-tolerantly.
+
+:class:`RemoteExecutor` is the engine-side half of ``mode="remote"``.  It
+partitions a batch into *units* (one per ``warm_group``, single jobs
+otherwise — the same partition the process pool uses, see
+:func:`repro.engine.batch.warm_units`), shards the units across the
+worker pool and collects results back into job order:
+
+* **warm-group sharding** — all units of one warm group hash to the same
+  worker (a stable CRC of the group tag over the live pool), so a
+  sweep's structurally identical ILPs land on one worker whose
+  :class:`~repro.ilp.batch.BatchSolver` stays warm across them;
+  ungrouped units round-robin for maximum fan-out;
+* **retry and reassignment** — a worker that refuses connections, times
+  out, answers with an HTTP error or returns an undecodable/truncated
+  envelope is marked dead for the executor's lifetime and every unit
+  still queued on it (including the in-flight one) is redistributed over
+  the survivors.  Jobs are pure, so re-running a unit whose response was
+  lost is always safe — and a worker fleet sharing a disk
+  :class:`~repro.engine.cache.ResultCache` will answer the rerun from
+  cache anyway (the cache key travels with each job);
+* **order-preserving collection** — results are written into the
+  caller's result list at each job's original index, so driver output is
+  byte-identical to serial execution whatever executed where;
+* **local fallback** — units no surviving worker could take are returned
+  to the engine, which executes them in-process (counted in
+  ``EngineStats.fallbacks``), keeping batches correct even when the
+  whole pool dies mid-flight.
+
+Job-level exceptions are *not* retried: a job that raises on a healthy
+worker would raise identically everywhere.  The batch drains fully and
+the **lowest-indexed** failing job's exception is re-raised — the same
+job whose error serial execution surfaces — so the error a caller sees
+never depends on scheduling.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import http.client
+import json
+import threading
+import time
+import urllib.request
+import zlib
+from typing import Any, Sequence
+
+from repro.engine.batch import Job, warm_units
+from repro.engine.remote.wire import (
+    WireJob,
+    decode_results,
+    encode_jobs,
+)
+from repro.engine.remote.worker import BATCH_PATH, HEALTH_PATH
+from repro.errors import EngineError, RemoteError
+
+#: Default per-request timeout.  Generous — matrix cells simulate for
+#: minutes — but finite, so a hung worker is eventually reassigned.
+DEFAULT_TIMEOUT = 600.0
+
+
+@dataclasses.dataclass
+class RemoteStats:
+    """Cumulative statistics of one :class:`RemoteExecutor`.
+
+    Attributes:
+        batches: :meth:`RemoteExecutor.execute` calls.
+        units: submission units posted successfully.
+        executed: jobs completed remotely (including cache answers).
+        remote_cached: the subset answered from a worker's shared cache.
+        reassigned: units re-queued onto survivors after a worker failure.
+        failed_workers: workers marked dead (connection/timeout/protocol).
+    """
+
+    batches: int = 0
+    units: int = 0
+    executed: int = 0
+    remote_cached: int = 0
+    reassigned: int = 0
+    failed_workers: int = 0
+
+
+class _WorkerFailure(Exception):
+    """Internal: one worker failed at the transport/protocol level."""
+
+
+class RemoteExecutor:
+    """Executes engine batches on a pool of ``repro worker`` processes.
+
+    Args:
+        urls: worker base URLs (e.g. ``("http://10.0.0.5:8750",)``).
+            Order matters only for deterministic sharding; duplicates are
+            dropped.
+        timeout: per-request timeout in seconds.  A worker that exceeds
+            it is treated as failed and its units are reassigned.
+
+    A worker marked dead stays dead for the executor's lifetime (the
+    engine builds one executor per engine instance, mirroring how a
+    broken process pool is not rebuilt mid-engine).
+    """
+
+    def __init__(
+        self, urls: Sequence[str], *, timeout: float = DEFAULT_TIMEOUT
+    ) -> None:
+        cleaned: list[str] = []
+        for url in urls:
+            url = url.strip().rstrip("/")
+            if url and url not in cleaned:
+                cleaned.append(url)
+        if not cleaned:
+            raise EngineError(
+                "remote execution needs at least one worker URL; start "
+                "workers with `repro worker` and pass their URLs"
+            )
+        if timeout <= 0:
+            raise EngineError("remote timeout must be positive")
+        self.urls = tuple(cleaned)
+        self.timeout = timeout
+        self.stats = RemoteStats()
+        self._dead: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def alive(self) -> list[str]:
+        """Workers not yet marked dead, in sharding order."""
+        return [url for url in self.urls if url not in self._dead]
+
+    def execute(
+        self,
+        batch: Sequence[Job],
+        pending: Sequence[int],
+        results: list[Any],
+    ) -> list[int]:
+        """Run ``pending`` jobs remotely, writing into ``results``.
+
+        Returns the indices no live worker could execute (empty in the
+        healthy case); the caller runs those in-process.  A job-level
+        exception propagates after the batch drains — always the
+        lowest-indexed failing job's, the one serial mode surfaces.
+        """
+        workers = self.alive()
+        if not workers:
+            return sorted(pending)
+        self.stats.batches += 1
+
+        units = warm_units(batch, pending)
+        queues: dict[str, collections.deque] = {
+            url: collections.deque() for url in workers
+        }
+        robin = 0
+        for unit in units:
+            group = batch[unit[0]].warm_group
+            if group is not None:
+                # Stable shard: one warm group always lands on one worker.
+                target = workers[
+                    zlib.crc32(group.encode("utf-8")) % len(workers)
+                ]
+            else:
+                target = workers[robin % len(workers)]
+                robin += 1
+            queues[target].append(unit)
+
+        cond = threading.Condition()
+        in_flight: dict[str, list[int] | None] = {u: None for u in workers}
+        leftovers: list[int] = []
+        job_errors: list[tuple[int, BaseException]] = []
+
+        def drain(url: str) -> None:
+            while True:
+                with cond:
+                    unit = None
+                    while unit is None:
+                        if url in self._dead:
+                            return
+                        if queues[url]:
+                            unit = queues[url].popleft()
+                            in_flight[url] = unit
+                            break
+                        # Idle — but another worker may still die and
+                        # reassign its queue here, so only exit once no
+                        # live worker holds queued or in-flight units.
+                        busy = any(
+                            queues[other] or in_flight[other]
+                            for other in workers
+                            if other != url and other not in self._dead
+                        )
+                        if not busy:
+                            return
+                        cond.wait(0.05)
+                try:
+                    outcomes = self._post_unit(url, batch, unit)
+                except _WorkerFailure:
+                    with cond:
+                        self._dead.add(url)
+                        self.stats.failed_workers += 1
+                        in_flight[url] = None
+                        orphans = [unit, *queues[url]]
+                        queues[url].clear()
+                        survivors = [
+                            other for other in workers
+                            if other not in self._dead
+                        ]
+                        if survivors:
+                            for offset, orphan in enumerate(orphans):
+                                queues[
+                                    survivors[offset % len(survivors)]
+                                ].append(orphan)
+                            self.stats.reassigned += len(orphans)
+                        else:
+                            for orphan in orphans:
+                                leftovers.extend(orphan)
+                        cond.notify_all()
+                    return
+                with cond:
+                    in_flight[url] = None
+                    for index, outcome in zip(unit, outcomes):
+                        if outcome.ok:
+                            results[index] = outcome.value
+                            self.stats.executed += 1
+                            if outcome.cached:
+                                self.stats.remote_cached += 1
+                        else:
+                            # Collect, don't bail: draining the batch
+                            # first makes the raised error deterministic
+                            # (lowest job index), not schedule-dependent.
+                            job_errors.append((index, outcome.error))
+                    self.stats.units += 1
+                    cond.notify_all()
+
+        threads = [
+            threading.Thread(
+                target=drain, args=(url,), name=f"repro-remote:{url}"
+            )
+            for url in workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        if job_errors:
+            job_errors.sort(key=lambda pair: pair[0])
+            raise job_errors[0][1]
+        return sorted(leftovers)
+
+    # ------------------------------------------------------------------
+    def _post_unit(
+        self, url: str, batch: Sequence[Job], unit: Sequence[int]
+    ) -> list:
+        """POST one unit to one worker; transport faults raise
+        :class:`_WorkerFailure` so the caller reassigns."""
+        body = encode_jobs(
+            [WireJob(batch[i], _cache_key(batch[i])) for i in unit]
+        )
+        request = urllib.request.Request(
+            url + BATCH_PATH,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                data = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            # Connection refused/reset, timeouts, HTTP 4xx/5xx
+            # (urllib.error.{URL,HTTP}Error are OSError subclasses).
+            raise _WorkerFailure(f"{url}: {exc}") from exc
+        try:
+            return decode_results(data, expected=len(unit))
+        except RemoteError as exc:
+            # Corrupt, truncated or version-mismatched response: the
+            # worker cannot be trusted with further units either.
+            raise _WorkerFailure(f"{url}: {exc}") from exc
+
+
+def _cache_key(item: Job) -> str | None:
+    """The job's content address, or ``None`` when it has no stable one."""
+    if not item.cacheable:
+        return None
+    try:
+        return item.resolved_cache_key()
+    except EngineError:
+        return None
+
+
+def worker_health(url: str, *, timeout: float = 5.0) -> dict:
+    """Fetch one worker's ``/healthz`` document (raises on any failure)."""
+    target = url.strip().rstrip("/") + HEALTH_PATH
+    with urllib.request.urlopen(target, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def wait_for_workers(
+    urls: Sequence[str], *, timeout: float = 30.0
+) -> None:
+    """Block until every worker answers its health check.
+
+    Used by CI scripts and the benchmark harness after launching
+    ``repro worker`` subprocesses; raises :class:`EngineError` when any
+    worker stays unreachable past ``timeout`` seconds.
+    """
+    deadline = time.monotonic() + timeout
+    for url in urls:
+        while True:
+            try:
+                worker_health(url, timeout=2.0)
+                break
+            except Exception as exc:
+                if time.monotonic() >= deadline:
+                    raise EngineError(
+                        f"worker {url} not reachable after {timeout:g}s: "
+                        f"{exc}"
+                    ) from exc
+                time.sleep(0.1)

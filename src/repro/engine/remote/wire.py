@@ -1,0 +1,253 @@
+"""Versioned job/result serialization of the remote execution backend.
+
+The remote protocol is JSON-over-HTTP: every request and response body is
+a JSON *envelope* carrying a ``protocol`` version, a ``kind`` tag and a
+list of items.  Engine jobs and their results are arbitrary picklable
+Python objects (dataclass records, enums, numpy-free plain data), so each
+item's payload is a pickle, base64-armoured inside the JSON document.
+The envelope keeps the parts a worker must read *without* unpickling —
+the protocol version, the job labels, the content-addressed cache keys —
+as plain JSON fields.
+
+Versioning: both sides speak exactly :data:`PROTOCOL_VERSION`.  A worker
+(or client) receiving any other version rejects the envelope with a
+:class:`~repro.errors.RemoteError` naming both versions, so mixed-version
+pools fail loudly instead of computing garbage.
+
+Cache-key passthrough: the client resolves each job's content-addressed
+cache key once (see :meth:`~repro.engine.batch.Job.resolved_cache_key`)
+and ships it alongside the pickle.  A worker holding a shared disk
+:class:`~repro.engine.cache.ResultCache` answers repeated keys from the
+cache without re-executing — and without recomputing the hash — which is
+what lets a worker fleet dedupe against one cache directory.
+
+Security note: payloads are pickles, and unpickling executes code.  Run
+workers only on hosts and networks where every client is trusted — the
+protocol authenticates nothing (same trust model as a shared SSH box).
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+import pickle
+from typing import Any, Sequence
+
+from repro.engine.batch import Job
+from repro.errors import RemoteError
+
+#: Version of the JSON-over-HTTP envelope this library speaks.  Bump on
+#: any incompatible change to the envelope or payload conventions.
+PROTOCOL_VERSION = 1
+
+_JOBS_KIND = "job-batch"
+_RESULTS_KIND = "result-batch"
+
+
+@dataclasses.dataclass(frozen=True)
+class WireJob:
+    """One engine job as shipped to a worker.
+
+    Attributes:
+        job: the :class:`~repro.engine.batch.Job` to execute.
+        cache_key: the client-resolved content address of the job's
+            result (``None`` for uncacheable jobs), so a worker with a
+            shared disk cache can dedupe without recomputing the hash.
+    """
+
+    job: Job
+    cache_key: str | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class WireResult:
+    """One job outcome as shipped back from a worker.
+
+    Attributes:
+        ok: whether the job completed; ``False`` means the job function
+            itself raised (worker-infrastructure failures never produce a
+            :class:`WireResult` — they surface as transport errors).
+        value: the job's return value (``ok`` results only).
+        error: the exception the job raised (``not ok`` results only).
+        cached: the value was answered from the worker's shared result
+            cache instead of being executed.
+    """
+
+    ok: bool
+    value: Any = None
+    error: BaseException | None = None
+    cached: bool = False
+
+
+def _pack(obj: Any) -> str:
+    """Pickle + base64 one payload object into a JSON-safe string."""
+    raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return base64.b64encode(raw).decode("ascii")
+
+
+def _unpack(text: Any) -> Any:
+    """Invert :func:`_pack`; malformed payloads raise :class:`RemoteError`."""
+    if not isinstance(text, str):
+        raise RemoteError(
+            f"wire payload must be a base64 string, got {type(text).__name__}"
+        )
+    try:
+        raw = base64.b64decode(text.encode("ascii"), validate=True)
+        return pickle.loads(raw)
+    except RemoteError:
+        raise
+    except Exception as exc:
+        raise RemoteError(f"undecodable wire payload: {exc}") from exc
+
+
+def _envelope(data: bytes, kind: str) -> dict:
+    """Parse and validate one envelope, checking version and kind."""
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise RemoteError(f"undecodable wire envelope: {exc}") from exc
+    if not isinstance(document, dict):
+        raise RemoteError(
+            f"wire envelope must be a JSON object, got "
+            f"{type(document).__name__}"
+        )
+    version = document.get("protocol")
+    if version != PROTOCOL_VERSION:
+        raise RemoteError(
+            f"unsupported remote protocol version {version!r}: this side "
+            f"speaks version {PROTOCOL_VERSION}; upgrade the older of "
+            "client and worker so both run the same repro release"
+        )
+    if document.get("kind") != kind:
+        raise RemoteError(
+            f"expected a {kind!r} envelope, got {document.get('kind')!r}"
+        )
+    return document
+
+
+def encode_jobs(items: Sequence[WireJob]) -> bytes:
+    """Serialise one job batch into a request body."""
+    payload = {
+        "protocol": PROTOCOL_VERSION,
+        "kind": _JOBS_KIND,
+        "jobs": [
+            {
+                "label": item.job.describe(),
+                "cache_key": item.cache_key,
+                "payload": _pack(item.job),
+            }
+            for item in items
+        ],
+    }
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def decode_jobs(data: bytes) -> list[WireJob]:
+    """Parse a request body back into :class:`WireJob` items."""
+    document = _envelope(data, _JOBS_KIND)
+    entries = document.get("jobs")
+    if not isinstance(entries, list):
+        raise RemoteError("job envelope carries no 'jobs' list")
+    items: list[WireJob] = []
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise RemoteError("job entry must be a JSON object")
+        item = _unpack(entry.get("payload"))
+        if not isinstance(item, Job):
+            raise RemoteError(
+                f"job payload decoded to {type(item).__name__}, not a Job"
+            )
+        key = entry.get("cache_key")
+        if key is not None and not isinstance(key, str):
+            raise RemoteError("job cache_key must be a string or null")
+        items.append(WireJob(job=item, cache_key=key))
+    return items
+
+
+def encode_results(items: Sequence[WireResult]) -> bytes:
+    """Serialise one result batch into a response body.
+
+    An unpicklable *value* raises (pickling is the same contract
+    process-pool mode imposes on results); an unpicklable *exception*
+    degrades to its type name and message, which the client rebuilds as
+    a :class:`RemoteError`.
+    """
+    encoded: list[dict] = []
+    for item in items:
+        if item.ok:
+            encoded.append(
+                {
+                    "ok": True,
+                    "cached": item.cached,
+                    "payload": _pack(item.value),
+                }
+            )
+        else:
+            entry: dict = {
+                "ok": False,
+                "error_type": type(item.error).__name__,
+                "error_message": str(item.error),
+            }
+            try:
+                entry["payload"] = _pack(item.error)
+            except Exception:
+                entry["payload"] = None
+            encoded.append(entry)
+    payload = {
+        "protocol": PROTOCOL_VERSION,
+        "kind": _RESULTS_KIND,
+        "results": encoded,
+    }
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def decode_results(
+    data: bytes, expected: int | None = None
+) -> list[WireResult]:
+    """Parse a response body back into :class:`WireResult` items.
+
+    Args:
+        data: the response body.
+        expected: when given, the number of results the batch must carry;
+            a mismatch (truncated or padded response) raises
+            :class:`RemoteError` so the client treats the worker as
+            failed rather than mis-aligning results with jobs.
+    """
+    document = _envelope(data, _RESULTS_KIND)
+    entries = document.get("results")
+    if not isinstance(entries, list):
+        raise RemoteError("result envelope carries no 'results' list")
+    if expected is not None and len(entries) != expected:
+        raise RemoteError(
+            f"worker returned {len(entries)} results for {expected} jobs"
+        )
+    items: list[WireResult] = []
+    for entry in entries:
+        if not isinstance(entry, dict) or "ok" not in entry:
+            raise RemoteError("result entry must be a JSON object with 'ok'")
+        if entry["ok"]:
+            items.append(
+                WireResult(
+                    ok=True,
+                    value=_unpack(entry.get("payload")),
+                    cached=bool(entry.get("cached")),
+                )
+            )
+        else:
+            error: BaseException | None = None
+            payload = entry.get("payload")
+            if payload is not None:
+                try:
+                    decoded = _unpack(payload)
+                except RemoteError:
+                    decoded = None
+                if isinstance(decoded, BaseException):
+                    error = decoded
+            if error is None:
+                error = RemoteError(
+                    "remote job failed with "
+                    f"{entry.get('error_type')}: {entry.get('error_message')}"
+                )
+            items.append(WireResult(ok=False, error=error))
+    return items

@@ -7,17 +7,21 @@ Every analysis driver expresses its experiment as a batch of independent
 * consults its :class:`~repro.engine.cache.ResultCache` first — a job
   whose content hash was seen before returns instantly, without touching
   the simulator or a solver;
-* executes the remaining jobs in one of three modes: ``"serial"`` (the
+* executes the remaining jobs in one of four modes: ``"serial"`` (the
   deterministic fallback and the default), ``"thread"`` or ``"process"``
-  (``concurrent.futures`` fan-out over CPU cores);
+  (``concurrent.futures`` fan-out over CPU cores), or ``"remote"``
+  (fan-out over a pool of ``repro worker`` HTTP processes, on one host
+  or many — see :mod:`repro.engine.remote`);
 * always returns results **in job order**, so driver output is identical
   in every mode — parallelism changes wall-clock time, never artefacts.
 
-Robustness: process pools need picklable jobs and a platform that allows
-spawning workers.  Jobs that cannot be pickled (e.g. carrying a closure-
-backed :class:`~repro.sim.program.TaskProgram`) and pool start-up failures
-silently degrade to in-process execution; ``stats.fallbacks`` records how
-often that happened.
+Robustness: process pools and remote workers need picklable jobs.  Jobs
+that cannot be pickled (e.g. carrying a closure-backed
+:class:`~repro.sim.program.TaskProgram`), pool start-up failures and
+dead remote pools silently degrade to in-process execution;
+``stats.fallbacks`` records how often that happened.  A remote worker
+that dies, hangs or corrupts mid-batch is dropped and its jobs are
+retried on the surviving workers (``remote_stats`` records it).
 """
 
 from __future__ import annotations
@@ -33,12 +37,13 @@ from concurrent.futures import (
 )
 from typing import Any, Iterable, Sequence
 
-from repro.engine.batch import Job, as_jobs
+from repro.engine.batch import Job, as_jobs, warm_units
 from repro.engine.cache import ResultCache, is_miss
+from repro.engine.remote.client import RemoteExecutor, RemoteStats
 from repro.errors import EngineError
 
 #: Supported execution modes.
-EXECUTION_MODES = ("serial", "thread", "process")
+EXECUTION_MODES = ("serial", "thread", "process", "remote")
 
 
 @dataclasses.dataclass
@@ -80,11 +85,17 @@ class ExperimentEngine:
     """Runs job batches with optional parallelism and result caching.
 
     Args:
-        mode: ``"serial"`` (default), ``"thread"`` or ``"process"``.
+        mode: ``"serial"`` (default), ``"thread"``, ``"process"`` or
+            ``"remote"``.
         workers: worker count for the pooled modes; defaults to the CPU
             count.  The pool is created lazily on the first pooled batch
             and reused until :meth:`close` (or context-manager exit).
         cache: shared :class:`ResultCache`; ``None`` disables caching.
+        worker_urls: base URLs of ``repro worker`` processes; required
+            by (and only valid with) ``mode="remote"``.
+        remote_timeout: per-request timeout for remote mode, in seconds;
+            a worker exceeding it is dropped and its jobs reassigned
+            (``None`` keeps the client's generous default).
     """
 
     def __init__(
@@ -93,6 +104,8 @@ class ExperimentEngine:
         mode: str = "serial",
         workers: int | None = None,
         cache: ResultCache | None = None,
+        worker_urls: Sequence[str] | None = None,
+        remote_timeout: float | None = None,
     ) -> None:
         if mode not in EXECUTION_MODES:
             raise EngineError(
@@ -101,17 +114,37 @@ class ExperimentEngine:
             )
         if workers is not None and workers < 1:
             raise EngineError("worker count must be at least 1")
+        if mode == "remote":
+            if not worker_urls:
+                raise EngineError(
+                    "mode='remote' needs worker_urls=(...); start workers "
+                    "with `repro worker` and pass their URLs"
+                )
+        elif worker_urls:
+            raise EngineError(
+                "worker_urls only applies to mode='remote', "
+                f"not mode={mode!r}"
+            )
         self.mode = mode
         self.workers = workers
         self.cache = cache
+        self.worker_urls = tuple(worker_urls) if worker_urls else ()
+        self.remote_timeout = remote_timeout
         self.stats = EngineStats()
         self._executor: Executor | None = None
+        self._remote: RemoteExecutor | None = None
 
     # ------------------------------------------------------------------
     @property
     def run_count(self) -> int:
         """Jobs executed so far (excludes cache hits)."""
         return self.stats.executed
+
+    @property
+    def remote_stats(self) -> RemoteStats | None:
+        """The remote executor's statistics (``None`` until the first
+        remote batch, or in the local modes)."""
+        return self._remote.stats if self._remote is not None else None
 
     def _worker_count(self) -> int:
         return max(1, self.workers or os.cpu_count() or 1)
@@ -181,13 +214,27 @@ class ExperimentEngine:
     def _execute(
         self, batch: Sequence[Job], pending: list[int], results: list[Any]
     ) -> None:
-        if self.mode == "serial" or len(pending) == 1:
+        # Remote mode ships even single-job batches: the worker may hold
+        # warm solver state or a shared disk cache the client lacks.
+        if self.mode == "serial" or (
+            len(pending) == 1 and self.mode != "remote"
+        ):
             self._execute_serial(batch, pending, results)
             return
-        if self.mode == "process":
+        if self.mode in ("process", "remote"):
             pooled, local = self._split_picklable(batch, pending)
         else:
             pooled, local = list(pending), []
+        if self.mode == "remote":
+            if pooled:
+                leftover = self._remote_execute(batch, pooled, results)
+                if leftover:
+                    # The whole worker pool died: finish in-process.
+                    self.stats.fallbacks += len(leftover)
+                    local = sorted(local + leftover)
+            if local:
+                self._execute_serial(batch, local, results)
+            return
         if pooled and not self._pool_execute(batch, pooled, results):
             # No pool on this platform: degrade to in-process execution.
             # Jobs are pure, so re-running any that completed before the
@@ -262,30 +309,37 @@ class ExperimentEngine:
         self.stats.executed += len(pooled)
         return True
 
+    def _remote_execute(
+        self, batch: Sequence[Job], pooled: Sequence[int], results: list[Any]
+    ) -> list[int]:
+        """Run ``pooled`` jobs on the remote worker pool.
+
+        The executor shards warm groups across workers, retries units
+        whose worker failed on the survivors, and preserves job order.
+        Returns the indices no live worker could run (the caller
+        finishes those in-process); job exceptions propagate unchanged,
+        exactly as in serial mode.
+        """
+        if self._remote is None:
+            kwargs = {}
+            if self.remote_timeout is not None:
+                kwargs["timeout"] = self.remote_timeout
+            self._remote = RemoteExecutor(self.worker_urls, **kwargs)
+        leftover = self._remote.execute(batch, pooled, results)
+        self.stats.executed += len(pooled) - len(leftover)
+        return leftover
+
     @staticmethod
     def _warm_units(
         batch: Sequence[Job], pooled: Sequence[int]
     ) -> list[list[int]]:
         """Partition pooled job indices into submission units.
 
-        Jobs with the same ``warm_group`` form one unit (in batch
-        order); every other job is its own unit, preserving the
-        historical one-job-per-future fan-out.
+        Delegates to :func:`repro.engine.batch.warm_units`, the shared
+        partition the remote client also shards by, preserving the
+        historical one-job-per-future fan-out for ungrouped jobs.
         """
-        units: list[list[int]] = []
-        grouped: dict[str, list[int]] = {}
-        for index in pooled:
-            group = batch[index].warm_group
-            if group is None:
-                units.append([index])
-                continue
-            bucket = grouped.get(group)
-            if bucket is None:
-                grouped[group] = bucket = [index]
-                units.append(bucket)
-            else:
-                bucket.append(index)
-        return units
+        return warm_units(batch, pooled)
 
     def _execute_serial(
         self, batch: Sequence[Job], pending: Sequence[int], results: list[Any]

@@ -64,3 +64,15 @@ class WorkloadError(ReproError):
 class EngineError(ReproError):
     """The experiment engine was misused (unknown scenario, bad batch,
     unhashable cache key, invalid execution mode, ...)."""
+
+
+class RemoteError(EngineError):
+    """The remote execution backend failed at the protocol level.
+
+    Raised for wire-format violations (undecodable envelopes, protocol
+    version mismatches, truncated result batches) and for remote job
+    failures whose original exception could not be reconstructed on the
+    client.  Transport-level worker failures (connection refused, request
+    timeout) are *not* surfaced as errors — the client retries them on
+    surviving workers and, with none left, the engine falls back to
+    in-process execution."""

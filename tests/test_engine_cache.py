@@ -217,3 +217,92 @@ class TestDiskPersistence:
             assert two.run(batch) == [6]
             assert two.stats.executed == 0
         assert calls == [3]
+
+
+class TestConcurrentWriters:
+    """Regression: concurrent same-key disk writes must never publish a
+    torn pickle.
+
+    The old tmp-file naming (``<key>.pkl.tmp<pid>``) collided whenever
+    two cache *instances* shared a process — an engine next to an
+    in-process worker, two engines over one ``--cache-dir`` — because
+    they share a pid: both writers opened the same tmp file, interleaved
+    their writes, and renamed a torn pickle into place.  mkstemp-backed
+    tmp names make every rename publish a complete value.
+    """
+
+    def test_two_instances_same_process_write_same_key(self, tmp_path):
+        import threading
+
+        caches = [ResultCache(directory=tmp_path) for _ in range(4)]
+        # Distinct large payloads per writer: a torn interleaving of two
+        # of them cannot unpickle to any single writer's value.
+        payloads = {i: [i] * 50_000 for i in range(len(caches))}
+        barrier = threading.Barrier(len(caches))
+        errors = []
+
+        def write(index):
+            try:
+                barrier.wait()
+                for _ in range(20):
+                    caches[index].store("shared-key", payloads[index])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(i,))
+            for i in range(len(caches))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+        # A fresh instance must read back one COMPLETE writer's value.
+        cache = ResultCache(directory=tmp_path)
+        value = cache.lookup("shared-key")
+        assert not is_miss(value)
+        assert value in payloads.values()
+        # Published entries keep open()'s umask-derived mode (mkstemp's
+        # private 0600 would lock other users out of a shared fleet
+        # cache mount).
+        import os
+        import stat
+
+        mode = stat.S_IMODE(
+            os.stat(cache._path("shared-key")).st_mode
+        )
+        umask = os.umask(0)
+        os.umask(umask)
+        assert mode == 0o666 & ~umask
+        # No tmp litter left behind, and nothing matching the .pkl glob
+        # that clear() uses.
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+    def test_tmp_files_never_collide_even_for_one_key(self, tmp_path):
+        """Two interleaved persists of one key use distinct tmp names."""
+        import repro.engine.cache as cache_module
+
+        cache = ResultCache(directory=tmp_path)
+        seen = []
+        original = cache_module.tempfile.mkstemp
+
+        def spy(*args, **kwargs):
+            fd, name = original(*args, **kwargs)
+            seen.append(name)
+            return fd, name
+
+        cache_module.tempfile = type(
+            "T", (), {"mkstemp": staticmethod(spy)}
+        )()
+        try:
+            cache.store("k", 1)
+            cache.store("k", 2)
+        finally:
+            cache_module.tempfile = __import__("tempfile")
+        assert len(seen) == 2
+        assert seen[0] != seen[1]

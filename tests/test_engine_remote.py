@@ -1,0 +1,414 @@
+"""Fault-injection harness for the remote execution backend.
+
+Real in-process workers (actual HTTP servers on loopback sockets, not
+mocks) serve real engine batches — Figure 4, the model × scenario
+matrix, soundness sweeps — while the harness kills, hangs or corrupts
+one of them mid-batch.  The contract under test: whatever fails, the
+client retries and reassigns the affected units, and the final results
+(and the rendered artefacts) are byte-identical to ``mode="serial"``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.experiments import (
+    figure4_paper_mode,
+    model_scenario_matrix,
+)
+from repro.analysis.export import matrix_artifact
+from repro.analysis.report import render_artifact, render_figure4
+from repro.analysis.validation import random_soundness_sweep
+from repro.engine import ExperimentEngine, ResultCache, get_scenario
+from repro.engine.batch import job
+from repro.engine.remote.client import RemoteExecutor, worker_health
+from repro.engine.remote.wire import WireJob
+from repro.engine.remote.worker import WorkerServer
+from repro.errors import EngineError
+from repro.platform.deployment import scenario_1
+
+#: Small-but-real matrix slice: two specs x two models, scaled down.
+MATRIX_MODELS = ("ftc-refined", "ilp-ptac")
+MATRIX_SCALE = 1 / 16
+
+
+def _matrix_specs():
+    return [
+        get_scenario("scenario1-pair-H").scaled(MATRIX_SCALE),
+        get_scenario("scenario2-pair-L").scaled(MATRIX_SCALE),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fault-injection worker subclasses.  They override handle_batch INSIDE
+# the HTTP plumbing, so every injected fault travels the real transport
+# and error-handling paths the client sees in production.
+# ----------------------------------------------------------------------
+class RecordingServer(WorkerServer):
+    """Healthy worker that records the labels of the jobs it executed."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.labels: list[str] = []
+
+    def execute_job(self, item: WireJob):
+        self.labels.append(item.job.describe())
+        return super().execute_job(item)
+
+
+class DyingServer(WorkerServer):
+    """Serves ``healthy_batches`` batch requests, then crashes on every
+    later one (HTTP 500 — what an OOM-killed or panicking worker's
+    front-end reports, and what a fully dead socket degrades to)."""
+
+    def __init__(self, *args, healthy_batches=1, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.healthy_batches = healthy_batches
+        self.served = 0
+
+    def handle_batch(self, body):
+        if self.served >= self.healthy_batches:
+            raise RuntimeError("injected worker crash")
+        self.served += 1
+        return super().handle_batch(body)
+
+
+class HangingServer(WorkerServer):
+    """Serves ``healthy_batches`` requests, then hangs past any client
+    timeout before answering."""
+
+    def __init__(self, *args, healthy_batches=0, hang=5.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.healthy_batches = healthy_batches
+        self.hang = hang
+        self.served = 0
+
+    def handle_batch(self, body):
+        if self.served >= self.healthy_batches:
+            time.sleep(self.hang)
+        self.served += 1
+        return super().handle_batch(body)
+
+
+class CorruptingServer(WorkerServer):
+    """Serves ``healthy_batches`` requests, then answers with garbage
+    bytes (a truncated/corrupted response as seen after e.g. a proxy
+    failure or torn connection)."""
+
+    def __init__(self, *args, healthy_batches=0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.healthy_batches = healthy_batches
+        self.served = 0
+
+    def handle_batch(self, body):
+        self.served += 1
+        if self.served > self.healthy_batches:
+            return b"\x00garbage, not a result envelope"
+        return super().handle_batch(body)
+
+
+@pytest.fixture
+def start_worker(request):
+    """Factory fixture: start an in-process worker, stopped on teardown."""
+
+    def _start(cls=WorkerServer, **kwargs):
+        server = cls(**kwargs).start()
+        request.addfinalizer(server.stop)
+        return server
+
+    return _start
+
+
+def _remote_engine(*servers, timeout=None, cache=None):
+    return ExperimentEngine(
+        mode="remote",
+        worker_urls=tuple(server.url for server in servers),
+        remote_timeout=timeout,
+        cache=cache,
+    )
+
+
+# ----------------------------------------------------------------------
+# Healthy-pool parity: remote == serial, byte for byte
+# ----------------------------------------------------------------------
+class TestRemoteMatchesSerial:
+    def test_figure4_paper_batch(self, start_worker):
+        serial = figure4_paper_mode()
+        engine = _remote_engine(start_worker(), start_worker())
+        remote = figure4_paper_mode(engine=engine)
+        assert remote == serial
+        assert render_figure4(remote) == render_figure4(serial)
+        assert engine.stats.executed == len(serial)
+        assert engine.stats.fallbacks == 0
+
+    def test_matrix_batch(self, start_worker):
+        serial = model_scenario_matrix(
+            models=MATRIX_MODELS, specs=_matrix_specs()
+        )
+        engine = _remote_engine(start_worker(), start_worker())
+        remote = model_scenario_matrix(
+            models=MATRIX_MODELS, specs=_matrix_specs(), engine=engine
+        )
+        assert remote == serial
+        assert render_artifact(matrix_artifact(remote)) == render_artifact(
+            matrix_artifact(serial)
+        )
+
+    def test_soundness_batch(self, start_worker):
+        scenario = scenario_1()
+        serial = random_soundness_sweep(scenario, pairs=2, max_requests=300)
+        engine = _remote_engine(start_worker(), start_worker())
+        remote = random_soundness_sweep(
+            scenario, pairs=2, max_requests=300, engine=engine
+        )
+        assert remote == serial
+        assert remote.all_sound
+
+    def test_health_endpoint_reports_protocol_and_stats(self, start_worker):
+        server = start_worker()
+        engine = _remote_engine(server)
+        engine.run([job(max, 1, 2)])
+        health = worker_health(server.url)
+        assert health["status"] == "ok"
+        assert health["protocol"] == 1
+        assert health["executed"] == 1
+
+
+# ----------------------------------------------------------------------
+# Warm-group sharding
+# ----------------------------------------------------------------------
+class TestWarmGroupSharding:
+    def test_one_group_lands_on_one_worker(self, start_worker):
+        servers = [start_worker(RecordingServer) for _ in range(3)]
+        engine = _remote_engine(*servers)
+        rows = figure4_paper_mode(engine=engine)
+        assert rows == figure4_paper_mode()
+        # Every ilp-ptac (scenario, model) family is one warm group; all
+        # of its bars must have executed on a single worker.
+        for scenario in ("scenario1", "scenario2"):
+            prefix = f"figure4-paper:{scenario}:ilp-ptac:"
+            hosting = [
+                server
+                for server in servers
+                if any(label.startswith(prefix) for label in server.labels)
+            ]
+            assert len(hosting) == 1, prefix
+            hosted = [
+                label
+                for label in hosting[0].labels
+                if label.startswith(prefix)
+            ]
+            assert len(hosted) == 3  # H, M, L — the whole group
+
+    def test_sharding_is_deterministic_across_batches(self, start_worker):
+        servers = [start_worker(RecordingServer) for _ in range(2)]
+        engine = ExperimentEngine(
+            mode="remote",
+            worker_urls=tuple(server.url for server in servers),
+        )
+
+        def batch():
+            return [
+                job(max, i, 10 - i, label=f"g{i % 2}:{i}",
+                    warm_group=f"group-{i % 2}")
+                for i in range(6)
+            ]
+
+        engine.run(batch())
+        first = [tuple(server.labels) for server in servers]
+        engine.run(batch())
+        second = [tuple(server.labels[len(f):])
+                  for server, f in zip(servers, first)]
+        assert [sorted(f) for f in first] == [sorted(s) for s in second]
+
+
+# ----------------------------------------------------------------------
+# Fault injection: kill / hang / corrupt one worker mid-batch
+# ----------------------------------------------------------------------
+class TestFaultInjection:
+    def test_worker_killed_mid_matrix_batch(self, start_worker):
+        """The acceptance criterion: matrix through 2 workers with one
+        killed mid-batch still produces byte-identical artefacts."""
+        serial = model_scenario_matrix(
+            models=MATRIX_MODELS, specs=_matrix_specs()
+        )
+        dying = start_worker(DyingServer, healthy_batches=1)
+        engine = _remote_engine(dying, start_worker())
+        remote = model_scenario_matrix(
+            models=MATRIX_MODELS, specs=_matrix_specs(), engine=engine
+        )
+        assert remote == serial
+        assert render_artifact(matrix_artifact(remote)) == render_artifact(
+            matrix_artifact(serial)
+        )
+        assert engine.remote_stats.failed_workers == 1
+        assert engine.remote_stats.reassigned >= 1
+        assert engine.stats.fallbacks == 0  # survivors absorbed the load
+
+    def test_worker_killed_mid_figure4_batch(self, start_worker):
+        serial = figure4_paper_mode()
+        dying = start_worker(DyingServer, healthy_batches=1)
+        engine = _remote_engine(dying, start_worker())
+        remote = figure4_paper_mode(engine=engine)
+        assert remote == serial
+        assert render_figure4(remote) == render_figure4(serial)
+        assert engine.remote_stats.failed_workers == 1
+
+    def test_worker_killed_mid_soundness_batch(self, start_worker):
+        scenario = scenario_1()
+        serial = random_soundness_sweep(scenario, pairs=3, max_requests=300)
+        dying = start_worker(DyingServer, healthy_batches=1)
+        engine = _remote_engine(dying, start_worker())
+        remote = random_soundness_sweep(
+            scenario, pairs=3, max_requests=300, engine=engine
+        )
+        assert remote == serial
+        assert engine.remote_stats.failed_workers == 1
+
+    def test_hanging_worker_is_reassigned(self, start_worker):
+        # The healthy worker's real units must fit the timeout with a
+        # wide margin even on a loaded CI box; only the injected hang
+        # (far past the timeout) may trip it.
+        hanging = start_worker(HangingServer, hang=5.0)
+        engine = _remote_engine(hanging, start_worker(), timeout=1.5)
+        rows = figure4_paper_mode(engine=engine)
+        assert rows == figure4_paper_mode()
+        assert engine.remote_stats.failed_workers == 1
+        assert engine.remote_stats.reassigned >= 1
+
+    def test_corrupting_worker_is_reassigned(self, start_worker):
+        corrupting = start_worker(CorruptingServer, healthy_batches=1)
+        engine = _remote_engine(corrupting, start_worker())
+        rows = figure4_paper_mode(engine=engine)
+        assert rows == figure4_paper_mode()
+        assert engine.remote_stats.failed_workers == 1
+
+    def test_whole_pool_dead_falls_back_in_process(self, start_worker):
+        dying = start_worker(DyingServer, healthy_batches=0)
+        engine = _remote_engine(dying)
+        rows = figure4_paper_mode(engine=engine)
+        assert rows == figure4_paper_mode()
+        assert engine.stats.fallbacks > 0
+        assert engine.remote_stats.executed == 0
+
+    def test_unreachable_worker_from_the_start(self, start_worker):
+        good = start_worker()
+        stopped = WorkerServer().start()
+        url = stopped.url
+        stopped.stop()  # connection refused from the first request
+        engine = ExperimentEngine(
+            mode="remote", worker_urls=(url, good.url)
+        )
+        assert engine.run([job(max, i, i + 1) for i in range(4)]) == [
+            max(i, i + 1) for i in range(4)
+        ]
+        assert engine.remote_stats.failed_workers == 1
+
+    def test_dead_worker_stays_dead_across_batches(self, start_worker):
+        dying = start_worker(DyingServer, healthy_batches=0)
+        good = start_worker()
+        engine = _remote_engine(dying, good)
+        engine.run([job(max, 1, 2)])
+        engine.run([job(max, 3, 4)])
+        # One failure total: later batches never re-try the dead worker.
+        assert engine.remote_stats.failed_workers == 1
+        assert dying.stats.failures == 1
+
+
+# ----------------------------------------------------------------------
+# Execution semantics
+# ----------------------------------------------------------------------
+def _raise_value_error():
+    raise ValueError("bad model input")
+
+
+def _raise_key_error():
+    raise KeyError("missing reading")
+
+
+class TestRemoteSemantics:
+    def test_job_exceptions_propagate_and_are_not_worker_failures(
+        self, start_worker
+    ):
+        engine = _remote_engine(start_worker(), start_worker())
+        with pytest.raises(ValueError, match="bad model input"):
+            engine.run([job(max, 1, 2), job(_raise_value_error)])
+        assert engine.remote_stats.failed_workers == 0
+
+    def test_lowest_indexed_job_error_wins_deterministically(
+        self, start_worker
+    ):
+        """Two failing jobs in different units on different workers:
+        the raised error must be the lowest-indexed one — the same job
+        serial execution surfaces — not whichever unit finished first."""
+        engine = _remote_engine(start_worker(), start_worker())
+        batch = [
+            job(max, 1, 2),
+            job(_raise_key_error),     # index 1: the error serial sees
+            job(max, 3, 4),
+            job(_raise_value_error),   # index 3: may finish first
+        ]
+        with pytest.raises(KeyError):
+            engine.run(batch)
+
+    def test_unpicklable_jobs_fall_back_in_process(self, start_worker):
+        engine = _remote_engine(start_worker())
+        calls = []
+
+        def local_job():
+            calls.append(1)
+            return "ran-locally"
+
+        results = engine.run([job(local_job), job(max, 1, 2)])
+        assert results == ["ran-locally", 2]
+        assert calls == [1]
+        assert engine.stats.fallbacks >= 1
+
+    def test_single_job_batches_still_go_remote(self, start_worker):
+        server = start_worker()
+        engine = _remote_engine(server)
+        assert engine.run([job(max, 7, 8)]) == [8]
+        assert server.stats.executed == 1
+
+    def test_workers_dedupe_through_a_shared_disk_cache(
+        self, start_worker, tmp_path
+    ):
+        def fleet():
+            return [
+                start_worker(cache=ResultCache(directory=tmp_path))
+                for _ in range(2)
+            ]
+
+        batch = lambda: _solve_free_jobs()  # noqa: E731
+        first = fleet()
+        engine = _remote_engine(*first)
+        results = engine.run(batch())
+        executed = sum(server.stats.executed for server in first)
+        assert executed == len(results)
+
+        # A *fresh* fleet sharing the same directory answers everything
+        # from the cache: the keys travelled with the jobs.
+        second = fleet()
+        engine2 = _remote_engine(*second)
+        assert engine2.run(batch()) == results
+        assert sum(server.stats.executed for server in second) == 0
+        assert sum(server.stats.cached for server in second) == len(results)
+        assert engine2.remote_stats.remote_cached == len(results)
+
+    def test_engine_validates_remote_configuration(self):
+        with pytest.raises(EngineError, match="worker_urls"):
+            ExperimentEngine(mode="remote")
+        with pytest.raises(EngineError, match="only applies"):
+            ExperimentEngine(mode="process", worker_urls=("http://x",))
+        with pytest.raises(EngineError, match="at least one"):
+            RemoteExecutor([])
+        with pytest.raises(EngineError, match="positive"):
+            RemoteExecutor(["http://x"], timeout=0)
+
+
+def _solve_free_jobs():
+    """A cacheable all-picklable batch of cheap jobs."""
+    return [job(pow, 2, exponent, label=f"pow:{exponent}")
+            for exponent in range(5)]

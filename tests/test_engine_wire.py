@@ -1,0 +1,203 @@
+"""Property tests for the remote backend's versioned wire format.
+
+The contract: any picklable job/result payload survives
+serialize→deserialize bit-exactly, and malformed or version-mismatched
+envelopes are rejected with a clear :class:`RemoteError` — never decoded
+into garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.batch import Job, job
+from repro.engine.remote.wire import (
+    PROTOCOL_VERSION,
+    WireJob,
+    WireResult,
+    decode_jobs,
+    decode_results,
+    encode_jobs,
+    encode_results,
+)
+from repro.errors import RemoteError
+
+# Arbitrary picklable, equality-comparable payload data.  NaN is excluded
+# because x != x would break the equality-based round-trip assertion (the
+# wire itself carries NaN fine — pickle is exact).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+_payloads = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+        st.frozensets(st.integers(), max_size=4),
+    ),
+    max_leaves=16,
+)
+
+_labels = st.text(max_size=30)
+_keys = st.one_of(st.none(), st.text(min_size=1, max_size=64))
+
+
+def _job_of(args, kwargs, label, warm_group) -> Job:
+    return job(max, *args, label=label, warm_group=warm_group, **kwargs)
+
+
+class TestJobRoundTrip:
+    @given(
+        args=st.lists(_payloads, max_size=3),
+        kwargs=st.dictionaries(
+            st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True),
+            _payloads,
+            max_size=3,
+        ),
+        label=_labels,
+        warm_group=st.one_of(st.none(), st.text(min_size=1, max_size=16)),
+        cache_key=_keys,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_job_arguments_survive(
+        self, args, kwargs, label, warm_group, cache_key
+    ):
+        item = WireJob(
+            job=_job_of(args, kwargs, label, warm_group),
+            cache_key=cache_key,
+        )
+        [decoded] = decode_jobs(encode_jobs([item]))
+        assert decoded.job == item.job
+        assert decoded.job.args == tuple(args)
+        assert dict(decoded.job.kwargs) == kwargs
+        assert decoded.job.warm_group == warm_group
+        assert decoded.cache_key == cache_key
+
+    def test_batch_order_is_preserved(self):
+        items = [
+            WireJob(job(max, i, i + 1, label=f"j{i}")) for i in range(7)
+        ]
+        decoded = decode_jobs(encode_jobs(items))
+        assert [d.job.label for d in decoded] == [f"j{i}" for i in range(7)]
+
+    def test_function_identity_survives(self):
+        [decoded] = decode_jobs(encode_jobs([WireJob(job(max, 3, 5))]))
+        assert decoded.job.run() == 5
+
+
+class TestResultRoundTrip:
+    @given(value=_payloads, cached=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_values_survive(self, value, cached):
+        [decoded] = decode_results(
+            encode_results([WireResult(ok=True, value=value, cached=cached)])
+        )
+        assert decoded.ok
+        assert decoded.value == value
+        assert decoded.cached == cached
+
+    def test_special_floats_survive_exactly(self):
+        values = [math.inf, -math.inf, 1e-323, -0.0]
+        decoded = decode_results(
+            encode_results([WireResult(ok=True, value=v) for v in values])
+        )
+        assert [d.value for d in decoded] == values
+        # pickle round-trips NaN too; assert via isnan, not equality.
+        [nan] = decode_results(
+            encode_results([WireResult(ok=True, value=math.nan)])
+        )
+        assert math.isnan(nan.value)
+
+    @given(message=st.text(max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_exceptions_survive_with_type_and_message(self, message):
+        [decoded] = decode_results(
+            encode_results(
+                [WireResult(ok=False, error=ValueError(message))]
+            )
+        )
+        assert not decoded.ok
+        assert isinstance(decoded.error, ValueError)
+        assert str(decoded.error) == message
+
+    def test_unpicklable_exception_degrades_to_remote_error(self):
+        class Local(Exception):
+            """Defined in a function scope: unpicklable by design."""
+
+        [decoded] = decode_results(
+            encode_results([WireResult(ok=False, error=Local("boom"))])
+        )
+        assert not decoded.ok
+        assert isinstance(decoded.error, RemoteError)
+        assert "Local" in str(decoded.error)
+        assert "boom" in str(decoded.error)
+
+    def test_expected_count_mismatch_rejected(self):
+        data = encode_results([WireResult(ok=True, value=1)])
+        with pytest.raises(RemoteError, match="1 results for 2 jobs"):
+            decode_results(data, expected=2)
+
+
+class TestEnvelopeValidation:
+    @given(version=st.one_of(st.integers(), st.text(max_size=8), st.none()))
+    @settings(max_examples=40, deadline=None)
+    def test_unknown_protocol_versions_rejected(self, version):
+        document = json.loads(encode_jobs([WireJob(job(max, 1, 2))]))
+        document["protocol"] = version
+        data = json.dumps(document).encode()
+        if version == PROTOCOL_VERSION:
+            assert decode_jobs(data)
+            return
+        with pytest.raises(RemoteError) as excinfo:
+            decode_jobs(data)
+        # The error must name both versions so mixed fleets are debuggable.
+        assert str(PROTOCOL_VERSION) in str(excinfo.value)
+        assert repr(version) in str(excinfo.value)
+
+    def test_wrong_kind_rejected(self):
+        data = encode_results([WireResult(ok=True, value=1)])
+        with pytest.raises(RemoteError, match="job-batch"):
+            decode_jobs(data)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"",
+            b"not json at all",
+            b"[1, 2, 3]",
+            b'{"protocol": 1}',
+            b'{"protocol": 1, "kind": "job-batch", "jobs": "nope"}',
+            b'{"protocol": 1, "kind": "job-batch", "jobs": [{"payload": "!bad!"}]}',
+        ],
+    )
+    def test_malformed_envelopes_rejected(self, payload):
+        with pytest.raises(RemoteError):
+            decode_jobs(payload)
+
+    def test_tampered_payload_rejected_not_misdecoded(self):
+        document = json.loads(encode_jobs([WireJob(job(max, 1, 2))]))
+        document["jobs"][0]["payload"] = "AAAA"
+        with pytest.raises(RemoteError):
+            decode_jobs(json.dumps(document).encode())
+
+    def test_non_job_payload_rejected(self):
+        document = json.loads(encode_jobs([WireJob(job(max, 1, 2))]))
+        import base64
+        import pickle
+
+        document["jobs"][0]["payload"] = base64.b64encode(
+            pickle.dumps("not a job")
+        ).decode()
+        with pytest.raises(RemoteError, match="not a Job"):
+            decode_jobs(json.dumps(document).encode())

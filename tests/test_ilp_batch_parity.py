@@ -456,6 +456,49 @@ class TestDriverParity:
         with pytest.raises(ModelError, match="counter-based"):
             model_scenario_matrix(models=("ideal",))
 
+    def test_remote_warm_groups_bit_identical_to_cold(self):
+        """Warm-group sharding over *remote* workers preserves the
+        warm ≡ cold guarantee: whole warm groups land on one worker's
+        batch solver (its pool accumulates real warm-start state across
+        the unit), yet every bar matches a cold, serial solve bit for
+        bit."""
+        from repro.engine.remote.worker import WorkerServer
+
+        cold_rows = figure4_paper_mode(options=COLD)
+        servers = [WorkerServer().start() for _ in range(2)]
+        try:
+            with ExperimentEngine(
+                mode="remote",
+                worker_urls=tuple(server.url for server in servers),
+            ) as engine:
+                remote_warm = figure4_paper_mode(engine=engine)
+                assert engine.stats.fallbacks == 0  # really ran remotely
+        finally:
+            for server in servers:
+                server.stop()
+        assert remote_warm == cold_rows
+
+    def test_remote_sweep_identical_across_engine_modes(self):
+        """The contender sweep — one warm group end to end — agrees
+        point for point between serial and remote execution."""
+        from repro.engine.remote.worker import WorkerServer
+
+        scenario = scenario_1()
+        readings_a = paper.table6("scenario1", "app")
+        contender = paper.table6("scenario1", "H-Load")
+        serial = contender_scale_sweep(readings_a, contender, scenario)
+        server = WorkerServer().start()
+        try:
+            with ExperimentEngine(
+                mode="remote", worker_urls=(server.url,)
+            ) as engine:
+                remote = contender_scale_sweep(
+                    readings_a, contender, scenario, engine=engine
+                )
+        finally:
+            server.stop()
+        assert serial == remote
+
 
 # ----------------------------------------------------------------------
 # Memoised standard_form (solve no longer rebuilds it per call)
