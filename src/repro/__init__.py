@@ -17,7 +17,9 @@ useful names are re-exported here for convenience:
   :mod:`repro.workloads` generating the evaluation tasks.
 * :mod:`repro.engine` — the unified experiment engine: deployments as
   declarative, registered :class:`~repro.engine.scenario.ScenarioSpec`
-  data (any core count), experiments as batches of independent jobs
+  data (any core count), whole parameter grids as registered
+  :class:`~repro.engine.families.ScenarioFamily` generators
+  (``repro families``), experiments as batches of independent jobs
   fanned out serially or over thread/process pools, and a
   content-addressed result cache that lets repeated sweeps skip
   re-simulation.
@@ -82,12 +84,19 @@ from repro.core import (
 )
 from repro.counters import DebugCounter, TaskReadings
 from repro.engine import (
+    DmaSpec,
     ExperimentEngine,
     ResultCache,
+    ScenarioFamily,
     ScenarioSpec,
     WorkloadRef,
+    expand_family,
+    register_family,
     register_scenario,
+    run_family,
     run_spec,
+    temporary_families,
+    temporary_scenarios,
 )
 from repro.errors import ReproError
 from repro.platform import (
@@ -119,8 +128,10 @@ __all__ = [
     "ModelKind",
     "ModelSpec",
     "Operation",
+    "DmaSpec",
     "ReproError",
     "ResultCache",
+    "ScenarioFamily",
     "ScenarioSpec",
     "Target",
     "TaskReadings",
@@ -131,6 +142,7 @@ __all__ = [
     "architectural_scenario",
     "contention_bound",
     "custom_scenario",
+    "expand_family",
     "ftc_baseline",
     "ftc_refined",
     "get_model",
@@ -138,12 +150,16 @@ __all__ = [
     "ilp_ptac_bound",
     "model_names",
     "multi_contender_bound",
+    "register_family",
     "register_model",
     "register_scenario",
+    "run_family",
     "run_spec",
     "scenario_1",
     "scenario_2",
     "tc277",
     "tc27x_latency_profile",
+    "temporary_families",
+    "temporary_scenarios",
     "wcet_estimate",
 ]

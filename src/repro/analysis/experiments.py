@@ -34,7 +34,9 @@ from typing import Mapping, Sequence
 from repro import paper
 from repro.analysis.mbta import CorunObservation, observe_corun
 from repro.core.ilp_ptac import IlpPtacOptions
-from repro.core.registry import default_model_registry, get_model
+# counter_based_model_names is re-exported: the matrix driver is its
+# historical home, and the family matrix shares the same filter.
+from repro.core.registry import counter_based_model_names, get_model
 from repro.core.results import WcetEstimate
 from repro.core.wcet import contention_bound
 from repro.counters.readings import TaskReadings
@@ -541,19 +543,6 @@ def _ablation_scenario_rows(
 # ----------------------------------------------------------------------
 # The model × scenario matrix (every counter-based model, every spec)
 # ----------------------------------------------------------------------
-def counter_based_model_names() -> tuple[str, ...]:
-    """Registered models a scenario run can drive, in registry order.
-
-    Exactly the models whose declared capabilities are satisfied by
-    counter measurements alone (see
-    :attr:`~repro.core.model.ModelCapabilities.counter_based`); the
-    matrix driver's default model set.
-    """
-    return tuple(
-        spec.name
-        for spec in default_model_registry()
-        if spec.capabilities.counter_based
-    )
 
 
 def model_scenario_matrix(

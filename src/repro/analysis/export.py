@@ -27,6 +27,7 @@ from repro.core.model import ContentionModel
 from repro.core.registry import default_model_registry
 from repro.engine.artifact import ExperimentArtifact, artifact
 from repro.engine.experiment import ScenarioRunResult
+from repro.engine.families import FamilyRunResult
 from repro.errors import ReproError
 
 
@@ -173,10 +174,44 @@ def model_registry_rows(
     ]
 
 
+def family_rows(results: Sequence[FamilyRunResult]) -> list[dict[str, Any]]:
+    """Flatten family member runs (grid coordinates + run outcome).
+
+    The ``point`` column renders the member's axis assignment
+    (``queue_depth=4 period=2 ...``) so one fixed column set covers
+    families with arbitrary axes.
+    """
+    return [
+        {
+            "family": result.member.family,
+            "member": result.member.name,
+            "point": result.member.describe_point(),
+            "base": result.run.base,
+            "model": result.run.model,
+            "dma_model": result.run.dma_model,
+            "cores": result.run.core_count,
+            "isolation_cycles": result.run.isolation_cycles,
+            "joint_delta": result.run.joint_delta,
+            "dma_delta": result.run.dma_delta,
+            "observed_cycles": result.run.observed_cycles,
+            "predicted_slowdown": round(result.run.predicted_slowdown, 6),
+            "observed_slowdown": round(result.run.observed_slowdown, 6),
+            "sound": result.run.sound,
+        }
+        for result in results
+    ]
+
+
 def scenario_run_rows(
     results: Sequence[ScenarioRunResult],
 ) -> list[dict[str, Any]]:
-    """Flatten generic N-core scenario-spec runs."""
+    """Flatten generic N-core scenario-spec runs.
+
+    ``dma_delta``/``dma_model`` record the DMA bound's provenance — the
+    same spec run under two DMA models must stay distinguishable in an
+    export, exactly as the ``model`` column distinguishes contender
+    bounds.
+    """
     return [
         {
             "spec": result.spec_name,
@@ -186,6 +221,8 @@ def scenario_run_rows(
             "isolation_cycles": result.isolation_cycles,
             "joint_delta": result.joint_delta,
             "pairwise_sum_delta": result.pairwise_sum_delta,
+            "dma_delta": result.dma_delta,
+            "dma_model": result.dma_model,
             "observed_cycles": result.observed_cycles,
             "predicted_slowdown": round(result.predicted_slowdown, 6),
             "observed_slowdown": round(result.observed_slowdown, 6),
@@ -249,6 +286,8 @@ _ARTIFACT_COLUMNS = {
         "isolation_cycles",
         "joint_delta",
         "pairwise_sum_delta",
+        "dma_delta",
+        "dma_model",
         "observed_cycles",
         "predicted_slowdown",
         "observed_slowdown",
@@ -258,6 +297,22 @@ _ARTIFACT_COLUMNS = {
 # Matrix cells *are* scenario runs (same flattening), so the column
 # tuples must never drift apart.
 _ARTIFACT_COLUMNS["matrix"] = _ARTIFACT_COLUMNS["scenario-run"]
+_ARTIFACT_COLUMNS["family"] = (
+    "family",
+    "member",
+    "point",
+    "base",
+    "model",
+    "dma_model",
+    "cores",
+    "isolation_cycles",
+    "joint_delta",
+    "dma_delta",
+    "observed_cycles",
+    "predicted_slowdown",
+    "observed_slowdown",
+    "sound",
+)
 
 
 def _build_artifact(
@@ -332,6 +387,16 @@ def scenario_run_artifact(
     return _build_artifact(
         "scenario-run", title, scenario_run_rows(results), **meta
     )
+
+
+def family_artifact(
+    results: Sequence[FamilyRunResult],
+    *,
+    title: str = "Scenario-family run",
+    **meta: Any,
+) -> ExperimentArtifact:
+    """One record per family member run, grid coordinates included."""
+    return _build_artifact("family", title, family_rows(results), **meta)
 
 
 def matrix_artifact(

@@ -13,6 +13,8 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``)::
     repro three-core             # TC277 joint-contention evaluation
     repro scenarios              # registered deployment scenarios
     repro models                 # registered contention models
+    repro families               # registered scenario families
+    repro family dma-pressure --model dma-occupancy --jobs 4
     repro run scenario1-4core    # any registered spec, end to end
     repro matrix --jobs 4        # every model x every scenario spec
     repro platform               # Figure 1 block diagram
@@ -64,7 +66,11 @@ from repro.core.registry import default_model_registry
 from repro.engine import (
     ExperimentEngine,
     ResultCache,
+    default_family_registry,
     default_registry,
+    expand_family,
+    family_matrix,
+    run_family,
     run_specs,
 )
 from repro.errors import ReproError
@@ -316,6 +322,73 @@ def _cmd_matrix(args: argparse.Namespace) -> str:
     return render_artifact(item)
 
 
+def _cmd_families(args: argparse.Namespace) -> str:
+    registry = default_family_registry()
+    return render_table(
+        ["name", "members", "axes", "description"],
+        [
+            [
+                family.name,
+                len(expand_family(family)),
+                family.describe_axes(),
+                family.description,
+            ]
+            for family in registry
+        ],
+        title=f"Registered scenario families ({len(registry)})",
+    )
+
+
+def _cmd_family(args: argparse.Namespace) -> str:
+    from repro.analysis.export import family_artifact, write_artifact
+    from repro.core.registry import get_model
+
+    members = tuple(args.member) if args.member else None
+    models = tuple(args.model) if args.model else ()
+    # Descriptor models bound the members' DMA traffic; several of them
+    # run the grid once per bound (`--model dma-occupancy --model
+    # dma-rr-alignment` is the natural sound/unsound comparison), while
+    # several counter-based models (or --matrix) run the family matrix.
+    descriptor = tuple(
+        name
+        for name in models
+        if get_model(name).capabilities.needs_dma_agents
+    )
+    counter = tuple(name for name in models if name not in descriptor)
+    dma_models: tuple[str | None, ...] = descriptor or (None,)
+    engine = _engine(args)
+    results = []
+    if args.matrix or len(counter) > 1:
+        for dma_model in dma_models:
+            results.extend(
+                family_matrix(
+                    args.family,
+                    models=counter or None,
+                    dma_model=dma_model,
+                    members=members,
+                    engine=engine,
+                )
+            )
+        title = f"Family matrix ({args.family}, {len(results)} cells)"
+    else:
+        for dma_model in dma_models:
+            results.extend(
+                run_family(
+                    args.family,
+                    model=counter[0] if counter else None,
+                    dma_model=dma_model,
+                    members=members,
+                    engine=engine,
+                )
+            )
+        title = f"Family run ({args.family}, {len(results)} member runs)"
+    item = family_artifact(results, title=title)
+    if args.export:
+        write_artifact(item, args.export)
+        return f"wrote {len(results)} member runs to {args.export}"
+    return render_artifact(item)
+
+
 def _cmd_platform(args: argparse.Namespace) -> str:
     return tc277().block_diagram()
 
@@ -387,6 +460,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(p)
 
     sub.add_parser("scenarios", help="list registered scenario specs")
+
+    sub.add_parser("families", help="list registered scenario families")
+
+    p = sub.add_parser(
+        "family", help="run one scenario family's grid end to end"
+    )
+    p.add_argument("family", help="registered family name (see 'families')")
+    p.add_argument(
+        "--model",
+        action="append",
+        metavar="NAME",
+        help=(
+            "contention model for the member bounds (repeatable; a "
+            "DMA-descriptor model such as 'dma-occupancy' or "
+            "'dma-rr-alignment' bounds the members' DMA traffic "
+            "instead, several descriptor models run the grid once per "
+            "bound; several counter-based models run the family matrix)"
+        ),
+    )
+    p.add_argument(
+        "--member",
+        action="append",
+        metavar="NAME",
+        help="restrict to a member spec (repeatable; default: full grid)",
+    )
+    p.add_argument(
+        "--matrix",
+        action="store_true",
+        help="run every counter-based model over every member",
+    )
+    p.add_argument(
+        "--export", metavar="PATH.{json,csv}", help="write rows instead of rendering"
+    )
+    _add_jobs_flag(p)
 
     p = sub.add_parser("models", help="list registered contention models")
     p.add_argument(
@@ -470,6 +577,8 @@ _COMMANDS = {
     "three-core": _cmd_three_core,
     "scenarios": _cmd_scenarios,
     "models": _cmd_models,
+    "families": _cmd_families,
+    "family": _cmd_family,
     "run": _cmd_run,
     "matrix": _cmd_matrix,
     "platform": _cmd_platform,

@@ -35,7 +35,9 @@ The default registry ships the paper's whole model family: the fTC
 baseline/refined pair (Section 3.4), the ILP-PTAC model and its fully
 time-composable variant (Section 3.5), the multi-contender joint ILP
 (Section 2's extension), the ideal model (Eq. 1), the priority/DMA
-occupancy bounds for higher-priority masters, and the three FSB
+occupancy bounds for higher-priority masters (plus ``dma-rr-alignment``,
+the same-class accounting applied to DMA descriptors — the sound/unsound
+contrast the dma-pressure scenario family measures), and the three FSB
 reductions of Section 4.3.
 """
 
@@ -213,6 +215,51 @@ def _dma_occupancy(context: AnalysisContext) -> ContentionBound:
     )
 
 
+def _dma_rr_alignment(context: AnalysisContext) -> ContentionBound:
+    """The same-class alignment assumption applied to DMA descriptors.
+
+    Under round-robin every victim request to slave ``t`` is delayed at
+    most once per other master per round, so an agent addressing ``t``
+    costs at most ``min(count, n̂_a^t) · l^{t,o}`` — with ``n̂_a^t`` the
+    Eqs. 2-4 bound on the victim's requests that can reach ``t``.  This
+    is exactly the accounting the paper's same-priority-class models
+    perform for core contenders; registering it as a DMA bound makes the
+    scoping decision *testable*: the bound is sound for paced,
+    single-outstanding agents and demonstrably under-predicts once a
+    higher-priority agent saturates its slave or queues a deep burst
+    (the dma-pressure scenario family measures both regimes).
+    """
+    from repro.core.access_bounds import access_count_bounds
+
+    scenario = context.scenario
+    bounds = access_count_bounds(context.readings, context.profile, scenario)
+    breakdown: dict[tuple[Target, Operation], int] = {}
+    op_totals = {Operation.CODE: 0, Operation.DATA: 0}
+    for agent in context.dma_agents:
+        target = agent.request.target
+        operations = scenario.operations_on(target)
+        if not operations or agent.count == 0:
+            continue  # traffic the victim cannot conflict with
+        victim_requests = sum(bounds.bound(op).count for op in operations)
+        latency = scenario.interference_latency(
+            context.profile, target, agent.request.operation
+        )
+        cycles = min(agent.count, victim_requests) * latency
+        key = (target, agent.request.operation)
+        breakdown[key] = breakdown.get(key, 0) + cycles
+        op_totals[agent.request.operation] += cycles
+    return ContentionBound(
+        model="dma-rr-alignment",
+        task=context.task_name,
+        contenders=tuple(agent.label for agent in context.dma_agents),
+        delta_cycles=sum(op_totals.values()),
+        op_breakdown=op_totals,
+        breakdown={k: v for k, v in breakdown.items() if v},
+        scenario=scenario.name,
+        time_composable=False,
+    )
+
+
 def _fsb_bound(
     model: str,
     task: str,
@@ -379,6 +426,20 @@ def builtin_models() -> tuple[ModelSpec, ...]:
             fn=_dma_occupancy,
         ),
         ModelSpec(
+            name="dma-rr-alignment",
+            description=(
+                "the same-class round-robin alignment assumption applied "
+                "to DMA descriptors (each victim request delayed at most "
+                "once per agent); sound for paced single-outstanding "
+                "agents, under-predicts saturating or deep-queue bursts"
+            ),
+            capabilities=ModelCapabilities(
+                needs_dma_agents=True,
+                dma_aware=False,
+            ),
+            fn=_dma_rr_alignment,
+        ),
+        ModelSpec(
             name="fsb-closed-form",
             description=(
                 "textbook front-side-bus bound min(n_a, n_b) * l_bus; the "
@@ -459,6 +520,22 @@ def model_specs() -> tuple[ContentionModel, ...]:
     return default_model_registry().specs()
 
 
+def counter_based_model_names() -> tuple[str, ...]:
+    """Registered models a scenario run can drive, in registry order.
+
+    Exactly the models whose declared capabilities are satisfied by
+    counter measurements alone (see
+    :attr:`~repro.core.model.ModelCapabilities.counter_based`); the
+    default model set of the matrix and family-matrix drivers — one
+    filter, shared, so the two can never accept different model sets.
+    """
+    return tuple(
+        spec.name
+        for spec in default_model_registry()
+        if spec.capabilities.counter_based
+    )
+
+
 def model_bound(model: str, context: AnalysisContext) -> ContentionBound:
     """Run a registered model over a context, both addressed as data.
 
@@ -473,6 +550,7 @@ def model_bound(model: str, context: AnalysisContext) -> ContentionBound:
 __all__ = [
     "ModelRegistry",
     "builtin_models",
+    "counter_based_model_names",
     "default_model_registry",
     "get_model",
     "model_bound",

@@ -4,7 +4,17 @@ The engine layer decouples *what* an experiment is from *how* it runs:
 
 * :mod:`repro.engine.scenario` / :mod:`repro.engine.registry` — declarative
   :class:`ScenarioSpec` deployments (any core count, any contender mix,
-  optional DMA) registered under names, so new deployments are data;
+  optional DMA, round-robin or fixed-priority SRI arbitration)
+  registered under names, so new deployments are data; specs validate
+  *at construction* — ill-formed placements, workloads and DMA
+  descriptors never reach a worker — and ``temporary_scenarios()``
+  scopes registrations for tests and examples;
+* :mod:`repro.engine.families` — declarative :class:`ScenarioFamily`
+  grids expanded into many member specs (``expand_family``,
+  ``register_family_members``) and batched end to end
+  (``run_family`` / ``family_matrix``); the builtin dma-pressure /
+  priority-arbitration / cacheability families probe the contention
+  regimes the paper scopes out;
 * :mod:`repro.engine.batch` / :mod:`repro.engine.runner` — experiments as
   batches of independent ``(scenario, workload, model)`` jobs, executed
   serially (deterministic default), fanned out over threads/processes,
@@ -30,6 +40,22 @@ from repro.engine.artifact import ExperimentArtifact, artifact
 from repro.engine.batch import Job, as_jobs, job, warm_units
 from repro.engine.cache import CacheStats, ResultCache, stable_hash
 from repro.engine.experiment import ScenarioRunResult, run_spec, run_specs
+from repro.engine.families import (
+    FamilyMember,
+    FamilyRegistry,
+    FamilyRunResult,
+    ScenarioFamily,
+    builtin_families,
+    default_family_registry,
+    expand_family,
+    family_matrix,
+    family_names,
+    get_family,
+    register_family,
+    register_family_members,
+    run_family,
+    temporary_families,
+)
 from repro.engine.remote import (
     RemoteExecutor,
     RemoteStats,
@@ -44,6 +70,7 @@ from repro.engine.registry import (
     get_scenario,
     register_scenario,
     scenario_names,
+    temporary_scenarios,
 )
 from repro.engine.runner import (
     EXECUTION_MODES,
@@ -60,10 +87,14 @@ __all__ = [
     "EngineStats",
     "ExperimentArtifact",
     "ExperimentEngine",
+    "FamilyMember",
+    "FamilyRegistry",
+    "FamilyRunResult",
     "Job",
     "RemoteExecutor",
     "RemoteStats",
     "ResultCache",
+    "ScenarioFamily",
     "ScenarioRegistry",
     "WorkerServer",
     "ScenarioRunResult",
@@ -71,16 +102,27 @@ __all__ = [
     "WorkloadRef",
     "artifact",
     "as_jobs",
+    "builtin_families",
     "builtin_specs",
+    "default_family_registry",
     "default_registry",
+    "expand_family",
+    "family_matrix",
+    "family_names",
+    "get_family",
     "get_scenario",
     "job",
+    "register_family",
+    "register_family_members",
     "register_scenario",
+    "run_family",
     "run_jobs",
     "run_spec",
     "run_specs",
     "scenario_names",
     "stable_hash",
+    "temporary_families",
+    "temporary_scenarios",
     "wait_for_workers",
     "warm_units",
     "worker_health",

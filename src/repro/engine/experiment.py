@@ -22,7 +22,8 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.ilp_ptac import IlpPtacOptions
-from repro.core.registry import get_model
+from repro.core.model import AnalysisContext
+from repro.core.registry import get_model, model_names
 from repro.core.wcet import contention_bound
 from repro.counters.readings import TaskReadings
 from repro.engine.batch import job
@@ -49,9 +50,11 @@ class ScenarioRunResult:
         pairwise_deltas: single-contender bound per contender (same order
             as ``contender_names``).
         observed_cycles: application's time in the full co-run.
-        dma_delta: occupancy bound on the declared DMA masters'
-            interference (zero when the spec has none).
+        dma_delta: bound on the declared DMA masters' interference (zero
+            when the spec has none), computed by ``dma_model``.
         model: registered name of the pairwise contention model used.
+        dma_model: registered name of the DMA-descriptor model that
+            produced ``dma_delta``.
     """
 
     spec_name: str
@@ -64,6 +67,7 @@ class ScenarioRunResult:
     observed_cycles: int
     dma_delta: int = 0
     model: str = "ilp-ptac"
+    dma_model: str = "dma-occupancy"
 
     @property
     def pairwise_sum_delta(self) -> int:
@@ -98,30 +102,43 @@ def _tagged(readings: TaskReadings, core: int) -> TaskReadings:
     return dataclasses.replace(readings, name=f"{readings.name}@core{core}")
 
 
-def _dma_delta(spec: ScenarioSpec, profile: LatencyProfile) -> int:
-    """Occupancy bound on the declared DMA masters' interference.
+def _dma_delta(
+    spec: ScenarioSpec,
+    profile: LatencyProfile,
+    dma_model: str,
+    readings: TaskReadings,
+) -> int:
+    """Bound the declared DMA masters' interference with ``dma_model``.
 
-    Each DMA transaction occupies its slave once, delaying at most one
-    conflicting application request by at most the per-request
-    interference latency ``l^{t,o}`` — so ``count · l^{t,o}`` summed over
-    agents is a sound (if blunt) bound.  Agents addressing slaves the
-    application cannot reach interfere with nothing and contribute zero.
+    The default, ``"dma-occupancy"``, is the sound occupancy bound: each
+    DMA transaction occupies its slave once, delaying at most one
+    conflicting application request by the per-request interference
+    latency ``l^{t,o}`` — ``count · l^{t,o}`` summed over agents.
+    ``"dma-rr-alignment"`` instead extends the paper's same-class
+    alignment assumption to the agents (each victim request delayed at
+    most once per agent), which is *not* sound against saturating
+    higher-priority masters — the dma-pressure scenario family uses the
+    pair to demonstrate exactly where the scoping decision breaks.
+    Agents addressing slaves the application cannot reach interfere with
+    nothing and contribute zero under either model.
     """
-    deployment = spec.deployment()
-    total = 0
-    for agent in spec.dma:
-        if not deployment.operations_on(agent.target):
-            continue
-        total += agent.count * deployment.interference_latency(
-            profile, agent.target, agent.operation
-        )
-    return total
+    if not spec.dma:
+        return 0
+    context = AnalysisContext(
+        profile=profile,
+        scenario=spec.deployment(),
+        readings=readings,
+        dma_agents=spec.dma_agents(),
+        task=readings.name,
+    )
+    return get_model(dma_model).bound(context).delta_cycles
 
 
 def run_spec(
     spec: ScenarioSpec | str,
     *,
     model: str = "ilp-ptac",
+    dma_model: str = "dma-occupancy",
     profile: LatencyProfile | None = None,
     timing: SimTiming | None = None,
     options: IlpPtacOptions | None = None,
@@ -139,6 +156,9 @@ def run_spec(
             every other model sums the per-core bounds (each victim
             request waits once per co-runner core per round under
             round-robin, so per-contender bounds add).
+        dma_model: registered model bounding the declared DMA masters'
+            interference from their transfer descriptors (must declare
+            ``needs_dma_agents``); ignored for specs without DMA.
         profile: Table 2 constants.
         timing: simulator timing.
         options: ILP knobs shared by the joint and pairwise solves.
@@ -152,9 +172,28 @@ def run_spec(
             "measures counter readings, so pick a counter-based model "
             "such as 'ilp-ptac' or 'ftc-refined'"
         )
+    # The name must resolve always (fail fast on typos), but the
+    # descriptor capability only matters when there is DMA to bound —
+    # a DMA-less spec ignores dma_model, as documented.
+    dma_capabilities = get_model(dma_model).capabilities
+    if spec.dma and not dma_capabilities.needs_dma_agents:
+        descriptor_models = [
+            name
+            for name in model_names()
+            if get_model(name).capabilities.needs_dma_agents
+        ]
+        raise ModelError(
+            f"model {dma_model!r} cannot bound DMA traffic: dma_model "
+            "must consume transfer descriptors "
+            f"({', '.join(descriptor_models)})"
+        )
     profile = profile or tc27x_latency_profile()
     deployment = spec.deployment()
-    simulator = SystemSimulator(timing)
+    simulator = SystemSimulator(
+        timing,
+        arbitration=spec.arbitration,
+        priorities=spec.priority_map(),
+    )
 
     app_program = spec.app_program()
     app = simulator.run({spec.app_core: app_program}).core(spec.app_core)
@@ -214,8 +253,9 @@ def run_spec(
         joint_delta=joint,
         pairwise_deltas=pairwise,
         observed_cycles=observed,
-        dma_delta=_dma_delta(spec, profile),
+        dma_delta=_dma_delta(spec, profile, dma_model, app.readings),
         model=model,
+        dma_model=dma_model,
     )
 
 
@@ -224,6 +264,7 @@ def run_specs(
     *,
     engine: ExperimentEngine | None = None,
     model: str = "ilp-ptac",
+    dma_model: str = "dma-occupancy",
     profile: LatencyProfile | None = None,
     timing: SimTiming | None = None,
     options: IlpPtacOptions | None = None,
@@ -238,13 +279,17 @@ def run_specs(
             job as plain data, so it is picklable for process-mode
             fan-out and participates in the content-addressed cache key
             (the same spec under two models caches separately).
+        dma_model: registered DMA-descriptor model for specs with DMA.
     """
     resolved = [
         default_registry().get(spec) if isinstance(spec, str) else spec
         for spec in specs
     ]
     return run_jobs(
-        [spec_job(spec, model, profile, timing, options) for spec in resolved],
+        [
+            spec_job(spec, model, profile, timing, options, dma_model=dma_model)
+            for spec in resolved
+        ],
         engine,
     )
 
@@ -255,23 +300,29 @@ def spec_job(
     profile: LatencyProfile | None = None,
     timing: SimTiming | None = None,
     options: IlpPtacOptions | None = None,
+    *,
+    dma_model: str = "dma-occupancy",
+    warm_group: str | None = None,
 ):
     """One :func:`run_spec` engine job.
 
-    Deliberately *not* warm-grouped: a scenario run is dominated by its
+    By default *not* warm-grouped: a scenario run is dominated by its
     simulations (the ILP solves are ~1% of the job), so serialising
     same-template jobs onto one worker would cost far more fan-out than
     the warm starts save.  Each job still warm-starts internally — its
     own pairwise and joint solves share the worker's batch solver pool.
-    Warm groups are reserved for solve-dominated batches (sweeps, the
-    Figure 4 bars).
+    Callers whose batches *are* solve-heavy (the family drivers route
+    many structurally identical member solves through one worker) pass
+    an explicit ``warm_group``.
     """
     return job(
         run_spec,
         spec,
         model=model,
+        dma_model=dma_model,
         profile=profile,
         timing=timing,
         options=options,
         label=f"run-spec:{spec.name}:{model}",
+        warm_group=warm_group,
     )

@@ -27,6 +27,7 @@ diversity is no longer capped at the paper's two figures.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterable, Iterator
 
 from repro.engine.scenario import ScenarioSpec, WorkloadRef
@@ -165,6 +166,38 @@ def register_scenario(
 ) -> ScenarioSpec:
     """Register a spec in the default registry."""
     return default_registry().register(spec, replace=replace)
+
+
+@contextlib.contextmanager
+def temporary_scenarios(
+    *specs: ScenarioSpec, replace: bool = False
+) -> Iterator[ScenarioRegistry]:
+    """Scope registrations to a ``with`` block.
+
+    Registration mutates the *process-wide* registry, so an example or
+    test that registers specs would otherwise leak them into everything
+    that runs later in the process.  This context manager snapshots the
+    registry, registers ``specs`` (more can be added inside the block —
+    ``register_scenario`` and :func:`~repro.engine.families.
+    register_family_members` both target the same default registry) and
+    restores the exact prior contents on exit, exception or not::
+
+        with temporary_scenarios(my_spec) as registry:
+            run_spec(my_spec.name)
+        # my_spec is gone again
+
+    The accompanying pytest fixture (``scenario_sandbox`` in
+    ``tests/conftest.py``) wraps whole tests in one.
+    """
+    registry = default_registry()
+    snapshot = dict(registry._specs)
+    try:
+        for spec in specs:
+            registry.register(spec, replace=replace)
+        yield registry
+    finally:
+        registry._specs.clear()
+        registry._specs.update(snapshot)
 
 
 def get_scenario(name: str) -> ScenarioSpec:

@@ -31,6 +31,7 @@ from repro.platform.targets import Operation, Target
 from repro.sim.dma import DmaAgent
 from repro.sim.program import TaskProgram
 from repro.sim.requests import MissKind, SriRequest
+from repro.sim.system import ARBITRATION_POLICIES
 from repro.workloads.spec import WorkloadSpec
 
 #: Deployment bases a spec can name without spelling out target sets.
@@ -90,17 +91,26 @@ class WorkloadRef:
 
     @classmethod
     def synthetic(
-        cls, seed: int, *, max_requests: int = 2_000, name: str = ""
+        cls,
+        seed: int,
+        *,
+        scale: float = 1.0,
+        max_requests: int = 2_000,
+        name: str = "",
     ) -> "WorkloadRef":
         """A seeded random-but-valid task (soundness sweeps)."""
         return cls(
-            kind="synthetic", seed=seed, max_requests=max_requests, name=name
+            kind="synthetic",
+            seed=seed,
+            scale=scale,
+            max_requests=max_requests,
+            name=name,
         )
 
     @classmethod
-    def from_spec(cls, spec: WorkloadSpec) -> "WorkloadRef":
+    def from_spec(cls, spec: WorkloadSpec, *, scale: float = 1.0) -> "WorkloadRef":
         """An explicit request-block workload."""
-        return cls(kind="spec", spec=spec, name=spec.name)
+        return cls(kind="spec", spec=spec, scale=scale, name=spec.name)
 
     # -- resolution ----------------------------------------------------
     def build(
@@ -159,6 +169,26 @@ class DmaSpec:
     start_time: int = 0
     write: bool = False
 
+    def __post_init__(self) -> None:
+        # Mirror DmaAgent's checks so a bad descriptor is rejected when
+        # the spec is *constructed* (the registry's reject-at-registration
+        # principle), not when `.agent()` finally runs inside a possibly
+        # remote worker.
+        if self.master_id < 0:
+            raise EngineError("DMA master id must be non-negative")
+        if not isinstance(self.target, Target):
+            raise EngineError(
+                f"DMA target must be a Target, got {self.target!r}"
+            )
+        if self.count < 0:
+            raise EngineError("DMA count must be non-negative")
+        if self.period < 1:
+            raise EngineError("DMA period must be at least one cycle")
+        if self.queue_depth < 1:
+            raise EngineError("DMA queue depth must be at least 1")
+        if self.start_time < 0:
+            raise EngineError("DMA start time must be non-negative")
+
     def agent(self) -> DmaAgent:
         """Build the simulator-facing agent."""
         return DmaAgent(
@@ -193,6 +223,13 @@ class ScenarioSpec:
             any number of cores is allowed, so a spec can describe a
             four-core derivative as easily as the TC27x's three.
         dma: additional DMA masters contending on the SRI.
+        arbitration: SRI arbitration policy the co-run simulates —
+            ``"round-robin"`` (the paper's same-priority-class scoping,
+            default) or ``"priority"`` (fixed priority with round-robin
+            among equals, the SRI's behaviour across priority classes).
+        priorities: ``(master_id, class)`` pairs for ``"priority"``
+            arbitration (lower class wins); masters left out default to
+            class 0.  Only declared cores / DMA masters may appear.
         code_targets, data_targets, dirty_targets, code_count_exact,
         data_count_lower_bounded: custom-base deployment description
             (ignored for named bases).
@@ -205,6 +242,8 @@ class ScenarioSpec:
     app_core: int = 1
     contenders: tuple[tuple[int, WorkloadRef], ...] = ()
     dma: tuple[DmaSpec, ...] = ()
+    arbitration: str = "round-robin"
+    priorities: tuple[tuple[int, int], ...] = ()
     code_targets: tuple[Target, ...] = ()
     data_targets: tuple[Target, ...] = ()
     dirty_targets: tuple[Target, ...] = ()
@@ -253,6 +292,39 @@ class ScenarioSpec:
                 f"spec {self.name!r}: DMA master ids must be unique and "
                 "distinct from core ids"
             )
+        if self.arbitration not in ARBITRATION_POLICIES:
+            raise EngineError(
+                f"spec {self.name!r}: unknown arbitration policy "
+                f"{self.arbitration!r}; expected one of "
+                f"{ARBITRATION_POLICIES}"
+            )
+        if self.priorities:
+            if self.arbitration != "priority":
+                raise EngineError(
+                    f"spec {self.name!r}: priorities only apply to "
+                    "arbitration='priority' (round-robin ignores them)"
+                )
+            ids = [master for master, _ in self.priorities]
+            known = set(cores) | set(masters)
+            if len(set(ids)) != len(ids):
+                raise EngineError(
+                    f"spec {self.name!r}: duplicate master id in priorities"
+                )
+            unknown = set(ids) - known
+            if unknown:
+                raise EngineError(
+                    f"spec {self.name!r}: priorities name masters "
+                    f"{sorted(unknown)} that are neither occupied cores "
+                    "nor declared DMA masters"
+                )
+            if any(
+                not isinstance(level, int) or level < 0
+                for _, level in self.priorities
+            ):
+                raise EngineError(
+                    f"spec {self.name!r}: priority classes must be "
+                    "non-negative integers"
+                )
 
     # ------------------------------------------------------------------
     @property
@@ -302,6 +374,10 @@ class ScenarioSpec:
     def dma_agents(self) -> tuple[DmaAgent, ...]:
         """Materialise the DMA masters."""
         return tuple(spec.agent() for spec in self.dma)
+
+    def priority_map(self) -> dict[int, int]:
+        """The simulator-facing master id → priority class mapping."""
+        return dict(self.priorities)
 
     def scaled(self, factor: float) -> "ScenarioSpec":
         """The same deployment with every workload footprint scaled."""

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import paper
+from repro.engine import temporary_scenarios
 from repro.platform import (
     architectural_scenario,
     scenario_1,
@@ -31,6 +32,19 @@ def platform():
 def sim_timing():
     """Simulator device timing (Table 2 consistent)."""
     return tc27x_sim_timing()
+
+
+@pytest.fixture()
+def scenario_sandbox():
+    """Scope scenario registrations to one test.
+
+    ``register_scenario`` / ``register_family_members`` mutate the
+    process-wide default registry; tests that register specs directly
+    must use this fixture (or ``temporary_scenarios`` themselves) so
+    nothing leaks into later tests.
+    """
+    with temporary_scenarios() as registry:
+        yield registry
 
 
 @pytest.fixture()

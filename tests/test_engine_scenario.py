@@ -57,6 +57,39 @@ class TestWorkloadRef:
         second = spec.app_program()
         assert first.request_count() == second.request_count()
 
+    def test_synthetic_constructor_exposes_scale(self):
+        """Regression: scaling a synthetic ref used to require bypassing
+        the documented constructor even though build() honours scale."""
+        via_constructor = WorkloadRef.synthetic(7, scale=0.5, max_requests=200)
+        by_hand = WorkloadRef(
+            kind="synthetic", seed=7, scale=0.5, max_requests=200
+        )
+        assert via_constructor == by_hand
+        spec = ScenarioSpec(name="s", base="scenario1", app=via_constructor)
+        deployment = spec.deployment()
+        assert (
+            via_constructor.build("scenario1", deployment).request_count()
+            == by_hand.build("scenario1", deployment).request_count()
+        )
+        # The scale genuinely shrinks the footprint.
+        full = WorkloadRef.synthetic(7, max_requests=200)
+        assert (
+            via_constructor.build("scenario1", deployment).request_count()
+            <= full.build("scenario1", deployment).request_count()
+        )
+
+    def test_from_spec_constructor_exposes_scale(self):
+        from repro.workloads.synthetic import random_workload
+
+        workload = random_workload(
+            "w", ScenarioSpec(name="s").deployment(), seed=3, max_requests=100
+        )
+        ref = WorkloadRef.from_spec(workload, scale=0.5)
+        assert ref.scale == 0.5
+        assert ref == WorkloadRef(
+            kind="spec", spec=workload, scale=0.5, name=workload.name
+        )
+
 
 class TestScenarioSpec:
     def test_validation(self):
@@ -134,6 +167,50 @@ class TestScenarioSpec:
         assert agent.master_id == 7
         assert agent.count == 5
         assert agent.request.target is Target.LMU
+
+    def test_dma_spec_validates_at_construction(self):
+        """Regression: a bad descriptor used to register cleanly and only
+        raise when .agent() ran inside a (possibly remote) worker."""
+        good = dict(master_id=9, target=Target.LMU)
+        with pytest.raises(EngineError, match="count"):
+            DmaSpec(count=-1, **good)
+        with pytest.raises(EngineError, match="period"):
+            DmaSpec(count=1, period=0, **good)
+        with pytest.raises(EngineError, match="queue depth"):
+            DmaSpec(count=1, queue_depth=0, **good)
+        with pytest.raises(EngineError, match="start time"):
+            DmaSpec(count=1, start_time=-1, **good)
+        with pytest.raises(EngineError, match="master id"):
+            DmaSpec(master_id=-1, target=Target.LMU, count=1)
+        with pytest.raises(EngineError, match="Target"):
+            DmaSpec(master_id=9, target="lmu", count=1)  # type: ignore[arg-type]
+
+    def test_arbitration_validates_at_construction(self):
+        with pytest.raises(EngineError, match="arbitration"):
+            ScenarioSpec(name="x", arbitration="lottery")
+        with pytest.raises(EngineError, match="priorities only apply"):
+            ScenarioSpec(name="x", priorities=((1, 0),))
+        with pytest.raises(EngineError, match="neither occupied cores"):
+            ScenarioSpec(
+                name="x", arbitration="priority", priorities=((4, 0),)
+            )
+        with pytest.raises(EngineError, match="duplicate"):
+            ScenarioSpec(
+                name="x",
+                arbitration="priority",
+                priorities=((1, 0), (1, 1)),
+            )
+        with pytest.raises(EngineError, match="non-negative"):
+            ScenarioSpec(
+                name="x", arbitration="priority", priorities=((1, -1),)
+            )
+        spec = ScenarioSpec(
+            name="x",
+            arbitration="priority",
+            dma=(DmaSpec(master_id=9, target=Target.LMU, count=1),),
+            priorities=((1, 5), (9, 0)),
+        )
+        assert spec.priority_map() == {1: 5, 9: 0}
 
 
 class TestRegistry:

@@ -8,7 +8,7 @@ address resolution, the LP solver and the fast isolation-time calculator.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.platform.memory_map import MemoryMap
@@ -133,15 +133,33 @@ def test_simplex_with_equalities_matches_scipy(seed):
     b_eq = rng.integers(0, 8, size=1).astype(float)
 
     ours = solve_lp(c, a_ub, b_ub, a_eq, b_eq)
-    reference = linprog(
-        c,
-        A_ub=a_ub,
-        b_ub=b_ub,
-        A_eq=a_eq,
-        b_eq=b_eq,
-        bounds=[(0, None)] * n,
-        method="highs",
-    )
+    # presolve=False: HiGHS's presolve cannot always distinguish
+    # infeasible from unbounded and then reports status 2 for problems
+    # that are in fact feasible and unbounded (seed 6054 is a witness:
+    # x=(0,0,7,0) is feasible and the objective has a feasible ray).
+    # The oracle must classify exactly, so let the full solve run — and
+    # when that ends in HiGHS's "Unknown" model status (scipy status 4,
+    # seed 849), fall back to the presolved solve, which classifies
+    # such instances fine.
+    def classify(presolve):
+        return linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=[(0, None)] * n,
+            method="highs",
+            options={"presolve": presolve},
+        )
+
+    reference = classify(presolve=False)
+    if reference.status == 4:
+        reference = classify(presolve=True)
+    # Rarely HiGHS abstains either way (seed 3405 stays "Unknown" under
+    # both settings); with no oracle verdict there is nothing to
+    # compare against.
+    assume(reference.status != 4)
     if reference.status == 2:
         assert ours.status is LpStatus.INFEASIBLE
     elif reference.status == 3:
