@@ -11,8 +11,9 @@ the exact repeated-structure regime the layer targets:
   simplex iterations, branch-and-bound nodes and wall-clock time;
 * solve the identical instances through one warm :class:`BatchSolver`
   chain and count again;
-* assert bit-identical bounds and **at least a 3x reduction in total
-  simplex iterations**, the PR's acceptance criterion.
+* assert bit-identical bounds, **at least a 3x reduction in total
+  simplex iterations**, and — now that the simplex kernels are numpy
+  whole-array operations — **at least a 3x wall-clock speedup** too.
 
 The measured trajectory lands in the session's JSON report
 (``.benchmarks/engine_report.json``) via the shared ``report`` fixture
@@ -39,6 +40,12 @@ SWEEP_SCALES = (0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0)
 #: at least this much on the contender sweep.
 MIN_ITERATION_REDUCTION = 3.0
 
+#: Acceptance criterion: the iteration savings must survive contact with
+#: the wall clock.  Requires the vectorised simplex kernels and the
+#: scatter-layout ``instantiate`` — per-row Python pivots used to eat
+#: the warm start's advantage in constant overhead.
+MIN_WALL_CLOCK_SPEEDUP = 3.0
+
 
 def _sweep_models():
     """One ILP-PTAC model per (scenario, contender-scale) sweep point."""
@@ -60,28 +67,38 @@ def _sweep_models():
     return models
 
 
+#: Wall-clock comparisons take the best of this many passes per side —
+#: a single pass is at the mercy of scheduler noise.
+TIMING_ROUNDS = 5
+
+
 @pytest.mark.benchmark(group="ilp-batch")
 def test_ilp_batch_warm_start(benchmark, report):
     models = _sweep_models()
 
     cold_iterations = cold_nodes = 0
     cold_objectives = []
-    start = time.perf_counter()
     for model in models:
         solution = model.solve()
         cold_iterations += solution.stats.simplex_iterations
         cold_nodes += solution.stats.nodes
         cold_objectives.append(solution.objective)
-    cold_seconds = time.perf_counter() - start
+
+    cold_seconds = float("inf")
+    for _ in range(TIMING_ROUNDS):
+        start = time.perf_counter()
+        for model in models:
+            model.solve()
+        cold_seconds = min(cold_seconds, time.perf_counter() - start)
 
     def warm_sweep():
         solver = BatchSolver()
         return solver, [solver.solve(model) for model in models]
 
     solver, warm_solutions = benchmark.pedantic(
-        warm_sweep, rounds=1, iterations=1
+        warm_sweep, rounds=TIMING_ROUNDS, iterations=1
     )
-    warm_seconds = benchmark.stats.stats.total
+    warm_seconds = benchmark.stats.stats.min
     warm_iterations = solver.stats.simplex_iterations
     warm_nodes = solver.stats.nodes
 
@@ -101,6 +118,12 @@ def test_ilp_batch_warm_start(benchmark, report):
     )
 
     speedup = cold_seconds / warm_seconds if warm_seconds else 0.0
+    assert speedup >= MIN_WALL_CLOCK_SPEEDUP, (
+        f"warm sweep ran only {speedup:.2f}x faster than cold "
+        f"({cold_seconds:.3f}s -> {warm_seconds:.3f}s); the vectorised "
+        f"kernels promise >= {MIN_WALL_CLOCK_SPEEDUP}x wall-clock on "
+        f"the contender sweep"
+    )
     report.add(
         f"P1 — batch ILP warm start ({len(models)} sweep solves)",
         render_table(

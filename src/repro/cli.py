@@ -20,6 +20,7 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``)::
     repro platform               # Figure 1 block diagram
     repro worker --port 8750     # serve engine jobs to remote clients
     repro matrix --workers http://127.0.0.1:8750,http://127.0.0.1:8751
+    repro --profile out.prof figure4   # cProfile any command
 
 Every command prints the same rendering the benchmark suite produces, so
 shell users and CI logs see identical artefacts.  Commands that fan out
@@ -409,6 +410,16 @@ def build_parser() -> argparse.ArgumentParser:
             "TC27x' (DAC 2018): regenerate the paper's tables and figures."
         ),
     )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help=(
+            "profile the command under cProfile and write pstats data to "
+            "PATH (inspect with 'python -m pstats PATH'); a one-line "
+            "hot-spot summary goes to stderr"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table2", help="Table 2 via microbenchmark characterisation")
@@ -586,11 +597,35 @@ _COMMANDS = {
 }
 
 
+def _run_profiled(command, args, path: str):
+    """Run ``command(args)`` under cProfile, dumping pstats to ``path``."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(command, args)
+    finally:
+        profiler.dump_stats(path)
+        stats = pstats.Stats(profiler)
+        seconds = getattr(stats, "total_tt", 0.0)
+        print(
+            f"repro: profile written to {path} "
+            f"({stats.total_calls} calls, {seconds:.3f}s); "
+            f"inspect with 'python -m pstats {path}'",
+            file=sys.stderr,
+        )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    command = _COMMANDS[args.command]
     try:
-        output = _COMMANDS[args.command](args)
+        if args.profile:
+            output = _run_profiled(command, args, args.profile)
+        else:
+            output = command(args)
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2

@@ -43,8 +43,8 @@ same-structure jobs actually meet the same pool.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
-import json
 import threading
 
 import numpy as np
@@ -70,13 +70,6 @@ def _as_form(model_or_form: IlpModel | StandardForm) -> StandardForm:
     return model_or_form
 
 
-def _nonzero_pattern(matrix: np.ndarray) -> list[list[int]]:
-    """Per-row sorted column indices of the non-zero entries."""
-    return [
-        sorted(int(j) for j in np.flatnonzero(row)) for row in matrix
-    ]
-
-
 def structure_signature(model_or_form: IlpModel | StandardForm) -> str:
     """Fingerprint of an instance's constraint *structure*.
 
@@ -89,20 +82,34 @@ def structure_signature(model_or_form: IlpModel | StandardForm) -> str:
     structurally valid for every other instance with the same signature.
     """
     form = _as_form(model_or_form)
-    payload = {
-        "variables": [
-            [var.name, bool(var.integer)] for var in form.variables
-        ],
-        "has_upper": [bool(np.isfinite(u)) for u in form.upper],
-        "has_lower": [bool(lo > 0) for lo in form.lower],
-        "c": sorted(int(j) for j in np.flatnonzero(form.c)),
-        "a_ub": _nonzero_pattern(form.a_ub),
-        "a_eq": _nonzero_pattern(form.a_eq),
-    }
-    digest = hashlib.sha256(
-        json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    # Memoised on the form instance: forms are themselves memoised per
+    # model, so every warm solve of a sweep would otherwise re-serialise
+    # and re-hash an identical payload (a fixed cost that dominates once
+    # the pivots are vectorised).
+    cached = getattr(form, "_structure_signature", None)
+    if cached is not None:
+        return cached
+    # Hash raw byte buffers instead of a JSON payload: the sparsity
+    # masks go in as contiguous boolean arrays (prefixed with their
+    # shapes so differently-shaped matrices with equal flattened masks
+    # cannot collide), the variable names NUL-separated (identifiers
+    # never contain NUL), integrality as one boolean array.
+    hasher = hashlib.sha256()
+    hasher.update("\x00".join(var.name for var in form.variables).encode())
+    hasher.update(
+        np.asarray(
+            [var.integer for var in form.variables], dtype=bool
+        ).tobytes()
     )
-    return digest.hexdigest()
+    hasher.update(np.isfinite(form.upper).tobytes())
+    hasher.update((form.lower > 0).tobytes())
+    hasher.update((form.c != 0).tobytes())
+    for matrix in (form.a_ub, form.a_eq):
+        hasher.update(np.asarray(matrix.shape, dtype=np.int64).tobytes())
+        hasher.update(np.ascontiguousarray(matrix != 0).tobytes())
+    digest = hasher.hexdigest()
+    form._structure_signature = digest
+    return digest
 
 
 @dataclasses.dataclass(frozen=True)
@@ -191,26 +198,21 @@ class ParametricForm:
     def n_coefficients(self) -> int:
         return int(self.coefficients.shape[0])
 
-    def instantiate(
+    @functools.cached_property
+    def _layout(self) -> "_ScatterLayout":
+        """Precomputed scatter indices mapping the flat coefficient
+        vector onto the dense ``StandardForm`` arrays (see
+        :class:`_ScatterLayout`).  Computed once per template; every
+        :meth:`instantiate` of a sweep reuses it."""
+        return _ScatterLayout.build(self)
+
+    def _reference_instantiate(
         self, coefficients: np.ndarray | None = None
     ) -> StandardForm:
-        """Rebuild a :class:`StandardForm` from the template.
-
-        Args:
-            coefficients: replacement coefficient vector (defaults to
-                this instance's own); must have :attr:`n_coefficients`
-                entries.
-        """
-        vector = (
-            self.coefficients
-            if coefficients is None
-            else np.asarray(coefficients, dtype=float).reshape(-1)
-        )
-        if vector.shape[0] != self.n_coefficients:
-            raise IlpError(
-                f"coefficient vector has {vector.shape[0]} entries; the "
-                f"structure template needs {self.n_coefficients}"
-            )
+        """Scalar (pre-vectorisation) rebuild, kept as the parity oracle
+        for :meth:`instantiate` (asserted identical by the property
+        suite in ``tests/test_vectorized_kernels.py``)."""
+        vector = self._check_vector(coefficients)
         n = len(self.variables)
         cursor = 0
 
@@ -245,6 +247,148 @@ class ParametricForm:
         form.upper = np.full(n, np.inf)
         form.upper[list(self.bounded_above)] = take(len(self.bounded_above))
         return form
+
+    def _check_vector(
+        self, coefficients: np.ndarray | None
+    ) -> np.ndarray:
+        vector = (
+            self.coefficients
+            if coefficients is None
+            else np.asarray(coefficients, dtype=float).reshape(-1)
+        )
+        if vector.shape[0] != self.n_coefficients:
+            raise IlpError(
+                f"coefficient vector has {vector.shape[0]} entries; the "
+                f"structure template needs {self.n_coefficients}"
+            )
+        return vector
+
+    def instantiate(
+        self, coefficients: np.ndarray | None = None
+    ) -> StandardForm:
+        """Rebuild a :class:`StandardForm` from the template.
+
+        One flat-coefficient scatter per dense array (indices precomputed
+        in :attr:`_layout`) instead of per-constraint row rebuilds; the
+        values land in the same positions from the same vector slots, so
+        the result is identical to :meth:`_reference_instantiate`.
+
+        Args:
+            coefficients: replacement coefficient vector (defaults to
+                this instance's own); must have :attr:`n_coefficients`
+                entries.
+        """
+        vector = self._check_vector(coefficients)
+        lay = self._layout
+        n = len(self.variables)
+
+        form = object.__new__(StandardForm)
+        form.variables = self.variables
+        form.objective_constant = float(vector[0])
+        form.c = np.zeros(n)
+        form.c[lay.c_idx] = vector[lay.c_lo : lay.c_hi]
+        m_ub = len(self.ub_pattern)
+        form.a_ub = np.zeros((m_ub, n)) if m_ub else np.empty((0, n))
+        form.a_ub[lay.ub_rows, lay.ub_cols] = vector[lay.ub_lo : lay.ub_hi]
+        form.b_ub = vector[lay.b_ub_lo : lay.b_ub_hi].copy()
+        m_eq = len(self.eq_pattern)
+        form.a_eq = np.zeros((m_eq, n)) if m_eq else np.empty((0, n))
+        form.a_eq[lay.eq_rows, lay.eq_cols] = vector[lay.eq_lo : lay.eq_hi]
+        form.b_eq = vector[lay.b_eq_lo : lay.b_eq_hi].copy()
+        form.integer_mask = np.array(self.integer_mask)
+        form.lower = np.zeros(n)
+        form.lower[lay.below_idx] = vector[lay.below_lo : lay.below_hi]
+        form.upper = np.full(n, np.inf)
+        form.upper[lay.above_idx] = vector[lay.above_lo : lay.above_hi]
+        return form
+
+
+@dataclasses.dataclass(frozen=True)
+class _ScatterLayout:
+    """Index plan of one :class:`ParametricForm` template.
+
+    The flat coefficient vector is laid out as ``[constant | c non-zeros
+    | a_ub non-zeros (row-major) | b_ub | a_eq non-zeros (row-major) |
+    b_eq | lower bounds | upper bounds]``; this records, for each dense
+    destination array, the fancy-index targets plus the source slice, so
+    an instantiate is a handful of whole-array scatters.
+    """
+
+    c_idx: np.ndarray
+    c_lo: int
+    c_hi: int
+    ub_rows: np.ndarray
+    ub_cols: np.ndarray
+    ub_lo: int
+    ub_hi: int
+    b_ub_lo: int
+    b_ub_hi: int
+    eq_rows: np.ndarray
+    eq_cols: np.ndarray
+    eq_lo: int
+    eq_hi: int
+    b_eq_lo: int
+    b_eq_hi: int
+    below_idx: np.ndarray
+    below_lo: int
+    below_hi: int
+    above_idx: np.ndarray
+    above_lo: int
+    above_hi: int
+
+    @classmethod
+    def build(cls, template: "ParametricForm") -> "_ScatterLayout":
+        def row_scatter(
+            patterns: tuple[tuple[int, ...], ...]
+        ) -> tuple[np.ndarray, np.ndarray]:
+            lengths = [len(p) for p in patterns]
+            rows = np.repeat(np.arange(len(patterns), dtype=int), lengths)
+            cols = (
+                np.concatenate([np.asarray(p, dtype=int) for p in patterns])
+                if patterns
+                else np.empty(0, dtype=int)
+            )
+            return rows, cols
+
+        ub_rows, ub_cols = row_scatter(template.ub_pattern)
+        eq_rows, eq_cols = row_scatter(template.eq_pattern)
+        cursor = 1  # slot 0 is the objective constant
+        spans: list[tuple[int, int]] = []
+        for count in (
+            len(template.c_pattern),
+            int(ub_cols.shape[0]),
+            len(template.ub_pattern),
+            int(eq_cols.shape[0]),
+            len(template.eq_pattern),
+            len(template.bounded_below),
+            len(template.bounded_above),
+        ):
+            spans.append((cursor, cursor + count))
+            cursor += count
+        (c_sp, ub_sp, b_ub_sp, eq_sp, b_eq_sp, below_sp, above_sp) = spans
+        return cls(
+            c_idx=np.asarray(template.c_pattern, dtype=int),
+            c_lo=c_sp[0],
+            c_hi=c_sp[1],
+            ub_rows=ub_rows,
+            ub_cols=ub_cols,
+            ub_lo=ub_sp[0],
+            ub_hi=ub_sp[1],
+            b_ub_lo=b_ub_sp[0],
+            b_ub_hi=b_ub_sp[1],
+            eq_rows=eq_rows,
+            eq_cols=eq_cols,
+            eq_lo=eq_sp[0],
+            eq_hi=eq_sp[1],
+            b_eq_lo=b_eq_sp[0],
+            b_eq_hi=b_eq_sp[1],
+            below_idx=np.asarray(template.bounded_below, dtype=int),
+            below_lo=below_sp[0],
+            below_hi=below_sp[1],
+            above_idx=np.asarray(template.bounded_above, dtype=int),
+            above_lo=above_sp[0],
+            above_hi=above_sp[1],
+        )
 
 
 @dataclasses.dataclass
@@ -327,8 +471,16 @@ class BatchSolver:
         if warm is not None:
             # An infeasible/degenerate point may produce no fresh state;
             # keep the previous basis and incumbent for the next point.
+            # The root tableau rides along only with its own basis: the
+            # chaining path pairs the two, so restoring one without the
+            # other would chain from inconsistent state.
             if state.basis is None:
-                state = dataclasses.replace(state, basis=warm.basis)
+                state = dataclasses.replace(
+                    state,
+                    basis=warm.basis,
+                    root_tableau=warm.root_tableau,
+                    root_arrays=warm.root_arrays,
+                )
             if state.incumbent is None:
                 state = dataclasses.replace(
                     state, incumbent=warm.incumbent

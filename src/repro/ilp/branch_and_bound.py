@@ -29,19 +29,26 @@ import math
 import numpy as np
 
 from repro.ilp.model import StandardForm
-from repro.ilp.simplex import LpStatus, solve_lp
+from repro.ilp.simplex import (
+    LpStatus,
+    solve_lp,
+    warm_solve_insert_row,
+    warm_solve_rhs_delta,
+    warm_solve_shift_rhs,
+)
 from repro.ilp.solution import Solution, SolveStats, SolveStatus
 
 #: Values closer than this to an integer are treated as integral.
 INTEGRALITY_TOLERANCE = 1e-6
 
-#: Warm mode hands each child its parent's remapped basis only for this
-#: many explored nodes.  Per-child warm-starting costs a basis
-#: refactorisation; on the small trees the contention instances
-#: normally produce it eliminates most pivots, but on a pathological
-#: plateau blow-up the refactorisations would dominate, so past the cap
-#: children simply cold-solve.  Purely a cost knob: the canonical-vertex
-#: simplex returns the same result either way.
+#: Warm mode hands each child its parent's solver state only for this
+#: many explored nodes.  Each child retains its parent's final tableau
+#: until popped (extending it skips both the child-matrix assembly and
+#: the basis refactorisation); on the small trees the contention
+#: instances normally produce that is a handful of tiny arrays, but on
+#: a pathological plateau blow-up the retained tableaus would pile up,
+#: so past the cap children simply cold-solve.  Purely a cost knob: the
+#: canonical-vertex simplex returns the same result either way.
 BASIS_REUSE_NODE_LIMIT = 256
 
 
@@ -59,10 +66,27 @@ class BnbWarmStart:
         incumbent: the previous optimal point; when still feasible it
             seeds the next search with a proven lower bound on the
             optimum, pruning strictly-worse subtrees immediately.
+        root_tableau: the root relaxation's final reduced tableau
+            (``[x | slacks | rhs]``, warm-path convention — rows never
+            negated), when one was produced; the next root *chains* from
+            it by shifting the right-hand column instead of
+            refactorising the basis.
+        root_arrays: the ``(a_ub, b_ub, a_eq, b_eq)`` the stored root
+            tableau solved.  Chaining verifies the matrices are equal
+            (structure signatures only pledge equal sparsity) and uses
+            the rhs vectors to form the delta.
+        eq_cache: maps a basis (as bytes) to ``B^-1 E_eq`` — the
+            equality rows carry no slack column, so their ``B^-1 e_i``
+            needs one small linear solve; root bases repeat across a
+            sweep, so the solve amortises to once per distinct basis.
+            The dict is threaded through successive states by identity.
     """
 
     basis: np.ndarray | None = None
     incumbent: np.ndarray | None = None
+    root_tableau: np.ndarray | None = None
+    root_arrays: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
+    eq_cache: dict | None = None
 
 
 @dataclasses.dataclass(order=True)
@@ -70,9 +94,11 @@ class _Node:
     """One branch-and-bound node, ordered for the best-first heap.
 
     ``priority`` is the negated parent LP bound so that ``heapq`` pops the
-    most promising node first; ``counter`` breaks ties FIFO.  ``basis``
-    optionally carries the parent LP's optimal basis remapped onto this
-    node's rows (warm mode only).
+    most promising node first; ``counter`` breaks ties FIFO.  In warm
+    mode ``ext`` carries the parent LP's final tableau plus the one
+    bound-row edit that turns it into this node (the fast path), and
+    ``basis`` the remapped parent basis (the fallback when no parent
+    tableau was available).
     """
 
     priority: float
@@ -80,34 +106,125 @@ class _Node:
     lower: np.ndarray = dataclasses.field(compare=False)
     upper: np.ndarray = dataclasses.field(compare=False)
     basis: np.ndarray | None = dataclasses.field(compare=False, default=None)
+    ext: tuple | None = dataclasses.field(compare=False, default=None)
 
 
 def _bound_rows(
     form: StandardForm, lower: np.ndarray, upper: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Materialise per-node variable bounds as inequality rows."""
+    """Materialise per-node variable bounds as inequality rows.
+
+    Row order is column-ascending with each column's upper-bound row
+    before its lower-bound row — the same order :func:`_bound_codes`
+    encodes, which is what lets a parent basis remap onto a child.
+    """
     n = form.n_variables
     rows = [form.a_ub] if form.a_ub.size else []
     rhs = [form.b_ub] if form.b_ub.size else []
-    extra_rows = []
-    extra_rhs = []
-    for j in range(n):
-        if upper[j] != np.inf:
-            row = np.zeros(n)
-            row[j] = 1.0
-            extra_rows.append(row)
-            extra_rhs.append(upper[j])
-        if lower[j] > 0.0:
-            row = np.zeros(n)
-            row[j] = -1.0
-            extra_rows.append(row)
-            extra_rhs.append(-lower[j])
-    if extra_rows:
-        rows.append(np.array(extra_rows))
-        rhs.append(np.array(extra_rhs))
+    codes = _bound_codes(lower, upper)
+    if codes.size:
+        cols = codes >> 1
+        is_lower = (codes & 1).astype(bool)
+        extra_rows = np.zeros((codes.shape[0], n))
+        extra_rows[np.arange(codes.shape[0]), cols] = np.where(
+            is_lower, -1.0, 1.0
+        )
+        extra_rhs = np.where(is_lower, -lower[cols], upper[cols])
+        rows.append(extra_rows)
+        rhs.append(extra_rhs)
     if not rows:
         return np.empty((0, n)), np.empty(0)
     return np.vstack(rows), np.concatenate(rhs)
+
+
+def _basis_eq_inverse(
+    form: StandardForm, basis: np.ndarray
+) -> np.ndarray | None:
+    """``B^-1 E_eq`` for a ``[x | slacks]`` basis (None when singular).
+
+    The warm tableau's slack columns hand out ``B^-1 e_i`` for free on
+    inequality rows; equality rows have no slack, so shifting their
+    right-hand sides needs these columns solved explicitly.
+    """
+    n = form.n_variables
+    m_ub = form.a_ub.shape[0]
+    m_eq = form.a_eq.shape[0]
+    m = m_ub + m_eq
+    matrix = np.zeros((m, m))
+    structural = basis < n
+    if structural.any():
+        columns = basis[structural]
+        matrix[:m_ub, structural] = form.a_ub[:, columns]
+        matrix[m_ub:, structural] = form.a_eq[:, columns]
+    slack = ~structural
+    if slack.any():
+        matrix[basis[slack] - n, slack] = 1.0
+    targets = np.zeros((m, m_eq))
+    targets[m_ub + np.arange(m_eq), np.arange(m_eq)] = 1.0
+    try:
+        inverse = np.linalg.solve(matrix, targets)
+    except np.linalg.LinAlgError:
+        return None
+    if not np.all(np.isfinite(inverse)):
+        return None
+    return inverse
+
+
+def _chained_root(form, warm, c_min, eq_cache):
+    """Solve the root relaxation by chaining from the previous root.
+
+    Same-structure sweep points share their constraint matrices and move
+    only right-hand sides, so the new root's reduced rhs column is the
+    stored one plus ``B^-1 @ (b_new - b_old)`` — assembled from the
+    tableau's own slack columns (inequality deltas) and the cached
+    equality-row columns — followed by the usual dual-simplex recovery.
+    Returns ``None`` (fall back to a basis refactorisation or cold
+    solve) whenever the stored state does not provably apply.
+    """
+    tableau = warm.root_tableau
+    basis = warm.basis
+    prev_a_ub, prev_b_ub, prev_a_eq, prev_b_eq = warm.root_arrays
+    n = form.n_variables
+    m_ub = form.a_ub.shape[0]
+    m = m_ub + form.a_eq.shape[0]
+    if (
+        basis is None
+        or tableau.shape != (m, n + m_ub + 1)
+        or form.b_ub.shape != prev_b_ub.shape
+        or form.b_eq.shape != prev_b_eq.shape
+    ):
+        return None
+    # Signatures only pledge matching sparsity; chaining additionally
+    # needs the coefficients themselves unchanged.  (The objective may
+    # move: recovery then simply pays primal pivots after the dual ones.)
+    if form.a_ub is not prev_a_ub and not np.array_equal(
+        form.a_ub, prev_a_ub
+    ):
+        return None
+    if form.a_eq is not prev_a_eq and not np.array_equal(
+        form.a_eq, prev_a_eq
+    ):
+        return None
+
+    shift = np.zeros(m)
+    delta_ub = form.b_ub - prev_b_ub
+    moved = np.flatnonzero(delta_ub)
+    if moved.size:
+        shift += tableau[:, n + moved] @ delta_ub[moved]
+    delta_eq = form.b_eq - prev_b_eq
+    moved = np.flatnonzero(delta_eq)
+    if moved.size:
+        key = basis.tobytes()
+        eq_inverse = eq_cache.get(key)
+        if eq_inverse is None:
+            eq_inverse = _basis_eq_inverse(form, basis)
+            if eq_inverse is None:
+                return None
+            eq_cache[key] = eq_inverse
+        shift += eq_inverse[:, moved] @ delta_eq[moved]
+    return warm_solve_rhs_delta(
+        tableau, basis, c_min, shift, keep_tableau=True
+    )
 
 
 def _floor_heuristic(
@@ -140,22 +257,36 @@ def _floor_heuristic(
     return candidate
 
 
-def _bound_keys(
-    form: StandardForm, lower: np.ndarray, upper: np.ndarray
-) -> list[tuple[int, int]]:
+def _bound_codes(lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
     """Identity of each per-node bound row, in :func:`_bound_rows` order.
 
-    Keys are ``(column, 0)`` for an upper-bound row and ``(column, 1)``
-    for a lower-bound row; they let a parent basis be remapped onto a
-    child whose bound-row set grew by one.
+    A row's key is the integer ``2 * column + kind`` (kind 0 for an
+    upper-bound row, 1 for a lower-bound row); sorting the codes gives
+    exactly the column-ascending, upper-before-lower row order, and the
+    sorted array supports ``searchsorted`` remapping of a parent basis
+    onto a child whose bound-row set grew by one.
     """
-    keys: list[tuple[int, int]] = []
-    for j in range(form.n_variables):
-        if upper[j] != np.inf:
-            keys.append((j, 0))
-        if lower[j] > 0.0:
-            keys.append((j, 1))
-    return keys
+    codes = np.concatenate(
+        [
+            2 * np.flatnonzero(upper != np.inf),
+            2 * np.flatnonzero(lower > 0.0) + 1,
+        ]
+    )
+    codes.sort()
+    return codes
+
+
+def _locate(
+    sorted_codes: np.ndarray, queries: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of ``queries`` in a sorted code array plus a found mask."""
+    pos = np.searchsorted(sorted_codes, queries)
+    if sorted_codes.shape[0] == 0:
+        return pos, np.zeros(queries.shape[0], dtype=bool)
+    inside = pos < sorted_codes.shape[0]
+    found = inside.copy()
+    found[inside] = sorted_codes[pos[inside]] == queries[inside]
+    return pos, found
 
 
 def _child_warm_basis(
@@ -172,52 +303,49 @@ def _child_warm_basis(
     so every parent row persists in the child; a fresh bound row enters
     with its own slack as the basic column.  The result is dual-feasible
     for the unchanged objective and one dual pivot (the violated branch
-    bound) away from optimality in the common case.  Returns ``None``
-    whenever the mapping cannot be built (residual artificials, shape
-    drift), letting the child fall back to a cold solve.
+    bound) away from optimality in the common case.  The whole remap is
+    array arithmetic on the bound-row codes — no per-row Python.
+    Returns ``None`` whenever the mapping cannot be built (residual
+    artificials, shape drift, a parent slack whose bound row vanished),
+    letting the child fall back to a cold solve.
     """
     if parent_basis is None:
         return None
     n = form.n_variables
     m0 = form.a_ub.shape[0]
     m_eq = form.a_eq.shape[0]
-    parent_keys = _bound_keys(form, parent_lower, parent_upper)
-    child_keys = _bound_keys(form, lower, upper)
-    m_ub_parent = m0 + len(parent_keys)
+    parent_codes = _bound_codes(parent_lower, parent_upper)
+    child_codes = _bound_codes(lower, upper)
+    m_ub_parent = m0 + parent_codes.shape[0]
     if parent_basis.shape[0] != m_ub_parent + m_eq:
         return None
     if parent_basis.max(initial=0) >= n + m_ub_parent:
         return None  # residual artificial column: not reusable
-    child_pos = {key: m0 + i for i, key in enumerate(child_keys)}
-    parent_pos = {key: m0 + i for i, key in enumerate(parent_keys)}
 
-    def remap(col: int) -> int | None:
-        if col < n + m0:
-            return col  # structural column or shared-row slack
-        position = child_pos.get(parent_keys[col - n - m0])
-        return None if position is None else n + position
+    # Position of every parent bound row in the child (both code arrays
+    # are sorted, so one searchsorted resolves all of them).
+    in_child, present = _locate(child_codes, parent_codes)
 
-    m_ub_child = m0 + len(child_keys)
-    child = np.empty(m_ub_child + m_eq, dtype=int)
-    for row in range(m0):
-        mapped = remap(int(parent_basis[row]))
-        if mapped is None:
-            return None
-        child[row] = mapped
-    for i, key in enumerate(child_keys):
-        source = parent_pos.get(key)
-        if source is None:
-            child[m0 + i] = n + m0 + i  # new bound row: slack is basic
-        else:
-            mapped = remap(int(parent_basis[source]))
-            if mapped is None:
-                return None
-            child[m0 + i] = mapped
-    for row in range(m_eq):
-        mapped = remap(int(parent_basis[m_ub_parent + row]))
-        if mapped is None:
-            return None
-        child[m_ub_child + row] = mapped
+    # Remap every parent basis entry at once: structural columns and
+    # shared-row slacks (< n + m0) keep their index, bound-row slacks
+    # move to their child position.
+    mapped = parent_basis.astype(int, copy=True)
+    is_bound_slack = mapped >= n + m0
+    slot = mapped[is_bound_slack] - (n + m0)
+    if not np.all(present[slot]):
+        return None  # a basic slack's bound row has no child counterpart
+    mapped[is_bound_slack] = n + m0 + in_child[slot]
+
+    # Assemble the child basis: shared rows and eq rows carry over in
+    # place; each child bound row inherits its parent row's (remapped)
+    # basic column, or enters with its own slack when the row is new.
+    in_parent, has_parent = _locate(parent_codes, child_codes)
+    m_bound_child = child_codes.shape[0]
+    bound_part = n + m0 + np.arange(m_bound_child)  # new rows: own slack
+    bound_part[has_parent] = mapped[m0 + in_parent[has_parent]]
+    child = np.concatenate(
+        [mapped[:m0], bound_part, mapped[m_ub_parent:]]
+    )
     if np.unique(child).shape[0] != child.shape[0]:
         return None
     return child
@@ -258,14 +386,21 @@ def _most_fractional(x: np.ndarray, integer_mask: np.ndarray) -> int | None:
     columns would otherwise steer the search into an exponential
     staircase (observed before this rule existed).
     """
+    columns = np.flatnonzero(integer_mask)
+    if columns.size == 0:
+        return None
+    values = x[columns]
+    frac = np.abs(values - np.floor(values))
+    distances = np.minimum(frac, 1.0 - frac).tolist()
+    # Sequential record fold on Python floats: a column only takes over
+    # when it beats the running best by more than 1e-7, so near-ties keep
+    # the lowest index (see docstring) — an argmax would not.
     best_j: int | None = None
     best_distance = INTEGRALITY_TOLERANCE
-    for j in np.flatnonzero(integer_mask):
-        frac = abs(x[j] - math.floor(x[j]))
-        distance = min(frac, 1.0 - frac)
-        if distance > best_distance + 1e-7:
-            best_distance = distance
-            best_j = int(j)
+    for k, j in enumerate(columns.tolist()):
+        if distances[k] > best_distance + 1e-7:
+            best_distance = distances[k]
+            best_j = j
     return best_j
 
 
@@ -294,8 +429,10 @@ def solve_bnb_warm(
 
     * the previous solve's root basis warm-starts this root relaxation
       (dual-simplex recovery instead of a Phase-1 restart);
-    * within the tree, each child LP starts from its parent's optimal
-      basis remapped onto the child's rows;
+    * within the tree, each child LP *extends its parent's final
+      tableau* by the one branching bound row (falling back to a basis
+      remap, then to a cold solve, when that state is unavailable) —
+      typically a single dual pivot instead of a full solve;
     * the previous optimum, when still feasible, seeds the incumbent as
       a proven lower bound just below its value — subtrees that cannot
       reach it are pruned without affecting which optimal point the
@@ -339,6 +476,12 @@ def _solve(
                 else seed_value - 10 * INTEGRALITY_TOLERANCE
             )
     root_basis: np.ndarray | None = None
+    root_tableau: np.ndarray | None = None
+    eq_cache: dict = (
+        warm.eq_cache
+        if warm is not None and warm.eq_cache is not None
+        else {}
+    )
     total_iterations = 0
     nodes_explored = 0
     counter = itertools.count()
@@ -363,14 +506,54 @@ def _solve(
         ):
             continue
 
-        a_ub, b_ub = _bound_rows(form, node.lower, node.upper)
-        result = solve_lp(
-            c_min, a_ub, b_ub, form.a_eq, form.b_eq, basis=node.basis
-        )
+        result = None
+        if (
+            node.priority == -np.inf
+            and warm is not None
+            and warm.root_tableau is not None
+        ):
+            # Fast path: chain this root from the previous sweep point's
+            # root tableau — a rhs-column shift instead of refactorising.
+            result = _chained_root(form, warm, c_min, eq_cache)
+        if node.ext is not None:
+            # Fast path: extend the parent's final tableau by the one
+            # bound-row edit — no child matrices, no refactorisation.
+            tableau, parent_basis, op = node.ext
+            if op[0] == "insert":
+                result = warm_solve_insert_row(
+                    tableau, parent_basis, c_min,
+                    op[1], op[2], op[3], op[4],
+                    keep_tableau=True,
+                )
+            else:
+                result = warm_solve_shift_rhs(
+                    tableau, parent_basis, c_min,
+                    op[1], op[2],
+                    keep_tableau=True,
+                )
+        if result is None:
+            a_ub, b_ub = _bound_rows(form, node.lower, node.upper)
+            result = solve_lp(
+                c_min, a_ub, b_ub, form.a_eq, form.b_eq,
+                basis=node.basis,
+                keep_tableau=reuse_bases,
+            )
         nodes_explored += 1
         total_iterations += result.iterations
         if node.priority == -np.inf:
             root_basis = result.basis
+            if (
+                reuse_bases
+                and result.status is LpStatus.OPTIMAL
+                and result.tableau is not None
+            ):
+                # Any kept tableau chains the next sweep point's root:
+                # cold solves negate rows with negative rhs during setup,
+                # but the sign cancels inside the reduction (the slack
+                # column comes out as ``B^-1 e_i`` in the original row
+                # convention either way), so the kept tableau is always
+                # convention-consistent with the raw ``b`` vectors.
+                root_tableau = result.tableau
 
         if result.status is LpStatus.INFEASIBLE:
             continue
@@ -428,15 +611,39 @@ def _solve(
         )
         up.lower[branch_j] = math.ceil(value)
         if reuse_bases and nodes_explored <= BASIS_REUSE_NODE_LIMIT:
-            for child in (down, up):
-                child.basis = _child_warm_basis(
-                    form,
-                    result.basis,
-                    node.lower,
-                    node.upper,
-                    child.lower,
-                    child.upper,
-                )
+            if result.tableau is not None:
+                m0 = form.a_ub.shape[0]
+                codes = _bound_codes(node.lower, node.upper)
+                # Down child: upper-bound row (code 2j); up child:
+                # lower-bound row (code 2j+1, rhs -ceil).  Branching is
+                # always strict (floor < upper, ceil > lower), so a
+                # tighten's delta is a negative integer.
+                for child, code, sigma, bound in (
+                    (down, 2 * branch_j, 1.0, float(math.floor(value))),
+                    (up, 2 * branch_j + 1, -1.0, float(-math.ceil(value))),
+                ):
+                    pos = int(np.searchsorted(codes, code))
+                    row_pos = m0 + pos
+                    if pos < codes.shape[0] and codes[pos] == code:
+                        old = (
+                            node.upper[branch_j]
+                            if sigma > 0
+                            else -node.lower[branch_j]
+                        )
+                        op = ("shift", row_pos, bound - float(old))
+                    else:
+                        op = ("insert", row_pos, branch_j, sigma, bound)
+                    child.ext = (result.tableau, result.basis, op)
+            else:
+                for child in (down, up):
+                    child.basis = _child_warm_basis(
+                        form,
+                        result.basis,
+                        node.lower,
+                        node.upper,
+                        child.lower,
+                        child.upper,
+                    )
         heapq.heappush(heap, down)
         heapq.heappush(heap, up)
 
@@ -445,6 +652,20 @@ def _solve(
         nodes=nodes_explored,
         backend="bnb",
     )
+
+    def next_state(incumbent: np.ndarray | None = None) -> BnbWarmStart:
+        return BnbWarmStart(
+            basis=root_basis,
+            incumbent=incumbent,
+            root_tableau=root_tableau,
+            root_arrays=(
+                (form.a_ub, form.b_ub, form.a_eq, form.b_eq)
+                if root_tableau is not None
+                else None
+            ),
+            eq_cache=eq_cache,
+        )
+
     if incumbent_x is seed_x and seed_x is not None:
         # The previous optimum was never beaten: it *is* the optimum
         # (the seed floor sits strictly below it, so every tying node
@@ -454,11 +675,11 @@ def _solve(
         if heap:  # ran out of node budget with no incumbent
             return (
                 Solution(status=SolveStatus.NODE_LIMIT, stats=stats),
-                BnbWarmStart(basis=root_basis),
+                next_state(),
             )
         return (
             Solution(status=SolveStatus.INFEASIBLE, stats=stats),
-            BnbWarmStart(basis=root_basis),
+            next_state(),
         )
     status = SolveStatus.OPTIMAL
     if heap and nodes_explored >= node_limit:
@@ -468,7 +689,4 @@ def _solve(
         objective=float(incumbent_value + form.objective_constant),
         values=form.assignment(incumbent_x),
         stats=stats,
-    ), BnbWarmStart(
-        basis=root_basis,
-        incumbent=incumbent_x.copy(),
-    )
+    ), next_state(incumbent=incumbent_x.copy())

@@ -216,8 +216,22 @@ class IlpModel:
     def check(self, values: dict[Var, float], *, tolerance: float = 1e-6) -> list[str]:
         """Return human-readable violations of ``values`` (empty = feasible).
 
-        Used by tests and by :meth:`solve`'s internal self-check.
+        Used by tests and by :meth:`solve`'s internal self-check.  A
+        fully-assigned point is first screened against the dense
+        standard-form arrays (one matmul per constraint block); the
+        per-constraint walk that renders messages only runs when the
+        screen found something to report.
         """
+        if len(values) == len(self._variables):
+            form = self.standard_form()
+            try:
+                x = np.array(
+                    [values[var] for var in form.variables], dtype=float
+                )
+            except KeyError:
+                x = None
+            if x is not None and self._screen_point(form, x, tolerance):
+                return []
         violations = []
         for constraint in self._constraints:
             if not constraint.is_satisfied(values, tolerance=tolerance):
@@ -234,6 +248,33 @@ class IlpModel:
             if var.integer and abs(value - round(value)) > tolerance:
                 violations.append(f"{var.name} = {value} not integral")
         return violations
+
+    @staticmethod
+    def _screen_point(
+        form: StandardForm, x: np.ndarray, tolerance: float
+    ) -> bool:
+        """Array-level feasibility screen (``True`` = provably clean).
+
+        Covers exactly what :meth:`check`'s walk covers: every
+        constraint row (the form folds ``>=`` rows in negated), the
+        variable bounds, and integrality.
+        """
+        if form.a_ub.size and np.any(form.a_ub @ x > form.b_ub + tolerance):
+            return False
+        if form.a_eq.size and np.any(
+            np.abs(form.a_eq @ x - form.b_eq) > tolerance
+        ):
+            return False
+        if np.any(x < form.lower - tolerance):
+            return False
+        if np.any(x > form.upper + tolerance):
+            return False
+        integral = x[form.integer_mask]
+        if integral.size and np.any(
+            np.abs(integral - np.round(integral)) > tolerance
+        ):
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Solving

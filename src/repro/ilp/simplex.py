@@ -72,6 +72,11 @@ class LpResult:
             such a basis is rejected by the warm-start path and triggers
             a cold solve.
         warm: whether the result was produced by the warm-start path.
+        tableau: the final reduced tableau over ``[x | slacks | rhs]``
+            (artificial columns trimmed), captured only when the solve
+            was asked to ``keep_tableau``.  Branch-and-bound extends it
+            in place of refactorising a child instance from scratch
+            (see :func:`warm_solve_insert_row`).
     """
 
     status: LpStatus
@@ -80,13 +85,24 @@ class LpResult:
     iterations: int
     basis: np.ndarray | None = None
     warm: bool = False
+    tableau: np.ndarray | None = None
 
 
-def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
-    """Perform one pivot: make column ``col`` basic in row ``row``."""
+def _reference_pivot(
+    tableau: np.ndarray, basis: np.ndarray, row: int, col: int
+) -> None:
+    """Scalar (pre-vectorisation) pivot, kept as the parity oracle.
+
+    The property suite (``tests/test_vectorized_kernels.py``) asserts
+    that :func:`_pivot` produces an identical tableau and basis on every
+    pivot of random LP solves.
+    """
     pivot_value = tableau[row, col]
     if abs(pivot_value) <= TOLERANCE:
-        raise IlpNumericalError("pivot on a (near-)zero element")
+        raise IlpNumericalError(
+            f"pivot on a (near-)zero element at row {row}, column {col} "
+            f"(|pivot| = {abs(pivot_value):.3e} <= {TOLERANCE:g})"
+        )
     tableau[row] /= pivot_value
     for i in range(tableau.shape[0]):
         if i != row and abs(tableau[i, col]) > 0.0:
@@ -94,19 +110,114 @@ def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
     basis[row] = col
 
 
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    """Perform one pivot: make column ``col`` basic in row ``row``.
+
+    The row elimination is one broadcast rank-1 update instead of a
+    per-row Python loop; every element still sees the identical
+    ``x - factor * pivot_row`` IEEE operations, so tableaus stay
+    bit-identical to :func:`_reference_pivot` (rows whose factor is an
+    exact zero subtract an exact zero, which cannot change a value).
+    """
+    pivot_value = tableau[row, col]
+    if abs(pivot_value) <= TOLERANCE:
+        raise IlpNumericalError(
+            f"pivot on a (near-)zero element at row {row}, column {col} "
+            f"(|pivot| = {abs(pivot_value):.3e} <= {TOLERANCE:g})"
+        )
+    tableau[row] /= pivot_value
+    factors = tableau[:, col].copy()
+    factors[row] = 0.0
+    tableau -= np.outer(factors, tableau[row])
+    basis[row] = col
+
+
+def _reference_ratio_test(
+    tableau: np.ndarray, basis: np.ndarray, entering: int
+) -> int:
+    """Scalar (pre-vectorisation) primal ratio test, kept as the parity
+    oracle for :func:`_ratio_test`.  Returns the leaving row or ``-1``."""
+    best_ratio = np.inf
+    leaving = -1
+    for i in range(tableau.shape[0]):
+        coef = tableau[i, entering]
+        if coef > TOLERANCE:
+            ratio = tableau[i, -1] / coef
+            if ratio < best_ratio - TOLERANCE or (
+                abs(ratio - best_ratio) <= TOLERANCE
+                and (leaving < 0 or basis[i] < basis[leaving])
+            ):
+                best_ratio = ratio
+                leaving = i
+    return leaving
+
+
+def _ratio_test(
+    tableau: np.ndarray, basis: np.ndarray, entering: int
+) -> int:
+    """Primal ratio test (Bland tie-break on smallest basis index).
+
+    The candidate rows and their ratios are computed as whole-array
+    operations; the tolerance fold over the (few) candidates then runs
+    on plain Python floats in the original row order, reproducing the
+    sequential accept/reject semantics of :func:`_reference_ratio_test`
+    exactly — including its chained-tolerance tie behaviour.  Returns
+    the leaving row index, or ``-1`` when the column is unbounded.
+    """
+    column = tableau[:, entering]
+    candidates = np.flatnonzero(column > TOLERANCE)
+    if candidates.size == 0:
+        return -1
+    ratios = (tableau[candidates, -1] / column[candidates]).tolist()
+    bases = basis[candidates].tolist()
+    rows = candidates.tolist()
+    leaving = rows[0]
+    best_ratio = ratios[0]
+    best_basis = bases[0]
+    for k in range(1, len(rows)):
+        ratio = ratios[k]
+        if ratio < best_ratio - TOLERANCE or (
+            abs(ratio - best_ratio) <= TOLERANCE and bases[k] < best_basis
+        ):
+            best_ratio = ratio
+            best_basis = bases[k]
+            leaving = rows[k]
+    return leaving
+
+
+def _reference_entering_index(reduced: np.ndarray) -> int:
+    """Scalar (pre-vectorisation) Bland entering scan: the smallest
+    column index with a negative reduced cost, or ``-1``."""
+    for j, r in enumerate(reduced):
+        if r < -TOLERANCE:
+            return j
+    return -1
+
+
+def _entering_index(reduced: np.ndarray) -> int:
+    """Bland entering scan as one masked ``flatnonzero`` (first negative
+    reduced cost); semantics identical to the scalar scan."""
+    negative = np.flatnonzero(reduced < -TOLERANCE)
+    return int(negative[0]) if negative.size else -1
+
+
 def _iterate(
     tableau: np.ndarray,
     basis: np.ndarray,
     cost: np.ndarray,
     iteration_budget: int,
-) -> tuple[LpStatus, int]:
+) -> tuple[LpStatus, int, np.ndarray | None]:
     """Run simplex pivots until optimality/unboundedness.
 
     Uses Bland's smallest-index rule for both entering and leaving
     variables, which precludes cycling at the price of a few extra pivots —
     irrelevant at our problem sizes.
+
+    On optimality additionally returns the final reduced-cost row (it was
+    just computed to prove optimality, and the canonical polish needs
+    exactly this vector — handing it over saves a matrix-vector product
+    per solve).
     """
-    m = tableau.shape[0]
     iterations = 0
     while True:
         if iterations >= iteration_budget:
@@ -119,29 +230,13 @@ def _iterate(
         cost_basis = cost[basis]
         reduced = cost[:-1] - cost_basis @ tableau[:, :-1]
 
-        entering = -1
-        for j, r in enumerate(reduced):
-            if r < -TOLERANCE:
-                entering = j
-                break
+        entering = _entering_index(reduced)
         if entering < 0:
-            return LpStatus.OPTIMAL, iterations
+            return LpStatus.OPTIMAL, iterations, reduced
 
-        # Ratio test (Bland tie-break on smallest basis index).
-        best_ratio = np.inf
-        leaving = -1
-        for i in range(m):
-            coef = tableau[i, entering]
-            if coef > TOLERANCE:
-                ratio = tableau[i, -1] / coef
-                if ratio < best_ratio - TOLERANCE or (
-                    abs(ratio - best_ratio) <= TOLERANCE
-                    and (leaving < 0 or basis[i] < basis[leaving])
-                ):
-                    best_ratio = ratio
-                    leaving = i
+        leaving = _ratio_test(tableau, basis, entering)
         if leaving < 0:
-            return LpStatus.UNBOUNDED, iterations
+            return LpStatus.UNBOUNDED, iterations, None
 
         _pivot(tableau, basis, leaving, entering)
         iterations += 1
@@ -161,43 +256,52 @@ def _dual_iterate(
     variable (smallest basis index among infeasible rows) and the
     entering column (smallest index among ratio-test ties) precludes
     cycling, mirroring the primal iterator.
+
+    The reduced-cost row is computed once and then maintained by the
+    same rank-1 update a pivot applies to any tableau row — the entering
+    column's reduced cost is zeroed exactly like a left-hand column.
+    This path only runs warm (cold solves never dual-pivot), so its
+    per-pivot cost lands entirely on the warm side of the cold/warm
+    ledger.
     """
-    m = tableau.shape[0]
     iterations = 0
+    reduced = None
     while True:
         if iterations >= iteration_budget:
             raise IlpNumericalError(
                 f"dual simplex exceeded {iteration_budget} pivots; "
                 "instance is numerically pathological"
             )
-        leaving = -1
-        for i in range(m):
-            if tableau[i, -1] < -TOLERANCE and (
-                leaving < 0 or basis[i] < basis[leaving]
-            ):
-                leaving = i
-        if leaving < 0:
+        # Leaving row: smallest basis index among primal-infeasible rows
+        # (basis entries are unique, so argmin is unambiguous).
+        violated = np.flatnonzero(tableau[:, -1] < -TOLERANCE)
+        if violated.size == 0:
             return LpStatus.OPTIMAL, iterations
+        leaving = int(violated[np.argmin(basis[violated])])
 
-        cost_basis = cost[basis]
-        reduced = cost[:-1] - cost_basis @ tableau[:, :-1]
-        entering = -1
-        best_ratio = np.inf
-        for j in range(tableau.shape[1] - 1):
-            coef = tableau[leaving, j]
-            if coef < -TOLERANCE:
-                ratio = reduced[j] / -coef
-                if ratio < best_ratio - TOLERANCE or (
-                    abs(ratio - best_ratio) <= TOLERANCE and entering < 0
-                ):
-                    best_ratio = ratio
-                    entering = j
-        if entering < 0:
+        if reduced is None:
+            reduced = cost[:-1] - cost[basis] @ tableau[:, :-1]
+        # Dual ratio test: candidates are the row's negative columns; the
+        # fold accepts the first candidate, then only strict (beyond-
+        # tolerance) improvements — exactly the scalar scan's semantics
+        # (its tie clause only ever fired before the first acceptance).
+        row = tableau[leaving, :-1]
+        candidates = np.flatnonzero(row < -TOLERANCE)
+        if candidates.size == 0:
             # A violated row with no negative coefficient certifies
             # primal infeasibility.
             return LpStatus.INFEASIBLE, iterations
+        ratios = (reduced[candidates] / -row[candidates]).tolist()
+        columns = candidates.tolist()
+        entering = columns[0]
+        best_ratio = ratios[0]
+        for k in range(1, len(columns)):
+            if ratios[k] < best_ratio - TOLERANCE:
+                best_ratio = ratios[k]
+                entering = columns[k]
 
         _pivot(tableau, basis, leaving, entering)
+        reduced -= reduced[entering] * tableau[leaving, :-1]
         iterations += 1
 
 
@@ -207,6 +311,7 @@ def _canonical_polish(
     cost: np.ndarray,
     n: int,
     iteration_budget: int,
+    reduced0: np.ndarray | None = None,
 ) -> int:
     """Move an optimal basis to the *canonical* optimal vertex.
 
@@ -227,17 +332,25 @@ def _canonical_polish(
     improves).  An unbounded face direction (impossible for the bounded
     contention instances) simply leaves that coordinate as-is.
 
+    ``reduced0``, when given, must be the objective's reduced-cost row
+    for the *current* tableau state — callers coming straight from
+    :func:`_iterate` already hold it, and reusing it skips recomputing
+    the same matrix-vector product.
+
     Returns the number of polish pivots, counted against the shared
     budget.
     """
     m, width = tableau.shape
     cols = width - 1
+    if reduced0 is None:
+        reduced0 = cost[:-1] - cost[basis] @ tableau[:, :-1]
     # Row 0: reduced costs of the objective; row 1+k: reduced costs of
     # the coordinate objective e_k.  All evolve with the tableau so that
     # eligibility stays elementwise comparisons.
     reduced = np.zeros((n + 1, cols))
-    reduced[0] = cost[:-1] - cost[basis] @ tableau[:, :-1]
-    reduced[1:, :n] = np.eye(n)
+    reduced[0] = reduced0
+    coords = np.arange(n)
+    reduced[coords + 1, coords] = 1.0
     structural = basis < n
     if np.any(structural):
         # Basis entries are unique, so fancy-indexed subtraction is safe.
@@ -269,18 +382,7 @@ def _canonical_polish(
         step = int(active[0])
         entering = int(np.flatnonzero(eligible[step])[0])
 
-        best_ratio = np.inf
-        leaving = -1
-        for i in range(m):
-            coef = tableau[i, entering]
-            if coef > TOLERANCE:
-                ratio = tableau[i, -1] / coef
-                if ratio < best_ratio - TOLERANCE or (
-                    abs(ratio - best_ratio) <= TOLERANCE
-                    and (leaving < 0 or basis[i] < basis[leaving])
-                ):
-                    best_ratio = ratio
-                    leaving = i
+        leaving = _ratio_test(tableau, basis, entering)
         if leaving < 0:
             # Unbounded face direction: x_step cannot be canonicalised;
             # leave it (still locked for later steps) and move on.
@@ -300,11 +402,239 @@ def _extract(
     """Read the primal point of the original variables off the tableau."""
     n = c.shape[0]
     x = np.zeros(n)
-    for i, col in enumerate(basis):
-        if col < n:
-            x[col] = tableau[i, -1]
+    structural = basis < n
+    # Basis entries are unique, so the fancy-indexed scatter is safe.
+    x[basis[structural]] = tableau[structural, -1]
     x[np.abs(x) < TOLERANCE] = np.abs(x[np.abs(x) < TOLERANCE])
     return x, float(c @ x)
+
+
+def _recover(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    c: np.ndarray,
+    max_iterations: int,
+    keep_tableau: bool,
+    trusted_dual: bool = False,
+) -> LpResult | None:
+    """Re-optimise an already-reduced ``[x | slacks | rhs]`` tableau.
+
+    The shared tail of every warm path: dual-simplex pivots restore
+    primal feasibility (right-hand sides moved), primal pivots restore
+    optimality (they rarely fire — the objective did not move), and the
+    canonical polish lands on the lexicographically greatest optimal
+    vertex so the result matches a cold solve bit for bit.  ``None``
+    signals the caller to fall back to a cold two-phase solve (the
+    tableau is neither primal- nor dual-feasible, or pivoting stalled
+    numerically).  Mutates ``tableau`` and ``basis`` in place.
+
+    ``trusted_dual`` skips the dual-feasibility pre-screen.  The tableau
+    extension entry points pass it: a one-row extension of an *optimal*
+    parent tableau is dual-feasible by construction (the new slack's
+    reduced cost is exactly zero, every other column's is unchanged), so
+    the screen's matrix-vector product would only re-prove that.
+    Correctness does not lean on the flag — a stalled recovery still
+    raises and falls back cold, and the polish re-verifies optimality.
+    """
+    n = c.shape[0]
+    total_cols = tableau.shape[1] - 1
+    cost = np.zeros(total_cols + 1)
+    cost[:n] = c
+    iterations = 0
+    try:
+        if np.any(tableau[:, -1] < -TOLERANCE):
+            if not trusted_dual:
+                reduced = cost[:-1] - cost[basis] @ tableau[:, :-1]
+                if np.any(reduced < -TOLERANCE):
+                    # Neither primal- nor dual-feasible: a cold two-phase
+                    # solve is the reliable route.
+                    return None
+            status, its = _dual_iterate(
+                tableau, basis, cost, max_iterations
+            )
+            iterations += its
+            if status is LpStatus.INFEASIBLE:
+                return LpResult(
+                    LpStatus.INFEASIBLE,
+                    np.empty(0),
+                    np.inf,
+                    iterations,
+                    basis=basis.copy(),
+                    warm=True,
+                )
+        status, its, reduced_row = _iterate(
+            tableau, basis, cost, max_iterations - iterations
+        )
+        iterations += its
+        if status is LpStatus.UNBOUNDED:
+            return LpResult(
+                LpStatus.UNBOUNDED,
+                np.empty(0),
+                -np.inf,
+                iterations,
+                basis=basis.copy(),
+                warm=True,
+            )
+        iterations += _canonical_polish(
+            tableau,
+            basis,
+            cost,
+            n,
+            max_iterations - iterations,
+            reduced0=reduced_row,
+        )
+    except IlpNumericalError:
+        return None
+    x, objective = _extract(tableau, basis, c)
+    return LpResult(
+        LpStatus.OPTIMAL,
+        x,
+        objective,
+        iterations,
+        basis=basis.copy(),
+        warm=True,
+        tableau=tableau if keep_tableau else None,
+    )
+
+
+def warm_solve_insert_row(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    c: np.ndarray,
+    row_position: int,
+    column: int,
+    sigma: float,
+    rhs: float,
+    *,
+    max_iterations: int = MAX_ITERATIONS,
+    keep_tableau: bool = False,
+) -> LpResult | None:
+    """Solve an instance that adds one bound row to a solved parent.
+
+    Branch-and-bound children differ from their parent by a single
+    variable-bound inequality ``sigma * x[column] <= rhs`` (its own
+    slack enters basic).  Instead of assembling the child matrices and
+    refactorising the remapped parent basis (``B^-1 [A | S | b]``), this
+    extends the parent's *final tableau* directly: insert the new slack
+    column (zero in every old row), reduce the new row against the
+    current basis — the raw row touches a single structural column, so
+    the reduction is at most one rank-1 subtraction — and hand the
+    result to the shared dual-simplex recovery.  The canonical polish
+    makes the answer independent of this shortcut.  Inputs are not
+    mutated; ``None`` falls back to a cold solve.
+
+    Args:
+        tableau: parent's final ``[x | slacks | rhs]`` tableau.
+        basis: parent's final basis (no artificial entries).
+        c: objective of the original variables (unchanged by bounds).
+        row_position: index among all rows where the bound row sits in
+            the child's (sorted) row order; its slack column index is
+            ``n + row_position``.
+        column: the bounded structural variable.
+        sigma: ``+1.0`` for an upper-bound row, ``-1.0`` for a lower.
+        rhs: the bound row's right-hand side (``-ceil`` for lowers).
+    """
+    n = c.shape[0]
+    column_at = n + row_position
+    m, width = tableau.shape
+
+    new_row = np.zeros(width + 1)
+    new_row[column] = sigma
+    new_row[column_at] = 1.0
+    new_row[-1] = rhs
+    hit = np.flatnonzero(basis == column)
+    if hit.size:
+        # ``column`` is basic: eliminate it via its (identity) row.  The
+        # inserted slack column is zero in that row, so the 1 stays
+        # exact, and the slice arithmetic below performs the identical
+        # IEEE subtraction an insert-then-subtract would.
+        source = tableau[int(hit[0])]
+        new_row[:column_at] -= sigma * source[:column_at]
+        new_row[column_at + 1 :] -= sigma * source[column_at:]
+
+    # One allocation instead of two ``np.insert`` passes: copy the four
+    # quadrants around the inserted row/column, zero the new slack
+    # column, drop the reduced row in.
+    extended = np.empty((m + 1, width + 1))
+    extended[:row_position, :column_at] = tableau[:row_position, :column_at]
+    extended[:row_position, column_at] = 0.0
+    extended[:row_position, column_at + 1 :] = tableau[
+        :row_position, column_at:
+    ]
+    extended[row_position] = new_row
+    extended[row_position + 1 :, :column_at] = tableau[
+        row_position:, :column_at
+    ]
+    extended[row_position + 1 :, column_at] = 0.0
+    extended[row_position + 1 :, column_at + 1 :] = tableau[
+        row_position:, column_at:
+    ]
+
+    shifted = np.where(basis >= column_at, basis + 1, basis)
+    new_basis = np.empty(m + 1, dtype=basis.dtype)
+    new_basis[:row_position] = shifted[:row_position]
+    new_basis[row_position] = column_at
+    new_basis[row_position + 1 :] = shifted[row_position:]
+    return _recover(
+        extended, new_basis, c, max_iterations, keep_tableau,
+        trusted_dual=True,
+    )
+
+
+def warm_solve_shift_rhs(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    c: np.ndarray,
+    row_position: int,
+    delta: float,
+    *,
+    max_iterations: int = MAX_ITERATIONS,
+    keep_tableau: bool = False,
+) -> LpResult | None:
+    """Solve an instance that tightens one bound row of a solved parent.
+
+    When branching re-bounds an already-bounded variable, the child's
+    constraint rows are the parent's with a single right-hand side moved
+    by ``delta``.  The reduced right-hand column shifts by
+    ``delta * B^-1 e_i``, and ``B^-1 e_i`` is already sitting in the
+    tableau as the row's slack column — so the whole child setup is one
+    scaled column addition, then the shared dual-simplex recovery.
+    Inputs are not mutated; ``None`` falls back to a cold solve.
+    """
+    n = c.shape[0]
+    extended = tableau.copy()
+    extended[:, -1] += delta * extended[:, n + row_position]
+    return _recover(
+        extended, basis.copy(), c, max_iterations, keep_tableau,
+        trusted_dual=True,
+    )
+
+
+def warm_solve_rhs_delta(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    c: np.ndarray,
+    shift: np.ndarray,
+    *,
+    max_iterations: int = MAX_ITERATIONS,
+    keep_tableau: bool = False,
+) -> LpResult | None:
+    """Solve an instance whose reduced right-hand column moved by ``shift``.
+
+    The vector form of :func:`warm_solve_shift_rhs`, for callers that
+    already hold ``B^-1 @ (b_new - b_old)`` — the batch layer's
+    root-to-root chaining assembles it from the tableau's own slack
+    columns (inequality rows) plus a cached ``B^-1 e_i`` solve (equality
+    rows), turning a sweep-point root solve into one column update and a
+    few dual pivots.  Inputs are not mutated; ``None`` falls back to a
+    cold solve.
+    """
+    extended = tableau.copy()
+    extended[:, -1] += shift
+    return _recover(
+        extended, basis.copy(), c, max_iterations, keep_tableau,
+        trusted_dual=True,
+    )
 
 
 def _warm_start(
@@ -315,6 +645,7 @@ def _warm_start(
     b_eq: np.ndarray,
     basis: np.ndarray,
     max_iterations: int,
+    keep_tableau: bool = False,
 ) -> LpResult | None:
     """Attempt a warm solve from a previous basis; ``None`` falls back cold.
 
@@ -345,14 +676,16 @@ def _warm_start(
     if np.unique(basis).shape[0] != m:
         return None
 
-    rows = np.vstack([a_ub, a_eq])
-    rhs = np.concatenate([b_ub, b_eq])
-    slack_block = (
-        np.vstack([np.eye(m_ub), np.zeros((m_eq, m_ub))])
-        if m_ub
-        else np.empty((m, 0))
-    )
-    full = np.hstack([rows, slack_block, rhs.reshape(-1, 1)])
+    # Assemble [A | slacks | rhs] by direct placement into one buffer
+    # (this runs once per warm root solve — block stacking cost here is
+    # pure warm-side overhead).
+    full = np.zeros((m, total_cols + 1))
+    full[:m_ub, :n] = a_ub
+    full[m_ub:, :n] = a_eq
+    diag = np.arange(m_ub)
+    full[diag, n + diag] = 1.0
+    full[:m_ub, -1] = b_ub
+    full[m_ub:, -1] = b_eq
     try:
         tableau = np.linalg.solve(full[:, basis], full)
     except np.linalg.LinAlgError:
@@ -361,60 +694,13 @@ def _warm_start(
         return None
     # An ill-conditioned factorisation shows up as basis columns failing
     # to reduce to the identity; such a basis cannot seed pivots safely.
-    if np.abs(tableau[:, basis] - np.eye(m)).max() > 1e-7:
+    residual = tableau[:, basis]
+    rows_idx = np.arange(m)
+    residual[rows_idx, rows_idx] -= 1.0
+    if np.abs(residual, out=residual).max() > 1e-7:
         return None
 
-    basis = basis.copy()
-    cost = np.zeros(total_cols + 1)
-    cost[:n] = c
-    iterations = 0
-    try:
-        if np.any(tableau[:, -1] < -TOLERANCE):
-            reduced = cost[:-1] - cost[basis] @ tableau[:, :-1]
-            if np.any(reduced < -TOLERANCE):
-                # Neither primal- nor dual-feasible: a cold two-phase
-                # solve is the reliable route.
-                return None
-            status, its = _dual_iterate(
-                tableau, basis, cost, max_iterations
-            )
-            iterations += its
-            if status is LpStatus.INFEASIBLE:
-                return LpResult(
-                    LpStatus.INFEASIBLE,
-                    np.empty(0),
-                    np.inf,
-                    iterations,
-                    basis=basis.copy(),
-                    warm=True,
-                )
-        status, its = _iterate(
-            tableau, basis, cost, max_iterations - iterations
-        )
-        iterations += its
-        if status is LpStatus.UNBOUNDED:
-            return LpResult(
-                LpStatus.UNBOUNDED,
-                np.empty(0),
-                -np.inf,
-                iterations,
-                basis=basis.copy(),
-                warm=True,
-            )
-        iterations += _canonical_polish(
-            tableau, basis, cost, n, max_iterations - iterations
-        )
-    except IlpNumericalError:
-        return None
-    x, objective = _extract(tableau, basis, c)
-    return LpResult(
-        LpStatus.OPTIMAL,
-        x,
-        objective,
-        iterations,
-        basis=basis.copy(),
-        warm=True,
-    )
+    return _recover(tableau, basis.copy(), c, max_iterations, keep_tableau)
 
 
 def solve_lp(
@@ -426,6 +712,7 @@ def solve_lp(
     *,
     max_iterations: int = MAX_ITERATIONS,
     basis: np.ndarray | None = None,
+    keep_tableau: bool = False,
 ) -> LpResult:
     """Minimise ``c @ x`` subject to ``a_ub x <= b_ub``, ``a_eq x == b_eq``,
     ``x >= 0`` with a two-phase dense simplex.
@@ -443,6 +730,12 @@ def solve_lp(
             recovered with the dual simplex instead of a Phase-1
             restart; an unusable basis silently falls back to the cold
             two-phase path.
+        keep_tableau: attach the final reduced tableau (artificial
+            columns trimmed) to an optimal result, for
+            :func:`warm_solve_insert_row` /
+            :func:`warm_solve_shift_rhs` extension.  Skipped when
+            residual artificials are pinned in the basis — such a
+            tableau cannot seed an extension.
 
     Returns:
         An :class:`LpResult`; ``x`` has shape ``(n,)`` when optimal.
@@ -477,7 +770,7 @@ def solve_lp(
 
     if basis is not None:
         result = _warm_start(
-            c, a_ub, b_ub, a_eq, b_eq, basis, max_iterations
+            c, a_ub, b_ub, a_eq, b_eq, basis, max_iterations, keep_tableau
         )
         if result is not None:
             return result
@@ -526,7 +819,7 @@ def solve_lp(
     if n_art:
         phase1_cost = np.zeros(total_cols + 1)
         phase1_cost[n + n_slack : n + n_slack + n_art] = 1.0
-        status, its = _iterate(tableau, basis, phase1_cost, max_iterations)
+        status, its, _ = _iterate(tableau, basis, phase1_cost, max_iterations)
         iterations += its
         if status is not LpStatus.OPTIMAL:  # pragma: no cover - defensive
             raise IlpNumericalError("phase 1 cannot be unbounded")
@@ -541,17 +834,16 @@ def solve_lp(
             )
 
         # Drive any residual artificial out of the basis (degenerate rows).
-        for i in range(m):
-            if basis[i] >= n + n_slack:
-                pivot_col = -1
-                for j in range(n + n_slack):
-                    if abs(tableau[i, j]) > TOLERANCE:
-                        pivot_col = j
-                        break
-                if pivot_col >= 0:
-                    _pivot(tableau, basis, i, pivot_col)
-                # else: redundant row; keep it (harmless, rhs is ~0) with the
-                # artificial pinned at zero, excluded from phase-2 pricing.
+        # Pivoting row i only changes basis[i], so the row list computed
+        # up front matches the original row-by-row scan.
+        for i in np.flatnonzero(basis >= n + n_slack).tolist():
+            structural_cols = np.flatnonzero(
+                np.abs(tableau[i, : n + n_slack]) > TOLERANCE
+            )
+            if structural_cols.size:
+                _pivot(tableau, basis, i, int(structural_cols[0]))
+            # else: redundant row; keep it (harmless, rhs is ~0) with the
+            # artificial pinned at zero, excluded from phase-2 pricing.
 
     # ------------------------------------------------------------------
     # Phase 2: original objective, artificial columns frozen.
@@ -563,7 +855,7 @@ def solve_lp(
         # without having to restructure the tableau.
         big = 1.0 + np.abs(c).sum() * 1e6
         phase2_cost[n + n_slack :] = big
-    status, its = _iterate(
+    status, its, reduced_row = _iterate(
         tableau, basis, phase2_cost, max_iterations - iterations
     )
     iterations += its
@@ -579,10 +871,25 @@ def solve_lp(
     # Land on the canonical optimal vertex so warm-started re-solves of
     # the same instance report the identical point (see _canonical_polish).
     iterations += _canonical_polish(
-        tableau, basis, phase2_cost, n, max_iterations - iterations
+        tableau,
+        basis,
+        phase2_cost,
+        n,
+        max_iterations - iterations,
+        reduced0=reduced_row,
     )
     # Clamp tiny negatives introduced by roundoff (inside _extract).
     x, objective = _extract(tableau, basis, c)
+    kept = None
+    if keep_tableau and basis.max(initial=0) < n + n_slack:
+        # Trim the artificial columns; what remains is the reduced
+        # ``[x | slacks | rhs]`` the extension entry points operate on.
+        kept = np.hstack([tableau[:, : n + n_slack], tableau[:, -1:]])
     return LpResult(
-        LpStatus.OPTIMAL, x, objective, iterations, basis=basis.copy()
+        LpStatus.OPTIMAL,
+        x,
+        objective,
+        iterations,
+        basis=basis.copy(),
+        tableau=kept,
     )

@@ -4,6 +4,23 @@ Executes per-core task programs against the SRI crossbar with per-target
 round-robin arbitration and Table 2-consistent device timing, producing
 the observables the paper's methodology needs: DSU counter readings,
 execution times, and (beyond real hardware) ground-truth access profiles.
+
+Two engines share one event model (``SIM_ENGINES``):
+
+* ``engine="compiled"`` (the default) executes a
+  :class:`~repro.sim.program.CompiledProgram` — each task's step stream
+  flattened once (:func:`~repro.sim.program.compile_program`, memoised
+  per program) into numpy gap/request-id arrays over a deduplicated
+  request table, with runs of gap-only steps merged into the following
+  request's gap and uncontended transactions completed inline, off the
+  event heap;
+* ``engine="reference"`` replays the original per-step object stream.
+
+The engines are **byte-identical** — same pickled :class:`SimResult`
+down to counters, stats and artifacts — which the equivalence suite
+(``tests/test_vectorized_kernels.py``) and the acceptance benchmark
+(``benchmarks/bench_sim_scaling.py``) both assert; the compiled engine
+is purely a throughput change.
 """
 
 from repro.sim.dma import DmaAgent, DmaResult
@@ -15,8 +32,10 @@ from repro.sim.caches import (
     instruction_cache,
 )
 from repro.sim.program import (
+    CompiledProgram,
     Step,
     TaskProgram,
+    compile_program,
     concatenate,
     program_from_steps,
     repeat,
@@ -24,6 +43,7 @@ from repro.sim.program import (
 from repro.sim.requests import MissKind, SriRequest, code_fetch, data_access
 from repro.sim.system import (
     ARBITRATION_POLICIES,
+    SIM_ENGINES,
     CoreResult,
     SimResult,
     SystemSimulator,
@@ -37,11 +57,13 @@ from repro.sim.trace_frontend import TraceAccess, TraceCompiler, sweep_trace
 __all__ = [
     "ARBITRATION_POLICIES",
     "CacheAccess",
+    "CompiledProgram",
     "DmaAgent",
     "DmaResult",
     "CoreResult",
     "DeviceTiming",
     "MissKind",
+    "SIM_ENGINES",
     "SetAssociativeCache",
     "SimResult",
     "SimTiming",
@@ -53,6 +75,7 @@ __all__ = [
     "TraceCompiler",
     "TransactionStats",
     "code_fetch",
+    "compile_program",
     "concatenate",
     "data_access",
     "data_cache",

@@ -69,6 +69,31 @@ class DmaAgent:
         """Total SRI occupancy the agent can generate (count x service)."""
         return self.count * service_time
 
+    def uncontended_result(self, service_time: int) -> "DmaResult":
+        """Closed-form :class:`DmaResult` of an *uncontended* run.
+
+        Valid only when the agent is the sole master of its target (no
+        queueing) **and** ``period >= service_time`` (each transaction
+        completes before the next issue attempt, so the queue never
+        backs up and no attempt is deferred).  Under those conditions
+        every transaction starts at its tick and finishes ``service``
+        cycles later, so the whole run collapses to arithmetic — the
+        simulator uses this to skip per-tick events entirely.
+        """
+        if self.period < service_time:
+            raise SimulationError(
+                "closed-form DMA result requires period >= service time"
+            )
+        finish = self.start_time
+        if self.count:
+            finish += (self.count - 1) * self.period + service_time
+        return DmaResult(
+            master_id=self.master_id,
+            served=self.count,
+            finish_time=finish,
+            total_wait_cycles=0,
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class DmaResult:

@@ -15,7 +15,10 @@ must see identical streams.
 from __future__ import annotations
 
 import dataclasses
+import weakref
 from typing import Callable, Iterable, Iterator
+
+import numpy as np
 
 from repro.core.ptac import AccessProfile, profile_from_pairs
 from repro.errors import SimulationError
@@ -23,6 +26,129 @@ from repro.sim.requests import SriRequest
 
 #: One step: (compute cycles, optional SRI transaction issued afterwards).
 Step = tuple[int, SriRequest | None]
+
+
+class CompiledProgram:
+    """A program's step stream, flattened to arrays (one per run, cached).
+
+    The step generators are convenient to *write* (workload builders
+    compose them freely) but expensive to *execute*: every simulated
+    transaction costs a generator resumption and a tuple unpack, and
+    gap-only steps cost one heap event each.  Compiling flattens the
+    stream once into flat arrays over the program's **requests**:
+
+    * ``gaps[k]`` — computation cycles before request ``k``, with any
+      run of gap-only steps merged into the following request's gap
+      (``max(0, G - credit)`` consumes overlap credit exactly like the
+      step-by-step walk, so the merge is timing-exact);
+    * ``request_ids[k]`` — index into :attr:`requests`, the **deduped**
+      transaction table in first-appearance order (workloads repeat a
+      handful of distinct transactions thousands of times, so per-rid
+      precomputation amortises all per-request timing/counter lookups);
+    * ``final_gap`` — trailing computation after the last request.
+
+    Attributes:
+        name: the program's name.
+        gaps: int64 array, pre-request computation cycles.
+        request_ids: int64 array, parallel to ``gaps``.
+        requests: deduped :class:`SriRequest` table (first-appearance
+            order — the order every per-key observable dict follows).
+        final_gap: trailing gap-only cycles.
+        gap_list / rid_list: Python-int mirrors of the arrays (the event
+          walker indexes them faster than numpy scalars, and they keep
+          Python-int arithmetic end to end).
+    """
+
+    __slots__ = (
+        "name",
+        "gaps",
+        "request_ids",
+        "requests",
+        "final_gap",
+        "gap_list",
+        "rid_list",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        gaps: np.ndarray,
+        request_ids: np.ndarray,
+        requests: tuple[SriRequest, ...],
+        final_gap: int,
+    ) -> None:
+        self.name = name
+        self.gaps = gaps
+        self.request_ids = request_ids
+        self.requests = requests
+        self.final_gap = final_gap
+        self.gap_list: list[int] = gaps.tolist()
+        self.rid_list: list[int] = request_ids.tolist()
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.rid_list)
+
+    def rid_counts(self) -> list[int]:
+        """Occurrences of each distinct request, indexed by rid."""
+        if not self.rid_list:
+            return [0] * len(self.requests)
+        return np.bincount(
+            self.request_ids, minlength=len(self.requests)
+        ).tolist()
+
+    def compute_cycles(self) -> int:
+        return int(self.gaps.sum()) + self.final_gap
+
+
+#: Compiled streams, keyed weakly by program so workload caches don't
+#: grow pickles (process-mode jobs ship TaskPrograms) or leak memory.
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[TaskProgram, CompiledProgram]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_program(program: "TaskProgram") -> CompiledProgram:
+    """Flatten a program's step stream into a :class:`CompiledProgram`.
+
+    One full pass over ``program.steps()`` per program (memoised): gap
+    runs merge into the next request's gap, requests dedupe into a table
+    in first-appearance order.  Negative gaps are rejected here with the
+    same error the step-by-step walk raised.
+    """
+    cached = _COMPILE_CACHE.get(program)
+    if cached is not None:
+        return cached
+    gaps: list[int] = []
+    rids: list[int] = []
+    table: dict[SriRequest, int] = {}
+    requests: list[SriRequest] = []
+    pending_gap = 0
+    for gap, request in program.steps():
+        if gap < 0:
+            raise SimulationError(
+                f"{program.name!r}: negative gap in program"
+            )
+        pending_gap += gap
+        if request is None:
+            continue
+        rid = table.get(request)
+        if rid is None:
+            rid = len(requests)
+            table[request] = rid
+            requests.append(request)
+        gaps.append(pending_gap)
+        rids.append(rid)
+        pending_gap = 0
+    compiled = CompiledProgram(
+        name=program.name,
+        gaps=np.asarray(gaps, dtype=np.int64),
+        request_ids=np.asarray(rids, dtype=np.int64),
+        requests=tuple(requests),
+        final_gap=pending_gap,
+    )
+    _COMPILE_CACHE[program] = compiled
+    return compiled
 
 
 @dataclasses.dataclass(frozen=True)
@@ -42,6 +168,10 @@ class TaskProgram:
         """A fresh iterator over the program's steps."""
         return self.stream_factory()
 
+    def compiled(self) -> CompiledProgram:
+        """The flattened (and memoised) array form of the step stream."""
+        return compile_program(self)
+
     # ------------------------------------------------------------------
     # Static analyses (used for ground truth and test oracles)
     # ------------------------------------------------------------------
@@ -49,24 +179,28 @@ class TaskProgram:
         """Exact per-target access counts — the PTAC the ideal model needs.
 
         On real hardware this is unobservable (the whole premise of the
-        paper); the simulator makes it available as the tightness yardstick.
+        paper); the simulator makes it available as the tightness
+        yardstick.  Computed off the compiled arrays: the deduped request
+        table is in first-appearance order, so the profile's key order
+        matches a step-by-step scan exactly.
         """
+        compiled = self.compiled()
+        counts = compiled.rid_counts()
         return profile_from_pairs(
             self.name,
             (
-                (request.target, request.operation, 1)
-                for _, request in self.steps()
-                if request is not None
+                (request.target, request.operation, counts[rid])
+                for rid, request in enumerate(compiled.requests)
             ),
         )
 
     def request_count(self) -> int:
         """Total number of SRI transactions in the program."""
-        return sum(1 for _, request in self.steps() if request is not None)
+        return self.compiled().n_requests
 
     def compute_cycles(self) -> int:
         """Total core-local computation cycles in the program."""
-        return sum(gap for gap, _ in self.steps())
+        return self.compiled().compute_cycles()
 
 
 def program_from_steps(name: str, steps: Iterable[Step]) -> TaskProgram:

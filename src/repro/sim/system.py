@@ -25,6 +25,20 @@ exceeds the service time of the one in-flight conflicting transaction, so
 per-request interference is bounded by ``l^{t,o}`` of the contender's
 request — the exact alignment assumption of the models.  The validation
 suite leans on this.
+
+Two engines produce **byte-identical** results (the equivalence suite
+pins this on pickled :class:`SimResult`\\ s):
+
+* ``engine="compiled"`` (default) walks each program's
+  :class:`~repro.sim.program.CompiledProgram` arrays with integer
+  cursors, pre-resolves every per-request timing/counter lookup per
+  distinct request, only heap-schedules transactions on *shared*
+  devices (a core alone on a device advances through whole request runs
+  closed-form, and an isolation run never touches the heap at all), and
+  batches counter/statistics updates into per-request accumulators;
+* ``engine="reference"`` is the retained step-generator walk — one
+  generator resumption per step, one heap event per step/issue/grant/
+  completion — kept as the semantics oracle for the equivalence tests.
 """
 
 from __future__ import annotations
@@ -158,8 +172,150 @@ class _CoreState:
         self.wait_cycles = 0
 
 
+#: Blocking-extreme sentinels of the per-request aggregation (plain ints
+#: keep the hot-loop comparisons int-vs-int).
+_BLOCKING_MAX_SENTINEL = 1 << 62
+
+
+class _CompiledCoreState:
+    """Mutable execution state of one core on the compiled-program path.
+
+    Everything the per-transaction hot path needs is pre-resolved per
+    *distinct* request (``*_by_rid`` lists) when the run starts, and
+    every observable is accumulated in plain-int per-rid cells; the
+    :class:`CounterBank`, ground-truth counts and per-key
+    :class:`TransactionStats` are folded out once in :meth:`finalize` —
+    in the same key order and with the same values as the reference
+    engine's per-event updates (all the folds commute: sums, saturating
+    sums, and min/max extremes).
+    """
+
+    __slots__ = (
+        "core_id",
+        "name",
+        "requests",
+        "gap_list",
+        "rid_list",
+        "n_requests",
+        "final_gap",
+        "cursor",
+        "service_by_rid",
+        "overlap_by_rid",
+        "stall_by_rid",
+        "miss_by_rid",
+        "key_by_rid",
+        "solo_by_rid",
+        "device_by_rid",
+        "acc",
+        "agg_count",
+        "agg_wait",
+        "agg_bmin",
+        "agg_bmax",
+        "pending_rid",
+        "issue_time",
+        "overlap_credit",
+        "finish_time",
+        "wait_cycles",
+        "bank",
+        "true_counts",
+    )
+
+    def __init__(self, core_id: int, program: TaskProgram) -> None:
+        compiled = program.compiled()
+        self.core_id = core_id
+        self.name = program.name
+        self.requests = compiled.requests
+        self.gap_list = compiled.gap_list
+        self.rid_list = compiled.rid_list
+        self.n_requests = compiled.n_requests
+        self.final_gap = compiled.final_gap
+        self.cursor = 0
+        self.pending_rid = -1
+        self.issue_time = 0
+        self.overlap_credit = 0
+        self.finish_time: int | None = None
+        self.wait_cycles = 0
+        self.bank: CounterBank | None = None
+        self.true_counts: dict[tuple[Target, Operation], int] | None = None
+
+    def prepare(self, timing: SimTiming, solo_targets: set[Target]) -> None:
+        """Resolve per-rid timing/counter tables for this run."""
+        requests = self.requests
+        self.service_by_rid = [timing.service_time(r) for r in requests]
+        self.overlap_by_rid = [
+            timing.device(r.target).overlap(r) for r in requests
+        ]
+        self.stall_by_rid = [r.stall_counter for r in requests]
+        self.miss_by_rid = [r.miss_kind.counter for r in requests]
+        self.key_by_rid = [(r.target, r.operation) for r in requests]
+        self.solo_by_rid = [r.target in solo_targets for r in requests]
+        n = len(requests)
+        self.acc = {counter: 0 for counter in DebugCounter}
+        self.agg_count = [0] * n
+        self.agg_wait = [0] * n
+        self.agg_bmin = [_BLOCKING_MAX_SENTINEL] * n
+        self.agg_bmax = [-1] * n
+
+    def finalize(self) -> dict[tuple[Target, Operation], "TransactionStats"]:
+        """Fold the per-rid accumulators into the reference observables.
+
+        Key order: the deduped request table is in first-appearance
+        order, so each (target, operation) key is first seen here at the
+        same point the reference engine first completed it — the dicts
+        iterate identically.
+        """
+        bank = CounterBank()
+        for counter, amount in self.acc.items():
+            if amount:
+                bank.increment(counter, amount)
+        self.bank = bank
+        true_counts: dict[tuple[Target, Operation], int] = {}
+        stats: dict[tuple[Target, Operation], TransactionStats] = {}
+        for rid, key in enumerate(self.key_by_rid):
+            count = self.agg_count[rid]
+            if not count:
+                continue
+            true_counts[key] = true_counts.get(key, 0) + count
+            entry = stats.get(key)
+            if entry is None:
+                entry = stats[key] = TransactionStats()
+            entry.count += count
+            service = self.service_by_rid[rid]
+            entry.min_service = (
+                service
+                if entry.min_service is None
+                else min(entry.min_service, service)
+            )
+            entry.max_service = (
+                service
+                if entry.max_service is None
+                else max(entry.max_service, service)
+            )
+            bmin = self.agg_bmin[rid]
+            bmax = self.agg_bmax[rid]
+            entry.min_blocking = (
+                bmin
+                if entry.min_blocking is None
+                else min(entry.min_blocking, bmin)
+            )
+            entry.max_blocking = (
+                bmax
+                if entry.max_blocking is None
+                else max(entry.max_blocking, bmax)
+            )
+            entry.total_wait += self.agg_wait[rid]
+        self.true_counts = true_counts
+        self.wait_cycles = sum(self.agg_wait)
+        return stats
+
+
 class _DmaState:
-    """Mutable execution state of one DMA agent."""
+    """Mutable execution state of one DMA agent.
+
+    ``service`` and ``device`` are resolved once by the compiled engine
+    (the agent issues one fixed transaction template, so its timing and
+    target never change); the reference engine leaves them unset.
+    """
 
     __slots__ = (
         "agent",
@@ -169,6 +325,8 @@ class _DmaState:
         "served",
         "finish_time",
         "wait_cycles",
+        "service",
+        "device",
     )
 
     def __init__(self, agent: DmaAgent) -> None:
@@ -190,15 +348,22 @@ _QueueEntry = tuple[object, SriRequest, int]
 
 
 class _DeviceState:
-    """Mutable state of one SRI slave: in-flight transaction and queue."""
+    """Mutable state of one SRI slave: in-flight transaction and queue.
 
-    __slots__ = ("target", "current", "queue", "last_served")
+    ``key`` (heap payload index) and ``grant_pending`` (an arbitration
+    event is already queued for this cycle) are used by the compiled
+    engine only; the reference engine schedules one grant per enqueue.
+    """
 
-    def __init__(self, target: Target) -> None:
+    __slots__ = ("target", "current", "queue", "last_served", "key", "grant_pending")
+
+    def __init__(self, target: Target, key: int = -1) -> None:
         self.target = target
         self.current: _QueueEntry | None = None
         self.queue: list[_QueueEntry] = []
         self.last_served = -1
+        self.key = key
+        self.grant_pending = False
 
 
 _STEP = 0
@@ -213,6 +378,9 @@ _GRANT = 4
 #: Supported arbitration policies of the SRI slave interfaces.
 ARBITRATION_POLICIES = ("round-robin", "priority")
 
+#: Supported execution engines (see the module docstring).
+SIM_ENGINES = ("compiled", "reference")
+
 
 class SystemSimulator:
     """Executes task programs on the simulated TC27x memory system.
@@ -226,6 +394,10 @@ class SystemSimulator:
             classes.
         priorities: master id → priority class (lower value wins);
             unspecified masters default to class 0.
+        engine: ``"compiled"`` (default, walks pre-flattened program
+            arrays) or ``"reference"`` (the retained step-generator
+            walk).  Both produce byte-identical results; the choice is
+            purely a speed/oracle trade (see the module docstring).
     """
 
     def __init__(
@@ -234,6 +406,7 @@ class SystemSimulator:
         *,
         arbitration: str = "round-robin",
         priorities: Mapping[int, int] | None = None,
+        engine: str = "compiled",
     ) -> None:
         self.timing = timing or tc27x_sim_timing()
         if arbitration not in ARBITRATION_POLICIES:
@@ -241,8 +414,14 @@ class SystemSimulator:
                 f"unknown arbitration policy {arbitration!r}; "
                 f"expected one of {ARBITRATION_POLICIES}"
             )
+        if engine not in SIM_ENGINES:
+            raise SimulationError(
+                f"unknown simulation engine {engine!r}; "
+                f"expected one of {SIM_ENGINES}"
+            )
         self.arbitration = arbitration
         self.priorities = dict(priorities or {})
+        self.engine = engine
 
     def _priority(self, master_id: int) -> int:
         return self.priorities.get(master_id, 0)
@@ -265,6 +444,332 @@ class SystemSimulator:
         Returns:
             A :class:`SimResult` with per-core (and per-agent) observables.
         """
+        if self.engine == "reference":
+            return self._run_reference(programs, dma_agents)
+        return self._run_compiled(programs, dma_agents)
+
+    # ------------------------------------------------------------------
+    def _run_compiled(
+        self,
+        programs: Mapping[int, TaskProgram],
+        dma_agents: Sequence[DmaAgent] = (),
+    ) -> SimResult:
+        """The compiled-program engine (see the module docstring).
+
+        Equivalence to :meth:`_run_reference` rests on four facts, each
+        pinned by the equivalence suite:
+
+        * merging a run of gap-only steps into the next request's gap is
+          timing-exact (``max(0, G - credit)`` elapsed, ``max(0,
+          credit - G)`` credit left — the step-by-step recurrence's
+          closed form);
+        * a transaction on a device with a single master never waits
+          (the issuing master is single-outstanding), so its completion
+          is ``issue + service`` and it can be processed inline without
+          touching the heap or the device state nobody else observes;
+        * scheduling an arbitration event only when the device is idle
+          drops exactly the grant events that were no-ops (a busy
+          device's next grant happens inline at its completion, in both
+          engines), and event *sequence numbers* only break heap ties —
+          same-cycle issues still all enqueue before the grant fires;
+        * every observable aggregation (counters, stats extremes, wait
+          sums, ground-truth counts) commutes, so batching them per
+          distinct request changes no final value, and the deduped
+          request table's first-appearance order reproduces every
+          observable dict's insertion order.
+        """
+        if not programs:
+            raise SimulationError("no programs to run")
+        timing = self.timing
+        cores = {
+            core_id: _CompiledCoreState(core_id, program)
+            for core_id, program in programs.items()
+        }
+        dma: dict[int, _DmaState] = {}
+        for agent in dma_agents:
+            if agent.master_id in cores or agent.master_id in dma:
+                raise SimulationError(
+                    f"duplicate SRI master id {agent.master_id}"
+                )
+            dma[agent.master_id] = _DmaState(agent)
+
+        # Master census: a device with a single master needs no
+        # arbitration — its transactions are served the cycle they
+        # arrive and can bypass the event loop entirely.
+        masters_per_target = {target: 0 for target in Target}
+        for state in cores.values():
+            for target in {r.target for r in state.requests}:
+                masters_per_target[target] += 1
+        for dma_state in dma.values():
+            masters_per_target[dma_state.agent.request.target] += 1
+        solo_targets = {
+            target
+            for target, count in masters_per_target.items()
+            if count == 1
+        }
+
+        targets = list(Target)
+        device_list = [
+            _DeviceState(target, key) for key, target in enumerate(targets)
+        ]
+        device_by_target = {
+            device.target: device for device in device_list
+        }
+        for state in cores.values():
+            state.prepare(timing, solo_targets)
+            state.device_by_rid = [
+                device_by_target[r.target] for r in state.requests
+            ]
+        for dma_state in dma.values():
+            dma_state.service = timing.service_time(dma_state.agent.request)
+            dma_state.device = device_by_target[
+                dma_state.agent.request.target
+            ]
+
+        heap: list[tuple[int, int, int, int]] = []  # (time, kind, seq, id)
+        seq = 0
+        for core_id in sorted(cores):
+            heapq.heappush(heap, (0, _STEP, seq, core_id))
+            seq += 1
+        for master_id, dma_state in sorted(dma.items()):
+            agent = dma_state.agent
+            if (
+                agent.request.target in solo_targets
+                and agent.period >= dma_state.service
+            ):
+                # Uncontended fixed-rate agent: the whole run is
+                # arithmetic (no queueing, no deferrals).
+                dma_state.served = agent.count
+                dma_state.remaining = 0
+                dma_state.finish_time = agent.uncontended_result(
+                    dma_state.service
+                ).finish_time
+            elif dma_state.remaining:
+                heapq.heappush(
+                    heap, (agent.start_time, _DMA_TICK, seq, master_id)
+                )
+                seq += 1
+
+        all_ids = list(cores) + list(dma)
+        rr_modulus = max(all_ids) + 2  # cyclic distance for round-robin
+        use_priority = self.arbitration == "priority"
+        priority_of = {
+            master_id: self._priority(master_id) for master_id in all_ids
+        }
+
+        def advance(state: _CompiledCoreState, now: int) -> None:
+            """Walk the compiled arrays from the core's cursor.
+
+            Consecutive solo-device transactions are executed inline
+            (zero wait, completion at ``issue + service``); the walk
+            only stops to heap-schedule a shared-device issue, or to
+            finish the program.
+            """
+            nonlocal seq
+            cursor = state.cursor
+            n = state.n_requests
+            gap_list = state.gap_list
+            rid_list = state.rid_list
+            solo = state.solo_by_rid
+            services = state.service_by_rid
+            overlaps = state.overlap_by_rid
+            misses = state.miss_by_rid
+            stalls = state.stall_by_rid
+            acc = state.acc
+            agg_count = state.agg_count
+            agg_bmin = state.agg_bmin
+            agg_bmax = state.agg_bmax
+            credit = state.overlap_credit
+            while True:
+                if cursor >= n:
+                    state.cursor = cursor
+                    state.overlap_credit = 0
+                    trailing = state.final_gap - credit
+                    state.finish_time = (
+                        now + trailing if trailing > 0 else now
+                    )
+                    return
+                gap = gap_list[cursor]
+                if credit:
+                    gap -= credit
+                    if gap < 0:
+                        credit = -gap
+                        gap = 0
+                    else:
+                        credit = 0
+                when = now + gap
+                rid = rid_list[cursor]
+                cursor += 1
+                if solo[rid]:
+                    miss = misses[rid]
+                    if miss is not None:
+                        acc[miss] += 1
+                    service = services[rid]
+                    overlap = overlaps[rid]
+                    blocking = service - overlap
+                    if blocking < 0:
+                        blocking = 0
+                    elif blocking:
+                        acc[stalls[rid]] += blocking
+                    agg_count[rid] += 1
+                    if blocking < agg_bmin[rid]:
+                        agg_bmin[rid] = blocking
+                    if blocking > agg_bmax[rid]:
+                        agg_bmax[rid] = blocking
+                    now = when + service
+                    credit = overlap
+                    continue
+                state.cursor = cursor
+                state.overlap_credit = credit
+                state.pending_rid = rid
+                state.issue_time = when
+                heapq.heappush(heap, (when, _ISSUE, seq, state.core_id))
+                seq += 1
+                return
+
+        def grant(device: _DeviceState, now: int) -> None:
+            """Start serving the next queued request (same selection rule
+            as the reference engine's arbitration — see its docstring)."""
+            nonlocal seq
+            if device.current is not None:
+                return
+            queue = device.queue
+            if not queue:
+                return
+            chosen = 0
+            if len(queue) > 1:
+                last_served = device.last_served
+                best_priority = best_distance = -1
+                for index, entry in enumerate(queue):
+                    master_id: int = entry[0].core_id  # type: ignore[attr-defined]
+                    distance = (master_id - last_served - 1) % rr_modulus
+                    if use_priority:
+                        priority = priority_of[master_id]
+                        if best_distance < 0 or (
+                            (priority, distance)
+                            < (best_priority, best_distance)
+                        ):
+                            best_priority = priority
+                            best_distance = distance
+                            chosen = index
+                    elif best_distance < 0 or distance < best_distance:
+                        best_distance = distance
+                        chosen = index
+            entry = queue.pop(chosen)
+            device.current = entry
+            device.last_served = entry[0].core_id  # type: ignore[attr-defined]
+            heapq.heappush(
+                heap, (now + entry[3], _COMPLETE, seq, device.key)
+            )
+            seq += 1
+
+        def schedule_grant(device: _DeviceState, now: int) -> None:
+            """Queue one arbitration event unless the device is busy (its
+            completion grants inline) or one is already queued."""
+            nonlocal seq
+            if device.current is None and not device.grant_pending:
+                device.grant_pending = True
+                heapq.heappush(heap, (now, _GRANT, seq, device.key))
+                seq += 1
+
+        def dma_issue(state: _DmaState, now: int) -> None:
+            """Put one DMA transaction on the wire."""
+            state.outstanding += 1
+            state.remaining -= 1
+            device = state.device
+            device.queue.append((state, -1, now, state.service))
+            schedule_grant(device, now)
+
+        while heap:
+            now, kind, _, payload = heapq.heappop(heap)
+            if kind == _STEP:
+                advance(cores[payload], now)
+            elif kind == _GRANT:
+                device = device_list[payload]
+                device.grant_pending = False
+                grant(device, now)
+            elif kind == _ISSUE:
+                state = cores[payload]
+                rid = state.pending_rid
+                miss = state.miss_by_rid[rid]
+                if miss is not None:
+                    state.acc[miss] += 1
+                device = state.device_by_rid[rid]
+                device.queue.append(
+                    (state, rid, state.issue_time, state.service_by_rid[rid])
+                )
+                schedule_grant(device, now)
+            elif kind == _DMA_TICK:
+                agent_state = dma[payload]
+                if agent_state.remaining > 0:
+                    if agent_state.outstanding < agent_state.agent.queue_depth:
+                        dma_issue(agent_state, now)
+                    else:
+                        agent_state.deferred += 1
+                    if agent_state.remaining > 0:
+                        heapq.heappush(
+                            heap,
+                            (
+                                now + agent_state.agent.period,
+                                _DMA_TICK,
+                                seq,
+                                payload,
+                            ),
+                        )
+                        seq += 1
+            else:  # _COMPLETE
+                device = device_list[payload]
+                entry = device.current
+                assert entry is not None
+                requester, rid, issue_time, service = entry
+                device.current = None
+                wait = now - service - issue_time
+                if wait < 0:
+                    raise SimulationError("causality violation in simulator")
+                if rid < 0:  # DMA master
+                    requester.outstanding -= 1
+                    requester.served += 1
+                    requester.wait_cycles += wait
+                    if requester.deferred and requester.remaining:
+                        requester.deferred -= 1
+                        dma_issue(requester, now)
+                    if (
+                        requester.remaining == 0
+                        and requester.outstanding == 0
+                    ):
+                        requester.finish_time = now
+                else:
+                    state = requester
+                    overlap = state.overlap_by_rid[rid]
+                    blocking = now - issue_time - overlap
+                    if blocking < 0:
+                        blocking = 0
+                    elif blocking:
+                        state.acc[state.stall_by_rid[rid]] += blocking
+                    state.overlap_credit = overlap
+                    state.agg_count[rid] += 1
+                    state.agg_wait[rid] += wait
+                    if blocking < state.agg_bmin[rid]:
+                        state.agg_bmin[rid] = blocking
+                    if blocking > state.agg_bmax[rid]:
+                        state.agg_bmax[rid] = blocking
+                    state.pending_rid = -1
+                    advance(state, now)
+                grant(device, now)
+
+        stats = {
+            core_id: state.finalize() for core_id, state in cores.items()
+        }
+        return self._collect(cores, stats, dma)
+
+    # ------------------------------------------------------------------
+    def _run_reference(
+        self,
+        programs: Mapping[int, TaskProgram],
+        dma_agents: Sequence[DmaAgent] = (),
+    ) -> SimResult:
+        """The retained step-generator engine — the semantics oracle the
+        compiled engine is pinned byte-identical against."""
         if not programs:
             raise SimulationError("no programs to run")
         cores = {
@@ -528,9 +1033,10 @@ def run_isolation(
     *,
     core: int = 1,
     timing: SimTiming | None = None,
+    engine: str = "compiled",
 ) -> CoreResult:
     """Run one task alone (the paper's measurement protocol, step 1)."""
-    sim = SystemSimulator(timing)
+    sim = SystemSimulator(timing, engine=engine)
     return sim.run({core: program}).core(core)
 
 
@@ -538,8 +1044,9 @@ def run_corun(
     programs: Mapping[int, TaskProgram],
     *,
     timing: SimTiming | None = None,
+    engine: str = "compiled",
 ) -> SimResult:
     """Co-run tasks on different cores, contending on the SRI."""
     if len(programs) < 2:
         raise SimulationError("a co-run needs at least two programs")
-    return SystemSimulator(timing).run(programs)
+    return SystemSimulator(timing, engine=engine).run(programs)

@@ -1,0 +1,489 @@
+"""Property suite for the vectorised hot paths (ILP kernels + sim engine).
+
+The performance PR that vectorised the simplex kernels and compiled the
+event engine promised *pure* speed: every fast path must be observably
+identical to the scalar code it replaced.  This suite pins that promise
+three ways:
+
+* **kernel parity** — the whole-array ``_pivot`` / ``_ratio_test`` /
+  ``_entering_index`` kernels produce bit-identical tableaus and
+  identical index choices to their kept scalar oracles
+  (``_reference_pivot`` / ``_reference_ratio_test`` /
+  ``_reference_entering_index``) on random inputs, and whole LP solves
+  driven by either kernel set agree exactly;
+* **warm-extension equivalence** — the tableau-extension entry points
+  (``warm_solve_insert_row`` / ``warm_solve_shift_rhs`` /
+  ``warm_solve_rhs_delta``) land on the same optimum as a cold solve of
+  the explicitly assembled child instance (the canonical polish makes
+  the vertex independent of the solve path), and the scatter-layout
+  ``ParametricForm.instantiate`` rebuilds exactly what the kept
+  per-row ``_reference_instantiate`` builds;
+* **engine equivalence** — ``engine="compiled"`` and
+  ``engine="reference"`` simulator runs produce byte-identical pickled
+  :class:`SimResult` objects on builtin families, random workloads, DMA
+  co-runs and gap-merging edge cases (the compiled engine's one
+  documented hazard).
+
+Equality here is deliberately strict: ``np.array_equal`` / pickle-bytes
+comparison, not ``approx`` — except where two *different pivot paths*
+meet at the same vertex, where last-ulp arithmetic differences are
+legitimate and a tight tolerance is used instead.
+"""
+
+import functools
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import paper
+from repro.core.ilp_ptac import IlpPtacOptions, build_ilp_ptac
+from repro.errors import IlpNumericalError
+from repro.ilp import simplex
+from repro.ilp.batch import ParametricForm
+from repro.ilp.simplex import (
+    TOLERANCE,
+    LpStatus,
+    _entering_index,
+    _pivot,
+    _ratio_test,
+    _reference_entering_index,
+    _reference_pivot,
+    _reference_ratio_test,
+    solve_lp,
+    warm_solve_insert_row,
+    warm_solve_rhs_delta,
+    warm_solve_shift_rhs,
+)
+from repro.platform.deployment import scenario_1, scenario_2
+from repro.platform.latency import tc27x_latency_profile
+from repro.platform.targets import Target
+from repro.sim.dma import DmaAgent
+from repro.sim.program import program_from_steps
+from repro.sim.requests import code_fetch, data_access
+from repro.sim.system import SIM_ENGINES, SystemSimulator
+from repro.workloads.control_loop import build_control_loop
+from repro.workloads.loads import build_load
+from repro.workloads.synthetic import random_task_pair
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# Kernel parity: vectorised kernels vs their scalar oracles.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def tableau_and_basis(draw):
+    """A random dense tableau with a plausible (distinct-column) basis.
+
+    Values are small dyadic rationals so every arithmetic path is exact
+    where the kernels promise exactness; the kernels themselves make no
+    assumption beyond shape, so the tableau need not be simplex-valid.
+    """
+    m = draw(st.integers(1, 5))
+    width = draw(st.integers(m + 2, m + 7))
+    cells = draw(
+        st.lists(
+            st.integers(-12, 12), min_size=m * width, max_size=m * width
+        )
+    )
+    tableau = np.array(cells, dtype=float).reshape(m, width) / 4.0
+    columns = draw(st.permutations(range(width - 1)))
+    basis = np.array(columns[:m], dtype=int)
+    return tableau, basis
+
+
+@SETTINGS
+@given(data=tableau_and_basis(), row_seed=st.integers(0, 10**6))
+def test_pivot_matches_reference(data, row_seed):
+    tableau, basis = data
+    m, width = tableau.shape
+    row = row_seed % m
+    eligible = np.flatnonzero(np.abs(tableau[row, :-1]) > TOLERANCE)
+    if eligible.size == 0:
+        return
+    col = int(eligible[(row_seed // m) % eligible.size])
+
+    t_vec, b_vec = tableau.copy(), basis.copy()
+    t_ref, b_ref = tableau.copy(), basis.copy()
+    _pivot(t_vec, b_vec, row, col)
+    _reference_pivot(t_ref, b_ref, row, col)
+
+    assert np.array_equal(t_vec, t_ref)
+    assert np.array_equal(b_vec, b_ref)
+
+
+@SETTINGS
+@given(data=tableau_and_basis(), row_seed=st.integers(0, 10**6))
+def test_pivot_rejects_near_zero_like_reference(data, row_seed):
+    tableau, basis = data
+    m, _ = tableau.shape
+    row = row_seed % m
+    tableau[row, 0] = TOLERANCE / 2.0
+    with pytest.raises(IlpNumericalError):
+        _pivot(tableau.copy(), basis.copy(), row, 0)
+    with pytest.raises(IlpNumericalError):
+        _reference_pivot(tableau.copy(), basis.copy(), row, 0)
+
+
+@SETTINGS
+@given(data=tableau_and_basis(), col_seed=st.integers(0, 10**6))
+def test_ratio_test_matches_reference(data, col_seed):
+    tableau, basis = data
+    entering = col_seed % (tableau.shape[1] - 1)
+    assert _ratio_test(tableau, basis, entering) == _reference_ratio_test(
+        tableau, basis, entering
+    )
+
+
+@SETTINGS
+@given(
+    cells=st.lists(st.integers(-10, 10), min_size=1, max_size=30),
+    jitter=st.sampled_from([0.0, TOLERANCE / 2, -TOLERANCE / 2]),
+)
+def test_entering_index_matches_reference(cells, jitter):
+    reduced = np.array(cells, dtype=float) / 4.0 + jitter
+    assert _entering_index(reduced) == _reference_entering_index(reduced)
+
+
+@st.composite
+def random_lps(draw):
+    """Small LPs with integer data: feasible, infeasible and unbounded."""
+    n = draw(st.integers(1, 4))
+    m_ub = draw(st.integers(0, 4))
+    m_eq = draw(st.integers(0, 2))
+
+    def matrix(rows):
+        cells = draw(
+            st.lists(
+                st.integers(-4, 4), min_size=rows * n, max_size=rows * n
+            )
+        )
+        return np.array(cells, dtype=float).reshape(rows, n)
+
+    c = np.array(
+        draw(st.lists(st.integers(-5, 5), min_size=n, max_size=n)),
+        dtype=float,
+    )
+    a_ub = matrix(m_ub)
+    b_ub = np.array(
+        draw(st.lists(st.integers(-4, 9), min_size=m_ub, max_size=m_ub)),
+        dtype=float,
+    )
+    a_eq = matrix(m_eq)
+    b_eq = np.array(
+        draw(st.lists(st.integers(-4, 9), min_size=m_eq, max_size=m_eq)),
+        dtype=float,
+    )
+    return c, a_ub, b_ub, a_eq, b_eq
+
+
+def _solve_outcome(lp):
+    """Run ``solve_lp`` and normalise result-or-exception for comparison."""
+    try:
+        result = solve_lp(*lp)
+    except IlpNumericalError:
+        return ("raised", IlpNumericalError)
+    x = None if result.x is None else result.x.tobytes()
+    return (result.status, result.objective, x, result.iterations)
+
+
+@SETTINGS
+@given(lp=random_lps())
+def test_full_solves_identical_under_reference_kernels(lp):
+    """Whole solves agree bitwise when the scalar kernels are swapped in.
+
+    The vectorised kernels promise *identical IEEE operations*, so the
+    entire solve — pivot sequence, iteration count, final vertex bytes —
+    must match, not merely the optimum.
+    """
+    vectorised = _solve_outcome(lp)
+    originals = (simplex._pivot, simplex._ratio_test, simplex._entering_index)
+    simplex._pivot = _reference_pivot
+    simplex._ratio_test = _reference_ratio_test
+    simplex._entering_index = _reference_entering_index
+    try:
+        scalar = _solve_outcome(lp)
+    finally:
+        simplex._pivot, simplex._ratio_test, simplex._entering_index = (
+            originals
+        )
+    assert vectorised == scalar
+
+
+# ---------------------------------------------------------------------------
+# Warm-extension equivalence: tableau shortcuts vs explicit cold solves.
+# ---------------------------------------------------------------------------
+
+#: A parent LP with a non-trivial optimum and all-slack-free basis, so
+#: the cold solve keeps its final tableau for extension.
+PARENT_C = np.array([-2.0, -3.0, -1.0])
+PARENT_A_UB = np.array(
+    [[1.0, 1.0, 1.0], [1.0, 2.0, 0.0], [0.0, 0.0, 1.0]]
+)
+PARENT_B_UB = np.array([10.0, 8.0, 6.0])
+_EMPTY_EQ = (np.empty((0, 3)), np.empty(0))
+
+
+@functools.lru_cache(maxsize=1)
+def _solved_parent():
+    result = solve_lp(
+        PARENT_C, PARENT_A_UB, PARENT_B_UB, *_EMPTY_EQ, keep_tableau=True
+    )
+    assert result.status is LpStatus.OPTIMAL
+    assert result.tableau is not None
+    return result
+
+
+def _assert_same_optimum(warm, cold):
+    """Same status; at optimality, same vertex up to last-ulp noise.
+
+    Warm and cold reach the canonical vertex through different pivot
+    sequences, so the values may differ in the final bits — anything
+    beyond that is a real divergence.
+    """
+    assert warm.status is cold.status
+    if cold.status is LpStatus.OPTIMAL:
+        assert warm.objective == pytest.approx(
+            cold.objective, rel=1e-12, abs=1e-9
+        )
+        assert warm.x == pytest.approx(cold.x, rel=1e-12, abs=1e-9)
+
+
+@SETTINGS
+@given(
+    column=st.integers(0, 2),
+    lower=st.booleans(),
+    value=st.integers(0, 7),
+)
+def test_insert_row_matches_cold_child(column, lower, value):
+    parent = _solved_parent()
+    sigma = -1.0 if lower else 1.0
+    rhs = -float(value) if lower else float(value)
+
+    warm = warm_solve_insert_row(
+        parent.tableau,
+        parent.basis,
+        PARENT_C,
+        row_position=PARENT_A_UB.shape[0],
+        column=column,
+        sigma=sigma,
+        rhs=rhs,
+    )
+    if warm is None:  # documented fallback: caller re-solves cold
+        return
+
+    bound_row = np.zeros((1, 3))
+    bound_row[0, column] = sigma
+    cold = solve_lp(
+        PARENT_C,
+        np.vstack([PARENT_A_UB, bound_row]),
+        np.append(PARENT_B_UB, rhs),
+        *_EMPTY_EQ,
+    )
+    _assert_same_optimum(warm, cold)
+
+
+@SETTINGS
+@given(row=st.integers(0, 2), delta_num=st.integers(-24, 24))
+def test_shift_rhs_matches_cold_child(row, delta_num):
+    parent = _solved_parent()
+    delta = delta_num / 4.0
+
+    warm = warm_solve_shift_rhs(
+        parent.tableau, parent.basis, PARENT_C, row, delta
+    )
+    if warm is None:
+        return
+
+    b_ub = PARENT_B_UB.copy()
+    b_ub[row] += delta
+    cold = solve_lp(PARENT_C, PARENT_A_UB, b_ub, *_EMPTY_EQ)
+    _assert_same_optimum(warm, cold)
+
+
+@SETTINGS
+@given(deltas=st.lists(st.integers(-16, 16), min_size=3, max_size=3))
+def test_rhs_delta_matches_cold_child(deltas):
+    """The vector form with ``B^-1 db`` assembled from the tableau's own
+    slack columns — exactly how the batch layer's root chaining uses it."""
+    parent = _solved_parent()
+    delta = np.array(deltas, dtype=float) / 4.0
+    n = PARENT_C.shape[0]
+    shift = parent.tableau[:, n : n + 3] @ delta
+
+    warm = warm_solve_rhs_delta(
+        parent.tableau, parent.basis, PARENT_C, shift
+    )
+    if warm is None:
+        return
+
+    cold = solve_lp(PARENT_C, PARENT_A_UB, PARENT_B_UB + delta, *_EMPTY_EQ)
+    _assert_same_optimum(warm, cold)
+
+
+def test_extension_entry_points_do_not_mutate_inputs():
+    parent = _solved_parent()
+    tableau = parent.tableau.copy()
+    basis = parent.basis.copy()
+
+    warm_solve_insert_row(
+        tableau, basis, PARENT_C, row_position=3, column=1, sigma=1.0,
+        rhs=2.0,
+    )
+    warm_solve_shift_rhs(tableau, basis, PARENT_C, 0, -1.5)
+    warm_solve_rhs_delta(
+        tableau, basis, PARENT_C, np.array([0.25, -0.5, 0.0])
+    )
+
+    assert np.array_equal(tableau, parent.tableau)
+    assert np.array_equal(basis, parent.basis)
+
+
+# ---------------------------------------------------------------------------
+# Scatter-layout instantiate vs the kept per-row reference rebuild.
+# ---------------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=1)
+def _ptac_template():
+    scenario = scenario_1()
+    model = build_ilp_ptac(
+        paper.table6(scenario.name, "app"),
+        paper.table6(scenario.name, "H-Load"),
+        tc27x_latency_profile(),
+        scenario,
+        IlpPtacOptions(),
+    )
+    return ParametricForm.from_form(model)
+
+
+def _assert_forms_identical(built, reference):
+    assert built.variables == reference.variables
+    assert built.objective_constant == reference.objective_constant
+    for field in ("c", "a_ub", "b_ub", "a_eq", "b_eq", "lower", "upper"):
+        assert np.array_equal(
+            getattr(built, field), getattr(reference, field)
+        ), f"instantiate diverged from reference on {field}"
+    assert np.array_equal(built.integer_mask, reference.integer_mask)
+
+
+def test_instantiate_matches_reference_on_own_coefficients():
+    template = _ptac_template()
+    _assert_forms_identical(
+        template.instantiate(), template._reference_instantiate()
+    )
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10**6))
+def test_instantiate_matches_reference_on_perturbed_vectors(seed):
+    template = _ptac_template()
+    rng = np.random.default_rng(seed)
+    # Dyadic perturbation factors keep every product exactly
+    # representable, so "identical" really means identical.
+    factors = 1.0 + rng.integers(-8, 9, template.n_coefficients) / 16.0
+    vector = template.coefficients * factors
+    _assert_forms_identical(
+        template.instantiate(vector),
+        template._reference_instantiate(vector),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Compiled vs reference simulation engine: byte-identical results.
+# ---------------------------------------------------------------------------
+
+
+def _engine_pickles(programs, dma_agents=(), **sim_kwargs):
+    return {
+        engine: pickle.dumps(
+            SystemSimulator(engine=engine, **sim_kwargs).run(
+                programs, dma_agents
+            )
+        )
+        for engine in SIM_ENGINES
+    }
+
+
+def _assert_engines_agree(programs, dma_agents=(), **sim_kwargs):
+    pickles = _engine_pickles(programs, dma_agents, **sim_kwargs)
+    assert pickles["compiled"] == pickles["reference"]
+
+
+class TestEngineByteEquivalence:
+    def test_builtin_family_isolation_and_corun(self):
+        scale = 1 / 256
+        app, _ = build_control_loop(scenario_1(), scale=scale)
+        load = build_load("scenario1", "H", scale=scale)
+        _assert_engines_agree({1: app})
+        _assert_engines_agree({1: app, 2: load})
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000), second=st.booleans())
+    def test_random_workloads(self, seed, second):
+        scenario = scenario_2() if second else scenario_1()
+        task, contender = random_task_pair(
+            scenario, seed=seed, max_requests=300
+        )
+        _assert_engines_agree({1: task})
+        _assert_engines_agree({1: task, 2: contender})
+
+    def test_dma_corun_multi_outstanding(self):
+        # A deep-queue DMA master exercises the one path where the
+        # compiled engine cannot take its no-contention shortcut.
+        program = program_from_steps(
+            "victim", [(2, code_fetch(Target.PF0))] * 40
+        )
+        agent = DmaAgent(
+            master_id=9,
+            request=data_access(Target.LMU),
+            count=30,
+            period=3,
+            queue_depth=4,
+        )
+        _assert_engines_agree({1: program}, (agent,))
+        _assert_engines_agree(
+            {1: program},
+            (agent,),
+            arbitration="priority",
+            priorities={9: 2, 1: 1},
+        )
+
+    def test_trailing_gap_only_steps(self):
+        # Trailing gap-only steps have no following request to merge
+        # into — the compiled representation's final_gap edge case.
+        request = data_access(Target.LMU)
+        program = program_from_steps(
+            "tail", [(3, request), (5, None), (7, None)]
+        )
+        _assert_engines_agree({1: program})
+
+    def test_gap_only_program(self):
+        # A program that never touches the SRI: zero requests, pure
+        # computation.  Both engines must agree on the degenerate case.
+        program = program_from_steps("idle", [(11, None), (4, None)])
+        contender = program_from_steps(
+            "busy", [(1, code_fetch(Target.PF0))] * 10
+        )
+        _assert_engines_agree({1: program})
+        _assert_engines_agree({1: program, 2: contender})
+
+    def test_interleaved_zero_gap_requests(self):
+        # Zero-gap back-to-back requests from two cores maximises
+        # arbitration pressure (every cycle contends).
+        left = program_from_steps(
+            "left", [(0, code_fetch(Target.PF0))] * 25
+        )
+        right = program_from_steps(
+            "right", [(0, data_access(Target.LMU))] * 25
+        )
+        _assert_engines_agree({1: left, 2: right})
