@@ -1,0 +1,134 @@
+"""Experiment E2: service-queue vs direct remote throughput.
+
+The analysis service adds a durable queue between the engine and its
+workers: batches become sqlite-backed jobs, workers lease warm-sharded
+units and complete them fenced.  Durability is not free — every unit
+takes a lease round-trip and every state transition commits to disk —
+so this benchmark measures what the queue costs on the same sweep batch
+``bench_engine_parallel.py`` uses:
+
+* run the batch through ``mode="remote"`` against two in-process push
+  workers (the direct path: client shards, workers execute);
+* run the identical batch through ``mode="service"`` — a coordinator
+  with a file-backed store and two auto-registered pull workers — and
+  record submit-to-complete throughput (units/sec) next to it.
+
+Results must be identical in both modes (and to serial — the invariant
+every backend is held to).  The measured metrics land in the session's
+JSON report (``.benchmarks/engine_report.json``) via the shared
+``report`` fixture, so CI can track the queue overhead over time.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.engine import (
+    ExperimentEngine,
+    WorkerServer,
+    get_scenario,
+    run_specs,
+)
+from repro.service import CoordinatorServer, PullWorker
+from repro.service.store import JobStore
+
+#: Same shrink factor and sweep as E1 — the numbers are comparable.
+SCALE = 1 / 4
+
+SPEC_NAMES = tuple(
+    f"{base}-pair-{level}"
+    for base in ("scenario1", "scenario2")
+    for level in ("H", "M", "L")
+)
+
+
+def _batch():
+    return [get_scenario(name).scaled(SCALE) for name in SPEC_NAMES]
+
+
+@pytest.mark.benchmark(group="engine")
+def test_service_queue_throughput(benchmark, report, tmp_path):
+    specs = _batch()
+    serial_results = run_specs(specs)
+
+    # Direct push path: two in-process workers, client-side sharding.
+    push_workers = [WorkerServer().start() for _ in range(2)]
+    urls = tuple(worker.url for worker in push_workers)
+    try:
+        with ExperimentEngine(mode="remote", worker_urls=urls) as engine:
+            start = time.perf_counter()
+            remote_results = run_specs(specs, engine=engine)
+            remote_seconds = time.perf_counter() - start
+            remote_units = engine.remote_stats.units
+    finally:
+        for worker in push_workers:
+            worker.stop()
+
+    # Service path: durable coordinator queue, two pull workers.
+    store = JobStore(tmp_path / "queue.sqlite")
+    coordinator = CoordinatorServer(store=store).start()
+    pull_workers = [
+        PullWorker(coordinator.url, name=f"bench-{i}", idle_poll=0.02).start()
+        for i in range(2)
+    ]
+    try:
+        with ExperimentEngine(
+            mode="service", coordinator_url=coordinator.url
+        ) as engine:
+            service_results = benchmark.pedantic(
+                lambda: run_specs(specs, engine=engine),
+                rounds=1,
+                iterations=1,
+            )
+            service_seconds = benchmark.stats.stats.total
+            service_stats = engine.service_stats
+            fallbacks = engine.stats.fallbacks
+    finally:
+        for worker in pull_workers:
+            worker.stop()
+        coordinator.stop()
+        store.close()
+
+    # The queue must never change artefacts.
+    assert remote_results == serial_results
+    assert service_results == serial_results
+    assert fallbacks == 0
+
+    units = remote_units
+    service_rate = units / service_seconds if service_seconds else 0.0
+    remote_rate = units / remote_seconds if remote_seconds else 0.0
+    overhead = (
+        service_seconds / remote_seconds if remote_seconds else 0.0
+    )
+
+    report.add(
+        f"E2 — service-queue throughput ({len(specs)} spec jobs, "
+        "2 workers each)",
+        render_table(
+            ["mode", "seconds", "units/sec"],
+            [
+                ["remote x2 (direct)", f"{remote_seconds:.2f}",
+                 f"{remote_rate:.2f}"],
+                ["service x2 (queued)", f"{service_seconds:.2f}",
+                 f"{service_rate:.2f}"],
+                ["queue overhead", f"{overhead:.2f}x", "-"],
+            ],
+        ),
+    )
+    report.record(
+        "service_queue",
+        {
+            "jobs": len(specs),
+            "workers": 2,
+            "units": units,
+            "remote_seconds": round(remote_seconds, 4),
+            "service_seconds": round(service_seconds, 4),
+            "remote_units_per_second": round(remote_rate, 3),
+            "service_units_per_second": round(service_rate, 3),
+            "queue_overhead": round(overhead, 3),
+            "service_batches": service_stats.batches,
+            "service_executed": service_stats.executed,
+            "abandoned": service_stats.abandoned,
+        },
+    )

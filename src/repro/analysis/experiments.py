@@ -176,19 +176,19 @@ def _paper_model_row(
     )
 
 
-def figure4_paper_mode(
+def figure4_paper_jobs(
     *,
     models: Sequence[str] = DEFAULT_FIGURE4_MODELS,
     profile: LatencyProfile | None = None,
     backend: str = "bnb",
     options: IlpPtacOptions | None = None,
-    engine: ExperimentEngine | None = None,
-) -> list[Figure4Row]:
-    """Figure 4 from the published Table 6 readings.
+) -> list:
+    """The job batch behind paper-counters Figure 4.
 
-    Returns one row per bar: contender-blind models once per scenario,
-    contender-aware models once per (scenario, load level).  ``models``
-    accepts any registered counter-based model names.
+    One engine job per bar, ready for :func:`run_jobs` — or for the
+    analysis service, which submits the same batch to a coordinator
+    queue (:mod:`repro.service.jobsets`) and renders the identical
+    figure from the collected results.
     """
     profile = profile or tc27x_latency_profile()
     # `backend` is shorthand for options=IlpPtacOptions(backend=...);
@@ -214,7 +214,29 @@ def figure4_paper_mode(
                         ),
                     )
                 )
-    return run_jobs(jobs, engine)
+    return jobs
+
+
+def figure4_paper_mode(
+    *,
+    models: Sequence[str] = DEFAULT_FIGURE4_MODELS,
+    profile: LatencyProfile | None = None,
+    backend: str = "bnb",
+    options: IlpPtacOptions | None = None,
+    engine: ExperimentEngine | None = None,
+) -> list[Figure4Row]:
+    """Figure 4 from the published Table 6 readings.
+
+    Returns one row per bar: contender-blind models once per scenario,
+    contender-aware models once per (scenario, load level).  ``models``
+    accepts any registered counter-based model names.
+    """
+    return run_jobs(
+        figure4_paper_jobs(
+            models=models, profile=profile, backend=backend, options=options
+        ),
+        engine,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -581,6 +603,32 @@ def model_scenario_matrix(
         options: ILP knobs shared by every cell.
         engine: optional execution engine (parallel cells, caching).
     """
+    return run_jobs(
+        model_scenario_matrix_jobs(
+            models=models,
+            specs=specs,
+            profile=profile,
+            timing=timing,
+            options=options,
+        ),
+        engine,
+    )
+
+
+def model_scenario_matrix_jobs(
+    *,
+    models: Sequence[str] | None = None,
+    specs: Sequence[ScenarioSpec | str] | None = None,
+    profile: LatencyProfile | None = None,
+    timing: SimTiming | None = None,
+    options: IlpPtacOptions | None = None,
+) -> list:
+    """The job batch behind :func:`model_scenario_matrix`.
+
+    One cell job per (spec, model), spec-major in registration order —
+    the same batch whether the engine runs it directly or the analysis
+    service queues it on a coordinator.
+    """
     model_names = (
         tuple(models) if models is not None else counter_based_model_names()
     )
@@ -597,12 +645,11 @@ def model_scenario_matrix(
         registry.get(spec) if isinstance(spec, str) else spec
         for spec in (specs if specs is not None else registry.specs())
     ]
-    jobs = [
+    return [
         spec_job(spec, model, profile, timing, options)
         for spec in resolved
         for model in model_names
     ]
-    return run_jobs(jobs, engine)
 
 
 def information_ablation(

@@ -205,3 +205,33 @@ def render_ablation(rows: Sequence[AblationRow]) -> str:
         ],
         title="Information-degree ablation (lower is tighter; all sound)",
     )
+
+
+def render_soundness(sweep, scenario_name: str) -> str:
+    """Render a soundness sweep (A4) with its per-case verdicts.
+
+    Shared by ``repro soundness`` and the analysis service's soundness
+    job set, so the two produce byte-identical artefacts.  ``sweep`` is
+    a :class:`~repro.analysis.validation.SoundnessSweep` (typed loosely
+    to keep this rendering module import-light).
+    """
+    rows = [
+        [
+            case.name,
+            case.isolation_cycles,
+            case.observed_cycles,
+            case.predictions["ilp-ptac"],
+            "ok" if case.sound else "VIOLATION",
+        ]
+        for case in sweep.cases
+    ]
+    verdict = (
+        "all sound"
+        if sweep.all_sound
+        else f"VIOLATIONS: {sweep.violations}"
+    )
+    return render_table(
+        ["pair", "isolation", "observed", "ilp-ptac WCET", "check"],
+        rows,
+        title=f"Soundness sweep ({scenario_name}) — {verdict}",
+    )

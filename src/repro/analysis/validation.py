@@ -209,6 +209,38 @@ def _random_soundness_case(
     )
 
 
+def random_soundness_jobs(
+    scenario: DeploymentScenario,
+    *,
+    pairs: int,
+    max_requests: int = 2_000,
+    models: Sequence[str] = DEFAULT_SOUNDNESS_MODELS,
+    profile: LatencyProfile | None = None,
+    timing: SimTiming | None = None,
+    backend: str = "bnb",
+) -> list:
+    """The job batch behind :func:`random_soundness_sweep`.
+
+    One seeded pair per job, pair construction *inside* the job, so
+    every job is plain picklable data — runnable by the local engine,
+    a remote worker pool or the analysis-service queue alike.
+    """
+    return [
+        job(
+            _random_soundness_case,
+            scenario,
+            seed,
+            max_requests,
+            tuple(models),
+            profile,
+            timing,
+            backend,
+            label=f"soundness:{scenario.name}:seed={seed}",
+        )
+        for seed in range(pairs)
+    ]
+
+
 def random_soundness_sweep(
     scenario: DeploymentScenario,
     *,
@@ -229,20 +261,15 @@ def random_soundness_sweep(
     or hit the result cache (keyed per model set).
     """
     cases = run_jobs(
-        [
-            job(
-                _random_soundness_case,
-                scenario,
-                seed,
-                max_requests,
-                tuple(models),
-                profile,
-                timing,
-                backend,
-                label=f"soundness:{scenario.name}:seed={seed}",
-            )
-            for seed in range(pairs)
-        ],
+        random_soundness_jobs(
+            scenario,
+            pairs=pairs,
+            max_requests=max_requests,
+            models=models,
+            profile=profile,
+            timing=timing,
+            backend=backend,
+        ),
         engine,
     )
     return SoundnessSweep(cases=tuple(cases))

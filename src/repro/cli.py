@@ -20,6 +20,11 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``)::
     repro platform               # Figure 1 block diagram
     repro worker --port 8750     # serve engine jobs to remote clients
     repro matrix --workers http://127.0.0.1:8750,http://127.0.0.1:8751
+    repro serve --port 8751      # the analysis-service coordinator
+    repro worker --coordinator http://127.0.0.1:8751   # dial-in worker
+    repro submit --coordinator http://127.0.0.1:8751 figure4
+    repro watch JOB --coordinator http://127.0.0.1:8751
+    repro jobs --workers-table --coordinator http://127.0.0.1:8751
     repro --profile out.prof figure4   # cProfile any command
 
 Every command prints the same rendering the benchmark suite produces, so
@@ -31,8 +36,11 @@ shared per-invocation result cache deduplicates repeated work.  Passing
 regeneration incremental *across* invocations and CI runs.  ``--workers
 URL,...`` shards the batch over ``repro worker`` processes instead
 (``mode="remote"``; see :mod:`repro.engine.remote` for the two-terminal
-quickstart).  Commands that run contention models accept ``--model``
-with any registered name (see ``repro models``).
+quickstart), and ``--coordinator URL`` queues it on a ``repro serve``
+coordinator whose registered workers execute it (``mode="service"``;
+see :mod:`repro.service` for the three-terminal quickstart).  Commands
+that run contention models accept ``--model`` with any registered name
+(see ``repro models``).
 """
 
 from __future__ import annotations
@@ -57,6 +65,7 @@ from repro.analysis.report import (
     render_latency_table,
     render_models,
     render_placement_table,
+    render_soundness,
     render_table,
     render_table6,
 )
@@ -89,19 +98,28 @@ def _engine(args: argparse.Namespace) -> ExperimentEngine | None:
     """Build the execution engine a command asked for (None = serial).
 
     ``--workers URL,...`` runs the batch on ``mode="remote"`` (sharded
-    over `repro worker` processes); otherwise ``--jobs N`` (N > 1) turns
-    on the local process pool.  ``--cache-dir`` turns on disk-persistent
-    result caching in either case (serial execution unless combined with
-    one of the two).  The instance is remembered on ``args`` so
-    :func:`main` can shut its worker pool down once the command returns.
+    over `repro worker` processes) and ``--coordinator URL`` on
+    ``mode="service"`` (queued on a `repro serve` coordinator);
+    otherwise ``--jobs N`` (N > 1) turns on the local process pool.
+    ``--cache-dir`` turns on disk-persistent result caching in every
+    case (serial execution unless combined with one of the others).
+    The instance is remembered on ``args`` so :func:`main` can shut its
+    worker pool down once the command returns.
     """
     jobs = getattr(args, "jobs", 1) or 1
     cache_dir = getattr(args, "cache_dir", None)
     urls = _worker_urls(args)
+    coordinator = getattr(args, "coordinator", None)
     if urls:
         engine = ExperimentEngine(
             mode="remote",
             worker_urls=urls,
+            cache=ResultCache(directory=cache_dir),
+        )
+    elif coordinator:
+        engine = ExperimentEngine(
+            mode="service",
+            coordinator_url=coordinator,
             cache=ResultCache(directory=cache_dir),
         )
     elif jobs > 1 or cache_dir is not None:
@@ -130,6 +148,14 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         help=(
             "comma-separated `repro worker` URLs; shards the batch over "
             "them (mode='remote', overrides --jobs)"
+        ),
+    )
+    parser.add_argument(
+        "--coordinator",
+        metavar="URL",
+        help=(
+            "`repro serve` coordinator URL; queues the batch on the "
+            "analysis service (mode='service', overrides --jobs)"
         ),
     )
     parser.add_argument(
@@ -194,28 +220,7 @@ def _cmd_soundness(args: argparse.Namespace) -> str:
         max_requests=args.requests,
         engine=_engine(args),
     )
-    rows = [
-        [
-            case.name,
-            case.isolation_cycles,
-            case.observed_cycles,
-            case.predictions["ilp-ptac"],
-            "ok" if case.sound else "VIOLATION",
-        ]
-        for case in sweep.cases
-    ]
-    verdict = (
-        "all sound"
-        if sweep.all_sound
-        else f"VIOLATIONS: {sweep.violations}"
-    )
-    return (
-        render_table(
-            ["pair", "isolation", "observed", "ilp-ptac WCET", "check"],
-            rows,
-            title=f"Soundness sweep ({scenario.name}) — {verdict}",
-        )
-    )
+    return render_soundness(sweep, scenario.name)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
@@ -395,10 +400,212 @@ def _cmd_platform(args: argparse.Namespace) -> str:
 
 
 def _cmd_worker(args: argparse.Namespace) -> str:
+    if args.coordinator:
+        from repro.service.pull import serve_pull
+
+        serve_pull(
+            args.coordinator,
+            name=args.name or "",
+            cache_dir=args.cache_dir,
+        )
+        return "worker stopped"
     from repro.engine.remote.worker import serve
 
     serve(host=args.host, port=args.port, cache_dir=args.cache_dir)
     return "worker stopped"
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from repro.service.coordinator import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        cache_dir=args.cache_dir,
+        lease_seconds=args.lease_seconds,
+        worker_ttl=args.worker_ttl,
+    )
+    return "coordinator stopped"
+
+
+def _require_coordinator(args: argparse.Namespace) -> str:
+    url = getattr(args, "coordinator", None)
+    if not url:
+        raise ReproError(
+            "this command talks to the analysis service: pass "
+            "--coordinator URL (and start one with `repro serve`)"
+        )
+    return url
+
+
+def _cmd_submit(args: argparse.Namespace) -> str:
+    from repro.service import (
+        get_job_set,
+        job_set_names,
+        parse_job_set_args,
+        submit_jobs,
+    )
+
+    if args.list or not args.jobset:
+        from repro.service.jobsets import _JOB_SETS
+
+        return render_table(
+            ["name", "description"],
+            [[js.name, js.help] for js in _JOB_SETS.values()],
+            title="Submittable job sets (repro submit <name> ...)",
+        )
+    url = _require_coordinator(args)
+    job_set = get_job_set(args.jobset)
+    set_args = parse_job_set_args(args.jobset, args.args)
+    jobs = job_set.build(set_args)
+    job_id = submit_jobs(
+        url,
+        jobs,
+        label=args.jobset,
+        meta={"jobset": args.jobset, "argv": list(args.args)},
+    )
+    return (
+        f"submitted {len(jobs)} jobs as {job_id}\n"
+        f"  repro status {job_id} --coordinator {url}\n"
+        f"  repro watch  {job_id} --coordinator {url}"
+    )
+
+
+def _status_line(status: dict) -> str:
+    label = status.get("label") or "-"
+    state = "complete" if status.get("complete") else "running"
+    return (
+        f"job {status['job_id']} [{label}] {state}: "
+        f"{status['done']}/{status['total_units']} units done "
+        f"({status['queued']} queued, {status['leased']} leased; "
+        f"{status['total_jobs']} jobs)"
+    )
+
+
+def _cmd_status(args: argparse.Namespace) -> str:
+    from repro.service import job_status
+
+    url = _require_coordinator(args)
+    status = job_status(url, args.job_id)
+    lines = [_status_line(status)]
+    for unit in status.get("units", []):
+        worker = unit.get("worker") or "-"
+        group = unit.get("warm_group") or "-"
+        lines.append(
+            f"  unit {unit['unit']:>3}  {unit['state']:<7} "
+            f"jobs={unit['jobs']:<4} group={group} worker={worker}"
+        )
+    return "\n".join(lines)
+
+
+def _watch_results(url: str, status: dict) -> list:
+    """Download and order one completed job's results (errors re-raised
+    exactly as serial execution would surface them)."""
+    from repro.service import fetch_results
+
+    complete, units = fetch_results(url, status["job_id"])
+    if not complete:
+        raise ReproError(
+            f"job {status['job_id']} reported complete but results "
+            "are still partial; retry `repro watch`"
+        )
+    results: list = [None] * status["total_jobs"]
+    errors: list[tuple[int, BaseException]] = []
+    for indices, outcomes in units:
+        for index, outcome in zip(indices, outcomes):
+            if outcome.ok:
+                results[index] = outcome.value
+            else:
+                errors.append((index, outcome.error))
+    if errors:
+        errors.sort(key=lambda pair: pair[0])
+        raise errors[0][1]
+    return results
+
+
+def _cmd_watch(args: argparse.Namespace) -> str:
+    from repro.service import (
+        get_job_set,
+        parse_job_set_args,
+        wait_for_job,
+    )
+
+    url = _require_coordinator(args)
+    seen: list[str] = []
+
+    def progress(status: dict) -> None:
+        line = _status_line(status)
+        if not seen or seen[-1] != line:
+            seen.append(line)
+            print(line, file=sys.stderr, flush=True)
+
+    status = wait_for_job(
+        url,
+        args.job_id,
+        poll=args.poll,
+        timeout=args.timeout,
+        progress=progress,
+    )
+    meta = status.get("meta") or {}
+    jobset_name = meta.get("jobset")
+    results = _watch_results(url, status)
+    if not jobset_name:
+        return (
+            f"job {status['job_id']} complete "
+            f"({status['total_jobs']} jobs); no job-set metadata to "
+            "render — submitted via mode='service'?"
+        )
+    job_set = get_job_set(jobset_name)
+    set_args = parse_job_set_args(jobset_name, meta.get("argv") or [])
+    if args.export is not None:
+        set_args.export = args.export
+    return job_set.render(results, set_args)
+
+
+def _cmd_jobs(args: argparse.Namespace) -> str:
+    from repro.service import list_jobs, list_workers
+
+    url = _require_coordinator(args)
+    if args.workers_table:
+        rows = []
+        for worker in list_workers(url):
+            stats = worker.get("stats") or {}
+            rows.append(
+                [
+                    worker["worker_id"],
+                    worker["name"],
+                    worker["live"],
+                    worker["completed_units"],
+                    stats.get("batches", 0),
+                    stats.get("executed", 0),
+                    stats.get("cached", 0),
+                    stats.get("warm_reuses", 0),
+                ]
+            )
+        return render_table(
+            [
+                "worker", "name", "live", "units",
+                "batches", "executed", "cached", "warm reuses",
+            ],
+            rows,
+            title=f"Registered workers ({len(rows)})",
+        )
+    rows = [
+        [
+            job["job_id"],
+            job.get("label") or "-",
+            f"{job['done']}/{job['total_units']}",
+            job["total_jobs"],
+            "complete" if job["complete"] else "running",
+        ]
+        for job in list_jobs(url)
+    ]
+    return render_table(
+        ["job", "label", "units", "jobs", "state"],
+        rows,
+        title=f"Coordinator jobs ({len(rows)})",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -555,7 +762,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "worker",
-        help="serve engine jobs over HTTP (the mode='remote' backend)",
+        help=(
+            "execute engine jobs: push server (default) or, with "
+            "--coordinator, a dial-in analysis-service worker"
+        ),
     )
     p.add_argument("--host", default="127.0.0.1", help="bind address")
     p.add_argument(
@@ -565,12 +775,123 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port (0 binds an ephemeral one; default 8750)",
     )
     p.add_argument(
+        "--coordinator",
+        metavar="URL",
+        help=(
+            "register with a `repro serve` coordinator and pull leased "
+            "units from its queue instead of listening for pushes"
+        ),
+    )
+    p.add_argument(
+        "--name",
+        metavar="NAME",
+        help="registration name shown by `repro jobs --workers`",
+    )
+    p.add_argument(
         "--cache-dir",
         metavar="PATH",
         help=(
             "shared disk result cache; workers pointed at the same PATH "
             "dedupe each other's completed jobs"
         ),
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the analysis-service coordinator (durable job queue)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8751,
+        help="TCP port (0 binds an ephemeral one; default 8751)",
+    )
+    p.add_argument(
+        "--state-dir",
+        default=".repro-service",
+        metavar="PATH",
+        help=(
+            "queue database directory; restart the coordinator on the "
+            "same PATH and every job resumes (default .repro-service)"
+        ),
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help=(
+            "coordinator-side result cache: units whose jobs were all "
+            "computed before are answered without reaching a worker"
+        ),
+    )
+    p.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="lease duration; silent workers lose their units after S",
+    )
+    p.add_argument(
+        "--worker-ttl",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="registry liveness window for warm-group stickiness",
+    )
+
+    p = sub.add_parser(
+        "submit",
+        help="queue a named job set on the coordinator, fire-and-forget",
+    )
+    p.add_argument(
+        "jobset",
+        nargs="?",
+        help="job set name (omit or --list to see them)",
+    )
+    p.add_argument(
+        "args",
+        nargs=argparse.REMAINDER,
+        help=(
+            "job-set arguments (everything after the name; put "
+            "--coordinator BEFORE the name)"
+        ),
+    )
+    p.add_argument("--list", action="store_true", help="list job sets")
+    p.add_argument("--coordinator", metavar="URL")
+
+    p = sub.add_parser("status", help="one queued job's progress")
+    p.add_argument("job_id")
+    p.add_argument("--coordinator", metavar="URL")
+
+    p = sub.add_parser(
+        "watch",
+        help="poll a job to completion, then render its artefact",
+    )
+    p.add_argument("job_id")
+    p.add_argument("--coordinator", metavar="URL")
+    p.add_argument(
+        "--poll", type=float, default=0.5, metavar="S",
+        help="seconds between progress polls",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="give up after S seconds (default: wait forever)",
+    )
+    p.add_argument(
+        "--export",
+        metavar="PATH.{json,csv}",
+        help="override the job set's --export destination",
+    )
+
+    p = sub.add_parser(
+        "jobs", help="list the coordinator's jobs (or --workers)"
+    )
+    p.add_argument("--coordinator", metavar="URL")
+    p.add_argument(
+        "--workers",
+        dest="workers_table",
+        action="store_true",
+        help="list registered workers and their execution counters",
     )
 
     sub.add_parser("platform", help="Figure 1 block diagram")
@@ -594,6 +915,11 @@ _COMMANDS = {
     "matrix": _cmd_matrix,
     "platform": _cmd_platform,
     "worker": _cmd_worker,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "watch": _cmd_watch,
+    "jobs": _cmd_jobs,
 }
 
 

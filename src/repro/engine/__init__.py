@@ -18,8 +18,10 @@ The engine layer decouples *what* an experiment is from *how* it runs:
 * :mod:`repro.engine.batch` / :mod:`repro.engine.runner` — experiments as
   batches of independent ``(scenario, workload, model)`` jobs, executed
   serially (deterministic default), fanned out over threads/processes,
-  or sharded across a pool of HTTP workers (``mode="remote"``, see
-  :mod:`repro.engine.remote`), with results always in job order;
+  sharded across a pool of HTTP workers (``mode="remote"``, see
+  :mod:`repro.engine.remote`), or queued on the analysis-service
+  coordinator's durable queue (``mode="service"``, see
+  :mod:`repro.service`), with results always in job order;
 * :mod:`repro.engine.cache` — a content-addressed result cache keyed by a
   stable hash of the job inputs, so repeated sweeps and figure
   regenerations skip re-simulation; ``ResultCache(directory=...)``

@@ -298,19 +298,34 @@ def wait_for_workers(
     """Block until every worker answers its health check.
 
     Used by CI scripts and the benchmark harness after launching
-    ``repro worker`` subprocesses; raises :class:`EngineError` when any
-    worker stays unreachable past ``timeout`` seconds.
+    ``repro worker`` subprocesses.  Polls the whole pool each round with
+    exponential backoff (50 ms doubling to a 2 s cap — a fixed short
+    interval hammers sockets that are still binding), and enforces one
+    *total* deadline: past ``timeout`` seconds an :class:`EngineError`
+    names every still-unreachable URL and its last failure, not just
+    whichever worker happened to be polled when time ran out.
     """
     deadline = time.monotonic() + timeout
-    for url in urls:
-        while True:
+    pending: dict[str, BaseException | None] = {url: None for url in urls}
+    delay = 0.05
+    while True:
+        for url in list(pending):
             try:
                 worker_health(url, timeout=2.0)
-                break
             except Exception as exc:
-                if time.monotonic() >= deadline:
-                    raise EngineError(
-                        f"worker {url} not reachable after {timeout:g}s: "
-                        f"{exc}"
-                    ) from exc
-                time.sleep(0.1)
+                pending[url] = exc
+            else:
+                del pending[url]
+        if not pending:
+            return
+        now = time.monotonic()
+        if now >= deadline:
+            failures = "; ".join(
+                f"{url} ({exc})" for url, exc in pending.items()
+            )
+            raise EngineError(
+                f"{len(pending)} worker(s) not reachable after "
+                f"{timeout:g}s: {failures}"
+            )
+        time.sleep(min(delay, deadline - now))
+        delay = min(delay * 2, 2.0)

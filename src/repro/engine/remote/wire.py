@@ -9,6 +9,17 @@ The envelope keeps the parts a worker must read *without* unpickling —
 the protocol version, the job labels, the content-addressed cache keys —
 as plain JSON fields.
 
+Two backends share this format.  The original push path (``mode="remote"``)
+speaks job-batch/result-batch envelopes directly between client and
+worker.  The analysis service (:mod:`repro.service`) adds coordinator
+envelopes on top: job submission (``job-submit``/``job-accepted``),
+worker registration (``worker-register``/``worker-registered``), unit
+leasing (``lease-request``/``lease-grant``), progress
+(``heartbeat``/``job-status``) and result upload/download
+(``unit-result``/``job-results``).  All of them reuse the same job/result
+*entry* encoding — :func:`encode_job_entries` / :func:`encode_result_entries`
+— so a job pickled for a push worker is byte-identical on the queue.
+
 Versioning: both sides speak exactly :data:`PROTOCOL_VERSION`.  A worker
 (or client) receiving any other version rejects the envelope with a
 :class:`~repro.errors.RemoteError` naming both versions, so mixed-version
@@ -39,10 +50,16 @@ from repro.errors import RemoteError
 
 #: Version of the JSON-over-HTTP envelope this library speaks.  Bump on
 #: any incompatible change to the envelope or payload conventions.
-PROTOCOL_VERSION = 1
+#: Version 2 added the analysis-service envelopes (submission,
+#: registration, leasing, progress, result up/download).
+PROTOCOL_VERSION = 2
 
 _JOBS_KIND = "job-batch"
 _RESULTS_KIND = "result-batch"
+_SUBMIT_KIND = "job-submit"
+_LEASE_KIND = "lease-grant"
+_UNIT_RESULT_KIND = "unit-result"
+_JOB_RESULTS_KIND = "job-results"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -126,29 +143,23 @@ def _envelope(data: bytes, kind: str) -> dict:
     return document
 
 
-def encode_jobs(items: Sequence[WireJob]) -> bytes:
-    """Serialise one job batch into a request body."""
-    payload = {
-        "protocol": PROTOCOL_VERSION,
-        "kind": _JOBS_KIND,
-        "jobs": [
-            {
-                "label": item.job.describe(),
-                "cache_key": item.cache_key,
-                "payload": _pack(item.job),
-            }
-            for item in items
-        ],
-    }
-    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+def encode_job_entries(items: Sequence[WireJob]) -> list[dict]:
+    """Serialise jobs into the entry dicts every job-carrying envelope
+    shares (``job-batch``, ``job-submit``, ``lease-grant``)."""
+    return [
+        {
+            "label": item.job.describe(),
+            "cache_key": item.cache_key,
+            "payload": _pack(item.job),
+        }
+        for item in items
+    ]
 
 
-def decode_jobs(data: bytes) -> list[WireJob]:
-    """Parse a request body back into :class:`WireJob` items."""
-    document = _envelope(data, _JOBS_KIND)
-    entries = document.get("jobs")
+def decode_job_entries(entries: Any) -> list[WireJob]:
+    """Invert :func:`encode_job_entries`, validating every entry."""
     if not isinstance(entries, list):
-        raise RemoteError("job envelope carries no 'jobs' list")
+        raise RemoteError("job envelope carries no job entry list")
     items: list[WireJob] = []
     for entry in entries:
         if not isinstance(entry, dict):
@@ -165,8 +176,9 @@ def decode_jobs(data: bytes) -> list[WireJob]:
     return items
 
 
-def encode_results(items: Sequence[WireResult]) -> bytes:
-    """Serialise one result batch into a response body.
+def encode_result_entries(items: Sequence[WireResult]) -> list[dict]:
+    """Serialise results into the entry dicts every result-carrying
+    envelope shares (``result-batch``, ``unit-result``, ``job-results``).
 
     An unpicklable *value* raises (pickling is the same contract
     process-pool mode imposes on results); an unpicklable *exception*
@@ -194,30 +206,15 @@ def encode_results(items: Sequence[WireResult]) -> bytes:
             except Exception:
                 entry["payload"] = None
             encoded.append(entry)
-    payload = {
-        "protocol": PROTOCOL_VERSION,
-        "kind": _RESULTS_KIND,
-        "results": encoded,
-    }
-    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return encoded
 
 
-def decode_results(
-    data: bytes, expected: int | None = None
+def decode_result_entries(
+    entries: Any, expected: int | None = None
 ) -> list[WireResult]:
-    """Parse a response body back into :class:`WireResult` items.
-
-    Args:
-        data: the response body.
-        expected: when given, the number of results the batch must carry;
-            a mismatch (truncated or padded response) raises
-            :class:`RemoteError` so the client treats the worker as
-            failed rather than mis-aligning results with jobs.
-    """
-    document = _envelope(data, _RESULTS_KIND)
-    entries = document.get("results")
+    """Invert :func:`encode_result_entries`, validating count and shape."""
     if not isinstance(entries, list):
-        raise RemoteError("result envelope carries no 'results' list")
+        raise RemoteError("result envelope carries no result entry list")
     if expected is not None and len(entries) != expected:
         raise RemoteError(
             f"worker returned {len(entries)} results for {expected} jobs"
@@ -251,3 +248,192 @@ def decode_results(
                 )
             items.append(WireResult(ok=False, error=error))
     return items
+
+
+def encode_jobs(items: Sequence[WireJob]) -> bytes:
+    """Serialise one job batch into a request body."""
+    return encode_document(_JOBS_KIND, {"jobs": encode_job_entries(items)})
+
+
+def decode_jobs(data: bytes) -> list[WireJob]:
+    """Parse a request body back into :class:`WireJob` items."""
+    document = _envelope(data, _JOBS_KIND)
+    return decode_job_entries(document.get("jobs"))
+
+
+def encode_results(items: Sequence[WireResult]) -> bytes:
+    """Serialise one result batch into a response body."""
+    return encode_document(
+        _RESULTS_KIND, {"results": encode_result_entries(items)}
+    )
+
+
+def decode_results(
+    data: bytes, expected: int | None = None
+) -> list[WireResult]:
+    """Parse a response body back into :class:`WireResult` items.
+
+    Args:
+        data: the response body.
+        expected: when given, the number of results the batch must carry;
+            a mismatch (truncated or padded response) raises
+            :class:`RemoteError` so the client treats the worker as
+            failed rather than mis-aligning results with jobs.
+    """
+    document = _envelope(data, _RESULTS_KIND)
+    return decode_result_entries(document.get("results"), expected)
+
+
+# ----------------------------------------------------------------------
+# Analysis-service envelopes (coordinator <-> client, coordinator <->
+# pull worker).  Registration, heartbeat and progress documents carry
+# plain JSON only; submission, leases and results embed the shared
+# job/result entry encoding above.
+# ----------------------------------------------------------------------
+def encode_document(kind: str, fields: dict) -> bytes:
+    """Serialise one versioned envelope carrying plain-JSON fields."""
+    payload = {"protocol": PROTOCOL_VERSION, "kind": kind, **fields}
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def decode_document(data: bytes, kind: str) -> dict:
+    """Parse and version-check one envelope of the given kind."""
+    return _envelope(data, kind)
+
+
+def encode_submit(
+    items: Sequence[WireJob], *, label: str = "", meta: dict | None = None
+) -> bytes:
+    """Serialise one job submission (client → coordinator)."""
+    return encode_document(
+        _SUBMIT_KIND,
+        {
+            "label": label,
+            "meta": meta or {},
+            "jobs": encode_job_entries(items),
+        },
+    )
+
+
+def decode_submit(data: bytes) -> tuple[list[WireJob], str, dict]:
+    """Parse a submission into ``(jobs, label, meta)``."""
+    document = _envelope(data, _SUBMIT_KIND)
+    meta = document.get("meta") or {}
+    if not isinstance(meta, dict):
+        raise RemoteError("submit meta must be a JSON object")
+    label = document.get("label") or ""
+    if not isinstance(label, str):
+        raise RemoteError("submit label must be a string")
+    return decode_job_entries(document.get("jobs")), label, meta
+
+
+def encode_lease(grant: dict | None) -> bytes:
+    """Serialise one lease response (coordinator → worker).
+
+    ``grant`` is ``None`` for an empty queue; the special field
+    ``unregistered`` tells a worker the coordinator does not know its id
+    (e.g. after a coordinator restart) and it must re-register.  A real
+    grant carries ``job_id``/``unit``/``fence``/``lease_seconds`` plus
+    the unit's job entries (already-encoded dicts, straight from the
+    queue store).
+    """
+    if grant is None:
+        return encode_document(_LEASE_KIND, {"empty": True})
+    return encode_document(_LEASE_KIND, {"empty": False, **grant})
+
+
+def decode_lease(data: bytes) -> dict | None:
+    """Parse a lease response; ``None`` means the queue was empty."""
+    document = _envelope(data, _LEASE_KIND)
+    if document.get("unregistered"):
+        return {"unregistered": True}
+    if document.get("empty"):
+        return None
+    grant = {
+        "job_id": document.get("job_id"),
+        "unit": document.get("unit"),
+        "fence": document.get("fence"),
+        "lease_seconds": document.get("lease_seconds"),
+        "jobs": decode_job_entries(document.get("jobs")),
+    }
+    if not isinstance(grant["job_id"], str):
+        raise RemoteError("lease grant carries no job_id")
+    if not isinstance(grant["unit"], int) or not isinstance(
+        grant["fence"], int
+    ):
+        raise RemoteError("lease grant needs integer unit and fence")
+    return grant
+
+
+def encode_unit_result(
+    *,
+    worker_id: str,
+    job_id: str,
+    unit: int,
+    fence: int,
+    results: Sequence[WireResult],
+) -> bytes:
+    """Serialise one completed unit (worker → coordinator)."""
+    return encode_document(
+        _UNIT_RESULT_KIND,
+        {
+            "worker_id": worker_id,
+            "job_id": job_id,
+            "unit": unit,
+            "fence": fence,
+            "results": encode_result_entries(results),
+        },
+    )
+
+
+def decode_unit_result(data: bytes) -> dict:
+    """Parse a unit completion; result entries stay *encoded* (the
+    coordinator persists them verbatim, unpickling only for its cache)."""
+    document = _envelope(data, _UNIT_RESULT_KIND)
+    for field in ("worker_id", "job_id"):
+        if not isinstance(document.get(field), str):
+            raise RemoteError(f"unit result carries no {field}")
+    for field in ("unit", "fence"):
+        if not isinstance(document.get(field), int):
+            raise RemoteError(f"unit result needs an integer {field}")
+    if not isinstance(document.get("results"), list):
+        raise RemoteError("unit result carries no result entries")
+    return document
+
+
+def encode_job_results(
+    job_id: str, *, complete: bool, units: Sequence[dict]
+) -> bytes:
+    """Serialise a job's collected results (coordinator → client).
+
+    ``units`` carry ``indices`` (positions in the submitted batch) and
+    already-encoded result entries, straight from the queue store.
+    """
+    return encode_document(
+        _JOB_RESULTS_KIND,
+        {"job_id": job_id, "complete": complete, "units": list(units)},
+    )
+
+
+def decode_job_results(
+    data: bytes,
+) -> tuple[bool, list[tuple[list[int], list[WireResult]]]]:
+    """Parse a job's results into ``(complete, [(indices, results)])``."""
+    document = _envelope(data, _JOB_RESULTS_KIND)
+    units = document.get("units")
+    if not isinstance(units, list):
+        raise RemoteError("job results carry no 'units' list")
+    decoded: list[tuple[list[int], list[WireResult]]] = []
+    for entry in units:
+        if not isinstance(entry, dict):
+            raise RemoteError("job result unit must be a JSON object")
+        indices = entry.get("indices")
+        if not isinstance(indices, list) or not all(
+            isinstance(index, int) for index in indices
+        ):
+            raise RemoteError("job result unit needs integer indices")
+        results = decode_result_entries(
+            entry.get("results"), expected=len(indices)
+        )
+        decoded.append((list(indices), results))
+    return bool(document.get("complete")), decoded

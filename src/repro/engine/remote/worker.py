@@ -17,8 +17,10 @@ Endpoints:
   :class:`~repro.engine.cache.ResultCache` are answered without executing.
   Wire-format violations return 400; unexpected worker faults return 500
   (the client treats both as a worker failure and reassigns the unit).
-* ``GET /healthz`` — protocol version plus execution statistics, used by
-  clients and CI to wait for worker readiness.
+* ``GET /healthz`` — protocol version plus execution statistics (batches
+  served, jobs executed, shared-cache hits, warm-solver reuses), used by
+  clients and CI to wait for worker readiness and by the analysis
+  service to surface per-worker counters in ``repro jobs --workers``.
 
 Run one from a shell with ``repro worker`` (see the package docstring for
 the two-terminal quickstart) or in-process via ``WorkerServer().start()``
@@ -57,17 +59,66 @@ HEALTH_PATH = "/healthz"
 class WorkerStats:
     """Cumulative statistics of one worker instance.
 
+    Shared by the push server below and the service's pull worker
+    (:class:`repro.service.pull.PullWorker`); the full record is exposed
+    on ``GET /healthz`` and shipped in service heartbeats, so
+    ``repro jobs --workers`` renders the same counters either way.
+
     Attributes:
-        batches: batch requests served.
+        batches: batch requests (push) / leased units (pull) served.
         executed: jobs actually run.
         cached: jobs answered from the shared result cache.
+        warm_reuses: ILP solves that reused the worker's warm-start pool
+            (the thread-local batch solver's ``warm_hits`` — the counter
+            warm-group sharding exists to maximise).
         failures: requests that failed at the protocol or worker level.
     """
 
     batches: int = 0
     executed: int = 0
     cached: int = 0
+    warm_reuses: int = 0
     failures: int = 0
+
+
+def execute_wire_job(
+    item: WireJob, cache: ResultCache | None, stats: WorkerStats
+) -> WireResult:
+    """Run one wire job, consulting the shared result cache first.
+
+    The single execution path both worker flavours share: the push
+    server's ``POST /batch`` handler and the service pull worker's lease
+    loop call this per job, so cache dedupe and statistics behave
+    identically whichever direction the work travelled.
+    """
+    key = item.cache_key if item.job.cacheable else None
+    if cache is not None and key is not None:
+        value = cache.lookup(key)
+        if not is_miss(value):
+            stats.cached += 1
+            return WireResult(ok=True, value=value, cached=True)
+    try:
+        value = item.job.run()
+    except Exception as exc:
+        # The *job* failed: report it as data so the client re-raises
+        # it exactly where serial execution would have.
+        return WireResult(ok=False, error=exc)
+    stats.executed += 1
+    if cache is not None and key is not None:
+        cache.store(key, value)
+    return WireResult(ok=True, value=value)
+
+
+def snapshot_warm_reuses(stats: WorkerStats) -> None:
+    """Refresh ``stats.warm_reuses`` from the calling thread's solver.
+
+    Must run on the thread that executes jobs — the batch solver pool is
+    thread-local, which is exactly why one warm group stays on one
+    worker.
+    """
+    from repro.ilp.batch import default_batch_solver
+
+    stats.warm_reuses = default_batch_solver().stats.warm_hits
 
 
 class _WorkerHandler(BaseHTTPRequestHandler):
@@ -174,26 +225,13 @@ class WorkerServer(HTTPServer):
         """
         items = decode_jobs(body)
         self.stats.batches += 1
-        return encode_results([self.execute_job(item) for item in items])
+        results = [self.execute_job(item) for item in items]
+        snapshot_warm_reuses(self.stats)
+        return encode_results(results)
 
     def execute_job(self, item: WireJob) -> WireResult:
         """Run one job, consulting the shared result cache first."""
-        key = item.cache_key if item.job.cacheable else None
-        if self.cache is not None and key is not None:
-            value = self.cache.lookup(key)
-            if not is_miss(value):
-                self.stats.cached += 1
-                return WireResult(ok=True, value=value, cached=True)
-        try:
-            value = item.job.run()
-        except Exception as exc:
-            # The *job* failed: report it as data so the client re-raises
-            # it exactly where serial execution would have.
-            return WireResult(ok=False, error=exc)
-        self.stats.executed += 1
-        if self.cache is not None and key is not None:
-            self.cache.store(key, value)
-        return WireResult(ok=True, value=value)
+        return execute_wire_job(item, self.cache, self.stats)
 
     # ------------------------------------------------------------------
     def start(self) -> "WorkerServer":

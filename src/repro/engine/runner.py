@@ -7,11 +7,13 @@ Every analysis driver expresses its experiment as a batch of independent
 * consults its :class:`~repro.engine.cache.ResultCache` first — a job
   whose content hash was seen before returns instantly, without touching
   the simulator or a solver;
-* executes the remaining jobs in one of four modes: ``"serial"`` (the
+* executes the remaining jobs in one of five modes: ``"serial"`` (the
   deterministic fallback and the default), ``"thread"`` or ``"process"``
-  (``concurrent.futures`` fan-out over CPU cores), or ``"remote"``
+  (``concurrent.futures`` fan-out over CPU cores), ``"remote"``
   (fan-out over a pool of ``repro worker`` HTTP processes, on one host
-  or many — see :mod:`repro.engine.remote`);
+  or many — see :mod:`repro.engine.remote`), or ``"service"`` (each
+  batch is queued on a ``repro serve`` coordinator and executed by
+  whatever workers have registered — see :mod:`repro.service`);
 * always returns results **in job order**, so driver output is identical
   in every mode — parallelism changes wall-clock time, never artefacts.
 
@@ -43,7 +45,7 @@ from repro.engine.remote.client import RemoteExecutor, RemoteStats
 from repro.errors import EngineError
 
 #: Supported execution modes.
-EXECUTION_MODES = ("serial", "thread", "process", "remote")
+EXECUTION_MODES = ("serial", "thread", "process", "remote", "service")
 
 
 @dataclasses.dataclass
@@ -96,6 +98,8 @@ class ExperimentEngine:
         remote_timeout: per-request timeout for remote mode, in seconds;
             a worker exceeding it is dropped and its jobs reassigned
             (``None`` keeps the client's generous default).
+        coordinator_url: base URL of a ``repro serve`` coordinator;
+            required by (and only valid with) ``mode="service"``.
     """
 
     def __init__(
@@ -106,6 +110,7 @@ class ExperimentEngine:
         cache: ResultCache | None = None,
         worker_urls: Sequence[str] | None = None,
         remote_timeout: float | None = None,
+        coordinator_url: str | None = None,
     ) -> None:
         if mode not in EXECUTION_MODES:
             raise EngineError(
@@ -125,14 +130,27 @@ class ExperimentEngine:
                 "worker_urls only applies to mode='remote', "
                 f"not mode={mode!r}"
             )
+        if mode == "service":
+            if not coordinator_url:
+                raise EngineError(
+                    "mode='service' needs coordinator_url=...; start a "
+                    "coordinator with `repro serve` and pass its URL"
+                )
+        elif coordinator_url:
+            raise EngineError(
+                "coordinator_url only applies to mode='service', "
+                f"not mode={mode!r}"
+            )
         self.mode = mode
         self.workers = workers
         self.cache = cache
         self.worker_urls = tuple(worker_urls) if worker_urls else ()
         self.remote_timeout = remote_timeout
+        self.coordinator_url = coordinator_url
         self.stats = EngineStats()
         self._executor: Executor | None = None
         self._remote: RemoteExecutor | None = None
+        self._service = None
 
     # ------------------------------------------------------------------
     @property
@@ -145,6 +163,12 @@ class ExperimentEngine:
         """The remote executor's statistics (``None`` until the first
         remote batch, or in the local modes)."""
         return self._remote.stats if self._remote is not None else None
+
+    @property
+    def service_stats(self):
+        """The service executor's statistics (``None`` until the first
+        service batch, or in the other modes)."""
+        return self._service.stats if self._service is not None else None
 
     def _worker_count(self) -> int:
         return max(1, self.workers or os.cpu_count() or 1)
@@ -214,22 +238,27 @@ class ExperimentEngine:
     def _execute(
         self, batch: Sequence[Job], pending: list[int], results: list[Any]
     ) -> None:
-        # Remote mode ships even single-job batches: the worker may hold
-        # warm solver state or a shared disk cache the client lacks.
+        # Remote and service modes ship even single-job batches: the
+        # worker may hold warm solver state or a shared disk cache the
+        # client lacks.
         if self.mode == "serial" or (
-            len(pending) == 1 and self.mode != "remote"
+            len(pending) == 1 and self.mode not in ("remote", "service")
         ):
             self._execute_serial(batch, pending, results)
             return
-        if self.mode in ("process", "remote"):
+        if self.mode in ("process", "remote", "service"):
             pooled, local = self._split_picklable(batch, pending)
         else:
             pooled, local = list(pending), []
-        if self.mode == "remote":
+        if self.mode in ("remote", "service"):
             if pooled:
-                leftover = self._remote_execute(batch, pooled, results)
+                if self.mode == "remote":
+                    leftover = self._remote_execute(batch, pooled, results)
+                else:
+                    leftover = self._service_execute(batch, pooled, results)
                 if leftover:
-                    # The whole worker pool died: finish in-process.
+                    # The whole worker pool (or the coordinator) died:
+                    # finish in-process.
                     self.stats.fallbacks += len(leftover)
                     local = sorted(local + leftover)
             if local:
@@ -326,6 +355,28 @@ class ExperimentEngine:
                 kwargs["timeout"] = self.remote_timeout
             self._remote = RemoteExecutor(self.worker_urls, **kwargs)
         leftover = self._remote.execute(batch, pooled, results)
+        self.stats.executed += len(pooled) - len(leftover)
+        return leftover
+
+    def _service_execute(
+        self, batch: Sequence[Job], pooled: Sequence[int], results: list[Any]
+    ) -> list[int]:
+        """Run ``pooled`` jobs through the analysis-service coordinator.
+
+        The batch is submitted as one coordinator job; registered
+        workers lease its warm-group units and the executor polls until
+        the queue drains.  Returns the indices the service could not
+        take (unreachable coordinator — the caller finishes those
+        in-process); job exceptions propagate unchanged, exactly as in
+        serial mode.
+        """
+        if self._service is None:
+            # Imported lazily: repro.service imports the engine package,
+            # so a module-level import here would be circular.
+            from repro.service.client import ServiceExecutor
+
+            self._service = ServiceExecutor(self.coordinator_url)
+        leftover = self._service.execute(batch, pooled, results)
         self.stats.executed += len(pooled) - len(leftover)
         return leftover
 

@@ -1,0 +1,89 @@
+"""Analysis as a service: a durable job queue with dial-in workers.
+
+Where ``mode="remote"`` is a *client-driven* fan-out (one CLI process
+pushes batches at a static worker list and must stay alive for the
+answer), this package inverts the arrangement into a long-running
+service:
+
+* the **coordinator** (:mod:`~repro.service.coordinator`) owns a
+  sqlite-backed queue (:mod:`~repro.service.store`) — submitted jobs,
+  their warm-group-sharded units, leases and results all survive a
+  coordinator restart;
+* **workers** (:mod:`~repro.service.pull`) dial *in*: they
+  auto-register, lease units, execute them through the same path as the
+  push backend (shared :class:`~repro.engine.cache.ResultCache` dedupe
+  included) and heartbeat; a worker that vanishes has its leases
+  re-queued under a bumped fence, so nothing is lost and nothing is
+  double-counted;
+* **clients** (:mod:`~repro.service.client`) submit and walk away: a
+  named job set (:mod:`~repro.service.jobsets`) or any engine batch via
+  ``mode="service"`` comes back byte-identical to serial execution.
+
+Three-terminal quickstart::
+
+    # terminal 1 — the coordinator (queue state in .repro-service/)
+    repro serve --port 8751
+
+    # terminal 2 (and 3, 4, ...) — workers, wherever there are cores
+    repro worker --coordinator http://127.0.0.1:8751
+
+    # terminal 3 — submit, poll, render
+    repro submit figure4 --coordinator http://127.0.0.1:8751
+    repro status  <job-id> --coordinator http://127.0.0.1:8751
+    repro watch   <job-id> --coordinator http://127.0.0.1:8751
+    repro jobs --workers   --coordinator http://127.0.0.1:8751
+
+Any existing driver runs through the service unchanged by passing
+``--coordinator URL`` instead of ``--workers URL,...`` (engine
+``mode="service"``); multi-phase drivers submit one queue job per
+engine batch.  Results are byte-identical to serial runs either way.
+"""
+
+from repro.service.client import (
+    ServiceExecutor,
+    ServiceStats,
+    coordinator_health,
+    fetch_results,
+    job_status,
+    list_jobs,
+    list_workers,
+    submit_jobs,
+    wait_for_job,
+)
+from repro.service.coordinator import (
+    DEFAULT_COORDINATOR_PORT,
+    CoordinatorServer,
+    serve,
+)
+from repro.service.jobsets import (
+    JobSet,
+    get_job_set,
+    job_set_names,
+    parse_job_set_args,
+)
+from repro.service.pull import PullWorker, serve_pull
+from repro.service.store import JobRecord, JobStore, UnitSpec
+
+__all__ = [
+    "CoordinatorServer",
+    "DEFAULT_COORDINATOR_PORT",
+    "JobRecord",
+    "JobSet",
+    "JobStore",
+    "PullWorker",
+    "ServiceExecutor",
+    "ServiceStats",
+    "UnitSpec",
+    "coordinator_health",
+    "fetch_results",
+    "get_job_set",
+    "job_set_names",
+    "job_status",
+    "list_jobs",
+    "list_workers",
+    "parse_job_set_args",
+    "serve",
+    "serve_pull",
+    "submit_jobs",
+    "wait_for_job",
+]

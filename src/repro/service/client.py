@@ -1,0 +1,282 @@
+"""The service client: submit batches, poll progress, collect results.
+
+Two consumers share this module.  The ``repro submit`` / ``status`` /
+``watch`` / ``jobs`` commands use the plain functions — submit a named
+job set, read back progress documents, download results.  The engine's
+``mode="service"`` uses :class:`ServiceExecutor`, which makes any
+existing analysis driver run through the coordinator unchanged: each
+engine batch becomes one submitted job, the executor polls until the
+queue drains it, and results scatter back into job order — so driver
+output stays byte-identical to ``mode="serial"`` whichever registered
+worker executed what.
+
+Fault behaviour: a coordinator that cannot be reached at submission
+time falls back to in-process execution (the engine counts it in
+``stats.fallbacks``), and one that disappears *mid-poll* is retried for
+an unreachable-grace window — long enough to ride out a coordinator
+restart, after which the executor gives the batch back to the engine.
+Job-level exceptions drain the whole batch first and re-raise the
+lowest-indexed failing job's error, the same one serial mode surfaces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import json
+import time
+import urllib.request
+from typing import Any, Sequence
+
+from repro.engine.batch import Job
+from repro.engine.remote.client import _cache_key
+from repro.engine.remote.wire import (
+    WireJob,
+    WireResult,
+    decode_document,
+    decode_job_results,
+    encode_submit,
+)
+from repro.errors import EngineError, RemoteError
+from repro.service.coordinator import (
+    ACCEPTED_KIND,
+    HEALTH_PATH,
+    JOBS_PATH,
+    LIST_KIND,
+    STATUS_KIND,
+    SUBMIT_PATH,
+    WORKER_LIST_KIND,
+    WORKERS_PATH,
+)
+
+#: Transport faults the client treats as "coordinator unreachable".
+TRANSPORT_ERRORS = (OSError, http.client.HTTPException)
+
+
+def _post(url: str, path: str, body: bytes, *, timeout: float) -> bytes:
+    request = urllib.request.Request(
+        url.rstrip("/") + path,
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.read()
+
+
+def _get(url: str, path: str, *, timeout: float) -> bytes:
+    with urllib.request.urlopen(
+        url.rstrip("/") + path, timeout=timeout
+    ) as response:
+        return response.read()
+
+
+def coordinator_health(url: str, *, timeout: float = 5.0) -> dict:
+    """Fetch the coordinator's ``/healthz`` document (raises on failure)."""
+    return json.loads(_get(url, HEALTH_PATH, timeout=timeout).decode("utf-8"))
+
+
+def submit_jobs(
+    url: str,
+    jobs: Sequence[Job],
+    *,
+    label: str = "",
+    meta: dict | None = None,
+    timeout: float = 60.0,
+) -> str:
+    """Submit one batch to the coordinator; returns the job id.
+
+    Cache keys are resolved client-side (the same content addresses
+    every other mode uses), so the coordinator and the workers can
+    dedupe against their shared caches without recomputing hashes.
+    """
+    items = [WireJob(item, _cache_key(item)) for item in jobs]
+    body = encode_submit(items, label=label, meta=meta)
+    answer = decode_document(
+        _post(url, SUBMIT_PATH, body, timeout=timeout), ACCEPTED_KIND
+    )
+    job_id = answer.get("job_id")
+    if not isinstance(job_id, str):
+        raise RemoteError("submission answer carries no job_id")
+    return job_id
+
+
+def job_status(url: str, job_id: str, *, timeout: float = 30.0) -> dict:
+    """One job's progress document (includes per-unit states)."""
+    data = _get(url, f"{JOBS_PATH}/{job_id}", timeout=timeout)
+    return decode_document(data, STATUS_KIND)
+
+
+def list_jobs(url: str, *, timeout: float = 30.0) -> list[dict]:
+    """Every job the coordinator knows, newest first."""
+    data = _get(url, JOBS_PATH, timeout=timeout)
+    return decode_document(data, LIST_KIND).get("jobs", [])
+
+
+def list_workers(url: str, *, timeout: float = 30.0) -> list[dict]:
+    """The worker registry with per-worker execution counters."""
+    data = _get(url, WORKERS_PATH, timeout=timeout)
+    return decode_document(data, WORKER_LIST_KIND).get("workers", [])
+
+
+def fetch_results(
+    url: str, job_id: str, *, timeout: float = 60.0
+) -> tuple[bool, list[tuple[list[int], list[WireResult]]]]:
+    """Download a job's finished units: ``(complete, [(indices, results)])``.
+
+    ``indices`` are positions in the submitted batch; until ``complete``
+    is true only the units finished so far are present.
+    """
+    data = _get(url, f"{JOBS_PATH}/{job_id}/results", timeout=timeout)
+    return decode_job_results(data)
+
+
+def wait_for_job(
+    url: str,
+    job_id: str,
+    *,
+    poll: float = 0.5,
+    timeout: float | None = None,
+    progress=None,
+) -> dict:
+    """Poll one job until it completes; returns its final status document.
+
+    Args:
+        poll: seconds between status requests.
+        timeout: optional overall deadline (:class:`EngineError` past it).
+        progress: optional callback invoked with each status document —
+            the hook ``repro watch`` streams its progress lines from.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        status = job_status(url, job_id)
+        if progress is not None:
+            progress(status)
+        if status.get("complete"):
+            return status
+        if deadline is not None and time.monotonic() >= deadline:
+            raise EngineError(
+                f"job {job_id} not complete after {timeout:g}s "
+                f"({status.get('done')}/{status.get('total_units')} units)"
+            )
+        time.sleep(poll)
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """Cumulative statistics of one :class:`ServiceExecutor`.
+
+    Attributes:
+        batches: engine batches submitted as coordinator jobs.
+        executed: jobs completed through the service (cache answers
+            included).
+        remote_cached: the subset answered from a shared result cache
+            (worker- or coordinator-side).
+        abandoned: batches given back to the engine after the
+            coordinator stayed unreachable past the grace window.
+    """
+
+    batches: int = 0
+    executed: int = 0
+    remote_cached: int = 0
+    abandoned: int = 0
+
+    #: Job ids submitted by this executor, in order.
+    job_ids: list = dataclasses.field(default_factory=list)
+
+
+class ServiceExecutor:
+    """Executes engine batches through the analysis-service coordinator.
+
+    Args:
+        coordinator_url: base URL of the ``repro serve`` process.
+        poll: seconds between result polls.
+        timeout: per-request HTTP timeout.
+        unreachable_grace: how long the coordinator may stay unreachable
+            mid-poll before the batch is abandoned back to the engine
+            (generous enough to ride out a coordinator restart).
+    """
+
+    def __init__(
+        self,
+        coordinator_url: str,
+        *,
+        poll: float = 0.1,
+        timeout: float = 60.0,
+        unreachable_grace: float = 60.0,
+    ) -> None:
+        url = coordinator_url.strip().rstrip("/")
+        if not url:
+            raise EngineError(
+                "service execution needs a coordinator URL; start one "
+                "with `repro serve` and pass --coordinator"
+            )
+        self.coordinator_url = url
+        self.poll = poll
+        self.timeout = timeout
+        self.unreachable_grace = unreachable_grace
+        self.stats = ServiceStats()
+
+    def execute(
+        self,
+        batch: Sequence[Job],
+        pending: Sequence[int],
+        results: list[Any],
+    ) -> list[int]:
+        """Run ``pending`` jobs via the coordinator, writing into
+        ``results``.
+
+        Returns the indices the service could not take (the engine runs
+        those in-process): all of them when submission fails or the
+        coordinator vanishes past the grace window, none otherwise.  A
+        job-level exception propagates after the batch drains — always
+        the lowest-indexed failing job's, the one serial mode surfaces.
+        """
+        items = [batch[index] for index in pending]
+        try:
+            job_id = submit_jobs(
+                self.coordinator_url,
+                items,
+                label=items[0].describe() if items else "",
+                timeout=self.timeout,
+            )
+        except TRANSPORT_ERRORS + (RemoteError,):
+            return sorted(pending)
+        self.stats.batches += 1
+        self.stats.job_ids.append(job_id)
+
+        last_contact = time.monotonic()
+        while True:
+            try:
+                complete, units = fetch_results(
+                    self.coordinator_url, job_id, timeout=self.timeout
+                )
+            except TRANSPORT_ERRORS + (RemoteError,):
+                # Coordinator down or restarting.  The queue is durable,
+                # so keep polling for the grace window before giving the
+                # batch back (jobs are pure — a local re-run is safe).
+                if time.monotonic() - last_contact > self.unreachable_grace:
+                    self.stats.abandoned += 1
+                    return sorted(pending)
+                time.sleep(self.poll)
+                continue
+            last_contact = time.monotonic()
+            if complete:
+                break
+            time.sleep(self.poll)
+
+        job_errors: list[tuple[int, BaseException]] = []
+        for indices, outcomes in units:
+            for local_index, outcome in zip(indices, outcomes):
+                index = pending[local_index]
+                if outcome.ok:
+                    results[index] = outcome.value
+                    self.stats.executed += 1
+                    if outcome.cached:
+                        self.stats.remote_cached += 1
+                else:
+                    job_errors.append((index, outcome.error))
+        if job_errors:
+            job_errors.sort(key=lambda pair: pair[0])
+            raise job_errors[0][1]
+        return []

@@ -1,0 +1,547 @@
+"""The coordinator: a durable queue front with worker auto-registration.
+
+One :class:`CoordinatorServer` (the ``repro serve`` process) owns a
+:class:`~repro.service.store.JobStore` and speaks the version-2 service
+envelopes (:mod:`repro.engine.remote.wire`) over plain HTTP:
+
+* **clients** POST ``/submit`` (a batch of engine jobs), get a job id
+  back immediately, and poll ``/jobs/<id>`` / ``/jobs/<id>/results``
+  until the queue drains — the ``repro submit`` / ``status`` / ``watch``
+  commands and the engine's ``mode="service"`` executor;
+* **workers** dial *in*: POST ``/register`` once, then loop POST
+  ``/lease`` → execute → POST ``/complete``, renewing their leases with
+  POST ``/heartbeat`` — no static worker list anywhere.  A worker whose
+  heartbeats stop has its leases expire and re-queued (fence bumped), the
+  service analogue of the push backend's dead-worker reassignment.
+
+Scheduling preserves the engine's warm-group discipline in a dynamic
+pool: the first worker to lease a unit of a warm group becomes the
+group's sticky *owner*, and every later unit of that group is held for
+the owner while it lives — so a sweep's structurally identical ILPs keep
+landing on one warm solver even though workers come and go.  Ungrouped
+units go to whoever asks first.
+
+The coordinator's optional :class:`~repro.engine.cache.ResultCache`
+dedupes at the queue: a submitted unit whose every job already has a
+cached result is born ``done`` without ever reaching a worker, and every
+completed value is stored back, so repeated submissions answer from
+disk.  All state transitions land in sqlite before they are
+acknowledged — kill the coordinator mid-job, restart it on the same
+state directory, and queued, leased and done units all resume exactly
+where they were.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import secrets
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.engine.batch import warm_units
+from repro.engine.cache import ResultCache, is_miss
+from repro.engine.remote.wire import (
+    PROTOCOL_VERSION,
+    WireResult,
+    decode_document,
+    decode_result_entries,
+    decode_submit,
+    decode_unit_result,
+    encode_document,
+    encode_job_entries,
+    encode_job_results,
+    encode_lease,
+    encode_result_entries,
+)
+from repro.errors import RemoteError
+from repro.service.store import JobStore, UnitSpec
+
+#: Default TCP port of ``repro serve`` (port 0 binds an ephemeral one).
+DEFAULT_COORDINATOR_PORT = 8751
+
+#: URL paths of the coordinator endpoints.
+HEALTH_PATH = "/healthz"
+SUBMIT_PATH = "/submit"
+JOBS_PATH = "/jobs"
+WORKERS_PATH = "/workers"
+REGISTER_PATH = "/register"
+LEASE_PATH = "/lease"
+COMPLETE_PATH = "/complete"
+HEARTBEAT_PATH = "/heartbeat"
+
+#: Envelope kinds of the plain-JSON service documents (the job/result
+#: carrying ones live in :mod:`repro.engine.remote.wire`).
+REGISTER_KIND = "worker-register"
+REGISTERED_KIND = "worker-registered"
+LEASE_REQUEST_KIND = "lease-request"
+HEARTBEAT_KIND = "heartbeat"
+HEARTBEAT_ACK_KIND = "heartbeat-ack"
+ACCEPTED_KIND = "job-accepted"
+UNIT_ACCEPTED_KIND = "unit-accepted"
+STATUS_KIND = "job-status"
+LIST_KIND = "job-list"
+WORKER_LIST_KIND = "worker-list"
+
+
+@dataclasses.dataclass
+class WorkerInfo:
+    """The coordinator's view of one registered worker."""
+
+    worker_id: str
+    name: str
+    registered: float
+    last_seen: float
+    stats: dict = dataclasses.field(default_factory=dict)
+    completed_units: int = 0
+
+
+class _CoordinatorHandler(BaseHTTPRequestHandler):
+    """Routes requests to the server object; all state lives there."""
+
+    server: "CoordinatorServer"
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Quiet per-request logging (``repro watch`` narrates progress)."""
+
+    def _send(self, code: int, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, handler, body: bytes | None = None) -> None:
+        try:
+            response = handler(body) if body is not None else handler()
+        except RemoteError as exc:
+            self._send(400, json.dumps({"error": str(exc)}).encode("utf-8"))
+        except KeyError as exc:
+            self._send(404, json.dumps({"error": str(exc)}).encode("utf-8"))
+        except Exception as exc:
+            message = f"{type(exc).__name__}: {exc}"
+            self._send(500, json.dumps({"error": message}).encode("utf-8"))
+        else:
+            self._send(200, response)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        server = self.server
+        if self.path == HEALTH_PATH:
+            self._dispatch(server.handle_health)
+        elif self.path == JOBS_PATH:
+            self._dispatch(server.handle_job_list)
+        elif self.path == WORKERS_PATH:
+            self._dispatch(server.handle_worker_list)
+        elif self.path.startswith(JOBS_PATH + "/"):
+            tail = self.path[len(JOBS_PATH) + 1 :]
+            if tail.endswith("/results"):
+                job_id = tail[: -len("/results")]
+                self._dispatch(lambda: server.handle_results(job_id))
+            else:
+                self._dispatch(lambda: server.handle_status(tail))
+        else:
+            self._send(404, b'{"error":"not found"}')
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length)
+        server = self.server
+        routes = {
+            SUBMIT_PATH: server.handle_submit,
+            REGISTER_PATH: server.handle_register,
+            LEASE_PATH: server.handle_lease,
+            COMPLETE_PATH: server.handle_complete,
+            HEARTBEAT_PATH: server.handle_heartbeat,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send(404, b'{"error":"not found"}')
+            return
+        self._dispatch(handler, body)
+
+
+class CoordinatorServer(ThreadingHTTPServer):
+    """The analysis-service coordinator over HTTP.
+
+    Args:
+        host: bind address (loopback by default; the wire format is
+            unauthenticated pickle — same trust model as the workers).
+        port: TCP port; ``0`` binds an ephemeral one (read :attr:`url`).
+        store: the durable job queue.  Pass a file-backed store and the
+            queue survives coordinator restarts.
+        cache: optional shared :class:`ResultCache` for queue-level
+            dedupe (cache-complete units never reach a worker).
+        lease_seconds: how long a leased unit stays assigned without a
+            heartbeat before it is re-queued to another worker.
+        worker_ttl: how long a silent worker counts as live (sticky
+            warm-group owners past this age are replaced).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        store: JobStore,
+        cache: ResultCache | None = None,
+        lease_seconds: float = 60.0,
+        worker_ttl: float = 30.0,
+    ) -> None:
+        super().__init__((host, port), _CoordinatorHandler)
+        self.store = store
+        self.cache = cache
+        self.lease_seconds = lease_seconds
+        self.worker_ttl = worker_ttl
+        self.workers: dict[str, WorkerInfo] = {}
+        #: warm group -> sticky owning worker id (in-memory: affinity is
+        #: an optimisation, correctness never depends on it surviving).
+        self.group_owners: dict[str, str] = {}
+        self._lock = threading.RLock()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        """The base URL clients and workers address this coordinator under."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def handle_error(self, request, client_address) -> None:
+        """Quiet client disconnects (watch/poll loops abandon sockets)."""
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, TimeoutError)):
+            return
+        super().handle_error(request, client_address)
+
+    # ------------------------------------------------------------------
+    # Client side: submission and progress
+    # ------------------------------------------------------------------
+    def handle_submit(self, body: bytes) -> bytes:
+        """Enqueue one batch; answers with the fresh job id."""
+        items, label, meta = decode_submit(body)
+        if not items:
+            raise RemoteError("cannot submit an empty batch")
+        batch = [item.job for item in items]
+        units: list[UnitSpec] = []
+        for unit in warm_units(batch, range(len(batch))):
+            unit_items = [items[i] for i in unit]
+            result = None
+            if self.cache is not None:
+                values = []
+                for item in unit_items:
+                    key = item.cache_key if item.job.cacheable else None
+                    value = (
+                        self.cache.lookup(key) if key is not None else None
+                    )
+                    if key is None or is_miss(value):
+                        values = None
+                        break
+                    values.append(value)
+                if values is not None:
+                    # Every job in the unit is already answered: the
+                    # unit is born done and never reaches a worker.
+                    result = encode_result_entries(
+                        [
+                            WireResult(ok=True, value=value, cached=True)
+                            for value in values
+                        ]
+                    )
+            units.append(
+                UnitSpec(
+                    entries=encode_job_entries(unit_items),
+                    indices=list(unit),
+                    warm_group=batch[unit[0]].warm_group,
+                    result=result,
+                )
+            )
+        job_id = self.store.submit(
+            units, label=label, meta=meta, total_jobs=len(batch)
+        )
+        return encode_document(ACCEPTED_KIND, {"job_id": job_id})
+
+    def handle_status(self, job_id: str) -> bytes:
+        """One job's progress (unit states included)."""
+        self.store.reclaim_expired()
+        record = self.store.job(job_id)
+        if record is None:
+            raise KeyError(f"unknown job id {job_id!r}")
+        units = [
+            {
+                "unit": view.unit_index,
+                "state": view.state,
+                "warm_group": view.warm_group,
+                "worker": view.lease_owner,
+                "jobs": view.jobs,
+            }
+            for view in self.store.units(job_id)
+        ]
+        return encode_document(
+            STATUS_KIND, {**self._job_fields(record), "units": units}
+        )
+
+    def handle_job_list(self) -> bytes:
+        self.store.reclaim_expired()
+        jobs = [self._job_fields(record) for record in self.store.jobs()]
+        return encode_document(LIST_KIND, {"jobs": jobs})
+
+    @staticmethod
+    def _job_fields(record) -> dict:
+        return {
+            "job_id": record.job_id,
+            "created": record.created,
+            "label": record.label,
+            "meta": record.meta,
+            "total_units": record.total_units,
+            "total_jobs": record.total_jobs,
+            "queued": record.queued,
+            "leased": record.leased,
+            "done": record.done,
+            "complete": record.complete,
+        }
+
+    def handle_results(self, job_id: str) -> bytes:
+        """A job's collected results (done units only; check ``complete``)."""
+        complete, units = self.store.results(job_id)
+        return encode_job_results(job_id, complete=complete, units=units)
+
+    def handle_worker_list(self) -> bytes:
+        """The registry with per-worker execution counters
+        (``repro jobs --workers``)."""
+        now = time.time()
+        with self._lock:
+            rows = [
+                {
+                    "worker_id": info.worker_id,
+                    "name": info.name,
+                    "live": self._is_live(info, now),
+                    "age": round(now - info.last_seen, 3),
+                    "completed_units": info.completed_units,
+                    "stats": dict(info.stats),
+                }
+                for info in self.workers.values()
+            ]
+        return encode_document(WORKER_LIST_KIND, {"workers": rows})
+
+    def handle_health(self) -> bytes:
+        now = time.time()
+        with self._lock:
+            live = sum(
+                1 for info in self.workers.values()
+                if self._is_live(info, now)
+            )
+        document = {
+            "protocol": PROTOCOL_VERSION,
+            "status": "ok",
+            "pid": os.getpid(),
+            "workers": live,
+            **self.store.counts(),
+        }
+        return json.dumps(document).encode("utf-8")
+
+    # ------------------------------------------------------------------
+    # Worker side: registration, leasing, completion, heartbeat
+    # ------------------------------------------------------------------
+    def handle_register(self, body: bytes) -> bytes:
+        """Admit one worker; answers with its fresh coordinator-issued id."""
+        document = decode_document(body, REGISTER_KIND)
+        name = document.get("name") or ""
+        if not isinstance(name, str):
+            raise RemoteError("worker name must be a string")
+        now = time.time()
+        worker_id = "w-" + secrets.token_hex(4)
+        with self._lock:
+            self.workers[worker_id] = WorkerInfo(
+                worker_id=worker_id,
+                name=name or worker_id,
+                registered=now,
+                last_seen=now,
+            )
+        return encode_document(
+            REGISTERED_KIND,
+            {"worker_id": worker_id, "lease_seconds": self.lease_seconds},
+        )
+
+    def handle_lease(self, body: bytes) -> bytes:
+        """Grant the requesting worker one queued unit (or none)."""
+        document = decode_document(body, LEASE_REQUEST_KIND)
+        worker_id = document.get("worker_id")
+        if not isinstance(worker_id, str):
+            raise RemoteError("lease request carries no worker_id")
+        now = time.time()
+        with self._lock:
+            info = self.workers.get(worker_id)
+            if info is None:
+                # Unknown id — typically a worker that outlived a
+                # coordinator restart.  Tell it to re-register; any unit
+                # it still executes completes by fence, not by id.
+                return encode_lease({"unregistered": True})
+            info.last_seen = now
+            self.store.reclaim_expired(now)
+            choice = self._pick_unit(worker_id, now)
+            if choice is None:
+                return encode_lease(None)
+            job_id, unit_index = choice
+            leased = self.store.lease(
+                job_id, unit_index, worker_id, now + self.lease_seconds
+            )
+            if leased is None:  # raced away between pick and lease
+                return encode_lease(None)
+            fence, entries, _indices = leased
+        return encode_lease(
+            {
+                "job_id": job_id,
+                "unit": unit_index,
+                "fence": fence,
+                "lease_seconds": self.lease_seconds,
+                "jobs": entries,
+            }
+        )
+
+    def _pick_unit(
+        self, worker_id: str, now: float
+    ) -> tuple[str, int] | None:
+        """Choose the next unit for ``worker_id``, warm-group sticky.
+
+        Preference order: a unit of a group this worker already owns →
+        a unit of an unowned (or dead-owned) group, claiming ownership →
+        an ungrouped unit.  Units of groups owned by *another live*
+        worker are held back for their owner.  Caller holds the lock.
+        """
+        claim: tuple[str, int, str] | None = None
+        ungrouped: tuple[str, int] | None = None
+        for job_id, unit_index, group in self.store.queued_units():
+            if group is None:
+                if ungrouped is None:
+                    ungrouped = (job_id, unit_index)
+                continue
+            owner = self.group_owners.get(group)
+            if owner == worker_id:
+                return job_id, unit_index
+            info = self.workers.get(owner) if owner else None
+            if info is None or not self._is_live(info, now):
+                if claim is None:
+                    claim = (job_id, unit_index, group)
+        if claim is not None:
+            self.group_owners[claim[2]] = worker_id
+            return claim[0], claim[1]
+        return ungrouped
+
+    def handle_complete(self, body: bytes) -> bytes:
+        """Record one executed unit, fenced against stale leases."""
+        document = decode_unit_result(body)
+        job_id = document["job_id"]
+        unit_index = document["unit"]
+        accepted = self.store.complete(
+            job_id, unit_index, document["fence"], document["results"]
+        )
+        now = time.time()
+        with self._lock:
+            info = self.workers.get(document["worker_id"])
+            if info is not None:
+                info.last_seen = now
+                if accepted:
+                    info.completed_units += 1
+        if accepted and self.cache is not None:
+            self._store_results(job_id, unit_index, document["results"])
+        return encode_document(UNIT_ACCEPTED_KIND, {"accepted": accepted})
+
+    def _store_results(
+        self, job_id: str, unit_index: int, result_entries: list[dict]
+    ) -> None:
+        """Feed completed values into the coordinator cache (dedupe)."""
+        entries = self.store.unit_entries(job_id, unit_index)
+        try:
+            results = decode_result_entries(
+                result_entries, expected=len(entries)
+            )
+        except RemoteError:
+            return
+        for entry, result in zip(entries, results):
+            key = entry.get("cache_key")
+            if result.ok and not result.cached and isinstance(key, str):
+                self.cache.store(key, result.value)
+
+    def handle_heartbeat(self, body: bytes) -> bytes:
+        """Renew a worker's leases; absorb its execution counters."""
+        document = decode_document(body, HEARTBEAT_KIND)
+        worker_id = document.get("worker_id")
+        if not isinstance(worker_id, str):
+            raise RemoteError("heartbeat carries no worker_id")
+        stats = document.get("stats")
+        now = time.time()
+        with self._lock:
+            info = self.workers.get(worker_id)
+            known = info is not None
+            if info is not None:
+                info.last_seen = now
+                if isinstance(stats, dict):
+                    info.stats = stats
+        if known:
+            self.store.renew_leases(worker_id, now + self.lease_seconds)
+        return encode_document(HEARTBEAT_ACK_KIND, {"known": known})
+
+    def _is_live(self, info: WorkerInfo, now: float) -> bool:
+        return now - info.last_seen <= self.worker_ttl
+
+    # ------------------------------------------------------------------
+    def start(self) -> "CoordinatorServer":
+        """Serve in a daemon thread (in-process coordinators for tests)."""
+        thread = threading.Thread(
+            target=self.serve_forever,
+            name=f"repro-coordinator:{self.url}",
+            daemon=True,
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (the store stays open)."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_COORDINATOR_PORT,
+    *,
+    state_dir: str | os.PathLike = ".repro-service",
+    cache_dir: str | os.PathLike | None = None,
+    lease_seconds: float = 60.0,
+    worker_ttl: float = 30.0,
+) -> None:
+    """Run the coordinator in the foreground (the ``repro serve`` command).
+
+    The queue database lives at ``<state_dir>/queue.sqlite`` — point a
+    restarted coordinator at the same directory and every submitted job
+    resumes.  Prints the listening URL (the line scripts parse to
+    discover ephemeral ports), then serves until interrupted.
+    """
+    os.makedirs(state_dir, exist_ok=True)
+    store = JobStore(os.path.join(state_dir, "queue.sqlite"))
+    cache = ResultCache(directory=cache_dir) if cache_dir else None
+    server = CoordinatorServer(
+        host,
+        port,
+        store=store,
+        cache=cache,
+        lease_seconds=lease_seconds,
+        worker_ttl=worker_ttl,
+    )
+    print(f"repro coordinator listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        store.close()

@@ -1,0 +1,264 @@
+"""Named job sets: the batches ``repro submit`` can queue by name.
+
+A *job set* packages one single-batch analysis driver for
+fire-and-forget submission: its ``build`` step turns CLI arguments into
+the exact engine job list the direct command runs, and its ``render``
+step turns the collected results back into the identical artefact —
+so ``repro submit figure4`` followed by ``repro watch <id>`` prints the
+same bytes ``repro figure4`` does, just through a coordinator queue and
+whatever workers happened to be registered.
+
+The submitted arguments travel with the job (``meta["argv"]``), which
+is what makes rendering reproducible later and elsewhere: any client
+polling the coordinator can re-parse them and render or ``--export``
+the artefact without knowing how the job was submitted.
+
+Multi-phase drivers (e.g. simulation-mode Figure 4, where measurement
+jobs feed model jobs) cannot be queued as one batch; run those through
+``mode="service"`` instead — ``repro figure4 --mode sim --coordinator
+URL`` — which submits each phase as its own job and blocks in between.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+from typing import Any, Callable, Sequence
+
+from repro.errors import EngineError
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSet:
+    """One named, submittable single-batch job family.
+
+    Attributes:
+        name: registry key (``repro submit <name> ...``).
+        help: one-line description for ``repro submit --list``.
+        configure: installs the set's CLI arguments on a parser.
+        build: parsed namespace → engine job list (plain picklable jobs).
+        render: (results in job order, parsed namespace) → artefact
+            text, byte-identical to the direct CLI command.  Honours the
+            set's ``--export`` flag when it defines one.
+    """
+
+    name: str
+    help: str
+    configure: Callable[[argparse.ArgumentParser], None]
+    build: Callable[[argparse.Namespace], list]
+    render: Callable[[Sequence[Any], argparse.Namespace], str]
+
+
+def _figure4_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model",
+        action="append",
+        metavar="NAME",
+        help="registered model to plot (repeatable)",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="PATH.{json,csv}",
+        help="write rows instead of rendering",
+    )
+
+
+def _figure4_build(args: argparse.Namespace) -> list:
+    from repro.analysis.experiments import figure4_paper_jobs
+
+    models = tuple(args.model) if args.model else None
+    kwargs = {"models": models} if models else {}
+    return figure4_paper_jobs(**kwargs)
+
+
+def _figure4_render(results: Sequence[Any], args: argparse.Namespace) -> str:
+    from repro.analysis.report import render_figure4
+
+    title = "Figure 4 (paper-counters mode)"
+    if args.export:
+        from repro.analysis.export import figure4_artifact, write_artifact
+
+        write_artifact(figure4_artifact(results, title=title), args.export)
+        return f"wrote {len(results)} rows to {args.export}"
+    return render_figure4(results, title=title)
+
+
+def _matrix_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", action="append", metavar="NAME")
+    parser.add_argument("--spec", action="append", metavar="NAME")
+    parser.add_argument(
+        "--export",
+        metavar="PATH.{json,csv}",
+        help="write cells instead of rendering",
+    )
+
+
+def _matrix_build(args: argparse.Namespace) -> list:
+    from repro.analysis.experiments import model_scenario_matrix_jobs
+
+    return model_scenario_matrix_jobs(
+        models=tuple(args.model) if args.model else None,
+        specs=tuple(args.spec) if args.spec else None,
+    )
+
+
+def _matrix_render(results: Sequence[Any], args: argparse.Namespace) -> str:
+    from repro.analysis.export import matrix_artifact, write_artifact
+    from repro.analysis.report import render_artifact
+
+    item = matrix_artifact(
+        list(results),
+        title=(
+            "Model × scenario matrix "
+            f"({len({r.model for r in results})} models × "
+            f"{len({r.spec_name for r in results})} specs)"
+        ),
+    )
+    if args.export:
+        write_artifact(item, args.export)
+        return f"wrote {len(results)} matrix cells to {args.export}"
+    return render_artifact(item)
+
+
+def _family_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("family", help="registered family name")
+    parser.add_argument("--model", metavar="NAME")
+    parser.add_argument("--member", action="append", metavar="NAME")
+    parser.add_argument(
+        "--export",
+        metavar="PATH.{json,csv}",
+        help="write rows instead of rendering",
+    )
+
+
+def _family_parts(args: argparse.Namespace):
+    from repro.engine.families import (
+        _member_subset,
+        _resolve_models,
+        expand_family,
+        get_family,
+    )
+
+    family = get_family(args.family)
+    model, dma_model = _resolve_models(family, args.model, None)
+    members = _member_subset(
+        expand_family(family), tuple(args.member) if args.member else None
+    )
+    return family, members, model, dma_model
+
+
+def _family_build(args: argparse.Namespace) -> list:
+    from repro.engine.families import _member_jobs
+
+    family, members, model, dma_model = _family_parts(args)
+    return _member_jobs(family, members, model, dma_model, None, None, None)
+
+
+def _family_render(results: Sequence[Any], args: argparse.Namespace) -> str:
+    from repro.analysis.export import family_artifact, write_artifact
+    from repro.analysis.report import render_artifact
+    from repro.engine.families import FamilyRunResult
+
+    _family, members, _model, _dma = _family_parts(args)
+    rows = [
+        FamilyRunResult(member=member, run=run)
+        for member, run in zip(members, results)
+    ]
+    title = f"Family run ({args.family}, {len(rows)} member runs)"
+    item = family_artifact(rows, title=title)
+    if args.export:
+        write_artifact(item, args.export)
+        return f"wrote {len(rows)} member runs to {args.export}"
+    return render_artifact(item)
+
+
+def _soundness_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pairs", type=int, default=5)
+    parser.add_argument("--requests", type=int, default=1_000)
+    parser.add_argument("--scenario", type=int, choices=(1, 2), default=1)
+
+
+def _soundness_scenario(args: argparse.Namespace):
+    from repro.platform.deployment import scenario_1, scenario_2
+
+    return scenario_1() if args.scenario == 1 else scenario_2()
+
+
+def _soundness_build(args: argparse.Namespace) -> list:
+    from repro.analysis.validation import random_soundness_jobs
+
+    return random_soundness_jobs(
+        _soundness_scenario(args),
+        pairs=args.pairs,
+        max_requests=args.requests,
+    )
+
+
+def _soundness_render(
+    results: Sequence[Any], args: argparse.Namespace
+) -> str:
+    from repro.analysis.report import render_soundness
+    from repro.analysis.validation import SoundnessSweep
+
+    sweep = SoundnessSweep(cases=tuple(results))
+    return render_soundness(sweep, _soundness_scenario(args).name)
+
+
+_JOB_SETS: dict[str, JobSet] = {
+    js.name: js
+    for js in (
+        JobSet(
+            name="figure4",
+            help="Figure 4 bars from the published Table 6 readings",
+            configure=_figure4_configure,
+            build=_figure4_build,
+            render=_figure4_render,
+        ),
+        JobSet(
+            name="matrix",
+            help="every counter-based model × every registered spec",
+            configure=_matrix_configure,
+            build=_matrix_build,
+            render=_matrix_render,
+        ),
+        JobSet(
+            name="family",
+            help="one scenario family's grid end to end",
+            configure=_family_configure,
+            build=_family_build,
+            render=_family_render,
+        ),
+        JobSet(
+            name="soundness",
+            help="randomized soundness sweep (seeded pairs)",
+            configure=_soundness_configure,
+            build=_soundness_build,
+            render=_soundness_render,
+        ),
+    )
+}
+
+
+def job_set_names() -> tuple[str, ...]:
+    """Registered job-set names, submission-menu order."""
+    return tuple(_JOB_SETS)
+
+
+def get_job_set(name: str) -> JobSet:
+    """Resolve a job set by name (:class:`EngineError` on unknown)."""
+    try:
+        return _JOB_SETS[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown job set {name!r}; available: "
+            f"{', '.join(job_set_names())}"
+        ) from None
+
+
+def parse_job_set_args(name: str, argv: Sequence[str]) -> argparse.Namespace:
+    """Parse one job set's argument vector (used at submit *and* render
+    time — the argv round-trips through the coordinator as job meta)."""
+    job_set = get_job_set(name)
+    parser = argparse.ArgumentParser(prog=f"repro submit {name}")
+    job_set.configure(parser)
+    return parser.parse_args(list(argv))

@@ -1,0 +1,314 @@
+"""The pull worker: dial in, lease units, execute, report back.
+
+:class:`PullWorker` is the service-side flavour of ``repro worker`` —
+started with ``repro worker --coordinator URL`` instead of a listen
+port.  Where the push :class:`~repro.engine.remote.worker.WorkerServer`
+waits for a client to POST batches at it, the pull worker *initiates*
+everything:
+
+1. **register** — POST ``/register``, receiving a coordinator-issued
+   worker id (no pre-shared worker list anywhere);
+2. **lease loop** — POST ``/lease`` for the next unit; an empty queue
+   backs off briefly and asks again, a grant executes each job through
+   the exact same :func:`~repro.engine.remote.worker.execute_wire_job`
+   path the push server uses (shared :class:`ResultCache` consult, warm
+   thread-local batch solver, identical statistics);
+3. **complete** — POST ``/complete`` with the unit's results and its
+   lease fence; the coordinator refuses a stale fence, which is what
+   makes a re-leased unit safe;
+4. **heartbeat** — a background thread renews the worker's leases and
+   ships its :class:`~repro.engine.remote.worker.WorkerStats` counters,
+   so ``repro jobs --workers`` shows live per-worker numbers.
+
+Fault behaviour mirrors the push backend from the other side: an
+unreachable coordinator is retried with backoff (the worker survives a
+coordinator restart), and a lease or heartbeat answered "unregistered"
+triggers transparent re-registration — in-flight units still complete,
+because completions are fenced, not owner-checked.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+import urllib.request
+
+from repro.engine.cache import ResultCache
+from repro.engine.remote.wire import (
+    decode_document,
+    decode_lease,
+    encode_document,
+    encode_unit_result,
+)
+from repro.engine.remote.worker import (
+    WorkerStats,
+    execute_wire_job,
+    snapshot_warm_reuses,
+)
+from repro.errors import RemoteError
+from repro.service.coordinator import (
+    COMPLETE_PATH,
+    HEARTBEAT_ACK_KIND,
+    HEARTBEAT_KIND,
+    HEARTBEAT_PATH,
+    LEASE_PATH,
+    LEASE_REQUEST_KIND,
+    REGISTER_KIND,
+    REGISTER_PATH,
+    REGISTERED_KIND,
+)
+
+#: How long an idle worker waits before asking for work again.
+IDLE_POLL_SECONDS = 0.2
+
+#: Cap of the unreachable-coordinator retry backoff.
+MAX_BACKOFF_SECONDS = 5.0
+
+
+class PullWorker:
+    """One lease-loop execution slot attached to a coordinator.
+
+    Args:
+        coordinator_url: base URL of the ``repro serve`` process.
+        name: human-readable registration name (defaults to ``host:pid``
+            style is the CLI's job; here it defaults to empty).
+        cache: optional shared :class:`ResultCache` — same dedupe
+            contract as the push worker.
+        idle_poll: seconds between lease attempts on an empty queue.
+        timeout: per-request HTTP timeout.
+
+    The loop runs on the calling thread via :meth:`run`, or in a daemon
+    thread via :meth:`start`/:meth:`stop` (tests, benchmarks).
+    """
+
+    def __init__(
+        self,
+        coordinator_url: str,
+        *,
+        name: str = "",
+        cache: ResultCache | None = None,
+        idle_poll: float = IDLE_POLL_SECONDS,
+        timeout: float = 600.0,
+    ) -> None:
+        self.coordinator_url = coordinator_url.strip().rstrip("/")
+        self.name = name
+        self.cache = cache
+        self.idle_poll = idle_poll
+        self.timeout = timeout
+        self.stats = WorkerStats()
+        self.worker_id: str | None = None
+        self.lease_seconds = 60.0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._heartbeat_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _post(self, path: str, body: bytes) -> bytes:
+        request = urllib.request.Request(
+            self.coordinator_url + path,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            return resp.read()
+
+    # ------------------------------------------------------------------
+    # Protocol steps
+    # ------------------------------------------------------------------
+    def register(self) -> str:
+        """Register (or re-register) with the coordinator."""
+        body = encode_document(REGISTER_KIND, {"name": self.name})
+        document = decode_document(
+            self._post(REGISTER_PATH, body), REGISTERED_KIND
+        )
+        worker_id = document.get("worker_id")
+        if not isinstance(worker_id, str):
+            raise RemoteError("registration answer carries no worker_id")
+        lease_seconds = document.get("lease_seconds")
+        if isinstance(lease_seconds, (int, float)) and lease_seconds > 0:
+            self.lease_seconds = float(lease_seconds)
+        self.worker_id = worker_id
+        return worker_id
+
+    def _lease(self) -> dict | None:
+        body = encode_document(
+            LEASE_REQUEST_KIND, {"worker_id": self.worker_id}
+        )
+        return decode_lease(self._post(LEASE_PATH, body))
+
+    def _complete(self, grant: dict, results) -> None:
+        body = encode_unit_result(
+            worker_id=self.worker_id or "",
+            job_id=grant["job_id"],
+            unit=grant["unit"],
+            fence=grant["fence"],
+            results=results,
+        )
+        self._post(COMPLETE_PATH, body)
+
+    def _heartbeat(self) -> bool:
+        """One heartbeat round-trip; returns whether we are still known."""
+        body = encode_document(
+            HEARTBEAT_KIND,
+            {
+                "worker_id": self.worker_id,
+                "stats": {
+                    "batches": self.stats.batches,
+                    "executed": self.stats.executed,
+                    "cached": self.stats.cached,
+                    "warm_reuses": self.stats.warm_reuses,
+                    "failures": self.stats.failures,
+                },
+            },
+        )
+        document = decode_document(
+            self._post(HEARTBEAT_PATH, body), HEARTBEAT_ACK_KIND
+        )
+        return bool(document.get("known"))
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Lease-execute-complete until :meth:`stop` (or forever)."""
+        backoff = self.idle_poll
+        self._start_heartbeat()
+        try:
+            while not self._stop.is_set():
+                try:
+                    if self.worker_id is None:
+                        self.register()
+                    grant = self._lease()
+                except (OSError, http.client.HTTPException, RemoteError):
+                    # Coordinator down or restarting: retry with backoff.
+                    self._stop.wait(backoff)
+                    backoff = min(backoff * 2, MAX_BACKOFF_SECONDS)
+                    continue
+                backoff = self.idle_poll
+                if grant is not None and grant.get("unregistered"):
+                    # Coordinator restarted and lost the registry.
+                    self.worker_id = None
+                    continue
+                if grant is None:
+                    self._stop.wait(self.idle_poll)
+                    continue
+                self._execute_grant(grant)
+        finally:
+            self._stop.set()
+
+    def _execute_grant(self, grant: dict) -> None:
+        """Run one leased unit and report it, fenced.
+
+        Completion retries through coordinator outages for up to two
+        lease periods: a coordinator that restarts within the lease
+        still receives the result under the original fence, so the unit
+        is never re-run.  Past that horizon the lease has expired anyway
+        — the unit is re-leased elsewhere and a late completion would be
+        fence-rejected, so giving up is safe (jobs are pure, and a
+        shared cache answers the rerun without recomputing).
+        """
+        results = [
+            execute_wire_job(item, self.cache, self.stats)
+            for item in grant["jobs"]
+        ]
+        self.stats.batches += 1
+        snapshot_warm_reuses(self.stats)
+        deadline = time.monotonic() + 2.0 * self.lease_seconds
+        delay = self.idle_poll
+        while not self._stop.is_set():
+            try:
+                self._complete(grant, results)
+                return
+            except (OSError, http.client.HTTPException):
+                if time.monotonic() >= deadline:
+                    return
+                self._stop.wait(delay)
+                delay = min(delay * 2, 1.0)
+
+    def _start_heartbeat(self) -> None:
+        def beat() -> None:
+            # Tick fast, beat at lease_seconds/3 — recomputed every tick,
+            # because registration (which delivers the coordinator's
+            # lease period) happens *after* this thread starts.
+            next_beat = time.monotonic()
+            while not self._stop.wait(0.05):
+                if self.worker_id is None or time.monotonic() < next_beat:
+                    continue
+                next_beat = time.monotonic() + max(
+                    self.lease_seconds / 3.0, 0.05
+                )
+                try:
+                    if not self._heartbeat():
+                        self.worker_id = None
+                except (OSError, http.client.HTTPException, RemoteError):
+                    continue
+
+        thread = threading.Thread(
+            target=beat, name="repro-pull-heartbeat", daemon=True
+        )
+        thread.start()
+        self._heartbeat_thread = thread
+
+    # ------------------------------------------------------------------
+    def start(self) -> "PullWorker":
+        """Run the loop in a daemon thread (tests and benchmarks)."""
+        self._stop.clear()
+        thread = threading.Thread(
+            target=self.run, name="repro-pull-worker", daemon=True
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def stop(self) -> None:
+        """Signal the loop to exit and join its threads."""
+        self._stop.set()
+        for thread in (self._thread, self._heartbeat_thread):
+            if thread is not None:
+                thread.join(timeout=5)
+        self._thread = None
+        self._heartbeat_thread = None
+
+
+def serve_pull(
+    coordinator_url: str,
+    *,
+    name: str = "",
+    cache_dir: str | None = None,
+) -> None:
+    """Run one pull worker in the foreground
+    (``repro worker --coordinator URL``).
+
+    Prints the registration line scripts parse, then leases until
+    interrupted.
+    """
+    cache = ResultCache(directory=cache_dir) if cache_dir else None
+    worker = PullWorker(coordinator_url, name=name, cache=cache)
+    deadline = time.monotonic() + 60.0
+    delay = 0.05
+    while True:
+        try:
+            worker.register()
+            break
+        except (OSError, http.client.HTTPException) as exc:
+            if time.monotonic() >= deadline:
+                raise RemoteError(
+                    f"coordinator {coordinator_url} not reachable: {exc}"
+                ) from exc
+            time.sleep(delay)
+            delay = min(delay * 2, 2.0)
+    print(
+        f"repro worker {worker.worker_id} registered with "
+        f"{worker.coordinator_url}",
+        flush=True,
+    )
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        worker.stop()

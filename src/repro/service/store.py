@@ -1,0 +1,425 @@
+"""The durable job queue: sqlite-backed jobs, units and leases.
+
+One :class:`JobStore` is the coordinator's only persistent state.  A
+*job* is one submitted batch; it is split into *units* (the engine's
+warm-group partition, see :func:`repro.engine.batch.warm_units`) and
+each unit moves through three states::
+
+    queued ──lease──▶ leased ──complete──▶ done
+       ▲                 │
+       └──lease expiry───┘   (fence += 1 on every lease)
+
+Durability and fencing:
+
+* every state transition commits to sqlite before it is acknowledged,
+  so a coordinator that crashes and restarts recovers exactly the
+  queued, leased and done units it had — completed work is never redone
+  and queued work is never lost;
+* each unit carries a *fence*, bumped on every lease.  A completion is
+  accepted only while the unit is leased under a matching fence, so a
+  worker whose lease expired (and whose unit was handed to someone
+  else) cannot overwrite the new lease's result — at most one
+  completion is ever recorded per lease, and re-runs of pure jobs stay
+  harmless;
+* live leases *survive* a coordinator restart (owner, fence and expiry
+  are all persisted): a worker that keeps executing through the outage
+  completes against the same fence, so the unit is not re-run.
+
+Payloads are stored as the wire format's job/result *entry* lists
+(JSON text, pickles base64-armoured inside — see
+:mod:`repro.engine.remote.wire`), so the store never unpickles anything
+and leases can be served byte-identically to what was submitted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import secrets
+import sqlite3
+import threading
+import time
+from typing import Any, Sequence
+
+from repro.errors import EngineError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id      TEXT PRIMARY KEY,
+    created     REAL NOT NULL,
+    label       TEXT NOT NULL DEFAULT '',
+    meta        TEXT NOT NULL DEFAULT '{}',
+    total_units INTEGER NOT NULL,
+    total_jobs  INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS units (
+    job_id       TEXT NOT NULL,
+    unit_index   INTEGER NOT NULL,
+    state        TEXT NOT NULL,
+    warm_group   TEXT,
+    entries      TEXT NOT NULL,
+    indices      TEXT NOT NULL,
+    fence        INTEGER NOT NULL DEFAULT 0,
+    lease_owner  TEXT,
+    lease_expiry REAL,
+    result       TEXT,
+    PRIMARY KEY (job_id, unit_index)
+);
+CREATE INDEX IF NOT EXISTS units_by_state ON units (state);
+"""
+
+#: Unit lifecycle states.
+QUEUED, LEASED, DONE = "queued", "leased", "done"
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitSpec:
+    """One unit of a submission, as handed to :meth:`JobStore.submit`.
+
+    Attributes:
+        entries: the unit's wire job entries (JSON-ready dicts).
+        indices: positions of the unit's jobs in the submitted batch.
+        warm_group: shared warm group of the unit's jobs, if any.
+        result: pre-computed result entries (coordinator-cache hits
+            dedupe at submission: the unit is born ``done``).
+    """
+
+    entries: Sequence[dict]
+    indices: Sequence[int]
+    warm_group: str | None = None
+    result: Sequence[dict] | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class JobRecord:
+    """One job's persistent summary plus live unit counts."""
+
+    job_id: str
+    created: float
+    label: str
+    meta: dict
+    total_units: int
+    total_jobs: int
+    queued: int
+    leased: int
+    done: int
+
+    @property
+    def complete(self) -> bool:
+        return self.done == self.total_units
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitView:
+    """One unit's queue-visible state (payload omitted)."""
+
+    job_id: str
+    unit_index: int
+    state: str
+    warm_group: str | None
+    fence: int
+    lease_owner: str | None
+    lease_expiry: float | None
+    jobs: int
+
+
+class JobStore:
+    """Sqlite-backed queue of jobs, units and leases.
+
+    Thread-safe: the coordinator's threaded HTTP handlers share one
+    instance through an internal lock (sqlite serialises writers anyway;
+    the lock keeps read-modify-write sequences atomic).
+
+    Args:
+        path: database file, created if missing.  ``":memory:"`` builds
+            a throwaway store (unit tests); real coordinators pass a
+            file so the queue survives restarts.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(str(path), check_same_thread=False)
+        with self._lock, self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        units: Sequence[UnitSpec],
+        *,
+        label: str = "",
+        meta: dict | None = None,
+        total_jobs: int | None = None,
+    ) -> str:
+        """Record one submitted batch; returns its fresh job id."""
+        if not units:
+            raise EngineError("cannot submit a job with no units")
+        job_id = secrets.token_hex(6)
+        jobs = (
+            total_jobs
+            if total_jobs is not None
+            else sum(len(unit.indices) for unit in units)
+        )
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO jobs VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    job_id,
+                    time.time(),
+                    label,
+                    json.dumps(meta or {}),
+                    len(units),
+                    jobs,
+                ),
+            )
+            for index, unit in enumerate(units):
+                done = unit.result is not None
+                self._conn.execute(
+                    "INSERT INTO units (job_id, unit_index, state, "
+                    "warm_group, entries, indices, result) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        job_id,
+                        index,
+                        DONE if done else QUEUED,
+                        unit.warm_group,
+                        json.dumps(list(unit.entries)),
+                        json.dumps(list(unit.indices)),
+                        json.dumps(list(unit.result)) if done else None,
+                    ),
+                )
+        return job_id
+
+    # ------------------------------------------------------------------
+    # Leasing
+    # ------------------------------------------------------------------
+    def reclaim_expired(self, now: float | None = None) -> list[tuple[str, int]]:
+        """Re-queue every lease past its expiry (fence bumped).
+
+        Returns the reclaimed ``(job_id, unit_index)`` pairs — the
+        heartbeat-loss reassignment the remote backend's dead-worker
+        semantics map onto.
+        """
+        now = time.time() if now is None else now
+        with self._lock, self._conn:
+            rows = self._conn.execute(
+                "SELECT job_id, unit_index FROM units "
+                "WHERE state = ? AND lease_expiry < ?",
+                (LEASED, now),
+            ).fetchall()
+            for job_id, unit_index in rows:
+                self._conn.execute(
+                    "UPDATE units SET state = ?, fence = fence + 1, "
+                    "lease_owner = NULL, lease_expiry = NULL "
+                    "WHERE job_id = ? AND unit_index = ?",
+                    (QUEUED, job_id, unit_index),
+                )
+        return [(job_id, unit_index) for job_id, unit_index in rows]
+
+    def queued_units(self) -> list[tuple[str, int, str | None]]:
+        """Queued ``(job_id, unit_index, warm_group)`` in FIFO order."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT job_id, unit_index, warm_group FROM units "
+                "WHERE state = ? ORDER BY rowid",
+                (QUEUED,),
+            ).fetchall()
+        return [tuple(row) for row in rows]
+
+    def lease(
+        self,
+        job_id: str,
+        unit_index: int,
+        worker_id: str,
+        expiry: float,
+    ) -> tuple[int, list[dict], list[int]] | None:
+        """Lease one queued unit to ``worker_id``.
+
+        Returns ``(fence, entries, indices)``, or ``None`` when the unit
+        was no longer queued (raced away).  The fence is bumped *by* the
+        lease, so each lease instance is uniquely fenced.
+        """
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE units SET state = ?, fence = fence + 1, "
+                "lease_owner = ?, lease_expiry = ? "
+                "WHERE job_id = ? AND unit_index = ? AND state = ?",
+                (LEASED, worker_id, expiry, job_id, unit_index, QUEUED),
+            )
+            if cursor.rowcount != 1:
+                return None
+            fence, entries, indices = self._conn.execute(
+                "SELECT fence, entries, indices FROM units "
+                "WHERE job_id = ? AND unit_index = ?",
+                (job_id, unit_index),
+            ).fetchone()
+        return fence, json.loads(entries), json.loads(indices)
+
+    def renew_leases(self, worker_id: str, expiry: float) -> int:
+        """Extend every live lease held by ``worker_id`` (heartbeat)."""
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE units SET lease_expiry = ? "
+                "WHERE state = ? AND lease_owner = ?",
+                (expiry, LEASED, worker_id),
+            )
+            return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def complete(
+        self,
+        job_id: str,
+        unit_index: int,
+        fence: int,
+        result_entries: Sequence[dict],
+    ) -> bool:
+        """Record one unit's results, fenced.
+
+        Accepted only while the unit is leased under the presented
+        fence; a stale completion (the lease expired and was re-issued)
+        returns ``False`` and records nothing.  The owner id is *not*
+        part of the check: the fence already identifies the lease
+        instance, and a worker that re-registered under a new id after a
+        coordinator restart must still be able to land its in-flight
+        unit.
+        """
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE units SET state = ?, result = ?, "
+                "lease_owner = NULL, lease_expiry = NULL "
+                "WHERE job_id = ? AND unit_index = ? "
+                "AND state = ? AND fence = ?",
+                (
+                    DONE,
+                    json.dumps(list(result_entries)),
+                    job_id,
+                    unit_index,
+                    LEASED,
+                    fence,
+                ),
+            )
+            return cursor.rowcount == 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT job_id, created, label, meta, total_units, "
+                "total_jobs FROM jobs WHERE job_id = ?",
+                (job_id,),
+            ).fetchone()
+            if row is None:
+                return None
+            counts = dict(
+                self._conn.execute(
+                    "SELECT state, COUNT(*) FROM units WHERE job_id = ? "
+                    "GROUP BY state",
+                    (job_id,),
+                ).fetchall()
+            )
+        return self._record(row, counts)
+
+    def jobs(self) -> list[JobRecord]:
+        """Every job, newest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT job_id, created, label, meta, total_units, "
+                "total_jobs FROM jobs ORDER BY created DESC, job_id"
+            ).fetchall()
+            counts: dict[str, dict[str, int]] = {}
+            for job_id, state, count in self._conn.execute(
+                "SELECT job_id, state, COUNT(*) FROM units "
+                "GROUP BY job_id, state"
+            ):
+                counts.setdefault(job_id, {})[state] = count
+        return [self._record(row, counts.get(row[0], {})) for row in rows]
+
+    @staticmethod
+    def _record(row: Sequence[Any], counts: dict[str, int]) -> JobRecord:
+        job_id, created, label, meta, total_units, total_jobs = row
+        return JobRecord(
+            job_id=job_id,
+            created=created,
+            label=label,
+            meta=json.loads(meta),
+            total_units=total_units,
+            total_jobs=total_jobs,
+            queued=counts.get(QUEUED, 0),
+            leased=counts.get(LEASED, 0),
+            done=counts.get(DONE, 0),
+        )
+
+    def units(self, job_id: str) -> list[UnitView]:
+        """Per-unit progress of one job (payloads omitted)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT job_id, unit_index, state, warm_group, fence, "
+                "lease_owner, lease_expiry, indices FROM units "
+                "WHERE job_id = ? ORDER BY unit_index",
+                (job_id,),
+            ).fetchall()
+        return [
+            UnitView(*row[:7], jobs=len(json.loads(row[7]))) for row in rows
+        ]
+
+    def unit_entries(self, job_id: str, unit_index: int) -> list[dict]:
+        """The stored job entries of one unit (cache passthrough)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT entries FROM units "
+                "WHERE job_id = ? AND unit_index = ?",
+                (job_id, unit_index),
+            ).fetchone()
+        if row is None:
+            raise EngineError(f"unknown unit {job_id}/{unit_index}")
+        return json.loads(row[0])
+
+    def results(
+        self, job_id: str
+    ) -> tuple[bool, list[dict]]:
+        """``(complete, done units)`` with each unit's indices + entries."""
+        record = self.job(job_id)
+        if record is None:
+            raise EngineError(f"unknown job id {job_id!r}")
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT unit_index, indices, result FROM units "
+                "WHERE job_id = ? AND state = ? ORDER BY unit_index",
+                (job_id, DONE),
+            ).fetchall()
+        units = [
+            {
+                "unit": unit_index,
+                "indices": json.loads(indices),
+                "results": json.loads(result),
+            }
+            for unit_index, indices, result in rows
+        ]
+        return record.complete, units
+
+    def counts(self) -> dict[str, int]:
+        """Fleet-level unit counts (the coordinator's health document)."""
+        with self._lock:
+            jobs = self._conn.execute("SELECT COUNT(*) FROM jobs").fetchone()
+            states = dict(
+                self._conn.execute(
+                    "SELECT state, COUNT(*) FROM units GROUP BY state"
+                ).fetchall()
+            )
+        return {
+            "jobs": jobs[0],
+            "queued": states.get(QUEUED, 0),
+            "leased": states.get(LEASED, 0),
+            "done": states.get(DONE, 0),
+        }

@@ -172,8 +172,11 @@ class TestRemoteMatchesSerial:
         engine.run([job(max, 1, 2)])
         health = worker_health(server.url)
         assert health["status"] == "ok"
-        assert health["protocol"] == 1
+        assert health["protocol"] == 2
         assert health["executed"] == 1
+        # The counters the analysis service surfaces per worker.
+        assert health["batches"] == 1
+        assert "cached" in health and "warm_reuses" in health
 
 
 # ----------------------------------------------------------------------

@@ -176,9 +176,9 @@ class TestEnvelopeValidation:
             b"",
             b"not json at all",
             b"[1, 2, 3]",
-            b'{"protocol": 1}',
-            b'{"protocol": 1, "kind": "job-batch", "jobs": "nope"}',
-            b'{"protocol": 1, "kind": "job-batch", "jobs": [{"payload": "!bad!"}]}',
+            b'{"protocol": 2}',
+            b'{"protocol": 2, "kind": "job-batch", "jobs": "nope"}',
+            b'{"protocol": 2, "kind": "job-batch", "jobs": [{"payload": "!bad!"}]}',
         ],
     )
     def test_malformed_envelopes_rejected(self, payload):
@@ -201,3 +201,127 @@ class TestEnvelopeValidation:
         ).decode()
         with pytest.raises(RemoteError, match="not a Job"):
             decode_jobs(json.dumps(document).encode())
+
+
+class TestServiceEnvelopes:
+    """The version-2 analysis-service envelopes round-trip losslessly."""
+
+    def test_submit_round_trip(self):
+        from repro.engine.remote.wire import decode_submit, encode_submit
+
+        items = [
+            WireJob(job(max, 1, 2), cache_key="abc"),
+            WireJob(job(max, 3, 4)),
+        ]
+        data = encode_submit(
+            items, label="demo", meta={"jobset": "figure4", "argv": ["-x"]}
+        )
+        decoded, label, meta = decode_submit(data)
+        assert label == "demo"
+        assert meta == {"jobset": "figure4", "argv": ["-x"]}
+        assert [w.cache_key for w in decoded] == ["abc", None]
+        assert [w.job.run() for w in decoded] == [2, 4]
+
+    def test_lease_round_trip_and_sentinels(self):
+        from repro.engine.remote.wire import (
+            decode_lease,
+            encode_job_entries,
+            encode_lease,
+        )
+
+        assert decode_lease(encode_lease(None)) is None
+        again = decode_lease(encode_lease({"unregistered": True}))
+        assert again == {"unregistered": True}
+        grant = {
+            "job_id": "j1",
+            "unit": 3,
+            "fence": 7,
+            "lease_seconds": 5.0,
+            "jobs": encode_job_entries([WireJob(job(max, 4, 5))]),
+        }
+        decoded = decode_lease(encode_lease(grant))
+        assert (decoded["job_id"], decoded["unit"], decoded["fence"]) == (
+            "j1", 3, 7,
+        )
+        assert [w.job.run() for w in decoded["jobs"]] == [5]
+
+    def test_lease_grant_needs_integer_fence(self):
+        from repro.engine.remote.wire import decode_lease, encode_lease
+
+        grant = {"job_id": "j1", "unit": 0, "fence": "7", "jobs": []}
+        with pytest.raises(RemoteError, match="integer unit and fence"):
+            decode_lease(encode_lease(grant))
+
+    def test_unit_result_round_trip_keeps_entries_encoded(self):
+        from repro.engine.remote.wire import (
+            decode_result_entries,
+            decode_unit_result,
+            encode_unit_result,
+        )
+
+        data = encode_unit_result(
+            worker_id="w-1",
+            job_id="j1",
+            unit=2,
+            fence=4,
+            results=[WireResult(ok=True, value={"x": 1}, cached=True)],
+        )
+        document = decode_unit_result(data)
+        assert (document["worker_id"], document["job_id"]) == ("w-1", "j1")
+        assert (document["unit"], document["fence"]) == (2, 4)
+        # Entries arrive still encoded (the coordinator stores verbatim)…
+        assert isinstance(document["results"][0]["payload"], str)
+        # …and decode to the original values on demand.
+        [result] = decode_result_entries(document["results"], expected=1)
+        assert result.value == {"x": 1} and result.cached
+
+    def test_job_results_round_trip(self):
+        from repro.engine.remote.wire import (
+            decode_job_results,
+            encode_job_results,
+            encode_result_entries,
+        )
+
+        units = [
+            {
+                "unit": 0,
+                "indices": [0, 2],
+                "results": encode_result_entries(
+                    [WireResult(ok=True, value=1), WireResult(ok=True, value=3)]
+                ),
+            },
+            {
+                "unit": 1,
+                "indices": [1],
+                "results": encode_result_entries(
+                    [WireResult(ok=False, error=ValueError("bad"))]
+                ),
+            },
+        ]
+        complete, decoded = decode_job_results(
+            encode_job_results("j1", complete=True, units=units)
+        )
+        assert complete
+        assert decoded[0][0] == [0, 2]
+        assert [r.value for r in decoded[0][1]] == [1, 3]
+        assert decoded[1][0] == [1]
+        assert isinstance(decoded[1][1][0].error, ValueError)
+
+    def test_job_results_index_result_count_mismatch_rejected(self):
+        from repro.engine.remote.wire import (
+            decode_job_results,
+            encode_job_results,
+            encode_result_entries,
+        )
+
+        units = [
+            {
+                "unit": 0,
+                "indices": [0, 1],
+                "results": encode_result_entries([WireResult(ok=True, value=1)]),
+            }
+        ]
+        with pytest.raises(RemoteError, match="1 results for 2"):
+            decode_job_results(
+                encode_job_results("j1", complete=False, units=units)
+            )

@@ -1,0 +1,561 @@
+"""The analysis service under test: parity, faults, durability.
+
+Real coordinators (HTTP servers over file-backed sqlite stores) and real
+pull workers run real engine batches, while the harness kills workers
+mid-lease and restarts the coordinator mid-job.  The contract: whatever
+fails, every submitted job completes exactly once per lease fence, and
+the results — and rendered artefacts — are byte-identical to
+``mode="serial"``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.experiments import figure4_paper_mode
+from repro.analysis.report import render_figure4
+from repro.engine import ExperimentEngine, ResultCache
+from repro.engine.batch import job
+from repro.engine.remote.client import wait_for_workers
+from repro.engine.remote.wire import (
+    WireResult,
+    decode_document,
+    encode_unit_result,
+)
+from repro.errors import EngineError
+from repro.service.client import (
+    coordinator_health,
+    fetch_results,
+    job_status,
+    list_workers,
+    submit_jobs,
+    wait_for_job,
+)
+from repro.service.coordinator import (
+    COMPLETE_PATH,
+    UNIT_ACCEPTED_KIND,
+    CoordinatorServer,
+)
+from repro.service.pull import PullWorker
+from repro.service.store import DONE, LEASED, QUEUED, JobStore, UnitSpec
+
+
+def _slow_record(label: str, delay: float, path: str) -> str:
+    """Job: sleep, then append the label to a log file.
+
+    The log is the double-execution detector: a label appearing twice
+    means a unit ran twice, which lease fencing must prevent in every
+    scenario these tests stage.
+    """
+    time.sleep(delay)
+    with open(path, "a") as handle:
+        handle.write(label + "\n")
+    return label
+
+
+def _slow_jobs(path, count=6, delay=0.1, cacheable=True):
+    return [
+        job(
+            _slow_record,
+            f"unit{i}",
+            delay,
+            str(path),
+            label=f"slow:{i}",
+            cacheable=cacheable,
+        )
+        for i in range(count)
+    ]
+
+
+def _boom(message: str) -> None:
+    raise ValueError(message)
+
+
+def _collect(url: str, job_id: str, total: int) -> list:
+    complete, units = fetch_results(url, job_id)
+    assert complete
+    results = [None] * total
+    for indices, outcomes in units:
+        for index, outcome in zip(indices, outcomes):
+            assert outcome.ok, outcome.error
+            results[index] = outcome.value
+    return results
+
+
+@pytest.fixture
+def start_coordinator(request, tmp_path):
+    """Factory: a coordinator over a file-backed store in ``tmp_path``."""
+
+    def _start(port=0, lease_seconds=30.0, worker_ttl=30.0, cache=None):
+        store = JobStore(tmp_path / "queue.sqlite")
+        server = CoordinatorServer(
+            port=port,
+            store=store,
+            cache=cache,
+            lease_seconds=lease_seconds,
+            worker_ttl=worker_ttl,
+        ).start()
+        request.addfinalizer(server.stop)
+        request.addfinalizer(store.close)
+        return server
+
+    return _start
+
+
+@pytest.fixture
+def start_pull(request):
+    """Factory: an in-process pull worker, stopped on teardown."""
+
+    def _start(url, name="", cache=None, idle_poll=0.02):
+        worker = PullWorker(
+            url, name=name, cache=cache, idle_poll=idle_poll
+        ).start()
+        request.addfinalizer(worker.stop)
+        return worker
+
+    return _start
+
+
+def _wait_workers(url, count, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while coordinator_health(url)["workers"] < count:
+        assert time.monotonic() < deadline, "workers never registered"
+        time.sleep(0.02)
+
+
+# ----------------------------------------------------------------------
+# The store: leasing, fencing, durability (no HTTP involved)
+# ----------------------------------------------------------------------
+class TestJobStore:
+    def _submit_one(self, store, units=1):
+        specs = [
+            UnitSpec(entries=[{"payload": f"p{i}"}], indices=[i])
+            for i in range(units)
+        ]
+        return store.submit(specs, label="t")
+
+    def test_lease_bumps_fence_and_complete_matches_it(self, tmp_path):
+        store = JobStore(tmp_path / "q.sqlite")
+        job_id = self._submit_one(store)
+        fence, entries, indices = store.lease(job_id, 0, "w1", time.time() + 30)
+        assert fence == 1 and indices == [0]
+        assert entries == [{"payload": "p0"}]
+        assert store.complete(job_id, 0, fence, [{"ok": True}])
+        # Idempotence: a second completion of a done unit is refused.
+        assert not store.complete(job_id, 0, fence, [{"ok": True}])
+        assert store.job(job_id).complete
+
+    def test_stale_fence_rejected_after_reclaim(self, tmp_path):
+        store = JobStore(tmp_path / "q.sqlite")
+        job_id = self._submit_one(store)
+        stale_fence, _, _ = store.lease(job_id, 0, "w1", time.time() - 1)
+        assert store.reclaim_expired() == [(job_id, 0)]
+        fresh_fence, _, _ = store.lease(job_id, 0, "w2", time.time() + 30)
+        # Bumped by the reclaim and again by the new lease.
+        assert fresh_fence > stale_fence
+        # The dead worker's late completion must not land...
+        assert not store.complete(job_id, 0, stale_fence, [{"ok": True}])
+        assert store.job(job_id).done == 0
+        # ...while the current leaseholder's does.
+        assert store.complete(job_id, 0, fresh_fence, [{"ok": True}])
+
+    def test_leased_unit_not_leasable_twice(self, tmp_path):
+        store = JobStore(tmp_path / "q.sqlite")
+        job_id = self._submit_one(store)
+        assert store.lease(job_id, 0, "w1", time.time() + 30)
+        assert store.lease(job_id, 0, "w2", time.time() + 30) is None
+
+    def test_renew_extends_only_owned_leases(self, tmp_path):
+        store = JobStore(tmp_path / "q.sqlite")
+        job_id = self._submit_one(store, units=2)
+        store.lease(job_id, 0, "w1", time.time() + 0.05)
+        store.lease(job_id, 1, "w2", time.time() + 0.05)
+        assert store.renew_leases("w1", time.time() + 30) == 1
+        time.sleep(0.06)
+        assert store.reclaim_expired() == [(job_id, 1)]
+
+    def test_precompleted_unit_is_born_done(self, tmp_path):
+        store = JobStore(tmp_path / "q.sqlite")
+        job_id = store.submit(
+            [
+                UnitSpec(
+                    entries=[{"payload": "p"}],
+                    indices=[0],
+                    result=[{"ok": True, "payload": "r"}],
+                )
+            ]
+        )
+        record = store.job(job_id)
+        assert record.complete and record.done == 1
+        assert store.queued_units() == []
+
+    def test_state_survives_reopen(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        store = JobStore(path)
+        job_id = store.submit(
+            [
+                UnitSpec(entries=[{"payload": "a"}], indices=[0]),
+                UnitSpec(entries=[{"payload": "b"}], indices=[1]),
+                UnitSpec(entries=[{"payload": "c"}], indices=[2]),
+            ],
+            label="durable",
+            meta={"jobset": "x"},
+        )
+        fence, _, _ = store.lease(job_id, 0, "w1", time.time() + 30)
+        store.complete(job_id, 0, fence, [{"ok": True}])
+        live_fence, _, _ = store.lease(job_id, 1, "w1", time.time() + 30)
+        store.close()
+
+        reopened = JobStore(path)
+        record = reopened.job(job_id)
+        assert record.label == "durable" and record.meta == {"jobset": "x"}
+        assert (record.done, record.leased, record.queued) == (1, 1, 1)
+        states = {u.unit_index: u.state for u in reopened.units(job_id)}
+        assert states == {0: DONE, 1: LEASED, 2: QUEUED}
+        # The live lease survived the restart: the original fence is
+        # still the one a completion must present.
+        assert reopened.complete(job_id, 1, live_fence, [{"ok": True}])
+        reopened.close()
+
+
+# ----------------------------------------------------------------------
+# Parity: a submitted job equals serial execution, byte for byte
+# ----------------------------------------------------------------------
+class TestServiceMatchesSerial:
+    def test_figure4_through_mode_service(
+        self, start_coordinator, start_pull
+    ):
+        serial = figure4_paper_mode()
+        coordinator = start_coordinator()
+        start_pull(coordinator.url, name="alpha")
+        start_pull(coordinator.url, name="beta")
+        _wait_workers(coordinator.url, 2)
+        engine = ExperimentEngine(
+            mode="service", coordinator_url=coordinator.url
+        )
+        rows = figure4_paper_mode(engine=engine)
+        assert rows == serial
+        assert render_figure4(rows) == render_figure4(serial)
+        assert engine.stats.fallbacks == 0
+        assert engine.service_stats.executed == len(serial)
+
+    def test_two_registered_workers_share_one_job(
+        self, start_coordinator, start_pull, tmp_path
+    ):
+        log = tmp_path / "runs.log"
+        coordinator = start_coordinator()
+        start_pull(coordinator.url, name="alpha")
+        start_pull(coordinator.url, name="beta")
+        _wait_workers(coordinator.url, 2)
+        job_id = submit_jobs(
+            coordinator.url, _slow_jobs(log), label="spread"
+        )
+        wait_for_job(coordinator.url, job_id, poll=0.05, timeout=30)
+        results = _collect(coordinator.url, job_id, 6)
+        assert results == [f"unit{i}" for i in range(6)]
+        # Every unit ran exactly once...
+        assert sorted(log.read_text().split()) == sorted(
+            f"unit{i}" for i in range(6)
+        )
+        # ...and both auto-registered workers took part.
+        shares = {
+            worker["name"]: worker["completed_units"]
+            for worker in list_workers(coordinator.url)
+        }
+        assert shares["alpha"] >= 1 and shares["beta"] >= 1
+        assert shares["alpha"] + shares["beta"] == 6
+
+    def test_submitted_job_survives_client_disconnect(
+        self, start_coordinator, start_pull, tmp_path
+    ):
+        # Fire-and-forget: nothing polls while the job executes.
+        log = tmp_path / "runs.log"
+        coordinator = start_coordinator()
+        start_pull(coordinator.url)
+        _wait_workers(coordinator.url, 1)
+        job_id = submit_jobs(
+            coordinator.url, _slow_jobs(log, count=3), label="detached"
+        )
+        time.sleep(1.0)  # no client in the loop at all
+        status = job_status(coordinator.url, job_id)
+        assert status["complete"]
+        assert _collect(coordinator.url, job_id, 3) == [
+            "unit0", "unit1", "unit2",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Worker loss: heartbeat-expired leases are re-queued and fenced
+# ----------------------------------------------------------------------
+class TestWorkerLoss:
+    def test_dead_worker_lease_reassigned_and_fenced(
+        self, start_coordinator, start_pull, tmp_path
+    ):
+        log = tmp_path / "runs.log"
+        coordinator = start_coordinator(lease_seconds=0.4)
+        # A worker that leases a unit and silently dies: register and
+        # lease by hand, never execute, never heartbeat.
+        crasher = PullWorker(coordinator.url, name="crasher")
+        crasher.register()
+        assert crasher._lease() is None  # empty queue: no grant
+        job_id = submit_jobs(
+            coordinator.url, _slow_jobs(log, count=4), label="loss"
+        )
+        grant = crasher._lease()
+        assert grant is not None and not grant.get("unregistered")
+        # Now the survivor appears; the crashed lease expires and its
+        # unit is re-leased (fence bumped) to the survivor.
+        start_pull(coordinator.url, name="survivor")
+        wait_for_job(coordinator.url, job_id, poll=0.05, timeout=30)
+        assert _collect(coordinator.url, job_id, 4) == [
+            f"unit{i}" for i in range(4)
+        ]
+        assert sorted(log.read_text().split()) == sorted(
+            f"unit{i}" for i in range(4)
+        )
+        # The dead worker's late completion is refused by its stale fence.
+        body = crasher._post(
+            COMPLETE_PATH,
+            encode_unit_result(
+                worker_id=crasher.worker_id,
+                job_id=grant["job_id"],
+                unit=grant["unit"],
+                fence=grant["fence"],
+                results=[
+                    WireResult(ok=True, value="forged")
+                    for _ in grant["jobs"]
+                ],
+            ),
+        )
+        answer = decode_document(body, UNIT_ACCEPTED_KIND)
+        assert answer["accepted"] is False
+        # And the recorded results are the survivor's, not the forgery.
+        results = _collect(coordinator.url, job_id, 4)
+        assert "forged" not in results
+
+
+# ----------------------------------------------------------------------
+# Coordinator crash-restart durability
+# ----------------------------------------------------------------------
+class TestCoordinatorRestart:
+    def test_restart_recovers_queue_without_double_running(
+        self, request, tmp_path
+    ):
+        log = tmp_path / "runs.log"
+        store_path = tmp_path / "queue.sqlite"
+        store = JobStore(store_path)
+        coordinator = CoordinatorServer(
+            store=store, lease_seconds=30.0
+        ).start()
+        port = coordinator.server_address[1]
+        worker = PullWorker(
+            coordinator.url, name="steady", idle_poll=0.02
+        ).start()
+        request.addfinalizer(worker.stop)
+        _wait_workers(coordinator.url, 1)
+
+        job_id = submit_jobs(
+            coordinator.url,
+            _slow_jobs(log, count=6, delay=0.15),
+            label="durable",
+        )
+        # Let some units finish, then kill the coordinator mid-job
+        # (worker mid-execution included).
+        deadline = time.monotonic() + 20
+        while job_status(coordinator.url, job_id)["done"] < 2:
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        coordinator.stop()
+        store.close()
+
+        # Restart on the same state file and the same port.
+        restarted_store = JobStore(store_path)
+        restarted = CoordinatorServer(
+            port=port, store=restarted_store, lease_seconds=30.0
+        ).start()
+        request.addfinalizer(restarted.stop)
+        request.addfinalizer(restarted_store.close)
+
+        status = job_status(restarted.url, job_id)
+        assert status["done"] >= 2  # completed units recovered
+        assert status["total_units"] == 6  # queued units recovered
+
+        wait_for_job(restarted.url, job_id, poll=0.05, timeout=30)
+        assert _collect(restarted.url, job_id, 6) == [
+            f"unit{i}" for i in range(6)
+        ]
+        # Lease fencing + durable leases: despite the crash, restart and
+        # worker re-registration, no unit executed twice.
+        assert sorted(log.read_text().split()) == sorted(
+            f"unit{i}" for i in range(6)
+        )
+
+
+# ----------------------------------------------------------------------
+# Coordinator-side cache dedupe
+# ----------------------------------------------------------------------
+class TestCoordinatorCache:
+    def test_repeat_submission_answered_without_workers(
+        self, start_coordinator, start_pull, tmp_path
+    ):
+        log = tmp_path / "runs.log"
+        cache = ResultCache(directory=tmp_path / "cache")
+        coordinator = start_coordinator(cache=cache)
+        start_pull(coordinator.url, name="only")
+        _wait_workers(coordinator.url, 1)
+        first = submit_jobs(coordinator.url, _slow_jobs(log), label="one")
+        wait_for_job(coordinator.url, first, poll=0.05, timeout=30)
+        executed_once = log.read_text().split()
+
+        # Same batch again: every unit is born done at submission.
+        second = submit_jobs(coordinator.url, _slow_jobs(log), label="two")
+        status = job_status(coordinator.url, second)
+        assert status["complete"] and status["queued"] == 0
+        assert _collect(coordinator.url, second, 6) == _collect(
+            coordinator.url, first, 6
+        )
+        assert log.read_text().split() == executed_once  # nothing re-ran
+
+
+# ----------------------------------------------------------------------
+# Error propagation and executor fallback
+# ----------------------------------------------------------------------
+class TestServiceErrors:
+    def test_job_error_propagates_lowest_index_first(
+        self, start_coordinator, start_pull
+    ):
+        coordinator = start_coordinator()
+        start_pull(coordinator.url)
+        _wait_workers(coordinator.url, 1)
+        engine = ExperimentEngine(
+            mode="service", coordinator_url=coordinator.url
+        )
+        batch = [
+            job(max, 1, 2, label="fine"),
+            job(_boom, "first", label="boom1", cacheable=False),
+            job(_boom, "second", label="boom2", cacheable=False),
+        ]
+        with pytest.raises(ValueError, match="first"):
+            engine.run(batch)
+
+    def test_unreachable_coordinator_falls_back_to_serial(self):
+        engine = ExperimentEngine(
+            mode="service", coordinator_url="http://127.0.0.1:9"
+        )
+        results = engine.run([job(max, 1, 2), job(max, 3, 4)])
+        assert results == [2, 4]
+        assert engine.stats.fallbacks == 2
+
+    def test_engine_validates_coordinator_url(self):
+        with pytest.raises(EngineError, match="mode='service'"):
+            ExperimentEngine(mode="service")
+        with pytest.raises(EngineError, match="coordinator_url"):
+            ExperimentEngine(mode="serial", coordinator_url="http://x")
+
+
+# ----------------------------------------------------------------------
+# wait_for_workers: total deadline, all failures named
+# ----------------------------------------------------------------------
+class TestWaitForWorkers:
+    def test_deadline_error_names_every_unreachable_url(self):
+        urls = ["http://127.0.0.1:9", "http://127.0.0.1:19"]
+        started = time.monotonic()
+        with pytest.raises(EngineError) as excinfo:
+            wait_for_workers(urls, timeout=0.3)
+        elapsed = time.monotonic() - started
+        message = str(excinfo.value)
+        assert "2 worker(s) not reachable after 0.3s" in message
+        for url in urls:
+            assert url in message
+        assert elapsed < 5.0  # one total deadline, not per-URL timeouts
+
+
+# ----------------------------------------------------------------------
+# Worker counters surfaced through the coordinator
+# ----------------------------------------------------------------------
+class TestWorkerCounters:
+    def test_heartbeat_ships_execution_stats(
+        self, start_coordinator, start_pull, tmp_path
+    ):
+        log = tmp_path / "runs.log"
+        coordinator = start_coordinator(lease_seconds=0.9)
+        start_pull(coordinator.url, name="counted")
+        _wait_workers(coordinator.url, 1)
+        job_id = submit_jobs(coordinator.url, _slow_jobs(log, count=3))
+        wait_for_job(coordinator.url, job_id, poll=0.05, timeout=30)
+        deadline = time.monotonic() + 10
+        while True:
+            [worker] = list_workers(coordinator.url)
+            stats = worker.get("stats") or {}
+            if stats.get("executed", 0) >= 3:
+                break
+            assert time.monotonic() < deadline, f"stats never arrived: {worker}"
+            time.sleep(0.05)
+        assert worker["name"] == "counted" and worker["live"]
+        assert worker["completed_units"] == 3
+        assert stats["batches"] >= 3
+        assert "warm_reuses" in stats and "cached" in stats
+
+
+# ----------------------------------------------------------------------
+# The CLI: submit / status / watch / jobs against a live coordinator
+# ----------------------------------------------------------------------
+class TestServiceCli:
+    def _run(self, capsys, *argv):
+        from repro.cli import main
+
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_submit_watch_renders_identical_artifact(
+        self, capsys, start_coordinator, start_pull
+    ):
+        serial_out = self._run(capsys, "figure4")
+        coordinator = start_coordinator()
+        start_pull(coordinator.url, name="cli-a")
+        start_pull(coordinator.url, name="cli-b")
+        _wait_workers(coordinator.url, 2)
+
+        out = self._run(
+            capsys, "submit", "--coordinator", coordinator.url, "figure4"
+        )
+        assert out.startswith("submitted ")
+        job_id = out.split()[4]
+
+        watched = self._run(
+            capsys, "watch", job_id, "--coordinator", coordinator.url
+        )
+        # The artefact a queued job renders is byte-identical to the
+        # direct command's.
+        assert watched == serial_out
+
+        status_out = self._run(
+            capsys, "status", job_id, "--coordinator", coordinator.url
+        )
+        assert f"job {job_id} [figure4] complete" in status_out
+        assert "unit" in status_out
+
+        jobs_out = self._run(
+            capsys, "jobs", "--coordinator", coordinator.url
+        )
+        assert job_id in jobs_out and "complete" in jobs_out
+
+        workers_out = self._run(
+            capsys, "jobs", "--coordinator", coordinator.url, "--workers"
+        )
+        assert "cli-a" in workers_out and "cli-b" in workers_out
+        assert "warm reuses" in workers_out
+
+    def test_submit_list_names_every_job_set(self, capsys):
+        out = self._run(capsys, "submit", "--list")
+        for name in ("figure4", "matrix", "family", "soundness"):
+            assert name in out
+
+    def test_service_commands_require_coordinator(self, capsys):
+        from repro.cli import main
+
+        assert main(["status", "deadbeef"]) != 0
+        err = capsys.readouterr().err
+        assert "--coordinator" in err
