@@ -30,7 +30,13 @@ from repro.engine import (
     get_scenario,
     run_specs,
 )
-from repro.service import CoordinatorServer, PullWorker
+from repro.service import (
+    ChaosProxy,
+    CoordinatorServer,
+    FaultPlan,
+    FaultRule,
+    PullWorker,
+)
 from repro.service.store import JobStore
 
 #: Same shrink factor and sweep as E1 — the numbers are comparable.
@@ -130,5 +136,103 @@ def test_service_queue_throughput(benchmark, report, tmp_path):
             "service_batches": service_stats.batches,
             "service_executed": service_stats.executed,
             "abandoned": service_stats.abandoned,
+        },
+    )
+
+
+def _run_service(specs, store_path, proxy_plan=None):
+    """One timed service run; workers dial in through a chaos proxy
+    when a plan is given, directly otherwise.  Returns
+    ``(results, seconds, fallbacks)``."""
+    store = JobStore(store_path)
+    coordinator = CoordinatorServer(store=store).start()
+    proxy = None
+    worker_url = coordinator.url
+    if proxy_plan is not None:
+        proxy = ChaosProxy(coordinator.url, plan=proxy_plan).start()
+        worker_url = proxy.url
+    workers = [
+        PullWorker(worker_url, name=f"bench-{i}", idle_poll=0.02).start()
+        for i in range(2)
+    ]
+    try:
+        with ExperimentEngine(
+            mode="service", coordinator_url=coordinator.url
+        ) as engine:
+            start = time.perf_counter()
+            results = run_specs(specs, engine=engine)
+            seconds = time.perf_counter() - start
+            fallbacks = engine.stats.fallbacks
+    finally:
+        for worker in workers:
+            worker.stop()
+        if proxy is not None:
+            proxy.stop()
+        coordinator.stop()
+        store.close()
+    return results, seconds, fallbacks
+
+
+@pytest.mark.benchmark(group="engine")
+def test_service_queue_faulty_network(benchmark, report, tmp_path):
+    """E2b: the queue on a lossy worker network (5% dropped requests).
+
+    The same sweep batch runs twice: once clean, once with both pull
+    workers dialing in through a chaos proxy that drops 5% of their
+    requests (seeded, so every run replays the same loss pattern).
+    Dropped leases, completions and heartbeats all resolve through the
+    shared retry policy; results must stay identical, and the recorded
+    metric is how much throughput the retries cost.
+    """
+    specs = _batch()
+    serial_results = run_specs(specs)
+
+    clean_results, clean_seconds, clean_fallbacks = _run_service(
+        specs, tmp_path / "clean.sqlite"
+    )
+
+    plan = FaultPlan(
+        [FaultRule("drop", probability=0.05, times=None)], seed=2024
+    )
+
+    def _faulty():
+        return _run_service(specs, tmp_path / "faulty.sqlite", plan)
+
+    faulty_results, faulty_seconds, faulty_fallbacks = benchmark.pedantic(
+        _faulty, rounds=1, iterations=1
+    )
+
+    # A lossy network must never change artefacts or force a fallback.
+    assert clean_results == serial_results
+    assert faulty_results == serial_results
+    assert clean_fallbacks == 0 and faulty_fallbacks == 0
+
+    degradation = faulty_seconds / clean_seconds if clean_seconds else 0.0
+    dropped = sum(
+        1 for record in plan.injections if record["kind"] == "drop"
+    )
+    report.add(
+        f"E2b — service queue on a lossy network ({len(specs)} spec "
+        "jobs, 2 workers, 5% request drops)",
+        render_table(
+            ["network", "seconds", "slowdown"],
+            [
+                ["clean", f"{clean_seconds:.2f}", "1.00x"],
+                ["5% drops", f"{faulty_seconds:.2f}",
+                 f"{degradation:.2f}x"],
+            ],
+        ),
+    )
+    report.record(
+        "service_queue_faulty_network",
+        {
+            "jobs": len(specs),
+            "workers": 2,
+            "drop_probability": 0.05,
+            "clean_seconds": round(clean_seconds, 4),
+            "faulty_seconds": round(faulty_seconds, 4),
+            "degradation": round(degradation, 3),
+            "proxied_requests": plan.requests,
+            "dropped_requests": dropped,
         },
     )

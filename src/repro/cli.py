@@ -25,6 +25,8 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``)::
     repro submit --coordinator http://127.0.0.1:8751 figure4
     repro watch JOB --coordinator http://127.0.0.1:8751
     repro jobs --workers-table --coordinator http://127.0.0.1:8751
+    repro jobs --cancel JOB --coordinator http://127.0.0.1:8751
+    repro chaos --upstream http://127.0.0.1:8751 --fault latency:times=5
     repro --profile out.prof figure4   # cProfile any command
 
 Every command prints the same rendering the benchmark suite produces, so
@@ -46,6 +48,7 @@ that run contention models accept ``--model`` with any registered name
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Sequence
 
@@ -459,11 +462,16 @@ def _cmd_submit(args: argparse.Namespace) -> str:
     job_set = get_job_set(args.jobset)
     set_args = parse_job_set_args(args.jobset, args.args)
     jobs = job_set.build(set_args)
+    from repro.service.retry import REQUEST_POLICY
+
+    # Submission retries through transient faults: jobs are pure and
+    # the coordinator cache dedupes, so a duplicate submit is harmless.
     job_id = submit_jobs(
         url,
         jobs,
         label=args.jobset,
         meta={"jobset": args.jobset, "argv": list(args.args)},
+        retry=REQUEST_POLICY.with_deadline(30.0),
     )
     return (
         f"submitted {len(jobs)} jobs as {job_id}\n"
@@ -474,7 +482,12 @@ def _cmd_submit(args: argparse.Namespace) -> str:
 
 def _status_line(status: dict) -> str:
     label = status.get("label") or "-"
-    state = "complete" if status.get("complete") else "running"
+    if status.get("complete"):
+        state = "complete"
+    elif status.get("cancelled"):
+        state = "cancelled"
+    else:
+        state = "running"
     return (
         f"job {status['job_id']} [{label}] {state}: "
         f"{status['done']}/{status['total_units']} units done "
@@ -503,8 +516,18 @@ def _watch_results(url: str, status: dict) -> list:
     """Download and order one completed job's results (errors re-raised
     exactly as serial execution would surface them)."""
     from repro.service import fetch_results
+    from repro.service.retry import REQUEST_POLICY, retryable_exchange
 
-    complete, units = fetch_results(url, status["job_id"])
+    # The download is an idempotent read: a garbled or torn response
+    # (a lossy network, a restarting coordinator) is re-asked rather
+    # than surfaced, under the shared retry policy's deadline.
+    policy = dataclasses.replace(
+        REQUEST_POLICY, deadline=30.0, retryable=retryable_exchange
+    )
+    complete, _cancelled, units = policy.call(
+        lambda: fetch_results(url, status["job_id"]),
+        description="results download",
+    )
     if not complete:
         raise ReproError(
             f"job {status['job_id']} reported complete but results "
@@ -564,9 +587,17 @@ def _cmd_watch(args: argparse.Namespace) -> str:
 
 
 def _cmd_jobs(args: argparse.Namespace) -> str:
-    from repro.service import list_jobs, list_workers
+    from repro.service import cancel_job, list_jobs, list_workers
 
     url = _require_coordinator(args)
+    if args.cancel:
+        status = cancel_job(url, args.cancel)
+        return (
+            f"cancelled job {args.cancel}: "
+            f"{status.get('done', '?')}/{status.get('total_units', '?')} "
+            f"units had finished, "
+            f"{status.get('cancelled_units', '?')} cancelled"
+        )
     if args.workers_table:
         rows = []
         for worker in list_workers(url):
@@ -591,13 +622,21 @@ def _cmd_jobs(args: argparse.Namespace) -> str:
             rows,
             title=f"Registered workers ({len(rows)})",
         )
+
+    def _state(job: dict) -> str:
+        if job["complete"]:
+            return "complete"
+        if job.get("cancelled"):
+            return "cancelled"
+        return "running"
+
     rows = [
         [
             job["job_id"],
             job.get("label") or "-",
             f"{job['done']}/{job['total_units']}",
             job["total_jobs"],
-            "complete" if job["complete"] else "running",
+            _state(job),
         ]
         for job in list_jobs(url)
     ]
@@ -606,6 +645,28 @@ def _cmd_jobs(args: argparse.Namespace) -> str:
         rows,
         title=f"Coordinator jobs ({len(rows)})",
     )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> str:
+    from repro.service.chaos import FaultPlan, serve_chaos
+
+    if args.plan:
+        import json as _json
+
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(_json.load(handle))
+        if args.seed is not None:
+            plan = FaultPlan(plan.rules, seed=args.seed)
+    else:
+        plan = FaultPlan.from_specs(args.fault or [], seed=args.seed or 0)
+    serve_chaos(
+        args.upstream,
+        host=args.host,
+        port=args.port,
+        plan=plan,
+        kill_command=args.kill_cmd,
+    )
+    return "chaos proxy stopped"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -884,7 +945,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
-        "jobs", help="list the coordinator's jobs (or --workers)"
+        "jobs", help="list the coordinator's jobs (or --workers, --cancel)"
     )
     p.add_argument("--coordinator", metavar="URL")
     p.add_argument(
@@ -892,6 +953,66 @@ def build_parser() -> argparse.ArgumentParser:
         dest="workers_table",
         action="store_true",
         help="list registered workers and their execution counters",
+    )
+    p.add_argument(
+        "--cancel",
+        metavar="JOB_ID",
+        help=(
+            "cancel one job: queued and leased units are fenced out "
+            "immediately, workers abandon it on their next heartbeat"
+        ),
+    )
+
+    p = sub.add_parser(
+        "chaos",
+        help=(
+            "fault-injecting proxy in front of a coordinator "
+            "(point clients and workers at the proxy URL)"
+        ),
+    )
+    p.add_argument(
+        "--upstream",
+        required=True,
+        metavar="URL",
+        help="the real coordinator URL to forward to",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: ephemeral, printed at startup)",
+    )
+    p.add_argument(
+        "--fault",
+        action="append",
+        metavar="SPEC",
+        help=(
+            "scripted fault as kind[:key=value,...] (repeatable, fires "
+            "in order); kinds: refuse, error, latency, truncate, "
+            "corrupt, kill, drop; e.g. 'latency:path=/lease,times=3' "
+            "or 'error:status=502,probability=0.2,times='"
+        ),
+    )
+    p.add_argument(
+        "--plan",
+        metavar="PATH.json",
+        help="load a FaultPlan JSON document instead of --fault specs",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="RNG seed for probabilistic faults (deterministic replay)",
+    )
+    p.add_argument(
+        "--kill-cmd",
+        metavar="CMD",
+        help=(
+            "shell command run by 'kill' faults (e.g. a pkill of the "
+            "serve process; pair with a restart loop to demonstrate "
+            "durable-queue recovery)"
+        ),
     )
 
     sub.add_parser("platform", help="Figure 1 block diagram")
@@ -920,6 +1041,7 @@ _COMMANDS = {
     "status": _cmd_status,
     "watch": _cmd_watch,
     "jobs": _cmd_jobs,
+    "chaos": _cmd_chaos,
 }
 
 

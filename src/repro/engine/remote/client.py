@@ -298,16 +298,18 @@ def wait_for_workers(
     """Block until every worker answers its health check.
 
     Used by CI scripts and the benchmark harness after launching
-    ``repro worker`` subprocesses.  Polls the whole pool each round with
-    exponential backoff (50 ms doubling to a 2 s cap — a fixed short
-    interval hammers sockets that are still binding), and enforces one
-    *total* deadline: past ``timeout`` seconds an :class:`EngineError`
-    names every still-unreachable URL and its last failure, not just
-    whichever worker happened to be polled when time ran out.
+    ``repro worker`` subprocesses.  Polls the whole pool each round
+    under the shared :class:`~repro.service.retry.RetryPolicy` backoff
+    (50 ms doubling to a 2 s cap — a fixed short interval hammers
+    sockets that are still binding), and enforces one *total* deadline:
+    past ``timeout`` seconds an :class:`EngineError` names every
+    still-unreachable URL and its last failure, not just whichever
+    worker happened to be polled when time ran out.
     """
-    deadline = time.monotonic() + timeout
+    from repro.service.retry import RetryPolicy
+
+    backoff = RetryPolicy(deadline=timeout).backoff()
     pending: dict[str, BaseException | None] = {url: None for url in urls}
-    delay = 0.05
     while True:
         for url in list(pending):
             try:
@@ -318,8 +320,8 @@ def wait_for_workers(
                 del pending[url]
         if not pending:
             return
-        now = time.monotonic()
-        if now >= deadline:
+        delay = backoff.next_delay()
+        if delay is None:
             failures = "; ".join(
                 f"{url} ({exc})" for url, exc in pending.items()
             )
@@ -327,5 +329,4 @@ def wait_for_workers(
                 f"{len(pending)} worker(s) not reachable after "
                 f"{timeout:g}s: {failures}"
             )
-        time.sleep(min(delay, deadline - now))
-        delay = min(delay * 2, 2.0)
+        time.sleep(delay)

@@ -402,23 +402,35 @@ def decode_unit_result(data: bytes) -> dict:
 
 
 def encode_job_results(
-    job_id: str, *, complete: bool, units: Sequence[dict]
+    job_id: str,
+    *,
+    complete: bool,
+    units: Sequence[dict],
+    cancelled: bool = False,
 ) -> bytes:
     """Serialise a job's collected results (coordinator → client).
 
     ``units`` carry ``indices`` (positions in the submitted batch) and
     already-encoded result entries, straight from the queue store.
+    ``cancelled`` marks a job that will never complete because it was
+    cancelled; the done units it carries are still valid results.
     """
     return encode_document(
         _JOB_RESULTS_KIND,
-        {"job_id": job_id, "complete": complete, "units": list(units)},
+        {
+            "job_id": job_id,
+            "complete": complete,
+            "cancelled": cancelled,
+            "units": list(units),
+        },
     )
 
 
 def decode_job_results(
     data: bytes,
-) -> tuple[bool, list[tuple[list[int], list[WireResult]]]]:
-    """Parse a job's results into ``(complete, [(indices, results)])``."""
+) -> tuple[bool, bool, list[tuple[list[int], list[WireResult]]]]:
+    """Parse a job's results into
+    ``(complete, cancelled, [(indices, results)])``."""
     document = _envelope(data, _JOB_RESULTS_KIND)
     units = document.get("units")
     if not isinstance(units, list):
@@ -436,4 +448,43 @@ def decode_job_results(
             entry.get("results"), expected=len(indices)
         )
         decoded.append((list(indices), results))
-    return bool(document.get("complete")), decoded
+    return (
+        bool(document.get("complete")),
+        bool(document.get("cancelled")),
+        decoded,
+    )
+
+
+def validate_result_entries(entries: Any, expected: int | None) -> str | None:
+    """Shape-check encoded result entries *without unpickling them*.
+
+    The coordinator persists completion payloads verbatim and never
+    unpickles queue traffic, so this is its entire defence against a
+    worker (or a fault-injecting network) uploading garbage: the entry
+    list must be well-formed — the right count, each entry a dict with a
+    boolean ``ok`` and a base64-decodable payload (ok entries must carry
+    one; failed entries may carry ``None``).  Returns a human-readable
+    defect description, or ``None`` when the entries look sound.  A
+    worker that repeatedly fails this check gets quarantined.
+    """
+    if not isinstance(entries, list):
+        return "result entries are not a list"
+    if expected is not None and len(entries) != expected:
+        return f"{len(entries)} result entries for {expected} jobs"
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("ok"), bool
+        ):
+            return f"entry {position} is not an object with boolean 'ok'"
+        payload = entry.get("payload")
+        if payload is None:
+            if entry["ok"]:
+                return f"ok entry {position} carries no payload"
+            continue
+        if not isinstance(payload, str):
+            return f"entry {position} payload is not a string"
+        try:
+            base64.b64decode(payload.encode("ascii"), validate=True)
+        except Exception as exc:
+            return f"entry {position} payload is not base64: {exc}"
+    return None

@@ -66,6 +66,15 @@ class EngineError(ReproError):
     unhashable cache key, invalid execution mode, ...)."""
 
 
+class JobCancelledError(EngineError):
+    """A service job was cancelled before it completed.
+
+    Raised by clients waiting on a cancelled job (``repro watch``,
+    ``mode="service"`` execution): the coordinator will never report
+    the job complete, so waiting further is pointless.  Results of
+    units that finished before the cancel remain downloadable."""
+
+
 class RemoteError(EngineError):
     """The remote execution backend failed at the protocol level.
 

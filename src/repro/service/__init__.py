@@ -37,11 +37,29 @@ Any existing driver runs through the service unchanged by passing
 ``--coordinator URL`` instead of ``--workers URL,...`` (engine
 ``mode="service"``); multi-phase drivers submit one queue job per
 engine batch.  Results are byte-identical to serial runs either way.
+
+Robustness layer: every networked loop in the package waits under the
+shared :mod:`~repro.service.retry` policy (exponential backoff, jitter,
+total deadlines, retryable-fault classification); the store runs WAL
+with quarantine-and-rebuild of corrupt databases; jobs are cancellable
+(``repro jobs --cancel``) and workers that upload malformed completions
+are quarantined.  The :mod:`~repro.service.chaos` proxy injects
+scripted network and process faults (``repro chaos``), and the chaos
+test suite is the standing proof that the exactly-once and
+byte-identity guarantees survive them.
 """
 
+from repro.service.chaos import (
+    ChaosProxy,
+    FaultPlan,
+    FaultRule,
+    parse_fault_spec,
+    serve_chaos,
+)
 from repro.service.client import (
     ServiceExecutor,
     ServiceStats,
+    cancel_job,
     coordinator_health,
     fetch_results,
     job_status,
@@ -62,18 +80,30 @@ from repro.service.jobsets import (
     parse_job_set_args,
 )
 from repro.service.pull import PullWorker, serve_pull
+from repro.service.retry import (
+    Backoff,
+    RetryPolicy,
+    retryable_exchange,
+    retryable_fault,
+)
 from repro.service.store import JobRecord, JobStore, UnitSpec
 
 __all__ = [
+    "Backoff",
+    "ChaosProxy",
     "CoordinatorServer",
     "DEFAULT_COORDINATOR_PORT",
+    "FaultPlan",
+    "FaultRule",
     "JobRecord",
     "JobSet",
     "JobStore",
     "PullWorker",
+    "RetryPolicy",
     "ServiceExecutor",
     "ServiceStats",
     "UnitSpec",
+    "cancel_job",
     "coordinator_health",
     "fetch_results",
     "get_job_set",
@@ -81,8 +111,12 @@ __all__ = [
     "job_status",
     "list_jobs",
     "list_workers",
+    "parse_fault_spec",
     "parse_job_set_args",
+    "retryable_exchange",
+    "retryable_fault",
     "serve",
+    "serve_chaos",
     "serve_pull",
     "submit_jobs",
     "wait_for_job",

@@ -15,16 +15,20 @@ time falls back to in-process execution (the engine counts it in
 ``stats.fallbacks``), and one that disappears *mid-poll* is retried for
 an unreachable-grace window — long enough to ride out a coordinator
 restart, after which the executor gives the batch back to the engine.
+All waiting uses the shared :mod:`repro.service.retry` backoff, so idle
+polls decay instead of hammering the coordinator at a fixed interval.
 Job-level exceptions drain the whole batch first and re-raise the
 lowest-indexed failing job's error, the same one serial mode surfaces.
+A cancelled job raises :class:`~repro.errors.JobCancelledError` from
+every waiter — there is nothing left to wait for.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import http.client
 import json
 import time
+import urllib.error
 import urllib.request
 from typing import Any, Sequence
 
@@ -35,11 +39,14 @@ from repro.engine.remote.wire import (
     WireResult,
     decode_document,
     decode_job_results,
+    encode_document,
     encode_submit,
 )
-from repro.errors import EngineError, RemoteError
+from repro.errors import EngineError, JobCancelledError, RemoteError
 from repro.service.coordinator import (
     ACCEPTED_KIND,
+    CANCEL_KIND,
+    CANCELLED_KIND,
     HEALTH_PATH,
     JOBS_PATH,
     LIST_KIND,
@@ -48,9 +55,11 @@ from repro.service.coordinator import (
     WORKER_LIST_KIND,
     WORKERS_PATH,
 )
-
-#: Transport faults the client treats as "coordinator unreachable".
-TRANSPORT_ERRORS = (OSError, http.client.HTTPException)
+from repro.service.retry import (
+    TRANSPORT_ERRORS,
+    RetryPolicy,
+    retryable_exchange,
+)
 
 
 def _post(url: str, path: str, body: bytes, *, timeout: float) -> bytes:
@@ -83,22 +92,49 @@ def submit_jobs(
     label: str = "",
     meta: dict | None = None,
     timeout: float = 60.0,
+    retry: RetryPolicy | None = None,
 ) -> str:
     """Submit one batch to the coordinator; returns the job id.
 
     Cache keys are resolved client-side (the same content addresses
     every other mode uses), so the coordinator and the workers can
     dedupe against their shared caches without recomputing hashes.
+
+    ``retry`` optionally retries transient submission faults under a
+    policy deadline.  Resubmitting after an ambiguous failure is safe:
+    jobs are pure and the coordinator's cache dedupes repeats, so a
+    duplicate submission wastes work but never corrupts results.
     """
     items = [WireJob(item, _cache_key(item)) for item in jobs]
     body = encode_submit(items, label=label, meta=meta)
-    answer = decode_document(
-        _post(url, SUBMIT_PATH, body, timeout=timeout), ACCEPTED_KIND
-    )
+
+    def _attempt() -> bytes:
+        return _post(url, SUBMIT_PATH, body, timeout=timeout)
+
+    if retry is None:
+        data = _attempt()
+    else:
+        data = retry.call(_attempt, description="job submission")
+    answer = decode_document(data, ACCEPTED_KIND)
     job_id = answer.get("job_id")
     if not isinstance(job_id, str):
         raise RemoteError("submission answer carries no job_id")
     return job_id
+
+
+def cancel_job(url: str, job_id: str, *, timeout: float = 30.0) -> dict:
+    """Cancel one job (``POST /jobs/<id>/cancel``); returns its status
+    fields.  Safe to repeat — cancellation is idempotent."""
+    body = encode_document(CANCEL_KIND, {"job_id": job_id})
+    try:
+        data = _post(
+            url, f"{JOBS_PATH}/{job_id}/cancel", body, timeout=timeout
+        )
+    except urllib.error.HTTPError as exc:
+        if exc.code == 404:
+            raise EngineError(f"unknown job id {job_id!r}") from exc
+        raise
+    return decode_document(data, CANCELLED_KIND)
 
 
 def job_status(url: str, job_id: str, *, timeout: float = 30.0) -> dict:
@@ -121,14 +157,24 @@ def list_workers(url: str, *, timeout: float = 30.0) -> list[dict]:
 
 def fetch_results(
     url: str, job_id: str, *, timeout: float = 60.0
-) -> tuple[bool, list[tuple[list[int], list[WireResult]]]]:
-    """Download a job's finished units: ``(complete, [(indices, results)])``.
+) -> tuple[bool, bool, list[tuple[list[int], list[WireResult]]]]:
+    """Download a job's finished units:
+    ``(complete, cancelled, [(indices, results)])``.
 
     ``indices`` are positions in the submitted batch; until ``complete``
-    is true only the units finished so far are present.
+    is true only the units finished so far are present.  A ``cancelled``
+    job will never complete, but the units it finished first remain
+    valid.
     """
     data = _get(url, f"{JOBS_PATH}/{job_id}/results", timeout=timeout)
     return decode_job_results(data)
+
+
+def _poll_policy(poll: float) -> RetryPolicy:
+    """Decaying poll intervals starting at the caller's ``poll``."""
+    return RetryPolicy(
+        initial=poll, multiplier=1.6, max_delay=max(poll, 1.0)
+    )
 
 
 def wait_for_job(
@@ -138,28 +184,63 @@ def wait_for_job(
     poll: float = 0.5,
     timeout: float | None = None,
     progress=None,
+    unreachable_grace: float = 60.0,
 ) -> dict:
     """Poll one job until it completes; returns its final status document.
 
+    Polling decays: consecutive idle polls back off from ``poll`` up to
+    a 1 s ceiling, snapping back whenever the done-unit count moves.  An
+    unreachable coordinator is retried for ``unreachable_grace`` seconds
+    (the queue is durable — a restart picks the job straight back up)
+    before the transport fault propagates.
+
     Args:
-        poll: seconds between status requests.
+        poll: initial seconds between status requests.
         timeout: optional overall deadline (:class:`EngineError` past it).
         progress: optional callback invoked with each status document —
             the hook ``repro watch`` streams its progress lines from.
+        unreachable_grace: how long the coordinator may stay unreachable
+            before giving up.
+
+    Raises:
+        JobCancelledError: the job was cancelled and will never complete.
     """
     deadline = None if timeout is None else time.monotonic() + timeout
+    backoff = _poll_policy(poll).backoff()
+    last_contact = time.monotonic()
+    last_done: int | None = None
     while True:
-        status = job_status(url, job_id)
+        try:
+            status = job_status(url, job_id)
+        except Exception as exc:
+            if (
+                not retryable_exchange(exc)
+                or time.monotonic() - last_contact > unreachable_grace
+            ):
+                raise
+            time.sleep(backoff.next_delay() or poll)
+            continue
+        last_contact = time.monotonic()
         if progress is not None:
             progress(status)
         if status.get("complete"):
             return status
+        if status.get("cancelled"):
+            raise JobCancelledError(
+                f"job {job_id} was cancelled "
+                f"({status.get('done')}/{status.get('total_units')} "
+                "units had finished)"
+            )
         if deadline is not None and time.monotonic() >= deadline:
             raise EngineError(
                 f"job {job_id} not complete after {timeout:g}s "
                 f"({status.get('done')}/{status.get('total_units')} units)"
             )
-        time.sleep(poll)
+        done = status.get("done")
+        if done != last_done:
+            last_done = done
+            backoff.reset()
+        time.sleep(backoff.next_delay() or poll)
 
 
 @dataclasses.dataclass
@@ -245,10 +326,12 @@ class ServiceExecutor:
         self.stats.batches += 1
         self.stats.job_ids.append(job_id)
 
+        backoff = _poll_policy(self.poll).backoff()
         last_contact = time.monotonic()
+        last_done: int | None = None
         while True:
             try:
-                complete, units = fetch_results(
+                complete, cancelled, units = fetch_results(
                     self.coordinator_url, job_id, timeout=self.timeout
                 )
             except TRANSPORT_ERRORS + (RemoteError,):
@@ -258,12 +341,20 @@ class ServiceExecutor:
                 if time.monotonic() - last_contact > self.unreachable_grace:
                     self.stats.abandoned += 1
                     return sorted(pending)
-                time.sleep(self.poll)
+                time.sleep(backoff.next_delay() or self.poll)
                 continue
             last_contact = time.monotonic()
             if complete:
                 break
-            time.sleep(self.poll)
+            if cancelled:
+                raise JobCancelledError(
+                    f"service job {job_id} was cancelled while the "
+                    "engine was waiting on it"
+                )
+            if len(units) != last_done:
+                last_done = len(units)
+                backoff.reset()
+            time.sleep(backoff.next_delay() or self.poll)
 
         job_errors: list[tuple[int, BaseException]] = []
         for indices, outcomes in units:

@@ -55,6 +55,7 @@ from repro.engine.remote.wire import (
     encode_job_results,
     encode_lease,
     encode_result_entries,
+    validate_result_entries,
 )
 from repro.errors import RemoteError
 from repro.service.store import JobStore, UnitSpec
@@ -84,6 +85,8 @@ UNIT_ACCEPTED_KIND = "unit-accepted"
 STATUS_KIND = "job-status"
 LIST_KIND = "job-list"
 WORKER_LIST_KIND = "worker-list"
+CANCEL_KIND = "job-cancel"
+CANCELLED_KIND = "job-cancelled"
 
 
 @dataclasses.dataclass
@@ -96,6 +99,7 @@ class WorkerInfo:
     last_seen: float
     stats: dict = dataclasses.field(default_factory=dict)
     completed_units: int = 0
+    invalid_completions: int = 0
 
 
 class _CoordinatorHandler(BaseHTTPRequestHandler):
@@ -157,6 +161,12 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
         }
         handler = routes.get(self.path)
         if handler is None:
+            if self.path.startswith(JOBS_PATH + "/") and self.path.endswith(
+                "/cancel"
+            ):
+                job_id = self.path[len(JOBS_PATH) + 1 : -len("/cancel")]
+                self._dispatch(lambda _body: server.handle_cancel(job_id), body)
+                return
             self._send(404, b'{"error":"not found"}')
             return
         self._dispatch(handler, body)
@@ -177,6 +187,10 @@ class CoordinatorServer(ThreadingHTTPServer):
             heartbeat before it is re-queued to another worker.
         worker_ttl: how long a silent worker counts as live (sticky
             warm-group owners past this age are replaced).
+        quarantine_limit: how many malformed completions a worker may
+            upload before it is evicted — its registration dropped, its
+            warm groups released and its live leases re-queued to the
+            rest of the fleet.
     """
 
     daemon_threads = True
@@ -191,13 +205,19 @@ class CoordinatorServer(ThreadingHTTPServer):
         cache: ResultCache | None = None,
         lease_seconds: float = 60.0,
         worker_ttl: float = 30.0,
+        quarantine_limit: int = 3,
     ) -> None:
         super().__init__((host, port), _CoordinatorHandler)
         self.store = store
         self.cache = cache
         self.lease_seconds = lease_seconds
         self.worker_ttl = worker_ttl
+        self.quarantine_limit = quarantine_limit
         self.workers: dict[str, WorkerInfo] = {}
+        #: worker id -> reason, for workers evicted after repeatedly
+        #: uploading malformed completions.  A quarantined id is dead;
+        #: the process behind it may re-register under a fresh id.
+        self.quarantined_workers: dict[str, str] = {}
         #: warm group -> sticky owning worker id (in-memory: affinity is
         #: an optimisation, correctness never depends on it surviving).
         self.group_owners: dict[str, str] = {}
@@ -303,12 +323,35 @@ class CoordinatorServer(ThreadingHTTPServer):
             "leased": record.leased,
             "done": record.done,
             "complete": record.complete,
+            "cancelled": record.cancelled,
+            "cancelled_units": record.cancelled_units,
         }
 
     def handle_results(self, job_id: str) -> bytes:
         """A job's collected results (done units only; check ``complete``)."""
-        complete, units = self.store.results(job_id)
-        return encode_job_results(job_id, complete=complete, units=units)
+        record, units = self.store.results(job_id)
+        return encode_job_results(
+            job_id,
+            complete=record.complete,
+            cancelled=record.cancelled,
+            units=units,
+        )
+
+    def handle_cancel(self, job_id: str) -> bytes:
+        """Cancel one job (``POST /jobs/<id>/cancel``).
+
+        Queued and leased units are fenced out immediately; workers
+        holding a unit of the job learn on their next heartbeat and
+        abandon it.  Idempotent.
+        """
+        known = self.store.cancel(job_id)
+        if not known:
+            raise KeyError(f"unknown job id {job_id!r}")
+        record = self.store.job(job_id)
+        return encode_document(
+            CANCELLED_KIND,
+            self._job_fields(record) if record is not None else {},
+        )
 
     def handle_worker_list(self) -> bytes:
         """The registry with per-worker execution counters
@@ -322,11 +365,19 @@ class CoordinatorServer(ThreadingHTTPServer):
                     "live": self._is_live(info, now),
                     "age": round(now - info.last_seen, 3),
                     "completed_units": info.completed_units,
+                    "invalid_completions": info.invalid_completions,
                     "stats": dict(info.stats),
                 }
                 for info in self.workers.values()
             ]
-        return encode_document(WORKER_LIST_KIND, {"workers": rows})
+            quarantined = [
+                {"worker_id": worker_id, "quarantined": reason}
+                for worker_id, reason in self.quarantined_workers.items()
+            ]
+        return encode_document(
+            WORKER_LIST_KIND,
+            {"workers": rows, "quarantined": quarantined},
+        )
 
     def handle_health(self) -> bytes:
         now = time.time()
@@ -433,16 +484,31 @@ class CoordinatorServer(ThreadingHTTPServer):
         return ungrouped
 
     def handle_complete(self, body: bytes) -> bytes:
-        """Record one executed unit, fenced against stale leases."""
+        """Record one executed unit, fenced and shape-validated.
+
+        A completion whose result entries fail :func:`validate_result_entries`
+        (wrong count, undecodable payloads — a corrupting worker or a
+        mangling network) is rejected *without* touching the unit, and
+        counts against the uploading worker's quarantine budget."""
         document = decode_unit_result(body)
         job_id = document["job_id"]
         unit_index = document["unit"]
+        worker_id = document["worker_id"]
+        defect = validate_result_entries(
+            document["results"],
+            self.store.unit_job_count(job_id, unit_index),
+        )
+        if defect is not None:
+            self._record_invalid_completion(worker_id, defect)
+            raise RemoteError(
+                f"rejected completion of {job_id}/{unit_index}: {defect}"
+            )
         accepted = self.store.complete(
             job_id, unit_index, document["fence"], document["results"]
         )
         now = time.time()
         with self._lock:
-            info = self.workers.get(document["worker_id"])
+            info = self.workers.get(worker_id)
             if info is not None:
                 info.last_seen = now
                 if accepted:
@@ -450,6 +516,31 @@ class CoordinatorServer(ThreadingHTTPServer):
         if accepted and self.cache is not None:
             self._store_results(job_id, unit_index, document["results"])
         return encode_document(UNIT_ACCEPTED_KIND, {"accepted": accepted})
+
+    def _record_invalid_completion(self, worker_id: str, defect: str) -> None:
+        """Count one malformed upload; evict the worker past the limit.
+
+        Eviction drops the registration (the worker's next lease attempt
+        answers ``unregistered``), releases its sticky warm groups and
+        re-queues its live leases so the rest of the fleet picks the
+        work up immediately instead of waiting out the lease expiry.
+        """
+        with self._lock:
+            info = self.workers.get(worker_id)
+            if info is None:
+                return
+            info.invalid_completions += 1
+            if info.invalid_completions < self.quarantine_limit:
+                return
+            del self.workers[worker_id]
+            self.quarantined_workers[worker_id] = (
+                f"evicted after {info.invalid_completions} invalid "
+                f"completions (last: {defect})"
+            )
+            for group, owner in list(self.group_owners.items()):
+                if owner == worker_id:
+                    del self.group_owners[group]
+        self.store.release_worker(worker_id)
 
     def _store_results(
         self, job_id: str, unit_index: int, result_entries: list[dict]
@@ -482,9 +573,13 @@ class CoordinatorServer(ThreadingHTTPServer):
                 info.last_seen = now
                 if isinstance(stats, dict):
                     info.stats = stats
+        cancelled: list[str] = []
         if known:
             self.store.renew_leases(worker_id, now + self.lease_seconds)
-        return encode_document(HEARTBEAT_ACK_KIND, {"known": known})
+            cancelled = self.store.cancelled_jobs_for(worker_id)
+        return encode_document(
+            HEARTBEAT_ACK_KIND, {"known": known, "cancelled": cancelled}
+        )
 
     def _is_live(self, info: WorkerInfo, now: float) -> bool:
         return now - info.last_seen <= self.worker_ttl

@@ -21,15 +21,18 @@ everything:
    so ``repro jobs --workers`` shows live per-worker numbers.
 
 Fault behaviour mirrors the push backend from the other side: an
-unreachable coordinator is retried with backoff (the worker survives a
-coordinator restart), and a lease or heartbeat answered "unregistered"
-triggers transparent re-registration — in-flight units still complete,
-because completions are fenced, not owner-checked.
+unreachable coordinator is retried under the shared
+:class:`~repro.service.retry.RetryPolicy` backoff (the worker survives
+a coordinator restart), and a lease or heartbeat answered
+"unregistered" triggers transparent re-registration — in-flight units
+still complete, because completions are fenced, not owner-checked.
+Heartbeat acks also carry cancelled job ids, so a worker abandons the
+rest of a cancelled unit mid-execution instead of finishing work
+nobody will accept.
 """
 
 from __future__ import annotations
 
-import http.client
 import threading
 import time
 import urllib.request
@@ -57,6 +60,11 @@ from repro.service.coordinator import (
     REGISTER_KIND,
     REGISTER_PATH,
     REGISTERED_KIND,
+)
+from repro.service.retry import (
+    TRANSPORT_ERRORS,
+    RetryPolicy,
+    retryable_fault,
 )
 
 #: How long an idle worker waits before asking for work again.
@@ -99,6 +107,9 @@ class PullWorker:
         self.stats = WorkerStats()
         self.worker_id: str | None = None
         self.lease_seconds = 60.0
+        #: Job ids the coordinator reported cancelled (heartbeat acks);
+        #: the execute loop consults this between jobs of a unit.
+        self._cancelled: set[str] = set()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._heartbeat_thread: threading.Thread | None = None
@@ -168,6 +179,11 @@ class PullWorker:
         document = decode_document(
             self._post(HEARTBEAT_PATH, body), HEARTBEAT_ACK_KIND
         )
+        cancelled = document.get("cancelled")
+        if isinstance(cancelled, list):
+            self._cancelled.update(
+                job_id for job_id in cancelled if isinstance(job_id, str)
+            )
         return bool(document.get("known"))
 
     # ------------------------------------------------------------------
@@ -175,7 +191,12 @@ class PullWorker:
     # ------------------------------------------------------------------
     def run(self) -> None:
         """Lease-execute-complete until :meth:`stop` (or forever)."""
-        backoff = self.idle_poll
+        policy = RetryPolicy(
+            initial=self.idle_poll,
+            multiplier=2.0,
+            max_delay=max(MAX_BACKOFF_SECONDS, self.idle_poll),
+        )
+        backoff = policy.backoff()
         self._start_heartbeat()
         try:
             while not self._stop.is_set():
@@ -183,12 +204,11 @@ class PullWorker:
                     if self.worker_id is None:
                         self.register()
                     grant = self._lease()
-                except (OSError, http.client.HTTPException, RemoteError):
+                except TRANSPORT_ERRORS + (RemoteError,):
                     # Coordinator down or restarting: retry with backoff.
-                    self._stop.wait(backoff)
-                    backoff = min(backoff * 2, MAX_BACKOFF_SECONDS)
+                    self._stop.wait(backoff.next_delay() or self.idle_poll)
                     continue
-                backoff = self.idle_poll
+                backoff.reset()
                 if grant is not None and grant.get("unregistered"):
                     # Coordinator restarted and lost the registry.
                     self.worker_id = None
@@ -203,31 +223,46 @@ class PullWorker:
     def _execute_grant(self, grant: dict) -> None:
         """Run one leased unit and report it, fenced.
 
+        A cancellation learned over the heartbeat aborts the unit
+        between jobs — the remaining work would be fence-rejected
+        anyway, so finishing it only wastes the slot.
+
         Completion retries through coordinator outages for up to two
         lease periods: a coordinator that restarts within the lease
         still receives the result under the original fence, so the unit
         is never re-run.  Past that horizon the lease has expired anyway
         — the unit is re-leased elsewhere and a late completion would be
         fence-rejected, so giving up is safe (jobs are pure, and a
-        shared cache answers the rerun without recomputing).
+        shared cache answers the rerun without recomputing).  A
+        non-retryable rejection (the coordinator answered 4xx — it
+        refused this completion deliberately) is dropped immediately.
         """
-        results = [
-            execute_wire_job(item, self.cache, self.stats)
-            for item in grant["jobs"]
-        ]
+        job_id = grant["job_id"]
+        results = []
+        for item in grant["jobs"]:
+            if job_id in self._cancelled or self._stop.is_set():
+                return
+            results.append(execute_wire_job(item, self.cache, self.stats))
         self.stats.batches += 1
         snapshot_warm_reuses(self.stats)
-        deadline = time.monotonic() + 2.0 * self.lease_seconds
-        delay = self.idle_poll
-        while not self._stop.is_set():
+        policy = RetryPolicy(
+            initial=self.idle_poll,
+            multiplier=2.0,
+            max_delay=max(1.0, self.idle_poll),
+            deadline=2.0 * self.lease_seconds,
+        )
+        backoff = policy.backoff()
+        while not self._stop.is_set() and job_id not in self._cancelled:
             try:
                 self._complete(grant, results)
                 return
-            except (OSError, http.client.HTTPException):
-                if time.monotonic() >= deadline:
+            except TRANSPORT_ERRORS as exc:
+                if not retryable_fault(exc):
+                    return
+                delay = backoff.next_delay()
+                if delay is None:
                     return
                 self._stop.wait(delay)
-                delay = min(delay * 2, 1.0)
 
     def _start_heartbeat(self) -> None:
         def beat() -> None:
@@ -244,7 +279,7 @@ class PullWorker:
                 try:
                     if not self._heartbeat():
                         self.worker_id = None
-                except (OSError, http.client.HTTPException, RemoteError):
+                except TRANSPORT_ERRORS + (RemoteError,):
                     continue
 
         thread = threading.Thread(
@@ -288,19 +323,10 @@ def serve_pull(
     """
     cache = ResultCache(directory=cache_dir) if cache_dir else None
     worker = PullWorker(coordinator_url, name=name, cache=cache)
-    deadline = time.monotonic() + 60.0
-    delay = 0.05
-    while True:
-        try:
-            worker.register()
-            break
-        except (OSError, http.client.HTTPException) as exc:
-            if time.monotonic() >= deadline:
-                raise RemoteError(
-                    f"coordinator {coordinator_url} not reachable: {exc}"
-                ) from exc
-            time.sleep(delay)
-            delay = min(delay * 2, 2.0)
+    RetryPolicy(deadline=60.0).call(
+        worker.register,
+        description=f"registration with coordinator {coordinator_url}",
+    )
     print(
         f"repro worker {worker.worker_id} registered with "
         f"{worker.coordinator_url}",

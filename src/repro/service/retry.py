@@ -1,0 +1,244 @@
+"""The shared retry policy: backoff, jitter, deadlines, classification.
+
+Before this module every networked component owned its own sleep loop —
+fixed ``time.sleep(poll)`` in the service client, a hand-rolled doubling
+delay in the pull worker, another one in ``wait_for_workers`` — and each
+classified failures slightly differently.  :class:`RetryPolicy` unifies
+all of them:
+
+* **exponential backoff with jitter** — delays start at ``initial`` and
+  multiply up to ``max_delay``; a ``jitter`` fraction decorrelates a
+  fleet of retriers so they stop hammering a recovering coordinator in
+  lock-step;
+* **one total deadline** — a policy with ``deadline`` set hands out
+  delays only until the budget is spent (and never sleeps past it), so
+  callers get a single overall bound instead of per-attempt timeouts
+  compounding unpredictably;
+* **retryable-error classification** — :func:`retryable_fault` is the
+  shared answer to "is this failure worth retrying?": transport faults
+  (connection refused/reset, timeouts, truncated reads) and HTTP 5xx
+  are transient, HTTP 4xx is a real answer from a live server and is
+  not.  Protocol-level :class:`~repro.errors.RemoteError` is *optionally*
+  transient (:func:`retryable_exchange`): a corrupted or truncated
+  response usually means the network mangled the exchange, which is
+  exactly what the chaos proxy injects.
+
+Two consumption styles.  :meth:`RetryPolicy.call` wraps one idempotent
+callable and retries it to the deadline.  :meth:`RetryPolicy.backoff`
+returns a stateful :class:`Backoff` for loops that interleave retrying
+with other work (poll loops, lease loops); ``reset()`` snaps the delay
+back to ``initial`` when progress is observed, so idle polls decay but
+active work stays responsive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import random
+import time
+import urllib.error
+from typing import Callable, Iterator
+
+from repro.errors import RemoteError
+
+#: Exception types raised by the stdlib HTTP stack for transport-level
+#: faults (connection refused/reset, timeouts, truncated reads).
+#: ``urllib.error.URLError``/``HTTPError`` are ``OSError`` subclasses.
+TRANSPORT_ERRORS = (OSError, http.client.HTTPException)
+
+#: HTTP status codes below 500 that still indicate a transient
+#: condition worth retrying (request timeout, too many requests).
+_TRANSIENT_4XX = frozenset({408, 429})
+
+
+def retryable_fault(exc: BaseException) -> bool:
+    """Whether ``exc`` is a transient transport fault.
+
+    HTTP errors are split by status: 5xx (and 408/429) come from an
+    overloaded or restarting server and are retryable; other 4xx are a
+    live server's deliberate answer (bad request, unknown job) and
+    retrying them verbatim can never succeed.
+    """
+    if isinstance(exc, urllib.error.HTTPError):
+        return exc.code >= 500 or exc.code in _TRANSIENT_4XX
+    return isinstance(exc, TRANSPORT_ERRORS)
+
+
+def retryable_exchange(exc: BaseException) -> bool:
+    """Like :func:`retryable_fault`, but treats protocol-level
+    :class:`RemoteError` as transient too.
+
+    Use for *reads* (polling status, downloading results, leasing):
+    an undecodable or truncated response usually means the bytes were
+    mangled in flight, and re-asking is safe.  Do **not** use for
+    non-idempotent writes where a mangled *response* may hide a request
+    that actually landed.
+    """
+    return retryable_fault(exc) or isinstance(exc, RemoteError)
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff + jitter + total deadline + classification.
+
+    Attributes:
+        initial: first delay in seconds.
+        multiplier: growth factor between consecutive delays.
+        max_delay: cap on any single delay.
+        deadline: optional total budget in seconds; ``None`` retries
+            forever.  The budget starts when a :class:`Backoff` is
+            created (or :meth:`call` invoked), and the final sleep is
+            clipped so it never overshoots.
+        jitter: fractional jitter; each delay is scaled by a uniform
+            factor in ``[1 - jitter, 1 + jitter]``.
+        retryable: the error classifier consulted by :meth:`call`.
+    """
+
+    initial: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    deadline: float | None = None
+    jitter: float = 0.1
+    retryable: Callable[[BaseException], bool] = retryable_fault
+
+    def __post_init__(self) -> None:
+        if self.initial <= 0:
+            raise ValueError("retry initial delay must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("retry multiplier must be >= 1")
+        if self.max_delay < self.initial:
+            raise ValueError("retry max_delay must be >= initial")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("retry deadline must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("retry jitter must be in [0, 1)")
+
+    def with_deadline(self, deadline: float | None) -> "RetryPolicy":
+        """This policy with a different total budget."""
+        return dataclasses.replace(self, deadline=deadline)
+
+    def backoff(
+        self,
+        *,
+        rng: random.Random | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Backoff":
+        """A fresh stateful delay sequence under this policy."""
+        return Backoff(self, rng=rng, clock=clock)
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        description: str = "request",
+        sleep: Callable[[float], object] = time.sleep,
+        on_retry: Callable[[BaseException, float], None] | None = None,
+    ):
+        """Invoke ``fn`` until it succeeds, the error stops being
+        retryable, or the deadline runs out.
+
+        ``fn`` must be safe to re-invoke (idempotent, or the caller has
+        decided a duplicate is harmless).  Past the deadline the last
+        failure is re-raised wrapped in a :class:`RemoteError` naming
+        the budget, so callers see *why* retrying stopped.
+        """
+        backoff = self.backoff()
+        while True:
+            try:
+                return fn()
+            except Exception as exc:
+                if not self.retryable(exc):
+                    raise
+                delay = backoff.next_delay()
+                if delay is None:
+                    raise RemoteError(
+                        f"{description} still failing after "
+                        f"{self.deadline:g}s of retries: {exc}"
+                    ) from exc
+                if on_retry is not None:
+                    on_retry(exc, delay)
+                sleep(delay)
+
+    def delays(self) -> Iterator[float]:
+        """The deterministic (jitter-free) delay sequence, for tests
+        and documentation; infinite unless exhausted by the caller."""
+        delay = self.initial
+        while True:
+            yield delay
+            delay = min(delay * self.multiplier, self.max_delay)
+
+
+class Backoff:
+    """One in-progress retry sequence under a :class:`RetryPolicy`.
+
+    ``next_delay()`` returns the next sleep (jittered, deadline-clipped)
+    or ``None`` once the policy's deadline has passed.  ``reset()``
+    snaps the delay back to ``initial`` — call it when the loop makes
+    progress, so only *consecutive* idle rounds decay.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        *,
+        rng: random.Random | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
+        self._delay = policy.initial
+        self._deadline = (
+            None
+            if policy.deadline is None
+            else clock() + policy.deadline
+        )
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute deadline on the backoff's clock (``None`` = never)."""
+        return self._deadline
+
+    def remaining(self) -> float | None:
+        """Seconds left in the budget (``None`` = unbounded)."""
+        if self._deadline is None:
+            return None
+        return max(self._deadline - self._clock(), 0.0)
+
+    def expired(self) -> bool:
+        return (
+            self._deadline is not None
+            and self._clock() >= self._deadline
+        )
+
+    def reset(self) -> None:
+        """Snap back to the initial delay (progress was observed)."""
+        self._delay = self.policy.initial
+
+    def next_delay(self) -> float | None:
+        """The next sleep in seconds, or ``None`` past the deadline."""
+        now = self._clock()
+        if self._deadline is not None and now >= self._deadline:
+            return None
+        delay = self._delay
+        self._delay = min(
+            delay * self.policy.multiplier, self.policy.max_delay
+        )
+        if self.policy.jitter:
+            delay *= 1.0 + self._rng.uniform(
+                -self.policy.jitter, self.policy.jitter
+            )
+        if self._deadline is not None:
+            delay = min(delay, self._deadline - now)
+        return max(delay, 0.0)
+
+
+#: Default policy for request retries (submit, register, complete):
+#: quick first retry, 2 s cap, no deadline (callers add one).
+REQUEST_POLICY = RetryPolicy()
+
+#: Default policy for idle poll loops (job status, lease attempts):
+#: starts fast so short jobs return promptly, decays to a 1 s cap so a
+#: long-running job is not hammered with status requests.
+POLL_POLICY = RetryPolicy(initial=0.05, multiplier=1.6, max_delay=1.0)

@@ -29,6 +29,17 @@ Payloads are stored as the wire format's job/result *entry* lists
 (JSON text, pickles base64-armoured inside — see
 :mod:`repro.engine.remote.wire`), so the store never unpickles anything
 and leases can be served byte-identically to what was submitted.
+
+Crash safety: file-backed stores run under ``journal_mode=WAL`` with a
+``busy_timeout``, so the coordinator's threaded handlers never see
+``database is locked`` under concurrent lease/complete traffic and a
+killed process leaves a consistent database behind.  Opening runs a
+``PRAGMA quick_check`` first; a corrupt database (torn by a disk fault
+or an unclean shutdown mid-checkpoint) is *quarantined* — renamed to
+``<path>.corrupt-<timestamp>`` next to its WAL sidecars — and a fresh
+queue is rebuilt in its place, so the coordinator comes back serving
+instead of crash-looping on an unhandled ``sqlite3`` exception.  The
+quarantined file is kept for forensics (:attr:`JobStore.quarantined`).
 """
 
 from __future__ import annotations
@@ -40,18 +51,20 @@ import secrets
 import sqlite3
 import threading
 import time
+import warnings
 from typing import Any, Sequence
 
 from repro.errors import EngineError
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
-    job_id      TEXT PRIMARY KEY,
-    created     REAL NOT NULL,
-    label       TEXT NOT NULL DEFAULT '',
-    meta        TEXT NOT NULL DEFAULT '{}',
-    total_units INTEGER NOT NULL,
-    total_jobs  INTEGER NOT NULL
+    job_id       TEXT PRIMARY KEY,
+    created      REAL NOT NULL,
+    label        TEXT NOT NULL DEFAULT '',
+    meta         TEXT NOT NULL DEFAULT '{}',
+    total_units  INTEGER NOT NULL,
+    total_jobs   INTEGER NOT NULL,
+    cancelled_at REAL
 );
 CREATE TABLE IF NOT EXISTS units (
     job_id       TEXT NOT NULL,
@@ -69,8 +82,16 @@ CREATE TABLE IF NOT EXISTS units (
 CREATE INDEX IF NOT EXISTS units_by_state ON units (state);
 """
 
-#: Unit lifecycle states.
-QUEUED, LEASED, DONE = "queued", "leased", "done"
+#: Unit lifecycle states.  A unit reaches ``cancelled`` only through
+#: :meth:`JobStore.cancel`; the state is terminal, and because
+#: completion requires ``state = leased`` under a matching fence, every
+#: in-flight completion of a cancelled unit is rejected automatically.
+QUEUED, LEASED, DONE, CANCELLED = "queued", "leased", "done", "cancelled"
+
+#: How long the store waits on a locked database before failing
+#: (milliseconds).  Generous: writers hold the lock for single-row
+#: transactions only.
+BUSY_TIMEOUT_MS = 10_000
 
 
 @dataclasses.dataclass(frozen=True)
@@ -104,10 +125,21 @@ class JobRecord:
     queued: int
     leased: int
     done: int
+    cancelled_units: int = 0
+    cancelled_at: float | None = None
 
     @property
     def complete(self) -> bool:
         return self.done == self.total_units
+
+    @property
+    def cancelled(self) -> bool:
+        return self.cancelled_at is not None
+
+    @property
+    def finished(self) -> bool:
+        """No further state transitions will happen (done or cancelled)."""
+        return self.complete or self.cancelled
 
 
 @dataclasses.dataclass(frozen=True)
@@ -135,13 +167,81 @@ class JobStore:
         path: database file, created if missing.  ``":memory:"`` builds
             a throwaway store (unit tests); real coordinators pass a
             file so the queue survives restarts.
+
+    A corrupt database file is quarantined and rebuilt rather than
+    raised (see the module docstring); :attr:`quarantined` names the
+    preserved file when that happened, ``None`` otherwise.
     """
 
     def __init__(self, path: str | os.PathLike) -> None:
         self._lock = threading.RLock()
-        self._conn = sqlite3.connect(str(path), check_same_thread=False)
-        with self._lock, self._conn:
-            self._conn.executescript(_SCHEMA)
+        self._path = str(path)
+        self.quarantined: str | None = None
+        try:
+            self._conn = self._open()
+        except sqlite3.DatabaseError as exc:
+            if self._path == ":memory:":
+                raise
+            self.quarantined = self._quarantine(exc)
+            self._conn = self._open()
+
+    def _open(self) -> sqlite3.Connection:
+        """Connect, apply durability PRAGMAs, verify, migrate."""
+        conn = sqlite3.connect(self._path, check_same_thread=False)
+        try:
+            # WAL lets the threaded HTTP handlers read while a writer
+            # commits, and busy_timeout turns residual lock contention
+            # into a bounded wait instead of "database is locked".
+            conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            verdict = conn.execute("PRAGMA quick_check").fetchone()
+            if verdict is None or verdict[0] != "ok":
+                raise sqlite3.DatabaseError(
+                    f"integrity check failed: {verdict!r}"
+                )
+            with conn:
+                conn.executescript(_SCHEMA)
+                self._migrate(conn)
+        except BaseException:
+            conn.close()
+            raise
+        return conn
+
+    @staticmethod
+    def _migrate(conn: sqlite3.Connection) -> None:
+        """Bring a pre-cancellation database up to the current schema."""
+        columns = {
+            row[1] for row in conn.execute("PRAGMA table_info(jobs)")
+        }
+        if "cancelled_at" not in columns:
+            conn.execute("ALTER TABLE jobs ADD COLUMN cancelled_at REAL")
+
+    def _quarantine(self, cause: Exception) -> str:
+        """Move the corrupt database (and WAL sidecars) out of the way."""
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        target = f"{self._path}.corrupt-{stamp}"
+        suffix = 0
+        while os.path.exists(target):
+            suffix += 1
+            target = f"{self._path}.corrupt-{stamp}.{suffix}"
+        os.replace(self._path, target)
+        for sidecar in ("-wal", "-shm"):
+            try:
+                os.replace(
+                    self._path + sidecar, target + sidecar
+                )
+            except FileNotFoundError:
+                pass
+        warnings.warn(
+            f"job queue database {self._path} failed its integrity "
+            f"check ({cause}); quarantined to {target} and rebuilt "
+            "empty — submitted jobs before the corruption are lost, "
+            "but the coordinator is serving again",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return target
 
     def close(self) -> None:
         with self._lock:
@@ -169,7 +269,8 @@ class JobStore:
         )
         with self._lock, self._conn:
             self._conn.execute(
-                "INSERT INTO jobs VALUES (?, ?, ?, ?, ?, ?)",
+                "INSERT INTO jobs (job_id, created, label, meta, "
+                "total_units, total_jobs) VALUES (?, ?, ?, ?, ?, ?)",
                 (
                     job_id,
                     time.time(),
@@ -310,13 +411,82 @@ class JobStore:
             return cursor.rowcount == 1
 
     # ------------------------------------------------------------------
+    # Cancellation and forced lease release
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str, now: float | None = None) -> bool:
+        """Cancel one job; returns whether the job exists.
+
+        Queued and leased units move to the terminal ``cancelled``
+        state with their fence bumped, so any in-flight completion is
+        rejected (completion requires ``state = leased`` under the
+        presented fence).  The lease owner is *kept* on cancelled
+        units: heartbeats use it to tell a worker mid-unit that the
+        rest of its unit is no longer wanted.  Done units keep their
+        results.  Idempotent — cancelling twice records the first
+        timestamp.
+        """
+        now = time.time() if now is None else now
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET cancelled_at = ? "
+                "WHERE job_id = ? AND cancelled_at IS NULL",
+                (now, job_id),
+            )
+            known = (
+                cursor.rowcount == 1
+                or self._conn.execute(
+                    "SELECT 1 FROM jobs WHERE job_id = ?", (job_id,)
+                ).fetchone()
+                is not None
+            )
+            if known:
+                self._conn.execute(
+                    "UPDATE units SET state = ?, fence = fence + 1, "
+                    "lease_expiry = NULL "
+                    "WHERE job_id = ? AND state IN (?, ?)",
+                    (CANCELLED, job_id, QUEUED, LEASED),
+                )
+            return known
+
+    def cancelled_jobs_for(self, worker_id: str) -> list[str]:
+        """Cancelled job ids whose units ``worker_id`` last held —
+        the heartbeat payload telling a worker to stop mid-unit."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT DISTINCT job_id FROM units "
+                "WHERE state = ? AND lease_owner = ?",
+                (CANCELLED, worker_id),
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def release_worker(self, worker_id: str) -> list[tuple[str, int]]:
+        """Re-queue every live lease held by ``worker_id`` (fence
+        bumped) — the immediate reassignment behind worker quarantine,
+        where waiting for lease expiry would leave a misbehaving
+        worker's units dangling."""
+        with self._lock, self._conn:
+            rows = self._conn.execute(
+                "SELECT job_id, unit_index FROM units "
+                "WHERE state = ? AND lease_owner = ?",
+                (LEASED, worker_id),
+            ).fetchall()
+            for job_id, unit_index in rows:
+                self._conn.execute(
+                    "UPDATE units SET state = ?, fence = fence + 1, "
+                    "lease_owner = NULL, lease_expiry = NULL "
+                    "WHERE job_id = ? AND unit_index = ?",
+                    (QUEUED, job_id, unit_index),
+                )
+        return [(job_id, unit_index) for job_id, unit_index in rows]
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def job(self, job_id: str) -> JobRecord | None:
         with self._lock:
             row = self._conn.execute(
                 "SELECT job_id, created, label, meta, total_units, "
-                "total_jobs FROM jobs WHERE job_id = ?",
+                "total_jobs, cancelled_at FROM jobs WHERE job_id = ?",
                 (job_id,),
             ).fetchone()
             if row is None:
@@ -335,7 +505,8 @@ class JobStore:
         with self._lock:
             rows = self._conn.execute(
                 "SELECT job_id, created, label, meta, total_units, "
-                "total_jobs FROM jobs ORDER BY created DESC, job_id"
+                "total_jobs, cancelled_at FROM jobs "
+                "ORDER BY created DESC, job_id"
             ).fetchall()
             counts: dict[str, dict[str, int]] = {}
             for job_id, state, count in self._conn.execute(
@@ -347,7 +518,15 @@ class JobStore:
 
     @staticmethod
     def _record(row: Sequence[Any], counts: dict[str, int]) -> JobRecord:
-        job_id, created, label, meta, total_units, total_jobs = row
+        (
+            job_id,
+            created,
+            label,
+            meta,
+            total_units,
+            total_jobs,
+            cancelled_at,
+        ) = row
         return JobRecord(
             job_id=job_id,
             created=created,
@@ -358,6 +537,8 @@ class JobStore:
             queued=counts.get(QUEUED, 0),
             leased=counts.get(LEASED, 0),
             done=counts.get(DONE, 0),
+            cancelled_units=counts.get(CANCELLED, 0),
+            cancelled_at=cancelled_at,
         )
 
     def units(self, job_id: str) -> list[UnitView]:
@@ -373,6 +554,19 @@ class JobStore:
             UnitView(*row[:7], jobs=len(json.loads(row[7]))) for row in rows
         ]
 
+    def unit_job_count(self, job_id: str, unit_index: int) -> int | None:
+        """How many batch jobs one unit carries (``None`` if unknown) —
+        the expected result-entry count a completion must match."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT indices FROM units "
+                "WHERE job_id = ? AND unit_index = ?",
+                (job_id, unit_index),
+            ).fetchone()
+        if row is None:
+            return None
+        return len(json.loads(row[0]))
+
     def unit_entries(self, job_id: str, unit_index: int) -> list[dict]:
         """The stored job entries of one unit (cache passthrough)."""
         with self._lock:
@@ -387,8 +581,8 @@ class JobStore:
 
     def results(
         self, job_id: str
-    ) -> tuple[bool, list[dict]]:
-        """``(complete, done units)`` with each unit's indices + entries."""
+    ) -> tuple[JobRecord, list[dict]]:
+        """``(record, done units)`` with each unit's indices + entries."""
         record = self.job(job_id)
         if record is None:
             raise EngineError(f"unknown job id {job_id!r}")
@@ -406,7 +600,7 @@ class JobStore:
             }
             for unit_index, indices, result in rows
         ]
-        return record.complete, units
+        return record, units
 
     def counts(self) -> dict[str, int]:
         """Fleet-level unit counts (the coordinator's health document)."""
@@ -422,4 +616,5 @@ class JobStore:
             "queued": states.get(QUEUED, 0),
             "leased": states.get(LEASED, 0),
             "done": states.get(DONE, 0),
+            "cancelled": states.get(CANCELLED, 0),
         }

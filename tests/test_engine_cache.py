@@ -182,6 +182,31 @@ class TestDiskPersistence:
         assert cache.get_or_compute(key, lambda: "fresh") == "fresh"
         assert ResultCache(directory=tmp_path).lookup(key) == "fresh"
 
+    def test_truncated_entry_from_killed_writer_is_recovered(self, tmp_path):
+        # A worker killed mid-write leaves a torn pickle (a prefix of
+        # the real bytes, not random garbage — it parses further before
+        # failing) and an orphaned .tmp file.  Neither may poison the
+        # cache: the torn entry is dropped and recomputed, the tmp file
+        # never becomes visible to lookups.
+        import pickle
+
+        cache = ResultCache(directory=tmp_path)
+        key = stable_hash("victim")
+        full = pickle.dumps(
+            {"rows": list(range(200))}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        (cache.directory / f"{key}.pkl").write_bytes(full[: len(full) // 2])
+        (cache.directory / f".{key}.k1lled.tmp").write_bytes(full[:7])
+
+        assert is_miss(cache.lookup(key))
+        assert not (cache.directory / f"{key}.pkl").exists()
+        assert cache.get_or_compute(key, lambda: "recomputed") == "recomputed"
+        # A fresh instance over the same directory sees the recomputed
+        # value, and the orphaned tmp file still isn't an entry.
+        fresh = ResultCache(directory=tmp_path)
+        assert fresh.lookup(key) == "recomputed"
+        assert is_miss(fresh.lookup(f".{key}.k1lled"))
+
     def test_unpicklable_value_stays_in_memory(self, tmp_path):
         cache = ResultCache(directory=tmp_path)
         value = lambda: None  # noqa: E731 - deliberately unpicklable

@@ -298,10 +298,11 @@ class TestServiceEnvelopes:
                 ),
             },
         ]
-        complete, decoded = decode_job_results(
+        complete, cancelled, decoded = decode_job_results(
             encode_job_results("j1", complete=True, units=units)
         )
         assert complete
+        assert not cancelled
         assert decoded[0][0] == [0, 2]
         assert [r.value for r in decoded[0][1]] == [1, 3]
         assert decoded[1][0] == [1]

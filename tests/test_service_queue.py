@@ -74,7 +74,7 @@ def _boom(message: str) -> None:
 
 
 def _collect(url: str, job_id: str, total: int) -> list:
-    complete, units = fetch_results(url, job_id)
+    complete, _cancelled, units = fetch_results(url, job_id)
     assert complete
     results = [None] * total
     for indices, outcomes in units:
