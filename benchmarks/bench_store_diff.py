@@ -1,0 +1,119 @@
+"""Experiment E9: result-store recording and diff throughput.
+
+The store's pitch is that recording is cheap enough to leave on for
+every batch and that ``repro diff`` stays interactive over realistically
+sized result histories.  Two measurements back that up:
+
+* **record throughput** — rows/second of :meth:`ResultStore.record_batch`
+  over synthetic figure-4 cells (one sqlite transaction per batch, the
+  engine's write pattern);
+* **diff latency** — :func:`diff_runs` wall time over two recorded runs
+  of ``CELLS`` cells with a seeded fraction of drifted values, i.e. the
+  interactive cost of the CI gate.
+
+Both metrics land in the session JSON report via the shared ``report``
+fixture so CI can track them over time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.experiments import Figure4Row
+from repro.store import ResultStore, diff_runs
+
+#: Cells per synthetic run — roughly a full model x scenario x load
+#: matrix, two orders of magnitude above today's figure batches.
+CELLS = 2000
+
+#: One drifted cell per this many (the diff's worst case is ~all
+#: unchanged plus a handful of findings to classify and render).
+DRIFT_EVERY = 100
+
+
+def _rows(drift: bool = False):
+    rows = []
+    for i in range(CELLS):
+        wobble = 0.001 if drift and i % DRIFT_EVERY == 0 else 0.0
+        rows.append(
+            Figure4Row(
+                # scenario carries the index: cells must be unique, or
+                # the (run, cell) primary key folds the synthetic rows.
+                scenario=f"scenario{i // 39}",
+                load=("H", "M", "L")[i % 3],
+                model=f"model-{i % 13}",
+                delta_cycles=100 + i,
+                slowdown=1.0 + (i % 50) / 100.0 + wobble,
+                observed_slowdown=1.0 + (i % 50) / 110.0,
+            )
+        )
+    return rows
+
+
+def _record_run(store, rows, label):
+    run = store.begin_run(engine_mode="bench", label=label)
+    store.record_batch(
+        run, [(f"figure4:{i}", row, None) for i, row in enumerate(rows)]
+    )
+    return run
+
+
+@pytest.mark.benchmark(group="store")
+def test_store_record_throughput(benchmark, tmp_path, report):
+    store = ResultStore(tmp_path)
+    rows = _rows()
+    counter = iter(range(1_000_000))
+
+    def record():
+        return _record_run(store, rows, f"round-{next(counter)}")
+
+    benchmark(record)
+    start = time.perf_counter()
+    _record_run(store, rows, "timed")
+    elapsed = time.perf_counter() - start
+    throughput = CELLS / elapsed
+    report.record(
+        "store_record",
+        {
+            "cells": CELLS,
+            "seconds": elapsed,
+            "rows_per_second": throughput,
+        },
+    )
+    report.add(
+        "E9: result-store record throughput",
+        f"{CELLS} cells in {elapsed * 1e3:.1f} ms "
+        f"({throughput:,.0f} rows/s)",
+    )
+    store.close()
+
+
+@pytest.mark.benchmark(group="store")
+def test_diff_latency(benchmark, tmp_path, report):
+    store = ResultStore(tmp_path)
+    before = _record_run(store, _rows(), "before")
+    after = _record_run(store, _rows(drift=True), "after")
+
+    result = benchmark(lambda: diff_runs(store, before, after))
+    assert result.regression
+    assert result.counts()["changed"] == CELLS // DRIFT_EVERY
+
+    start = time.perf_counter()
+    diff_runs(store, before, after)
+    elapsed = time.perf_counter() - start
+    report.record(
+        "store_diff",
+        {
+            "cells": CELLS,
+            "changed": CELLS // DRIFT_EVERY,
+            "seconds": elapsed,
+        },
+    )
+    report.add(
+        "E9: diff latency",
+        f"diff of 2x{CELLS} cells ({CELLS // DRIFT_EVERY} drifted) in "
+        f"{elapsed * 1e3:.1f} ms",
+    )
+    store.close()

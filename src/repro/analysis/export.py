@@ -27,8 +27,26 @@ from repro.core.model import ContentionModel
 from repro.core.registry import default_model_registry
 from repro.engine.artifact import ExperimentArtifact, artifact
 from repro.engine.experiment import ScenarioRunResult
+from repro.store.diff import DIFF_COLUMNS
 from repro.engine.families import FamilyRunResult
 from repro.errors import ReproError
+
+
+def exact_float(value: Any) -> float | None:
+    """A float's round-trip-exact export form.
+
+    Exports used to pass slowdowns and tightness through ``round(x, 6)``,
+    which silently loses the low bits — a diff between an export and the
+    result store could then disagree on a value that never actually
+    moved.  Exported floats go through this helper instead: a plain
+    Python ``float`` (numpy scalars coerced), which both the CSV writer
+    (``str``) and the JSON encoder format with ``repr``-shortest digits,
+    guaranteed by the language to round-trip bit-exactly — including
+    negative zero, values above 2**53 and subnormals.
+    """
+    if value is None:
+        return None
+    return float(value)
 
 
 def figure4_rows(rows: Sequence[Figure4Row]) -> list[dict[str, Any]]:
@@ -39,13 +57,9 @@ def figure4_rows(rows: Sequence[Figure4Row]) -> list[dict[str, Any]]:
             "model": row.model,
             "load": row.load,
             "delta_cycles": row.delta_cycles,
-            "slowdown": round(row.slowdown, 6),
+            "slowdown": exact_float(row.slowdown),
             "paper_value": row.paper_value,
-            "observed_slowdown": (
-                round(row.observed_slowdown, 6)
-                if row.observed_slowdown is not None
-                else None
-            ),
+            "observed_slowdown": exact_float(row.observed_slowdown),
             "sound": row.sound,
         }
         for row in rows
@@ -79,7 +93,7 @@ def ablation_rows(rows: Sequence[AblationRow]) -> list[dict[str, Any]]:
             "load": row.load,
             "model": row.model,
             "delta_cycles": row.delta_cycles,
-            "slowdown": round(row.slowdown, 6),
+            "slowdown": exact_float(row.slowdown),
         }
         for row in rows
     ]
@@ -91,9 +105,7 @@ def sweep_rows(points: Sequence[SweepPoint]) -> list[dict[str, Any]]:
         {
             "scale": point.scale,
             "delta_cycles": point.delta_cycles,
-            "slowdown": (
-                round(point.slowdown, 6) if point.slowdown is not None else None
-            ),
+            "slowdown": exact_float(point.slowdown),
             "saturated": point.saturated,
         }
         for point in points
@@ -108,9 +120,7 @@ def deployment_rows(
         {
             "scenario": row.scenario,
             "delta_cycles": row.delta_cycles,
-            "slowdown": (
-                round(row.slowdown, 6) if row.slowdown is not None else None
-            ),
+            "slowdown": exact_float(row.slowdown),
         }
         for row in rows
     ]
@@ -129,7 +139,7 @@ def soundness_rows(cases: Sequence[SoundnessCase]) -> list[dict[str, Any]]:
                     "observed_cycles": case.observed_cycles,
                     "predicted_wcet": predicted,
                     "sound": model not in case.violations,
-                    "tightness": round(case.tightness(model), 6),
+                    "tightness": exact_float(case.tightness(model)),
                 }
             )
     return flat
@@ -146,7 +156,7 @@ def three_core_rows(rows: Sequence[ThreeCoreRow]) -> list[dict[str, Any]]:
             "pairwise_sum_delta": row.pairwise_sum_delta,
             "joint_saving": row.joint_saving,
             "observed_cycles": row.observed_cycles,
-            "observed_slowdown": round(row.observed_slowdown, 6),
+            "observed_slowdown": exact_float(row.observed_slowdown),
             "sound": row.sound,
         }
         for row in rows
@@ -194,8 +204,8 @@ def family_rows(results: Sequence[FamilyRunResult]) -> list[dict[str, Any]]:
             "joint_delta": result.run.joint_delta,
             "dma_delta": result.run.dma_delta,
             "observed_cycles": result.run.observed_cycles,
-            "predicted_slowdown": round(result.run.predicted_slowdown, 6),
-            "observed_slowdown": round(result.run.observed_slowdown, 6),
+            "predicted_slowdown": exact_float(result.run.predicted_slowdown),
+            "observed_slowdown": exact_float(result.run.observed_slowdown),
             "sound": result.run.sound,
         }
         for result in results
@@ -224,8 +234,8 @@ def scenario_run_rows(
             "dma_delta": result.dma_delta,
             "dma_model": result.dma_model,
             "observed_cycles": result.observed_cycles,
-            "predicted_slowdown": round(result.predicted_slowdown, 6),
-            "observed_slowdown": round(result.observed_slowdown, 6),
+            "predicted_slowdown": exact_float(result.predicted_slowdown),
+            "observed_slowdown": exact_float(result.observed_slowdown),
             "sound": result.sound,
         }
         for result in results
@@ -297,6 +307,10 @@ _ARTIFACT_COLUMNS = {
 # Matrix cells *are* scenario runs (same flattening), so the column
 # tuples must never drift apart.
 _ARTIFACT_COLUMNS["matrix"] = _ARTIFACT_COLUMNS["scenario-run"]
+# Regression diffs are built by repro.store.diff (the store layer owns
+# the comparison); registering the kind here keeps the artifact-column
+# registry the one complete listing of export shapes.
+_ARTIFACT_COLUMNS["diff"] = DIFF_COLUMNS
 _ARTIFACT_COLUMNS["family"] = (
     "family",
     "member",
@@ -430,13 +444,25 @@ def to_json(records: Iterable[Mapping[str, Any]], *, indent: int = 2) -> str:
     return json.dumps(list(records), indent=indent)
 
 
-def to_csv(records: Sequence[Mapping[str, Any]]) -> str:
-    """Serialise flattened records to CSV (columns from the first record)."""
+def to_csv(
+    records: Sequence[Mapping[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Serialise flattened records to CSV.
+
+    ``columns`` fixes the header order explicitly (and permits an empty
+    record set — a clean ``repro diff`` export is a header-only file);
+    without it the columns come from the first record, so at least one
+    is required.
+    """
     records = list(records)
-    if not records:
-        raise ReproError("no records to export")
+    if columns is None:
+        if not records:
+            raise ReproError("no records to export")
+        columns = list(records[0].keys())
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=list(records[0].keys()))
+    writer = csv.DictWriter(buffer, fieldnames=list(columns))
     writer.writeheader()
     writer.writerows(records)
     return buffer.getvalue()
@@ -447,6 +473,7 @@ def write(
     path: str,
     *,
     format: str | None = None,
+    columns: Sequence[str] | None = None,
 ) -> None:
     """Write records to ``path`` (format inferred from the extension)."""
     if format is None:
@@ -461,7 +488,7 @@ def write(
     if format == "json":
         payload = to_json(records)
     elif format == "csv":
-        payload = to_csv(records)
+        payload = to_csv(records, columns=columns)
     else:
         raise ReproError(f"unknown export format {format!r}")
     with open(path, "w", encoding="utf-8") as handle:
@@ -472,4 +499,4 @@ def write_artifact(
     item: ExperimentArtifact, path: str, *, format: str | None = None
 ) -> None:
     """Write an engine artifact's records to ``path`` (CSV or JSON)."""
-    write(item.record_dicts(), path, format=format)
+    write(item.record_dicts(), path, format=format, columns=item.columns)

@@ -28,6 +28,9 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``)::
     repro jobs --cancel JOB --coordinator http://127.0.0.1:8751
     repro chaos --upstream http://127.0.0.1:8751 --fault latency:times=5
     repro --profile out.prof figure4   # cProfile any command
+    repro store --cache-dir .cache    # recorded runs in the result store
+    repro diff latest~1 latest --cache-dir .cache   # regression report
+    repro cache --cache-dir .cache --prune          # drop stale versions
 
 Every command prints the same rendering the benchmark suite produces, so
 shell users and CI logs see identical artefacts.  Commands that fan out
@@ -35,7 +38,9 @@ over independent jobs accept ``--jobs N`` to execute on the experiment
 engine's process pool; results are identical to serial runs, and a
 shared per-invocation result cache deduplicates repeated work.  Passing
 ``--cache-dir PATH`` persists that cache to disk, making figure
-regeneration incremental *across* invocations and CI runs.  ``--workers
+regeneration incremental *across* invocations and CI runs — and records
+every completed job into the result store beside it, so ``repro diff``
+can compare any two invocations afterwards.  ``--workers
 URL,...`` shards the batch over ``repro worker`` processes instead
 (``mode="remote"``; see :mod:`repro.engine.remote` for the two-terminal
 quickstart), and ``--coordinator URL`` queues it on a ``repro serve``
@@ -89,6 +94,7 @@ from repro.engine import (
 from repro.errors import ReproError
 from repro.platform.deployment import scenario_1, scenario_2
 from repro.platform.tc27x import tc277
+from repro.store import ResultStore
 
 
 def _worker_urls(args: argparse.Namespace) -> tuple[str, ...]:
@@ -105,12 +111,14 @@ def _engine(args: argparse.Namespace) -> ExperimentEngine | None:
     ``mode="service"`` (queued on a `repro serve` coordinator);
     otherwise ``--jobs N`` (N > 1) turns on the local process pool.
     ``--cache-dir`` turns on disk-persistent result caching in every
-    case (serial execution unless combined with one of the others).
-    The instance is remembered on ``args`` so :func:`main` can shut its
-    worker pool down once the command returns.
+    case (serial execution unless combined with one of the others) and
+    attaches the directory's result store, so the invocation is recorded
+    as one diffable run.  The instance is remembered on ``args`` so
+    :func:`main` can shut its worker pool down once the command returns.
     """
     jobs = getattr(args, "jobs", 1) or 1
     cache_dir = getattr(args, "cache_dir", None)
+    store = ResultStore(cache_dir) if cache_dir is not None else None
     urls = _worker_urls(args)
     coordinator = getattr(args, "coordinator", None)
     if urls:
@@ -118,18 +126,21 @@ def _engine(args: argparse.Namespace) -> ExperimentEngine | None:
             mode="remote",
             worker_urls=urls,
             cache=ResultCache(directory=cache_dir),
+            store=store,
         )
     elif coordinator:
         engine = ExperimentEngine(
             mode="service",
             coordinator_url=coordinator,
             cache=ResultCache(directory=cache_dir),
+            store=store,
         )
     elif jobs > 1 or cache_dir is not None:
         engine = ExperimentEngine(
             mode="process" if jobs > 1 else "serial",
             workers=jobs if jobs > 1 else None,
             cache=ResultCache(directory=cache_dir),
+            store=store,
         )
     else:
         return None
@@ -669,6 +680,124 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
     return "chaos proxy stopped"
 
 
+def _result_store(args: argparse.Namespace) -> ResultStore:
+    if not getattr(args, "cache_dir", None):
+        raise ReproError(
+            "this command reads the result store: pass --cache-dir PATH "
+            "(the store lives beside the cache's version namespaces)"
+        )
+    return ResultStore(args.cache_dir)
+
+
+def _cmd_diff(args: argparse.Namespace) -> str:
+    """Compare two recorded runs; exit 1 when anything regressed.
+
+    Exit-code contract (for CI): 0 — every shared cell identical and
+    none missing; 1 — a changed cell, a soundness flip or a missing
+    cell; 2 — usage error (unknown selector, no store, bad export path).
+    New cells alone exit 0: growing the matrix is not a regression.
+    """
+    from repro.store import diff_artifact, diff_runs
+
+    store = _result_store(args)
+    report = diff_runs(store, args.before, args.after)
+    args._exit_code = 1 if report.regression else 0
+    counts = report.counts()
+    summary = (
+        f"diff {report.before} -> {report.after}: "
+        f"{report.cells_before} -> {report.cells_after} cells, "
+        f"{report.unchanged} unchanged, {counts['changed']} changed, "
+        f"{counts['sound-flip']} sound flips, "
+        f"{counts['missing']} missing, {counts['new']} new"
+    )
+    item = diff_artifact(report)
+    if args.export:
+        from repro.analysis.export import write_artifact
+
+        write_artifact(item, args.export)
+        return f"wrote {len(item)} diff rows to {args.export}\n{summary}"
+    if not report.diffs:
+        return f"{summary}\nno differences"
+    return f"{render_artifact(item)}\n{summary}"
+
+
+def _cmd_store(args: argparse.Namespace) -> str:
+    """List the result store's recorded runs (or maintain it)."""
+    store = _result_store(args)
+    lines: list[str] = []
+    if store.quarantined:
+        lines.append(
+            f"note: a corrupt store was quarantined to {store.quarantined}"
+        )
+    if args.backfill:
+        recorded = store.backfill(args.cache_dir)
+        total = sum(recorded.values())
+        versions = ", ".join(sorted(recorded)) or "none"
+        lines.append(
+            f"backfilled {total} rows from cache namespaces: {versions}"
+        )
+    if args.vacuum:
+        store.vacuum()
+        lines.append("vacuumed the store database")
+    runs = store.runs()
+    lines.append(
+        render_table(
+            ["run", "started (UTC)", "mode", "label", "version", "rev", "cells"],
+            [
+                [
+                    run["run_id"],
+                    run["started_utc"][:19],
+                    run["engine_mode"] or "-",
+                    run["label"] or "-",
+                    run["library_version"],
+                    (run["git_rev"] or "-")[:12],
+                    run["cells"],
+                ]
+                for run in runs
+            ],
+            title=f"Recorded runs ({len(runs)})",
+        )
+    )
+    return "\n".join(lines)
+
+
+def _cmd_cache(args: argparse.Namespace) -> str:
+    """Inspect the disk cache's version namespaces (or prune stale ones)."""
+    from repro.engine.cache import cache_namespaces, prune_stale_versions
+    from repro.store.resultstore import STORE_FILENAME
+
+    import os as _os
+
+    if not args.cache_dir:
+        raise ReproError("pass --cache-dir PATH to inspect a disk cache")
+    if args.prune:
+        pruned = prune_stale_versions(args.cache_dir)
+        # The pruned namespaces' backfill runs (and any dead weight) are
+        # worth compacting away while we are here.
+        store_path = _os.path.join(args.cache_dir, STORE_FILENAME)
+        if _os.path.exists(store_path):
+            store = ResultStore(args.cache_dir)
+            store.delete_runs([f"backfill-v{version}" for version in pruned])
+            store.vacuum()
+        if not pruned:
+            return "nothing to prune: only the active namespace exists"
+        return "pruned stale cache namespaces: " + ", ".join(
+            f"v{version}" for version in pruned
+        )
+    from repro import __version__
+
+    rows = []
+    for version, path in cache_namespaces(args.cache_dir):
+        entries = len(list(path.glob("*.pkl")))
+        active = "yes" if version == __version__ else ""
+        rows.append([f"v{version}", entries, active])
+    return render_table(
+        ["namespace", "entries", "active"],
+        rows,
+        title=f"Cache namespaces under {args.cache_dir}",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -1016,6 +1145,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("platform", help="Figure 1 block diagram")
+
+    p = sub.add_parser(
+        "diff",
+        help=(
+            "compare two recorded runs cell by cell; exits 1 on any "
+            "changed/missing cell or soundness flip (CI guardrail)"
+        ),
+    )
+    p.add_argument(
+        "before",
+        help="run selector: a run id, latest[~N], rev:<prefix>, version:<v>",
+    )
+    p.add_argument("after", help="run selector (same forms)")
+    p.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="cache directory whose result store to query",
+    )
+    p.add_argument(
+        "--export",
+        metavar="PATH.{json,csv}",
+        help="write the diff rows instead of rendering",
+    )
+
+    p = sub.add_parser(
+        "store",
+        help="list the result store's recorded runs (--backfill, --vacuum)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="cache directory whose result store to open",
+    )
+    p.add_argument(
+        "--backfill",
+        action="store_true",
+        help=(
+            "describe existing disk-cache pickles into store rows (one "
+            "run per v<version>/ namespace; idempotent)"
+        ),
+    )
+    p.add_argument(
+        "--vacuum", action="store_true", help="compact the store database"
+    )
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect the disk cache's version namespaces (--prune)",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="PATH", help="cache directory to inspect"
+    )
+    p.add_argument(
+        "--prune",
+        action="store_true",
+        help=(
+            "delete stale v<version>/ namespaces (never the active "
+            "one) and compact the result store"
+        ),
+    )
     return parser
 
 
@@ -1042,6 +1231,9 @@ _COMMANDS = {
     "watch": _cmd_watch,
     "jobs": _cmd_jobs,
     "chaos": _cmd_chaos,
+    "diff": _cmd_diff,
+    "store": _cmd_store,
+    "cache": _cmd_cache,
 }
 
 
@@ -1066,7 +1258,12 @@ def _run_profiled(command, args, path: str):
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: 0 — success; 2 — usage or library error; commands may
+    set their own code via ``args._exit_code`` (``repro diff`` exits 1
+    on a regression so CI pipelines can gate on it).
+    """
     args = build_parser().parse_args(argv)
     command = _COMMANDS[args.command]
     try:
@@ -1082,7 +1279,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         if engine is not None:
             engine.close()
     print(output)
-    return 0
+    return getattr(args, "_exit_code", 0)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -318,3 +318,58 @@ class ResultCache:
 def is_miss(value: Any) -> bool:
     """Whether a :meth:`ResultCache.lookup` result was a miss."""
     return value is _MISS
+
+
+def cache_namespaces(directory: str | os.PathLike) -> list[tuple[str, Path]]:
+    """The ``(version, path)`` namespaces under one cache directory."""
+    root = Path(directory)
+    found = []
+    for path in sorted(root.glob("v*")):
+        if path.is_dir() and len(path.name) > 1:
+            found.append((path.name[1:], path))
+    return found
+
+
+def prune_stale_versions(
+    directory: str | os.PathLike, *, active: str | None = None
+) -> list[str]:
+    """Delete stale ``v<version>/`` cache namespaces; never the active one.
+
+    Version namespaces accumulate forever across library upgrades —
+    nothing ever reads a ``v1.0.0/`` entry once the library is at 1.1 —
+    so pruning reclaims the disk.  ``active`` defaults to the running
+    library version.  Returns the pruned version strings.
+
+    Safe against concurrent writers in the *active* namespace by
+    construction: that directory is never touched.  A writer racing
+    inside a stale namespace (an old-version process still running) at
+    worst re-creates files; deletion is best-effort per entry and
+    missing files are ignored.
+    """
+    if active is None:
+        from repro import __version__  # deferred: package-init cycle
+
+        active = __version__
+    pruned: list[str] = []
+    for version, path in cache_namespaces(directory):
+        if version == active:
+            continue
+        _remove_tree(path)
+        pruned.append(version)
+    return pruned
+
+
+def _remove_tree(root: Path) -> None:
+    """Best-effort recursive delete (races with writers tolerated)."""
+    for path in sorted(root.rglob("*"), reverse=True):
+        try:
+            if path.is_dir() and not path.is_symlink():
+                path.rmdir()
+            else:
+                path.unlink()
+        except OSError:
+            pass
+    try:
+        root.rmdir()
+    except OSError:
+        pass

@@ -31,18 +31,22 @@ from __future__ import annotations
 import dataclasses
 import os
 import pickle
+import warnings
 from concurrent.futures import (
     BrokenExecutor,
     Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.engine.batch import Job, as_jobs, warm_units
 from repro.engine.cache import ResultCache, is_miss
 from repro.engine.remote.client import RemoteExecutor, RemoteStats
 from repro.errors import EngineError
+
+if TYPE_CHECKING:  # runtime import deferred: store <-> engine layering
+    from repro.store import ResultStore
 
 #: Supported execution modes.
 EXECUTION_MODES = ("serial", "thread", "process", "remote", "service")
@@ -59,12 +63,14 @@ class EngineStats:
         batches: number of :meth:`ExperimentEngine.run` calls.
         fallbacks: jobs that were demoted from a worker pool to in-process
             execution (unpicklable payload or pool start-up failure).
+        recorded: result-store rows written by the recording hook.
     """
 
     executed: int = 0
     cached: int = 0
     batches: int = 0
     fallbacks: int = 0
+    recorded: int = 0
 
 
 def _run_job(item: Job) -> Any:
@@ -100,6 +106,13 @@ class ExperimentEngine:
             (``None`` keeps the client's generous default).
         coordinator_url: base URL of a ``repro serve`` coordinator;
             required by (and only valid with) ``mode="service"``.
+        store: optional :class:`~repro.store.ResultStore`; when attached,
+            every batch this engine runs is recorded — one provenance-
+            stamped row per result cell, cache hits included, so a run's
+            recorded cell set always covers its whole matrix.  All five
+            execution modes funnel through :meth:`run`, so one hook
+            covers them all.  Recording is best-effort: a store failure
+            warns and the batch's results are returned regardless.
     """
 
     def __init__(
@@ -111,6 +124,7 @@ class ExperimentEngine:
         worker_urls: Sequence[str] | None = None,
         remote_timeout: float | None = None,
         coordinator_url: str | None = None,
+        store: "ResultStore | None" = None,
     ) -> None:
         if mode not in EXECUTION_MODES:
             raise EngineError(
@@ -147,10 +161,12 @@ class ExperimentEngine:
         self.worker_urls = tuple(worker_urls) if worker_urls else ()
         self.remote_timeout = remote_timeout
         self.coordinator_url = coordinator_url
+        self.store = store
         self.stats = EngineStats()
         self._executor: Executor | None = None
         self._remote: RemoteExecutor | None = None
         self._service = None
+        self._run_id: str | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -232,7 +248,47 @@ class ExperimentEngine:
         for index, source in duplicates.items():
             results[index] = results[source]
             self.stats.cached += 1
+        if self.store is not None:
+            self._record_batch(batch, keys, results)
         return results
+
+    @property
+    def run_id(self) -> str | None:
+        """The attached store's run id (``None`` until the first
+        recorded batch, or without a store)."""
+        return self._run_id
+
+    def _record_batch(
+        self,
+        batch: Sequence[Job],
+        keys: Sequence[str | None],
+        results: Sequence[Any],
+    ) -> None:
+        """Record one completed batch into the attached result store.
+
+        All of the engine's batches land in one run (begun lazily), so
+        multi-phase drivers — measure, then model — produce a single
+        diffable run per engine instance.  Best-effort by design: the
+        store is an observability layer, and a full disk or locked
+        database must not fail an otherwise-successful batch.
+        """
+        try:
+            if self._run_id is None:
+                self._run_id = self.store.begin_run(engine_mode=self.mode)
+            self.stats.recorded += self.store.record_batch(
+                self._run_id,
+                [
+                    (item.label, results[index], keys[index])
+                    for index, item in enumerate(batch)
+                ],
+            )
+        except Exception as exc:
+            warnings.warn(
+                f"result-store recording failed ({exc}); batch results "
+                "are unaffected but this run will be missing rows",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     # ------------------------------------------------------------------
     def _execute(

@@ -66,6 +66,11 @@ class EngineError(ReproError):
     unhashable cache key, invalid execution mode, ...)."""
 
 
+class StoreError(ReproError):
+    """The result store was misused (unknown run id, bad selector,
+    diffing a run against itself, ...)."""
+
+
 class JobCancelledError(EngineError):
     """A service job was cancelled before it completed.
 

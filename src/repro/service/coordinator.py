@@ -39,7 +39,9 @@ import os
 import secrets
 import threading
 import time
+import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
 
 from repro.engine.batch import warm_units
 from repro.engine.cache import ResultCache, is_miss
@@ -59,6 +61,7 @@ from repro.engine.remote.wire import (
 )
 from repro.errors import RemoteError
 from repro.service.store import JobStore, UnitSpec
+from repro.store import ResultStore
 
 #: Default TCP port of ``repro serve`` (port 0 binds an ephemeral one).
 DEFAULT_COORDINATOR_PORT = 8751
@@ -183,6 +186,12 @@ class CoordinatorServer(ThreadingHTTPServer):
             queue survives coordinator restarts.
         cache: optional shared :class:`ResultCache` for queue-level
             dedupe (cache-complete units never reach a worker).
+        results: optional :class:`~repro.store.ResultStore`.  Unit
+            completions (and cache-deduped born-done units) are recorded
+            under the job id as the run id, so fire-and-forget ``repro
+            submit`` runs — where no client engine is attached when the
+            work finishes — land in the same store ``repro diff``
+            queries, addressable by the id ``repro status`` shows.
         lease_seconds: how long a leased unit stays assigned without a
             heartbeat before it is re-queued to another worker.
         worker_ttl: how long a silent worker counts as live (sticky
@@ -203,6 +212,7 @@ class CoordinatorServer(ThreadingHTTPServer):
         *,
         store: JobStore,
         cache: ResultCache | None = None,
+        results: ResultStore | None = None,
         lease_seconds: float = 60.0,
         worker_ttl: float = 30.0,
         quarantine_limit: int = 3,
@@ -210,6 +220,7 @@ class CoordinatorServer(ThreadingHTTPServer):
         super().__init__((host, port), _CoordinatorHandler)
         self.store = store
         self.cache = cache
+        self.results = results
         self.lease_seconds = lease_seconds
         self.worker_ttl = worker_ttl
         self.quarantine_limit = quarantine_limit
@@ -249,6 +260,7 @@ class CoordinatorServer(ThreadingHTTPServer):
             raise RemoteError("cannot submit an empty batch")
         batch = [item.job for item in items]
         units: list[UnitSpec] = []
+        born_done: list[tuple[str, Any, str | None]] = []
         for unit in warm_units(batch, range(len(batch))):
             unit_items = [items[i] for i in unit]
             result = None
@@ -272,6 +284,10 @@ class CoordinatorServer(ThreadingHTTPServer):
                             for value in values
                         ]
                     )
+                    born_done.extend(
+                        (item.job.describe(), value, item.cache_key)
+                        for item, value in zip(unit_items, values)
+                    )
             units.append(
                 UnitSpec(
                     entries=encode_job_entries(unit_items),
@@ -283,6 +299,10 @@ class CoordinatorServer(ThreadingHTTPServer):
         job_id = self.store.submit(
             units, label=label, meta=meta, total_jobs=len(batch)
         )
+        # The run record is opened at submission (even with nothing born
+        # done yet), so the job id is a valid `repro diff` selector the
+        # moment `repro submit` prints it.
+        self._record_rows(job_id, label, born_done)
         return encode_document(ACCEPTED_KIND, {"job_id": job_id})
 
     def handle_status(self, job_id: str) -> bytes:
@@ -513,7 +533,9 @@ class CoordinatorServer(ThreadingHTTPServer):
                 info.last_seen = now
                 if accepted:
                     info.completed_units += 1
-        if accepted and self.cache is not None:
+        if accepted and (
+            self.cache is not None or self.results is not None
+        ):
             self._store_results(job_id, unit_index, document["results"])
         return encode_document(UNIT_ACCEPTED_KIND, {"accepted": accepted})
 
@@ -545,7 +567,8 @@ class CoordinatorServer(ThreadingHTTPServer):
     def _store_results(
         self, job_id: str, unit_index: int, result_entries: list[dict]
     ) -> None:
-        """Feed completed values into the coordinator cache (dedupe)."""
+        """Feed completed values into the coordinator cache (dedupe)
+        and the result store (regression diffs)."""
         entries = self.store.unit_entries(job_id, unit_index)
         try:
             results = decode_result_entries(
@@ -553,10 +576,43 @@ class CoordinatorServer(ThreadingHTTPServer):
             )
         except RemoteError:
             return
+        completed: list[tuple[str, Any, str | None]] = []
         for entry, result in zip(entries, results):
             key = entry.get("cache_key")
-            if result.ok and not result.cached and isinstance(key, str):
+            key = key if isinstance(key, str) else None
+            if not result.ok:
+                continue
+            if self.cache is not None and not result.cached and key:
                 self.cache.store(key, result.value)
+            completed.append((entry.get("label") or "", result.value, key))
+        if completed:
+            self._record_rows(job_id, "", completed)
+
+    def _record_rows(
+        self,
+        job_id: str,
+        label: str,
+        completed: list[tuple[str, Any, str | None]],
+    ) -> None:
+        """Record completed values into the result store, best-effort.
+
+        The store is an observability layer: a full disk or locked
+        database must not fail the submission or completion it rides on.
+        """
+        if self.results is None:
+            return
+        try:
+            self.results.begin_run(
+                engine_mode="service", label=label, run_id=job_id
+            )
+            if completed:
+                self.results.record_batch(job_id, completed)
+        except Exception as exc:
+            warnings.warn(
+                f"result-store recording for job {job_id} failed ({exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def handle_heartbeat(self, body: bytes) -> bytes:
         """Renew a worker's leases; absorb its execution counters."""
@@ -624,11 +680,13 @@ def serve(
     os.makedirs(state_dir, exist_ok=True)
     store = JobStore(os.path.join(state_dir, "queue.sqlite"))
     cache = ResultCache(directory=cache_dir) if cache_dir else None
+    results = ResultStore(cache_dir) if cache_dir else None
     server = CoordinatorServer(
         host,
         port,
         store=store,
         cache=cache,
+        results=results,
         lease_seconds=lease_seconds,
         worker_ttl=worker_ttl,
     )

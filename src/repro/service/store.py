@@ -55,11 +55,13 @@ import warnings
 from typing import Any, Sequence
 
 from repro.errors import EngineError
+from repro.provenance import iso_from_epoch, utc_file_stamp
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
     job_id       TEXT PRIMARY KEY,
     created      REAL NOT NULL,
+    created_utc  TEXT NOT NULL DEFAULT '',
     label        TEXT NOT NULL DEFAULT '',
     meta         TEXT NOT NULL DEFAULT '{}',
     total_units  INTEGER NOT NULL,
@@ -127,6 +129,7 @@ class JobRecord:
     done: int
     cancelled_units: int = 0
     cancelled_at: float | None = None
+    created_utc: str = ""
 
     @property
     def complete(self) -> bool:
@@ -210,16 +213,23 @@ class JobStore:
 
     @staticmethod
     def _migrate(conn: sqlite3.Connection) -> None:
-        """Bring a pre-cancellation database up to the current schema."""
+        """Bring an older database up to the current schema."""
         columns = {
             row[1] for row in conn.execute("PRAGMA table_info(jobs)")
         }
         if "cancelled_at" not in columns:
             conn.execute("ALTER TABLE jobs ADD COLUMN cancelled_at REAL")
+        if "created_utc" not in columns:
+            conn.execute(
+                "ALTER TABLE jobs ADD COLUMN created_utc "
+                "TEXT NOT NULL DEFAULT ''"
+            )
 
     def _quarantine(self, cause: Exception) -> str:
         """Move the corrupt database (and WAL sidecars) out of the way."""
-        stamp = time.strftime("%Y%m%d-%H%M%S")
+        # UTC, not local wall-clock: quarantine stamps from different
+        # hosts must sort consistently (see repro.provenance).
+        stamp = utc_file_stamp()
         target = f"{self._path}.corrupt-{stamp}"
         suffix = 0
         while os.path.exists(target):
@@ -267,13 +277,18 @@ class JobStore:
             if total_jobs is not None
             else sum(len(unit.indices) for unit in units)
         )
+        # One clock reading for both spellings: `created` stays a float
+        # (lease/ordering arithmetic), `created_utc` is the portable
+        # cross-host provenance form (see repro.provenance).
+        now = time.time()
         with self._lock, self._conn:
             self._conn.execute(
-                "INSERT INTO jobs (job_id, created, label, meta, "
-                "total_units, total_jobs) VALUES (?, ?, ?, ?, ?, ?)",
+                "INSERT INTO jobs (job_id, created, created_utc, label, "
+                "meta, total_units, total_jobs) VALUES (?, ?, ?, ?, ?, ?, ?)",
                 (
                     job_id,
-                    time.time(),
+                    now,
+                    iso_from_epoch(now),
                     label,
                     json.dumps(meta or {}),
                     len(units),
@@ -486,7 +501,8 @@ class JobStore:
         with self._lock:
             row = self._conn.execute(
                 "SELECT job_id, created, label, meta, total_units, "
-                "total_jobs, cancelled_at FROM jobs WHERE job_id = ?",
+                "total_jobs, cancelled_at, created_utc "
+                "FROM jobs WHERE job_id = ?",
                 (job_id,),
             ).fetchone()
             if row is None:
@@ -505,7 +521,7 @@ class JobStore:
         with self._lock:
             rows = self._conn.execute(
                 "SELECT job_id, created, label, meta, total_units, "
-                "total_jobs, cancelled_at FROM jobs "
+                "total_jobs, cancelled_at, created_utc FROM jobs "
                 "ORDER BY created DESC, job_id"
             ).fetchall()
             counts: dict[str, dict[str, int]] = {}
@@ -526,6 +542,7 @@ class JobStore:
             total_units,
             total_jobs,
             cancelled_at,
+            created_utc,
         ) = row
         return JobRecord(
             job_id=job_id,
@@ -539,6 +556,7 @@ class JobStore:
             done=counts.get(DONE, 0),
             cancelled_units=counts.get(CANCELLED, 0),
             cancelled_at=cancelled_at,
+            created_utc=created_utc,
         )
 
     def units(self, job_id: str) -> list[UnitView]:

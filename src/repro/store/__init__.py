@@ -1,0 +1,37 @@
+"""``repro.store`` — the incremental result store and its differ.
+
+The queryable layer over the raw pickle cache: every completed engine
+job lands as one-or-more provenance-stamped sqlite rows
+(:class:`ResultStore`), and ``repro diff`` compares any two recorded
+runs, revisions or library versions cell-by-cell (:func:`diff_runs`).
+See :mod:`repro.store.resultstore` for the full story.
+"""
+
+from repro.store.describe import CELL_FIELDS, describe_result
+from repro.store.diff import (
+    CellDiff,
+    DiffReport,
+    diff_artifact,
+    diff_rows,
+    diff_runs,
+)
+from repro.store.resultstore import (
+    ResultStore,
+    ROW_FIELDS,
+    SCHEMA_VERSION,
+    STORE_FILENAME,
+)
+
+__all__ = [
+    "CELL_FIELDS",
+    "CellDiff",
+    "DiffReport",
+    "ResultStore",
+    "ROW_FIELDS",
+    "SCHEMA_VERSION",
+    "STORE_FILENAME",
+    "describe_result",
+    "diff_artifact",
+    "diff_rows",
+    "diff_runs",
+]

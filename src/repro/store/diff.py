@@ -1,0 +1,224 @@
+"""Differential regression reports between two recorded runs.
+
+``repro diff A B`` answers the question the whole store exists for:
+*did any bound move?*  Cells are matched by their identity key (see
+:mod:`repro.store.describe`) and classified:
+
+* **changed** — bound, predicted, observed or tightness differs.
+  Comparison is exact (``repr``-level float equality): the engine is
+  deterministic and byte-identical across execution modes, so *any*
+  numeric drift is a finding, never noise.
+* **sound-flip** — the soundness verdict flipped.  Always also a
+  regression, reported separately because an unsound flip is the worst
+  kind of drift a reproduction can have.
+* **missing** / **new** — a cell present on one side only (a job set
+  shrank or grew between the runs).
+
+The report is a first-class artifact (kind ``"diff"``) so the standard
+table renderer and CSV/JSON exporters handle it unchanged, and
+:attr:`DiffReport.regression` drives the CLI's exit code: any changed,
+missing or sound-flipped cell is a regression for CI purposes; cells
+only *added* are not (growing the matrix is progress, not drift).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Sequence
+
+from repro.engine.artifact import ExperimentArtifact, artifact
+
+#: Value columns compared per cell, in report order.
+VALUE_FIELDS = ("bound", "predicted", "observed", "tightness")
+
+#: Column order of the ``diff`` artifact kind.
+DIFF_COLUMNS = (
+    "status",
+    "cell",
+    "scenario",
+    "model",
+    "field",
+    "before",
+    "after",
+    "delta",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class CellDiff:
+    """One cell's difference between the two runs.
+
+    ``status`` is one of ``changed``, ``sound-flip``, ``missing`` or
+    ``new``; ``fields`` maps each differing value column to its
+    ``(before, after)`` pair (empty for missing/new cells).
+    """
+
+    status: str
+    cell: str
+    scenario: str | None
+    model: str | None
+    fields: Mapping[str, tuple[Any, Any]]
+
+    @property
+    def regression(self) -> bool:
+        return self.status in ("changed", "sound-flip", "missing")
+
+
+@dataclasses.dataclass(frozen=True)
+class DiffReport:
+    """The full comparison of two run selections."""
+
+    before: str
+    after: str
+    cells_before: int
+    cells_after: int
+    unchanged: int
+    diffs: tuple[CellDiff, ...]
+
+    @property
+    def regression(self) -> bool:
+        """Whether CI should fail on this comparison."""
+        return any(diff.regression for diff in self.diffs)
+
+    def counts(self) -> dict[str, int]:
+        tally = {"changed": 0, "sound-flip": 0, "missing": 0, "new": 0}
+        for diff in self.diffs:
+            tally[diff.status] += 1
+        return tally
+
+
+def _values_differ(before: Any, after: Any) -> bool:
+    """Exact inequality that treats the two NULL spellings as equal."""
+    if before is None or after is None:
+        return (before is None) != (after is None)
+    # repr-exact: 0.1 + 0.2 != 0.3 here, deliberately.  NaN never
+    # equals itself, so a NaN cell always reports as changed — a NaN
+    # bound appearing is exactly the kind of drift to surface.
+    return not (before == after)
+
+
+def diff_rows(
+    before_rows: Sequence[Mapping[str, Any]],
+    after_rows: Sequence[Mapping[str, Any]],
+    *,
+    before: str = "before",
+    after: str = "after",
+) -> DiffReport:
+    """Compare two row sets (as returned by :meth:`ResultStore.rows`)."""
+    lhs = {row["cell"]: row for row in before_rows}
+    rhs = {row["cell"]: row for row in after_rows}
+    diffs: list[CellDiff] = []
+    unchanged = 0
+    for cell in sorted(set(lhs) | set(rhs)):
+        old, new = lhs.get(cell), rhs.get(cell)
+        if old is None or new is None:
+            present = new if old is None else old
+            diffs.append(
+                CellDiff(
+                    status="new" if old is None else "missing",
+                    cell=cell,
+                    scenario=present.get("scenario"),
+                    model=present.get("model"),
+                    fields={},
+                )
+            )
+            continue
+        changed = {
+            field: (old.get(field), new.get(field))
+            for field in VALUE_FIELDS
+            if _values_differ(old.get(field), new.get(field))
+        }
+        flipped = old.get("sound") != new.get("sound")
+        if flipped:
+            changed["sound"] = (old.get("sound"), new.get("sound"))
+        if changed:
+            diffs.append(
+                CellDiff(
+                    status="sound-flip" if flipped else "changed",
+                    cell=cell,
+                    scenario=new.get("scenario"),
+                    model=new.get("model"),
+                    fields=changed,
+                )
+            )
+        else:
+            unchanged += 1
+    return DiffReport(
+        before=before,
+        after=after,
+        cells_before=len(lhs),
+        cells_after=len(rhs),
+        unchanged=unchanged,
+        diffs=tuple(diffs),
+    )
+
+
+def diff_runs(store: Any, before: str, after: str) -> DiffReport:
+    """Diff two run selectors against one :class:`ResultStore`."""
+    before_ids = store.resolve(before)
+    after_ids = store.resolve(after)
+    return diff_rows(
+        store.rows(before_ids),
+        store.rows(after_ids),
+        before=before,
+        after=after,
+    )
+
+
+def _delta(pair: tuple[Any, Any]) -> Any:
+    old, new = pair
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        if not isinstance(old, bool) and not isinstance(new, bool):
+            return new - old
+    return None
+
+
+def diff_artifact(report: DiffReport) -> ExperimentArtifact:
+    """The report as a ``diff``-kind artifact (one row per differing
+    field, plus one row per missing/new cell)."""
+    records: list[dict[str, Any]] = []
+    for diff in report.diffs:
+        if not diff.fields:
+            records.append(
+                {
+                    "status": diff.status,
+                    "cell": diff.cell,
+                    "scenario": diff.scenario,
+                    "model": diff.model,
+                    "field": None,
+                    "before": None,
+                    "after": None,
+                    "delta": None,
+                }
+            )
+            continue
+        for field in (*VALUE_FIELDS, "sound"):
+            if field not in diff.fields:
+                continue
+            old, new = diff.fields[field]
+            records.append(
+                {
+                    "status": diff.status,
+                    "cell": diff.cell,
+                    "scenario": diff.scenario,
+                    "model": diff.model,
+                    "field": field,
+                    "before": old,
+                    "after": new,
+                    "delta": _delta(diff.fields[field]),
+                }
+            )
+    counts = report.counts()
+    return artifact(
+        "diff",
+        f"Result diff: {report.before} -> {report.after}",
+        DIFF_COLUMNS,
+        records,
+        before=report.before,
+        after=report.after,
+        cells_before=report.cells_before,
+        cells_after=report.cells_after,
+        unchanged=report.unchanged,
+        regression=report.regression,
+        **counts,
+    )
