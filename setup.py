@@ -32,6 +32,7 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     entry_points={
         "console_scripts": [

@@ -80,6 +80,7 @@ from repro.core import (
     model_names,
     multi_contender_bound,
     register_model,
+    temporary_models,
     wcet_estimate,
 )
 from repro.counters import DebugCounter, TaskReadings
@@ -160,6 +161,7 @@ __all__ = [
     "tc277",
     "tc27x_latency_profile",
     "temporary_families",
+    "temporary_models",
     "temporary_scenarios",
     "wcet_estimate",
 ]

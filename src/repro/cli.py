@@ -721,6 +721,37 @@ def _cmd_diff(args: argparse.Namespace) -> str:
     return f"{render_artifact(item)}\n{summary}"
 
 
+def _cmd_lint(args: argparse.Namespace) -> str:
+    """Run the invariant checker; exit 1 on any finding.
+
+    Exit-code contract (for CI): 0 — clean; 1 — at least one finding;
+    2 — usage error (unknown rule, unreadable path, unparsable file).
+    """
+    from repro.lint import (
+        default_rule_registry,
+        json_report,
+        lint_paths,
+        text_report,
+    )
+
+    if args.list:
+        registry = default_rule_registry()
+        width = max(len(name) for name in registry.names())
+        return "\n".join(
+            f"{rule.name:<{width}}  [{rule.scope}] {rule.description}"
+            for rule in registry
+        )
+    run = lint_paths(
+        args.paths or ["src", "tests"],
+        select=args.select.split(",") if args.select else None,
+        ignore=args.ignore.split(",") if args.ignore else None,
+    )
+    args._exit_code = run.exit_code
+    if args.format == "json":
+        return json_report(run.findings, run.checked_files, run.rules)
+    return text_report(run.findings, run.checked_files)
+
+
 def _cmd_store(args: argparse.Namespace) -> str:
     """List the result store's recorded runs (or maintain it)."""
     store = _result_store(args)
@@ -1191,6 +1222,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "lint",
+        help=(
+            "AST-check the codebase's own invariants (provenance "
+            "timestamps, backoff sleeps, exact exports, hardened "
+            "sqlite, ...); exits 1 on any finding (CI guardrail)"
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: src tests)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is schema-versioned, for CI)",
+    )
+    p.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+
+    p = sub.add_parser(
         "cache",
         help="inspect the disk cache's version namespaces (--prune)",
     )
@@ -1232,6 +1299,7 @@ _COMMANDS = {
     "jobs": _cmd_jobs,
     "chaos": _cmd_chaos,
     "diff": _cmd_diff,
+    "lint": _cmd_lint,
     "store": _cmd_store,
     "cache": _cmd_cache,
 }

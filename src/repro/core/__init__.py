@@ -94,6 +94,7 @@ from repro.core.registry import (
     model_names,
     model_specs,
     register_model,
+    temporary_models,
 )
 from repro.core.results import ContentionBound, WcetEstimate
 from repro.core.wcet import ModelKind, contention_bound, wcet_estimate
@@ -142,5 +143,6 @@ __all__ = [
     "profile_from_pairs",
     "register_model",
     "stall_bound",
+    "temporary_models",
     "wcet_estimate",
 ]

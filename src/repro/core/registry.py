@@ -43,6 +43,7 @@ reductions of Section 4.3.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 from typing import Iterable, Iterator
 
@@ -503,6 +504,31 @@ def register_model(
 ) -> ContentionModel:
     """Register a model in the default registry."""
     return default_model_registry().register(model, replace=replace)
+
+
+@contextlib.contextmanager
+def temporary_models(
+    *models: ContentionModel, replace: bool = False
+) -> Iterator[ModelRegistry]:
+    """Scope model registrations to a ``with`` block.
+
+    The model-registry analogue of
+    :func:`repro.engine.registry.temporary_scenarios`: snapshots the
+    process-wide default registry, registers ``models``, and restores
+    the exact prior contents on exit, exception or not — so a test or
+    example that registers a model cannot leak it into everything that
+    runs later in the process.  The ``registry-leak`` lint rule flags
+    tests that mutate a default registry outside one of these scopes.
+    """
+    registry = default_model_registry()
+    snapshot = dict(registry._models)
+    try:
+        for model in models:
+            registry.register(model, replace=replace)
+        yield registry
+    finally:
+        registry._models.clear()
+        registry._models.update(snapshot)
 
 
 def get_model(name: str) -> ContentionModel:

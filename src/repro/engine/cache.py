@@ -234,7 +234,7 @@ class ResultCache:
                 return pickle.load(handle)
         except FileNotFoundError:
             return _MISS
-        except Exception:
+        except Exception:  # repro: ignore[broad-except] unpickling a corrupt/foreign file can raise anything; drop and treat as a miss
             try:
                 path.unlink()
             except OSError:
@@ -280,7 +280,7 @@ class ResultCache:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
             tmp = None
-        except Exception:
+        except Exception:  # repro: ignore[broad-except] persistence is best-effort by contract
             # Unpicklable value or unwritable directory: the entry simply
             # stays in-memory for this process.
             if fd is not None:

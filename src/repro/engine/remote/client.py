@@ -41,7 +41,6 @@ import dataclasses
 import http.client
 import json
 import threading
-import time
 import urllib.request
 import zlib
 from typing import Any, Sequence
@@ -314,14 +313,15 @@ def wait_for_workers(
         for url in list(pending):
             try:
                 worker_health(url, timeout=2.0)
-            except Exception as exc:
+            except (OSError, http.client.HTTPException, ValueError) as exc:
+                # URLError/HTTPError are OSError; a non-JSON healthz
+                # body decodes to ValueError.  Anything else is a bug.
                 pending[url] = exc
             else:
                 del pending[url]
         if not pending:
             return
-        delay = backoff.next_delay()
-        if delay is None:
+        if not backoff.sleep():
             failures = "; ".join(
                 f"{url} ({exc})" for url, exc in pending.items()
             )
@@ -329,4 +329,3 @@ def wait_for_workers(
                 f"{len(pending)} worker(s) not reachable after "
                 f"{timeout:g}s: {failures}"
             )
-        time.sleep(delay)

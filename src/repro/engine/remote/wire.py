@@ -203,7 +203,7 @@ def encode_result_entries(items: Sequence[WireResult]) -> list[dict]:
             }
             try:
                 entry["payload"] = _pack(item.error)
-            except Exception:
+            except Exception:  # repro: ignore[broad-except] pickling an arbitrary user exception can raise anything; fall back to message-only
                 entry["payload"] = None
             encoded.append(entry)
     return encoded
@@ -485,6 +485,7 @@ def validate_result_entries(entries: Any, expected: int | None) -> str | None:
             return f"entry {position} payload is not a string"
         try:
             base64.b64decode(payload.encode("ascii"), validate=True)
-        except Exception as exc:
+        except ValueError as exc:
+            # binascii.Error and UnicodeEncodeError are both ValueError.
             return f"entry {position} payload is not base64: {exc}"
     return None

@@ -99,9 +99,7 @@ def execute_wire_job(
             return WireResult(ok=True, value=value, cached=True)
     try:
         value = item.job.run()
-    except Exception as exc:
-        # The *job* failed: report it as data so the client re-raises
-        # it exactly where serial execution would have.
+    except Exception as exc:  # repro: ignore[broad-except] the job's failure is the result — shipped as data, re-raised client-side
         return WireResult(ok=False, error=exc)
     stats.executed += 1
     if cache is not None and key is not None:
@@ -160,7 +158,7 @@ class _WorkerHandler(BaseHTTPRequestHandler):
             self.server.stats.failures += 1
             self._send(400, json.dumps({"error": str(exc)}).encode("utf-8"))
             return
-        except Exception as exc:  # worker fault: client will reassign
+        except Exception as exc:  # repro: ignore[broad-except] the 500 boundary: a worker fault answers the client, which reassigns
             self.server.stats.failures += 1
             message = f"{type(exc).__name__}: {exc}"
             self._send(500, json.dumps({"error": message}).encode("utf-8"))

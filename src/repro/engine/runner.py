@@ -282,7 +282,7 @@ class ExperimentEngine:
                     for index, item in enumerate(batch)
                 ],
             )
-        except Exception as exc:
+        except Exception as exc:  # repro: ignore[broad-except] recording is best-effort; a store fault must not fail the batch it observes
             warnings.warn(
                 f"result-store recording failed ({exc}); batch results "
                 "are unaffected but this run will be missing rows",
@@ -471,7 +471,7 @@ class ExperimentEngine:
         for index in pending:
             try:
                 pickle.dumps(batch[index])
-            except Exception:
+            except Exception:  # repro: ignore[broad-except] probing picklability: pickling arbitrary jobs can raise anything
                 local.append(index)
                 self.stats.fallbacks += 1
             else:

@@ -1,0 +1,60 @@
+"""The rule registry: rules are registered data, like models and
+scenarios.
+
+Mirrors :mod:`repro.core.registry` exactly — a process-wide default
+registry populated with the builtin rules, a ``register_rule``
+decorator for new ones, and a ``temporary_rules`` scope so tests (and
+downstream extensions) can add rules without leaking them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.lint.core import LintRule, RuleRegistry
+
+_DEFAULT: RuleRegistry | None = None
+
+
+def default_rule_registry() -> RuleRegistry:
+    """The process-wide registry, created with the builtin rules."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = RuleRegistry()
+        import repro.lint.rules  # noqa: F401  registers the builtins
+    return _DEFAULT
+
+
+def register_rule(
+    rule: type[LintRule], *, replace: bool = False
+) -> type[LintRule]:
+    """Register a rule class in the default registry (decorator-friendly)::
+
+        @register_rule
+        class MyRule(LintRule):
+            name = "my-rule"
+            ...
+    """
+    return default_rule_registry().register(rule, replace=replace)
+
+
+def rule_names() -> tuple[str, ...]:
+    """Names registered in the default registry."""
+    return default_rule_registry().names()
+
+
+@contextlib.contextmanager
+def temporary_rules(
+    *rules: type[LintRule], replace: bool = False
+) -> Iterator[RuleRegistry]:
+    """Scope rule registrations to a ``with`` block (tests, examples)."""
+    registry = default_rule_registry()
+    snapshot = dict(registry._rules)
+    try:
+        for rule in rules:
+            registry.register(rule, replace=replace)
+        yield registry
+    finally:
+        registry._rules.clear()
+        registry._rules.update(snapshot)

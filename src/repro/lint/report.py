@@ -1,0 +1,61 @@
+"""Reporters: findings as text lines or a stable JSON document.
+
+The JSON schema is part of the CLI contract (CI parses it)::
+
+    {
+      "version": 1,
+      "checked_files": 214,
+      "rules": ["bare-sleep-loop", ...],
+      "findings": [
+        {"path": "...", "line": 12, "rule": "...", "message": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.core import Finding
+
+#: Schema version of the JSON report.
+REPORT_VERSION = 1
+
+
+def text_report(findings: Sequence[Finding], checked_files: int) -> str:
+    """One ``path:line: [rule] message`` line per finding + a summary."""
+    lines = [finding.format() for finding in findings]
+    noun = "file" if checked_files == 1 else "files"
+    if findings:
+        count = len(findings)
+        lines.append(
+            f"{count} finding{'s' if count != 1 else ''} "
+            f"in {checked_files} {noun}"
+        )
+    else:
+        lines.append(f"clean: {checked_files} {noun} checked")
+    return "\n".join(lines)
+
+
+def json_report(
+    findings: Sequence[Finding],
+    checked_files: int,
+    rules: Sequence[str],
+) -> str:
+    """The machine-readable report (sorted, schema-versioned)."""
+    document = {
+        "version": REPORT_VERSION,
+        "checked_files": checked_files,
+        "rules": sorted(rules),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -11,14 +11,20 @@ everything stamps through:
 * :func:`utc_now_iso` / :func:`iso_from_epoch` — UTC ISO-8601 strings
   (``2026-08-07T12:34:56.789012+00:00``), lexicographically sortable and
   unambiguous wherever they are read back;
+* :func:`epoch_now` — the current wall-clock instant as epoch seconds,
+  for persisted numeric stamps that other hosts compare or convert;
 * :func:`git_revision` — the working tree's commit hash, best-effort
   (``None`` outside a checkout), overridable with ``REPRO_GIT_REV`` for
   builds that ship without ``.git``;
 * :func:`run_metadata` — the standard provenance dict a new result-store
   run is stamped with.
 
-Timestamps produced here are *metadata*: deadlines, lease expiries and
-other duration arithmetic stay on ``time.time()`` floats.
+Timestamps produced here are *metadata*.  Deadlines, lease expiries and
+other in-process duration arithmetic use ``time.monotonic()`` instead —
+a wall clock can jump backwards under NTP, and a lease that expires on
+such a jump re-queues every live unit at once.  The split is enforced by
+the ``naive-time`` lint rule: library code outside this module must not
+call ``time.time()`` / ``datetime.now()`` directly.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from __future__ import annotations
 import datetime
 import os
 import subprocess
+import time
 
 #: Environment override for the recorded git revision (CI images and
 #: installed wheels have no ``.git`` to ask).
@@ -42,6 +49,18 @@ def utc_now_iso() -> str:
     through :func:`datetime.datetime.fromisoformat`.
     """
     return datetime.datetime.now(datetime.timezone.utc).isoformat()
+
+
+def epoch_now() -> float:
+    """The current wall-clock instant as epoch seconds.
+
+    The one sanctioned source of ``time.time()`` for values that get
+    *persisted* (result-store rows, job-queue ``created`` stamps) or
+    cross the wire: provenance must be comparable across hosts, which a
+    monotonic reading is not.  Never use this for deadlines or lease
+    arithmetic — those stay on ``time.monotonic()``.
+    """
+    return time.time()  # repro: ignore[naive-time] the sanctioned source
 
 
 def iso_from_epoch(epoch: float) -> str:
@@ -91,7 +110,7 @@ def git_revision(cwd: str | os.PathLike | None = None) -> str | None:
     return rev
 
 
-def run_metadata() -> dict:
+def run_metadata() -> dict[str, str | None]:
     """The standard provenance stamp of one recorded run."""
     from repro import __version__  # deferred: package-init cycle
 

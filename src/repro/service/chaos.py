@@ -341,7 +341,7 @@ class _ChaosHandler(BaseHTTPRequestHandler):
                 time.sleep(rule.latency)
         try:
             status, payload = self._forward(body)
-        except Exception as exc:
+        except Exception as exc:  # repro: ignore[broad-except] the 502 boundary: any upstream fault becomes a bad-gateway answer
             message = json.dumps({"error": f"chaos upstream: {exc}"})
             self._respond(502, message.encode("utf-8"))
             return
@@ -409,7 +409,7 @@ class ChaosProxy(ThreadingHTTPServer):
             return
         try:
             self.kill()
-        except Exception:
+        except Exception:  # repro: ignore[broad-except] documented never-raises: a failing kill callback must not fault the proxy
             pass
 
     def handle_error(self, request, client_address) -> None:

@@ -30,7 +30,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.engine.batch import Job
 from repro.engine.remote.client import _cache_key
@@ -183,7 +183,7 @@ def wait_for_job(
     *,
     poll: float = 0.5,
     timeout: float | None = None,
-    progress=None,
+    progress: Callable[[dict], object] | None = None,
     unreachable_grace: float = 60.0,
 ) -> dict:
     """Poll one job until it completes; returns its final status document.
@@ -218,7 +218,7 @@ def wait_for_job(
                 or time.monotonic() - last_contact > unreachable_grace
             ):
                 raise
-            time.sleep(backoff.next_delay() or poll)
+            backoff.sleep(poll)
             continue
         last_contact = time.monotonic()
         if progress is not None:
@@ -240,7 +240,7 @@ def wait_for_job(
         if done != last_done:
             last_done = done
             backoff.reset()
-        time.sleep(backoff.next_delay() or poll)
+        backoff.sleep(poll)
 
 
 @dataclasses.dataclass
@@ -263,7 +263,7 @@ class ServiceStats:
     abandoned: int = 0
 
     #: Job ids submitted by this executor, in order.
-    job_ids: list = dataclasses.field(default_factory=list)
+    job_ids: list[str] = dataclasses.field(default_factory=list)
 
 
 class ServiceExecutor:
@@ -341,7 +341,7 @@ class ServiceExecutor:
                 if time.monotonic() - last_contact > self.unreachable_grace:
                     self.stats.abandoned += 1
                     return sorted(pending)
-                time.sleep(backoff.next_delay() or self.poll)
+                backoff.sleep(self.poll)
                 continue
             last_contact = time.monotonic()
             if complete:
@@ -354,7 +354,7 @@ class ServiceExecutor:
             if len(units) != last_done:
                 last_done = len(units)
                 backoff.reset()
-            time.sleep(backoff.next_delay() or self.poll)
+            backoff.sleep(self.poll)
 
         job_errors: list[tuple[int, BaseException]] = []
         for indices, outcomes in units:

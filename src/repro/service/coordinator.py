@@ -94,7 +94,13 @@ CANCELLED_KIND = "job-cancelled"
 
 @dataclasses.dataclass
 class WorkerInfo:
-    """The coordinator's view of one registered worker."""
+    """The coordinator's view of one registered worker.
+
+    ``registered`` / ``last_seen`` are ``time.monotonic()`` readings —
+    liveness arithmetic must not move when the wall clock steps.  They
+    are in-memory only and never persisted or put on the wire (the
+    worker list reports *ages*, which are clock-free durations).
+    """
 
     worker_id: str
     name: str
@@ -127,7 +133,7 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
             self._send(400, json.dumps({"error": str(exc)}).encode("utf-8"))
         except KeyError as exc:
             self._send(404, json.dumps({"error": str(exc)}).encode("utf-8"))
-        except Exception as exc:
+        except Exception as exc:  # repro: ignore[broad-except] the 500 boundary: a handler bug must answer the client, not kill the serving thread
             message = f"{type(exc).__name__}: {exc}"
             self._send(500, json.dumps({"error": message}).encode("utf-8"))
         else:
@@ -168,7 +174,9 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
                 "/cancel"
             ):
                 job_id = self.path[len(JOBS_PATH) + 1 : -len("/cancel")]
-                self._dispatch(lambda _body: server.handle_cancel(job_id), body)
+                self._dispatch(
+                    lambda body: server.handle_cancel(job_id, body), body
+                )
                 return
             self._send(404, b'{"error":"not found"}')
             return
@@ -357,13 +365,17 @@ class CoordinatorServer(ThreadingHTTPServer):
             units=units,
         )
 
-    def handle_cancel(self, job_id: str) -> bytes:
+    def handle_cancel(self, job_id: str, body: bytes) -> bytes:
         """Cancel one job (``POST /jobs/<id>/cancel``).
 
         Queued and leased units are fenced out immediately; workers
         holding a unit of the job learn on their next heartbeat and
-        abandon it.  Idempotent.
+        abandon it.  Idempotent.  The body is a ``CANCEL_KIND`` envelope
+        — decoded (version-checked) even though the URL already names
+        the job, so a client speaking a different protocol version is
+        told so instead of silently cancelling.
         """
+        decode_document(body, CANCEL_KIND)
         known = self.store.cancel(job_id)
         if not known:
             raise KeyError(f"unknown job id {job_id!r}")
@@ -376,14 +388,14 @@ class CoordinatorServer(ThreadingHTTPServer):
     def handle_worker_list(self) -> bytes:
         """The registry with per-worker execution counters
         (``repro jobs --workers``)."""
-        now = time.time()
+        now = time.monotonic()
         with self._lock:
             rows = [
                 {
                     "worker_id": info.worker_id,
                     "name": info.name,
                     "live": self._is_live(info, now),
-                    "age": round(now - info.last_seen, 3),
+                    "age": round(now - info.last_seen, 3),  # repro: ignore[rounded-export] display-only liveness age, not a recorded result
                     "completed_units": info.completed_units,
                     "invalid_completions": info.invalid_completions,
                     "stats": dict(info.stats),
@@ -400,7 +412,7 @@ class CoordinatorServer(ThreadingHTTPServer):
         )
 
     def handle_health(self) -> bytes:
-        now = time.time()
+        now = time.monotonic()
         with self._lock:
             live = sum(
                 1 for info in self.workers.values()
@@ -424,7 +436,7 @@ class CoordinatorServer(ThreadingHTTPServer):
         name = document.get("name") or ""
         if not isinstance(name, str):
             raise RemoteError("worker name must be a string")
-        now = time.time()
+        now = time.monotonic()
         worker_id = "w-" + secrets.token_hex(4)
         with self._lock:
             self.workers[worker_id] = WorkerInfo(
@@ -444,7 +456,7 @@ class CoordinatorServer(ThreadingHTTPServer):
         worker_id = document.get("worker_id")
         if not isinstance(worker_id, str):
             raise RemoteError("lease request carries no worker_id")
-        now = time.time()
+        now = time.monotonic()
         with self._lock:
             info = self.workers.get(worker_id)
             if info is None:
@@ -526,7 +538,7 @@ class CoordinatorServer(ThreadingHTTPServer):
         accepted = self.store.complete(
             job_id, unit_index, document["fence"], document["results"]
         )
-        now = time.time()
+        now = time.monotonic()
         with self._lock:
             info = self.workers.get(worker_id)
             if info is not None:
@@ -607,7 +619,7 @@ class CoordinatorServer(ThreadingHTTPServer):
             )
             if completed:
                 self.results.record_batch(job_id, completed)
-        except Exception as exc:
+        except Exception as exc:  # repro: ignore[broad-except] recording is best-effort; a full disk must not fail the completion it rides on
             warnings.warn(
                 f"result-store recording for job {job_id} failed ({exc})",
                 RuntimeWarning,
@@ -621,7 +633,7 @@ class CoordinatorServer(ThreadingHTTPServer):
         if not isinstance(worker_id, str):
             raise RemoteError("heartbeat carries no worker_id")
         stats = document.get("stats")
-        now = time.time()
+        now = time.monotonic()
         with self._lock:
             info = self.workers.get(worker_id)
             known = info is not None

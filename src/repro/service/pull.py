@@ -60,11 +60,12 @@ from repro.service.coordinator import (
     REGISTER_KIND,
     REGISTER_PATH,
     REGISTERED_KIND,
+    UNIT_ACCEPTED_KIND,
 )
 from repro.service.retry import (
     TRANSPORT_ERRORS,
     RetryPolicy,
-    retryable_fault,
+    retryable_exchange,
 )
 
 #: How long an idle worker waits before asking for work again.
@@ -151,7 +152,15 @@ class PullWorker:
         )
         return decode_lease(self._post(LEASE_PATH, body))
 
-    def _complete(self, grant: dict, results) -> None:
+    def _complete(self, grant: dict, results) -> bool:
+        """Upload one unit's results; returns whether they were accepted.
+
+        The coordinator's answer is a ``UNIT_ACCEPTED_KIND`` envelope
+        and is decoded (version-checked) rather than discarded — a
+        mangled answer raises :class:`RemoteError`, and retrying is safe
+        because a completion that already landed is simply fence-
+        rejected (``accepted: false``) on the repeat.
+        """
         body = encode_unit_result(
             worker_id=self.worker_id or "",
             job_id=grant["job_id"],
@@ -159,7 +168,10 @@ class PullWorker:
             fence=grant["fence"],
             results=results,
         )
-        self._post(COMPLETE_PATH, body)
+        answer = decode_document(
+            self._post(COMPLETE_PATH, body), UNIT_ACCEPTED_KIND
+        )
+        return bool(answer.get("accepted"))
 
     def _heartbeat(self) -> bool:
         """One heartbeat round-trip; returns whether we are still known."""
@@ -256,8 +268,11 @@ class PullWorker:
             try:
                 self._complete(grant, results)
                 return
-            except TRANSPORT_ERRORS as exc:
-                if not retryable_fault(exc):
+            except TRANSPORT_ERRORS + (RemoteError,) as exc:
+                # RemoteError here means the *answer* was mangled; the
+                # completion may have landed, and the repeat is fence-
+                # rejected if so — retrying is always safe.
+                if not retryable_exchange(exc):
                     return
                 delay = backoff.next_delay()
                 if delay is None:

@@ -123,9 +123,10 @@ class RetryPolicy:
         *,
         rng: random.Random | None = None,
         clock: Callable[[], float] = time.monotonic,
+        sleep_fn: Callable[[float], object] = time.sleep,
     ) -> "Backoff":
         """A fresh stateful delay sequence under this policy."""
-        return Backoff(self, rng=rng, clock=clock)
+        return Backoff(self, rng=rng, clock=clock, sleep_fn=sleep_fn)
 
     def call(
         self,
@@ -184,9 +185,11 @@ class Backoff:
         *,
         rng: random.Random | None = None,
         clock: Callable[[], float] = time.monotonic,
+        sleep_fn: Callable[[float], object] = time.sleep,
     ) -> None:
         self.policy = policy
         self._clock = clock
+        self._sleep = sleep_fn
         self._rng = rng if rng is not None else random.Random()
         self._delay = policy.initial
         self._deadline = (
@@ -232,6 +235,27 @@ class Backoff:
         if self._deadline is not None:
             delay = min(delay, self._deadline - now)
         return max(delay, 0.0)
+
+    def sleep(self, fallback: float | None = None) -> bool:
+        """Sleep for the next backoff delay; the one sanctioned way for
+        a retry loop to wait.
+
+        Returns ``True`` after sleeping, ``False`` when the deadline has
+        passed and ``fallback`` is ``None`` — the loop should stop and
+        surface its last error.  With ``fallback`` set, a spent (or
+        unbounded-poll) deadline sleeps ``fallback`` seconds instead of
+        giving up, which is what poll loops with their own exit
+        condition want.  The actual sleeping goes through the
+        constructor's injectable ``sleep_fn`` so tests can capture the
+        schedule without waiting it out.
+        """
+        delay = self.next_delay()
+        if delay is None:
+            if fallback is None:
+                return False
+            delay = fallback
+        self._sleep(delay)
+        return True
 
 
 #: Default policy for request retries (submit, register, complete):

@@ -25,6 +25,16 @@ Durability and fencing:
   are all persisted): a worker that keeps executing through the outage
   completes against the same fence, so the unit is not re-run.
 
+Clock discipline: lease expiries are ``time.monotonic()`` readings —
+wall clocks can step backwards under NTP, and a backwards jump on
+``time.time()`` arithmetic would expire every live lease at once.
+Monotonic readings are only comparable within one boot, so
+:meth:`JobStore.reclaim_expired` treats an expiry implausibly far in
+the future (:data:`LEASE_HORIZON_SECONDS`) as stale and reclaims it.
+Persisted *provenance* stamps (``created``, ``cancelled_at``) instead
+come from :func:`repro.provenance.epoch_now` — they are read across
+hosts and must be real wall-clock time.
+
 Payloads are stored as the wire format's job/result *entry* lists
 (JSON text, pickles base64-armoured inside — see
 :mod:`repro.engine.remote.wire`), so the store never unpickles anything
@@ -55,7 +65,7 @@ import warnings
 from typing import Any, Sequence
 
 from repro.errors import EngineError
-from repro.provenance import iso_from_epoch, utc_file_stamp
+from repro.provenance import epoch_now, iso_from_epoch, utc_file_stamp
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -94,6 +104,16 @@ QUEUED, LEASED, DONE, CANCELLED = "queued", "leased", "done", "cancelled"
 #: (milliseconds).  Generous: writers hold the lock for single-row
 #: transactions only.
 BUSY_TIMEOUT_MS = 10_000
+
+#: Sanity horizon on lease expiries, in seconds.  Lease arithmetic runs
+#: on ``time.monotonic()`` (a wall clock stepping backwards under NTP
+#: must not expire every live lease at once), but monotonic readings
+#: restart from near zero on reboot: an expiry persisted before a
+#: reboot can sit arbitrarily far in the new clock's future.  Any lease
+#: expiring more than this far ahead cannot have been issued by the
+#: current boot's clock, so :meth:`JobStore.reclaim_expired` treats it
+#: as already expired instead of stranding the unit forever.
+LEASE_HORIZON_SECONDS = 7 * 24 * 3600.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -278,9 +298,10 @@ class JobStore:
             else sum(len(unit.indices) for unit in units)
         )
         # One clock reading for both spellings: `created` stays a float
-        # (lease/ordering arithmetic), `created_utc` is the portable
-        # cross-host provenance form (see repro.provenance).
-        now = time.time()
+        # (ordering), `created_utc` is the portable cross-host
+        # provenance form.  Both are persisted, so both come from the
+        # provenance wall clock — never the monotonic lease clock.
+        now = epoch_now()
         with self._lock, self._conn:
             self._conn.execute(
                 "INSERT INTO jobs (job_id, created, created_utc, label, "
@@ -321,14 +342,17 @@ class JobStore:
 
         Returns the reclaimed ``(job_id, unit_index)`` pairs — the
         heartbeat-loss reassignment the remote backend's dead-worker
-        semantics map onto.
+        semantics map onto.  ``now`` and the stored expiries are
+        ``time.monotonic()`` readings; expiries past
+        :data:`LEASE_HORIZON_SECONDS` are stale stamps from a previous
+        boot's clock and are reclaimed too.
         """
-        now = time.time() if now is None else now
+        now = time.monotonic() if now is None else now
         with self._lock, self._conn:
             rows = self._conn.execute(
                 "SELECT job_id, unit_index FROM units "
-                "WHERE state = ? AND lease_expiry < ?",
-                (LEASED, now),
+                "WHERE state = ? AND (lease_expiry < ? OR lease_expiry > ?)",
+                (LEASED, now, now + LEASE_HORIZON_SECONDS),
             ).fetchall()
             for job_id, unit_index in rows:
                 self._conn.execute(
@@ -440,7 +464,7 @@ class JobStore:
         results.  Idempotent — cancelling twice records the first
         timestamp.
         """
-        now = time.time() if now is None else now
+        now = epoch_now() if now is None else now
         with self._lock, self._conn:
             cursor = self._conn.execute(
                 "UPDATE jobs SET cancelled_at = ? "

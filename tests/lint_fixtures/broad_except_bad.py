@@ -1,0 +1,8 @@
+"""Fixture: a silently swallowed broad handler (broad-except fires)."""
+
+
+def best_effort(fn):
+    try:
+        return fn()
+    except Exception:
+        return None

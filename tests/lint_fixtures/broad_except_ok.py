@@ -1,0 +1,19 @@
+"""Fixture: re-raising and narrow handlers (broad-except quiet)."""
+
+
+class WrappedError(RuntimeError):
+    pass
+
+
+def checked(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        raise WrappedError(str(exc)) from exc
+
+
+def narrow(fn):
+    try:
+        return fn()
+    except (ValueError, KeyError):
+        return None

@@ -1,0 +1,11 @@
+"""Fixture: naive clock readings in library code (naive-time fires)."""
+import datetime
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def when() -> str:
+    return datetime.datetime.utcnow().isoformat()

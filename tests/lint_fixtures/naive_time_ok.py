@@ -1,0 +1,12 @@
+"""Fixture: sanctioned clocks (naive-time stays quiet)."""
+import time
+
+from repro.provenance import epoch_now
+
+
+def stamp() -> float:
+    return epoch_now()
+
+
+def elapsed(start: float) -> float:
+    return time.monotonic() - start

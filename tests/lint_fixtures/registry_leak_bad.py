@@ -1,0 +1,10 @@
+"""Fixture: unscoped registry mutation in a test (registry-leak fires)."""
+from repro.engine import default_registry, register_scenario
+
+
+def test_register_leaks(spec):
+    register_scenario(spec)
+
+
+def test_direct_mutation_leaks(spec):
+    default_registry().register(spec)

@@ -1,0 +1,11 @@
+"""Fixture: scoped registrations (registry-leak stays quiet)."""
+from repro.engine import register_scenario, temporary_scenarios
+
+
+def test_with_scope(spec):
+    with temporary_scenarios(spec):
+        pass
+
+
+def test_fixture_scope(spec, scenario_sandbox):
+    register_scenario(spec)

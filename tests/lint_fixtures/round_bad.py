@@ -1,0 +1,5 @@
+"""Fixture: digit-truncating export rounding (rounded-export fires)."""
+
+
+def export_bound(bound):
+    return round(bound, 6)

@@ -1,0 +1,5 @@
+"""Fixture: integer rounding is ordinary math (rounded-export quiet)."""
+
+
+def cycles(value):
+    return int(round(value))

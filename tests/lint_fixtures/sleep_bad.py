@@ -1,0 +1,7 @@
+"""Fixture: a raw fixed-interval retry wait (bare-sleep-loop fires)."""
+import time
+
+
+def wait_for(predicate):
+    while not predicate():
+        time.sleep(0.1)

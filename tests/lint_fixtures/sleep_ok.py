@@ -1,0 +1,8 @@
+"""Fixture: waiting through the shared backoff (bare-sleep-loop quiet)."""
+from repro.service.retry import RetryPolicy
+
+
+def wait_for(predicate):
+    backoff = RetryPolicy(initial=0.05).backoff()
+    while not predicate():
+        backoff.sleep(0.1)

@@ -1,0 +1,10 @@
+"""Fixture: a raw sqlite connection (raw-sqlite fires)."""
+import sqlite3
+
+
+def read_rows(path):
+    conn = sqlite3.connect(path)
+    try:
+        return conn.execute("SELECT * FROM results").fetchall()
+    finally:
+        conn.close()

@@ -1,0 +1,6 @@
+"""Fixture: store access through the hardened layer (raw-sqlite quiet)."""
+from repro.store import ResultStore
+
+
+def read_runs(path):
+    return ResultStore(path).runs()

@@ -1,0 +1,8 @@
+"""Fixture: dataclass lambda defaults (unpicklable-default fires)."""
+import dataclasses
+
+
+@dataclasses.dataclass
+class Spec:
+    scale: object = dataclasses.field(default=lambda value: value)
+    shift = lambda value: value  # noqa: E731

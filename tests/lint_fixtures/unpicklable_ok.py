@@ -1,0 +1,12 @@
+"""Fixture: factories and named functions (unpicklable-default quiet)."""
+import dataclasses
+
+
+def identity(value):
+    return value
+
+
+@dataclasses.dataclass
+class Spec:
+    transform: object = identity
+    history: list = dataclasses.field(default_factory=lambda: [])

@@ -1,0 +1,12 @@
+"""Fixture: an envelope kind with no decode side (wire-version fires)."""
+ORPHAN_KIND = "repro.orphan.v1"
+BALANCED_KIND = "repro.balanced.v1"
+
+
+def encode(document):
+    encode_document(ORPHAN_KIND, document)
+    return encode_document(BALANCED_KIND, document)
+
+
+def decode(data):
+    return decode_document(data, BALANCED_KIND)

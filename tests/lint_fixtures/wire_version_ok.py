@@ -1,0 +1,10 @@
+"""Fixture: both protocol sides handled (wire-version stays quiet)."""
+BALANCED_KIND = "repro.balanced.v1"
+
+
+def encode(document):
+    return encode_document(BALANCED_KIND, document)
+
+
+def decode(data):
+    return decode_document(data, BALANCED_KIND)

@@ -28,7 +28,7 @@ from repro.core import (
     model_bound,
     model_names,
     multi_contender_bound,
-    register_model,
+    temporary_models,
 )
 from repro.core.fsb import (
     FsbTiming,
@@ -130,13 +130,40 @@ class TestRegistryContents:
             ),
             fn=zero,
         )
-        register_model(spec)
-        try:
+        with temporary_models(spec):
             bound = contention_bound("zero", app_sc1, profile, sc1)
             assert bound.delta_cycles == 0
-        finally:
-            default_model_registry().unregister("zero")
         assert "zero" not in model_names()
+
+    def test_temporary_models_restores_after_an_exception(self):
+        spec = ModelSpec(
+            name="doomed",
+            description="registration scoped past a crash",
+            capabilities=ModelCapabilities(
+                needs_profile=False, needs_scenario=False
+            ),
+            fn=lambda context: None,
+        )
+        before = model_names()
+        with pytest.raises(RuntimeError, match="boom"):
+            with temporary_models(spec):
+                assert "doomed" in model_names()
+                raise RuntimeError("boom")
+        assert model_names() == before
+
+    def test_temporary_models_replace_shadows_then_restores(self):
+        original = default_model_registry().get("ideal")
+        shadow = ModelSpec(
+            name="ideal",
+            description="shadowing the builtin for one block",
+            capabilities=ModelCapabilities(
+                needs_profile=False, needs_scenario=False
+            ),
+            fn=lambda context: None,
+        )
+        with temporary_models(shadow, replace=True):
+            assert default_model_registry().get("ideal") is shadow
+        assert default_model_registry().get("ideal") is original
 
 
 class TestReadmeModelsSection:

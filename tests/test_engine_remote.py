@@ -87,7 +87,7 @@ class HangingServer(WorkerServer):
 
     def handle_batch(self, body):
         if self.served >= self.healthy_batches:
-            time.sleep(self.hang)
+            time.sleep(self.hang)  # repro: ignore[bare-sleep-loop] workload deliberately hangs to exercise the timeout path
         self.served += 1
         return super().handle_batch(body)
 

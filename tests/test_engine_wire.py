@@ -326,3 +326,28 @@ class TestServiceEnvelopes:
             decode_job_results(
                 encode_job_results("j1", complete=False, units=units)
             )
+
+    def test_cancel_envelope_round_trips(self):
+        # Both protocol sides of CANCEL_KIND: the client encodes the
+        # body, the coordinator's cancel handler version-checks it.
+        from repro.engine.remote.wire import decode_document, encode_document
+        from repro.service.coordinator import CANCEL_KIND
+
+        body = encode_document(CANCEL_KIND, {"job_id": "j1"})
+        document = decode_document(body, CANCEL_KIND)
+        assert document["job_id"] == "j1"
+        with pytest.raises(RemoteError):
+            decode_document(body, "some-other-kind")
+
+    def test_completion_ack_round_trips(self):
+        # UNIT_ACCEPTED_KIND: the coordinator encodes the fence verdict,
+        # the pull worker decodes it to learn whether its result landed.
+        from repro.engine.remote.wire import decode_document, encode_document
+        from repro.service.coordinator import UNIT_ACCEPTED_KIND
+
+        for accepted in (True, False):
+            ack = encode_document(UNIT_ACCEPTED_KIND, {"accepted": accepted})
+            assert (
+                decode_document(ack, UNIT_ACCEPTED_KIND)["accepted"]
+                is accepted
+            )

@@ -63,7 +63,7 @@ from repro.service.store import LEASED, QUEUED, JobStore, UnitSpec
 
 def _slow_record(label: str, delay: float, path: str) -> str:
     """Job: sleep, then append the label to a log file (the detector)."""
-    time.sleep(delay)
+    time.sleep(delay)  # repro: ignore[bare-sleep-loop] helper polls a test-local predicate, not a networked service
     with open(path, "a") as handle:
         handle.write(label + "\n")
     return label
@@ -148,7 +148,7 @@ def _wait_workers(url, count, timeout=10.0):
     deadline = time.monotonic() + timeout
     while coordinator_health(url)["workers"] < count:
         assert time.monotonic() < deadline, "workers never registered"
-        time.sleep(0.02)
+        time.sleep(0.02)  # repro: ignore[bare-sleep-loop] chaos worker deliberately stalls mid-job
 
 
 # ----------------------------------------------------------------------
@@ -261,6 +261,31 @@ class TestRetryPolicy:
         bounded = base.with_deadline(3.0)
         assert base.deadline is None and bounded.deadline == 3.0
         assert bounded.initial == base.initial
+
+    def test_sleep_runs_the_schedule_through_injected_sleep_fn(self):
+        slept = []
+        policy = RetryPolicy(
+            initial=0.1, multiplier=2.0, max_delay=0.4, jitter=0.0
+        )
+        backoff = policy.backoff(sleep_fn=slept.append)
+        for _ in range(4):
+            assert backoff.sleep() is True
+        assert slept == pytest.approx([0.1, 0.2, 0.4, 0.4])
+
+    def test_sleep_past_deadline_stops_or_falls_back(self):
+        now = [0.0]
+        slept = []
+        policy = RetryPolicy(initial=1.0, deadline=1.0, jitter=0.0)
+        backoff = policy.backoff(
+            clock=lambda: now[0], sleep_fn=slept.append
+        )
+        now[0] = 2.0  # budget spent before the first wait
+        assert backoff.sleep() is False
+        assert slept == []
+        # Poll loops with their own exit condition keep waiting at the
+        # fallback cadence instead of giving up.
+        assert backoff.sleep(0.25) is True
+        assert slept == pytest.approx([0.25])
 
 
 # ----------------------------------------------------------------------
@@ -506,7 +531,7 @@ class TestStoreHardening:
     def test_pre_cancellation_schema_is_migrated(self, tmp_path):
         path = tmp_path / "old.sqlite"
         JobStore(path).close()
-        conn = sqlite3.connect(path)
+        conn = sqlite3.connect(path)  # repro: ignore[raw-sqlite] test corrupts the store file directly to exercise recovery
         columns = {
             row[1] for row in conn.execute("PRAGMA table_info(jobs)")
         }
@@ -524,9 +549,9 @@ class TestStoreHardening:
     def test_cancel_fences_queued_and_leased_units(self, tmp_path):
         store = JobStore(tmp_path / "q.sqlite")
         job_id = self._submit(store)
-        fence0, _, _ = store.lease(job_id, 0, "w1", time.time() + 30)
+        fence0, _, _ = store.lease(job_id, 0, "w1", time.monotonic() + 30)
         store.complete(job_id, 0, fence0, [{"ok": True}])
-        fence1, _, _ = store.lease(job_id, 1, "w1", time.time() + 30)
+        fence1, _, _ = store.lease(job_id, 1, "w1", time.monotonic() + 30)
 
         assert store.cancel(job_id)
         record = store.job(job_id)
@@ -549,9 +574,9 @@ class TestStoreHardening:
     def test_release_worker_requeues_only_its_leases(self, tmp_path):
         store = JobStore(tmp_path / "q.sqlite")
         job_id = self._submit(store)
-        fence0, _, _ = store.lease(job_id, 0, "bad", time.time() + 30)
-        store.lease(job_id, 1, "bad", time.time() + 30)
-        store.lease(job_id, 2, "good", time.time() + 30)
+        fence0, _, _ = store.lease(job_id, 0, "bad", time.monotonic() + 30)
+        store.lease(job_id, 1, "bad", time.monotonic() + 30)
+        store.lease(job_id, 2, "good", time.monotonic() + 30)
 
         released = store.release_worker("bad")
         assert sorted(released) == [(job_id, 0), (job_id, 1)]
@@ -674,7 +699,7 @@ class TestCancellation:
         deadline = time.monotonic() + 20
         while job_status(coordinator.url, job_id)["done"] < 1:
             assert time.monotonic() < deadline
-            time.sleep(0.02)
+            time.sleep(0.02)  # repro: ignore[bare-sleep-loop] worker thread deliberately idles between polls
 
         answer = cancel_job(coordinator.url, job_id)
         assert answer["cancelled"] is True
@@ -688,9 +713,9 @@ class TestCancellation:
 
         # Two lease periods after the cancel, nothing is still running:
         # the log stops growing (one in-flight unit may drain first).
-        time.sleep(2 * self.LEASE)
+        time.sleep(2 * self.LEASE)  # repro: ignore[bare-sleep-loop] test waits out a real lease expiry
         settled = log.read_text()
-        time.sleep(self.LEASE)
+        time.sleep(self.LEASE)  # repro: ignore[bare-sleep-loop] test waits out a real lease expiry
         assert log.read_text() == settled
         executed = settled.split()
         assert len(executed) == len(set(executed))  # exactly-once held

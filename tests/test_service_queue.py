@@ -39,7 +39,14 @@ from repro.service.coordinator import (
     CoordinatorServer,
 )
 from repro.service.pull import PullWorker
-from repro.service.store import DONE, LEASED, QUEUED, JobStore, UnitSpec
+from repro.service.store import (
+    DONE,
+    LEASE_HORIZON_SECONDS,
+    LEASED,
+    QUEUED,
+    JobStore,
+    UnitSpec,
+)
 
 
 def _slow_record(label: str, delay: float, path: str) -> str:
@@ -49,7 +56,7 @@ def _slow_record(label: str, delay: float, path: str) -> str:
     means a unit ran twice, which lease fencing must prevent in every
     scenario these tests stage.
     """
-    time.sleep(delay)
+    time.sleep(delay)  # repro: ignore[bare-sleep-loop] helper polls a test-local predicate, not a networked service
     with open(path, "a") as handle:
         handle.write(label + "\n")
     return label
@@ -122,7 +129,7 @@ def _wait_workers(url, count, timeout=10.0):
     deadline = time.monotonic() + timeout
     while coordinator_health(url)["workers"] < count:
         assert time.monotonic() < deadline, "workers never registered"
-        time.sleep(0.02)
+        time.sleep(0.02)  # repro: ignore[bare-sleep-loop] worker deliberately stalls so the test can observe a live lease
 
 
 # ----------------------------------------------------------------------
@@ -139,7 +146,7 @@ class TestJobStore:
     def test_lease_bumps_fence_and_complete_matches_it(self, tmp_path):
         store = JobStore(tmp_path / "q.sqlite")
         job_id = self._submit_one(store)
-        fence, entries, indices = store.lease(job_id, 0, "w1", time.time() + 30)
+        fence, entries, indices = store.lease(job_id, 0, "w1", time.monotonic() + 30)
         assert fence == 1 and indices == [0]
         assert entries == [{"payload": "p0"}]
         assert store.complete(job_id, 0, fence, [{"ok": True}])
@@ -150,9 +157,9 @@ class TestJobStore:
     def test_stale_fence_rejected_after_reclaim(self, tmp_path):
         store = JobStore(tmp_path / "q.sqlite")
         job_id = self._submit_one(store)
-        stale_fence, _, _ = store.lease(job_id, 0, "w1", time.time() - 1)
+        stale_fence, _, _ = store.lease(job_id, 0, "w1", time.monotonic() - 1)
         assert store.reclaim_expired() == [(job_id, 0)]
-        fresh_fence, _, _ = store.lease(job_id, 0, "w2", time.time() + 30)
+        fresh_fence, _, _ = store.lease(job_id, 0, "w2", time.monotonic() + 30)
         # Bumped by the reclaim and again by the new lease.
         assert fresh_fence > stale_fence
         # The dead worker's late completion must not land...
@@ -164,17 +171,35 @@ class TestJobStore:
     def test_leased_unit_not_leasable_twice(self, tmp_path):
         store = JobStore(tmp_path / "q.sqlite")
         job_id = self._submit_one(store)
-        assert store.lease(job_id, 0, "w1", time.time() + 30)
-        assert store.lease(job_id, 0, "w2", time.time() + 30) is None
+        assert store.lease(job_id, 0, "w1", time.monotonic() + 30)
+        assert store.lease(job_id, 0, "w2", time.monotonic() + 30) is None
 
     def test_renew_extends_only_owned_leases(self, tmp_path):
         store = JobStore(tmp_path / "q.sqlite")
         job_id = self._submit_one(store, units=2)
-        store.lease(job_id, 0, "w1", time.time() + 0.05)
-        store.lease(job_id, 1, "w2", time.time() + 0.05)
-        assert store.renew_leases("w1", time.time() + 30) == 1
-        time.sleep(0.06)
+        store.lease(job_id, 0, "w1", time.monotonic() + 0.05)
+        store.lease(job_id, 1, "w2", time.monotonic() + 0.05)
+        assert store.renew_leases("w1", time.monotonic() + 30) == 1
+        time.sleep(0.06)  # repro: ignore[bare-sleep-loop] test waits out a real lease expiry
         assert store.reclaim_expired() == [(job_id, 1)]
+
+    def test_reclaim_treats_far_future_expiry_as_expired(self, tmp_path):
+        # A lease expiry stamped by a previous boot's monotonic clock can
+        # read as absurdly far in the future after a restart (monotonic
+        # clocks reset at boot); the horizon guard reclaims such leases
+        # instead of pinning their units forever.
+        store = JobStore(tmp_path / "q.sqlite")
+        job_id = self._submit_one(store)
+        store.lease(
+            job_id,
+            0,
+            "w1",
+            time.monotonic() + LEASE_HORIZON_SECONDS + 60.0,
+        )
+        assert store.reclaim_expired() == [(job_id, 0)]
+        # A sane expiry inside the horizon is left alone.
+        store.lease(job_id, 0, "w2", time.monotonic() + 30.0)
+        assert store.reclaim_expired() == []
 
     def test_precompleted_unit_is_born_done(self, tmp_path):
         store = JobStore(tmp_path / "q.sqlite")
@@ -203,9 +228,9 @@ class TestJobStore:
             label="durable",
             meta={"jobset": "x"},
         )
-        fence, _, _ = store.lease(job_id, 0, "w1", time.time() + 30)
+        fence, _, _ = store.lease(job_id, 0, "w1", time.monotonic() + 30)
         store.complete(job_id, 0, fence, [{"ok": True}])
-        live_fence, _, _ = store.lease(job_id, 1, "w1", time.time() + 30)
+        live_fence, _, _ = store.lease(job_id, 1, "w1", time.monotonic() + 30)
         store.close()
 
         reopened = JobStore(path)
@@ -278,7 +303,7 @@ class TestServiceMatchesSerial:
         job_id = submit_jobs(
             coordinator.url, _slow_jobs(log, count=3), label="detached"
         )
-        time.sleep(1.0)  # no client in the loop at all
+        time.sleep(1.0)  # no client in the loop at all  # repro: ignore[bare-sleep-loop] test waits out a real lease expiry
         status = job_status(coordinator.url, job_id)
         assert status["complete"]
         assert _collect(coordinator.url, job_id, 3) == [
@@ -366,7 +391,7 @@ class TestCoordinatorRestart:
         deadline = time.monotonic() + 20
         while job_status(coordinator.url, job_id)["done"] < 2:
             assert time.monotonic() < deadline
-            time.sleep(0.02)
+            time.sleep(0.02)  # repro: ignore[bare-sleep-loop] worker deliberately stalls mid-job
         coordinator.stop()
         store.close()
 
@@ -492,7 +517,7 @@ class TestWorkerCounters:
             if stats.get("executed", 0) >= 3:
                 break
             assert time.monotonic() < deadline, f"stats never arrived: {worker}"
-            time.sleep(0.05)
+            time.sleep(0.05)  # repro: ignore[bare-sleep-loop] worker deliberately stalls mid-job
         assert worker["name"] == "counted" and worker["live"]
         assert worker["completed_units"] == 3
         assert stats["batches"] >= 3
